@@ -1,0 +1,46 @@
+//! Experiment E5 (DESIGN.md): Algorithm 4 on vs. off under startup skew
+//! (§3.2).
+//!
+//! Without `BeginFrameTiming`'s master/slave smoothing, the paper predicts
+//! the earlier site is "always penalized ... and will suffer from
+//! considerable speed fluctuation": it races ahead, blocks in `SyncInput`,
+//! gets compensated into a sprint by `EndFrameTiming`, blocks again. With
+//! Algorithm 4, the slave absorbs the skew and both sites run smoothly.
+//!
+//! Run: `cargo run --release -p coplay-bench --bin pacing_ablation [--quick]`
+
+use coplay_bench::{banner, Options};
+use coplay_clock::SimDuration;
+use coplay_sim::{run_experiment, ExperimentConfig};
+
+fn main() {
+    let opts = Options::from_env();
+    banner("Pacing ablation — Algorithm 4 under startup skew", &opts);
+
+    println!("skew(ms)  rate_sync  site0 dev(ms)  site1 dev(ms)  synchrony(ms)");
+    for skew in [0u64, 100, 250, 500] {
+        for rate_sync in [true, false] {
+            let mut cfg = opts.apply(ExperimentConfig::with_rtt(SimDuration::from_millis(60)));
+            cfg.start_skew = SimDuration::from_millis(skew);
+            cfg.rate_sync = rate_sync;
+            match run_experiment(cfg) {
+                Ok(r) => println!(
+                    "{:8}  {:9}  {:13.2}  {:13.2}  {:13.2}",
+                    skew,
+                    rate_sync,
+                    r.sites[0].frame_time_deviation_ms,
+                    r.sites[1].frame_time_deviation_ms,
+                    r.synchrony_ms,
+                ),
+                Err(e) => println!("{skew:8}  {rate_sync:9}  error: {e}"),
+            }
+        }
+    }
+    println!();
+    println!(
+        "Reading: with rate_sync=false the master (which starts earlier)\n\
+         shows the §3.2 speed fluctuation and the sites stay offset by the\n\
+         startup skew; with Algorithm 4 the slave smooths the skew out\n\
+         within a few frames and no site is penalized."
+    );
+}

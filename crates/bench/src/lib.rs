@@ -1,0 +1,114 @@
+//! Shared plumbing for the paper-figure regeneration binaries.
+//!
+//! Every figure and extension experiment from DESIGN.md §4 has a binary in
+//! `src/bin/`; they share the small argument parser and formatting helpers
+//! here. Criterion micro-benchmarks live in `benches/micro.rs`.
+
+use coplay_sim::ExperimentConfig;
+
+/// Command-line options shared by the experiment binaries.
+///
+/// Usage: `<bin> [--frames N] [--seed N] [--quick]`. `--quick` cuts the
+/// per-point frame count to 600 for fast smoke runs; the paper's value is
+/// 3600 (one minute at 60 FPS).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Options {
+    /// Frames per experiment point.
+    pub frames: u64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            frames: 3600,
+            seed: 0x0C05_01A1,
+        }
+    }
+}
+
+impl Options {
+    /// Parses options from an iterator of arguments (excluding argv0).
+    ///
+    /// Unknown arguments are ignored so binaries can add their own.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Options {
+        let mut opts = Options::default();
+        let mut args = args.into_iter();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--frames" => {
+                    if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                        opts.frames = v;
+                    }
+                }
+                "--seed" => {
+                    if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                        opts.seed = v;
+                    }
+                }
+                "--quick" => opts.frames = 600,
+                _ => {}
+            }
+        }
+        opts
+    }
+
+    /// Parses from the process environment.
+    pub fn from_env() -> Options {
+        Options::parse(std::env::args().skip(1))
+    }
+
+    /// Applies these options to an experiment config.
+    pub fn apply(&self, mut cfg: ExperimentConfig) -> ExperimentConfig {
+        cfg.frames = self.frames;
+        cfg.seed = self.seed;
+        cfg
+    }
+}
+
+/// Prints the standard experiment header.
+pub fn banner(title: &str, opts: &Options) {
+    println!("=== {title} ===");
+    println!("frames/point: {}, seed: {:#x}", opts.frames, opts.seed);
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        assert_eq!(Options::default().frames, 3600);
+    }
+
+    #[test]
+    fn parse_flags() {
+        let o = Options::parse(
+            ["--frames", "100", "--seed", "7"].map(String::from),
+        );
+        assert_eq!(o.frames, 100);
+        assert_eq!(o.seed, 7);
+    }
+
+    #[test]
+    fn quick_flag_shrinks_frames() {
+        let o = Options::parse(["--quick".to_string()]);
+        assert_eq!(o.frames, 600);
+    }
+
+    #[test]
+    fn unknown_args_ignored() {
+        let o = Options::parse(["--wat".to_string(), "--frames".into(), "9".into()]);
+        assert_eq!(o.frames, 9);
+    }
+
+    #[test]
+    fn apply_overrides_config() {
+        let o = Options { frames: 42, seed: 9 };
+        let cfg = o.apply(ExperimentConfig::default());
+        assert_eq!(cfg.frames, 42);
+        assert_eq!(cfg.seed, 9);
+    }
+}

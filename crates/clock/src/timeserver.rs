@@ -1,0 +1,168 @@
+//! The measurement time server from §4 of the paper.
+//!
+//! The paper measures cross-machine synchrony without synchronizing physical
+//! clocks: both gaming PCs are wired to a third *time server* over a LAN
+//! (RTT < 1 ms), each site sends the server a small packet at the beginning
+//! of every frame, and the server records the packet's *receive* time on its
+//! own clock. Per-frame differences between the two sites' stamps then
+//! measure synchrony; consecutive stamps of one site measure its frame time.
+//!
+//! [`TimeServer`] is the storage half of that design. Delivery latency from
+//! site to server is applied by the caller (the simulator models the LAN hop;
+//! a live deployment would use a real socket).
+
+use std::collections::BTreeMap;
+
+use crate::time::{SimDelta, SimTime};
+
+/// Records frame-begin stamps per `(site, frame)` as received by the
+/// measurement server.
+///
+/// # Examples
+///
+/// ```
+/// use coplay_clock::{SimTime, TimeServer};
+///
+/// let mut server = TimeServer::new();
+/// server.record(0, 0, SimTime::from_micros(100));
+/// server.record(1, 0, SimTime::from_micros(400));
+///
+/// let diffs = server.pair_differences(0, 1);
+/// assert_eq!(diffs.len(), 1);
+/// assert_eq!(diffs[0].1.as_micros(), -300); // site 0 began 300us earlier
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TimeServer {
+    // site -> frame -> receive time. BTreeMap keeps frames ordered for
+    // frame-time extraction.
+    stamps: BTreeMap<u8, BTreeMap<u64, SimTime>>,
+}
+
+impl TimeServer {
+    /// Creates an empty time server.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `site`'s frame `frame` stamp arrived at `recv_time`.
+    ///
+    /// If a duplicate stamp arrives for the same `(site, frame)` the first
+    /// one wins, mirroring a real server that logs first arrival.
+    pub fn record(&mut self, site: u8, frame: u64, recv_time: SimTime) {
+        self.stamps
+            .entry(site)
+            .or_default()
+            .entry(frame)
+            .or_insert(recv_time);
+    }
+
+    /// Number of stamps recorded for `site`.
+    pub fn stamp_count(&self, site: u8) -> usize {
+        self.stamps.get(&site).map_or(0, BTreeMap::len)
+    }
+
+    /// The stamp for `(site, frame)`, if received.
+    pub fn stamp(&self, site: u8, frame: u64) -> Option<SimTime> {
+        self.stamps.get(&site)?.get(&frame).copied()
+    }
+
+    /// Per-frame begin times for `site`, in frame order.
+    pub fn frames(&self, site: u8) -> Vec<(u64, SimTime)> {
+        self.stamps
+            .get(&site)
+            .map(|m| m.iter().map(|(&f, &t)| (f, t)).collect())
+            .unwrap_or_default()
+    }
+
+    /// Frame *durations* for `site`: the difference between the begin times
+    /// of consecutive recorded frames (skipping gaps).
+    ///
+    /// This is exactly what Experiment Series 1 of the paper averages.
+    pub fn frame_times(&self, site: u8) -> Vec<crate::time::SimDuration> {
+        let frames = self.frames(site);
+        frames
+            .windows(2)
+            .filter(|w| w[1].0 == w[0].0 + 1)
+            .map(|w| w[1].1 - w[0].1)
+            .collect()
+    }
+
+    /// Per-frame signed stamp differences `site_a - site_b` for every frame
+    /// both sites stamped, in frame order.
+    ///
+    /// Experiment Series 2 of the paper averages the absolute values.
+    pub fn pair_differences(&self, site_a: u8, site_b: u8) -> Vec<(u64, SimDelta)> {
+        let (Some(a), Some(b)) = (self.stamps.get(&site_a), self.stamps.get(&site_b)) else {
+            return Vec::new();
+        };
+        a.iter()
+            .filter_map(|(&frame, &ta)| b.get(&frame).map(|&tb| (frame, ta.delta_since(tb))))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_millis(v)
+    }
+
+    #[test]
+    fn records_and_counts_stamps() {
+        let mut s = TimeServer::new();
+        s.record(0, 0, ms(0));
+        s.record(0, 1, ms(17));
+        assert_eq!(s.stamp_count(0), 2);
+        assert_eq!(s.stamp_count(1), 0);
+        assert_eq!(s.stamp(0, 1), Some(ms(17)));
+        assert_eq!(s.stamp(0, 9), None);
+    }
+
+    #[test]
+    fn duplicate_stamp_keeps_first() {
+        let mut s = TimeServer::new();
+        s.record(0, 5, ms(100));
+        s.record(0, 5, ms(999));
+        assert_eq!(s.stamp(0, 5), Some(ms(100)));
+    }
+
+    #[test]
+    fn frame_times_are_consecutive_differences() {
+        let mut s = TimeServer::new();
+        s.record(0, 0, ms(0));
+        s.record(0, 1, ms(17));
+        s.record(0, 2, ms(33));
+        let ft = s.frame_times(0);
+        assert_eq!(ft, vec![SimDuration::from_millis(17), SimDuration::from_millis(16)]);
+    }
+
+    #[test]
+    fn frame_times_skip_gaps() {
+        let mut s = TimeServer::new();
+        s.record(0, 0, ms(0));
+        s.record(0, 2, ms(40)); // frame 1 stamp lost
+        s.record(0, 3, ms(57));
+        assert_eq!(s.frame_times(0), vec![SimDuration::from_millis(17)]);
+    }
+
+    #[test]
+    fn pair_differences_match_common_frames_only() {
+        let mut s = TimeServer::new();
+        s.record(0, 0, ms(10));
+        s.record(0, 1, ms(27));
+        s.record(1, 1, ms(30));
+        s.record(1, 2, ms(47));
+        let d = s.pair_differences(0, 1);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0], (1, SimDelta::from_millis(-3)));
+    }
+
+    #[test]
+    fn pair_differences_empty_without_data() {
+        let s = TimeServer::new();
+        assert!(s.pair_differences(0, 1).is_empty());
+    }
+}

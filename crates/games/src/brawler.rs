@@ -1,0 +1,756 @@
+//! Brawler: a two-player versus fighting game in the mould of Street
+//! Fighter II — the very title the paper's testbed loads into MAME.
+//!
+//! Two fighters with health bars, a 99-second round timer, punches, kicks,
+//! blocking, knockback, and best-of-three rounds. All physics is integer
+//! fixed point; all state is captured by `save_state`, so replicas converge
+//! bit-for-bit under lockstep.
+
+use coplay_vm::{
+    AudioChannel, Button, Color, FrameBuffer, InputWord, Machine, MachineInfo, Player,
+    StateError, StateHasher,
+};
+
+const W: i32 = 160;
+const GROUND: i32 = 100;
+/// Fixed-point shift (1/16 pixel).
+const FP: i32 = 4;
+const WALK_SPEED: i32 = 24; // 1.5 px/frame
+const MIN_GAP: i32 = 12 << FP;
+const MAX_HEALTH: i32 = 100;
+const ROUND_SECONDS: u32 = 99;
+const ROUNDS_TO_WIN: u8 = 2;
+
+const PUNCH_TOTAL: u8 = 12;
+const PUNCH_ACTIVE: std::ops::Range<u8> = 4..7;
+const PUNCH_RANGE: i32 = 14 << FP;
+const PUNCH_DMG: i32 = 6;
+
+const KICK_TOTAL: u8 = 20;
+const KICK_ACTIVE: std::ops::Range<u8> = 8..13;
+const KICK_RANGE: i32 = 20 << FP;
+const KICK_DMG: i32 = 10;
+
+const HITSTUN: u8 = 10;
+const KNOCKBACK: i32 = 40; // 2.5 px/frame during hitstun
+
+const STATE_MAGIC: &[u8; 4] = b"BRWL";
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FighterState {
+    Idle,
+    Punch(u8),
+    Kick(u8),
+    Hitstun(u8),
+}
+
+impl FighterState {
+    fn code(self) -> u8 {
+        match self {
+            FighterState::Idle => 0,
+            FighterState::Punch(_) => 1,
+            FighterState::Kick(_) => 2,
+            FighterState::Hitstun(_) => 3,
+        }
+    }
+
+    fn counter(self) -> u8 {
+        match self {
+            FighterState::Idle => 0,
+            FighterState::Punch(c) | FighterState::Kick(c) | FighterState::Hitstun(c) => c,
+        }
+    }
+
+    fn from_parts(code: u8, counter: u8) -> FighterState {
+        match code {
+            1 => FighterState::Punch(counter),
+            2 => FighterState::Kick(counter),
+            3 => FighterState::Hitstun(counter),
+            _ => FighterState::Idle,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Fighter {
+    x: i32, // fixed point, body center
+    health: i32,
+    state: FighterState,
+    blocking: bool,
+    /// The current swing has already landed (one hit per attack).
+    connected: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// "Round N — FIGHT!" freeze.
+    Intro(u16),
+    Fight,
+    /// Round decided; brief pause. 0/1 = winner, 2 = draw.
+    RoundEnd { pause: u16, winner: u8 },
+    MatchOver { winner: u8 },
+}
+
+/// A deterministic two-player fighting game (the paper's SF2 stand-in).
+///
+/// Controls per player: `Left`/`Right` walk, `A` punch (fast, short),
+/// `B` kick (slow, long). Walking away from the opponent blocks incoming
+/// attacks (chip damage only). `Start` restarts a finished match.
+///
+/// # Examples
+///
+/// ```
+/// use coplay_games::Brawler;
+/// use coplay_vm::{Button, InputWord, Machine, Player};
+///
+/// let mut game = Brawler::new();
+/// let mut punch = InputWord::NONE;
+/// punch.press(Player::ONE, Button::A);
+/// for _ in 0..120 {
+///     game.step_frame(punch);
+/// }
+/// assert_eq!(game.frame(), 120);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Brawler {
+    frame: u64,
+    phase: Phase,
+    fighters: [Fighter; 2],
+    timer_frames: u32,
+    rounds_won: [u8; 2],
+    fb: FrameBuffer,
+    audio: AudioChannel,
+    audio_frame: Vec<i16>,
+}
+
+impl Brawler {
+    /// Creates a match at the first round's intro.
+    pub fn new() -> Brawler {
+        let mut g = Brawler {
+            frame: 0,
+            phase: Phase::Intro(45),
+            fighters: [Fighter::spawn(0), Fighter::spawn(1)],
+            timer_frames: ROUND_SECONDS * 60,
+            rounds_won: [0, 0],
+            fb: FrameBuffer::standard(),
+            audio: AudioChannel::new(),
+            audio_frame: Vec::new(),
+        };
+        g.draw();
+        g
+    }
+
+    /// Health of both fighters, `(p1, p2)`.
+    pub fn health(&self) -> (i32, i32) {
+        (self.fighters[0].health, self.fighters[1].health)
+    }
+
+    /// Rounds won, `(p1, p2)`.
+    pub fn rounds(&self) -> (u8, u8) {
+        (self.rounds_won[0], self.rounds_won[1])
+    }
+
+    /// The winner once the match is over.
+    pub fn winner(&self) -> Option<u8> {
+        match self.phase {
+            Phase::MatchOver { winner } => Some(winner),
+            _ => None,
+        }
+    }
+
+    /// Seconds left on the round clock.
+    pub fn clock(&self) -> u32 {
+        self.timer_frames / 60
+    }
+
+    fn start_round(&mut self) {
+        self.fighters = [Fighter::spawn(0), Fighter::spawn(1)];
+        self.timer_frames = ROUND_SECONDS * 60;
+        self.phase = Phase::Intro(45);
+    }
+
+    fn step_fight(&mut self, input: InputWord) {
+        // 1. Advance attack/stun counters.
+        for f in &mut self.fighters {
+            f.state = match f.state {
+                FighterState::Punch(c) if c + 1 >= PUNCH_TOTAL => FighterState::Idle,
+                FighterState::Punch(c) => FighterState::Punch(c + 1),
+                FighterState::Kick(c) if c + 1 >= KICK_TOTAL => FighterState::Idle,
+                FighterState::Kick(c) => FighterState::Kick(c + 1),
+                FighterState::Hitstun(0) => FighterState::Idle,
+                FighterState::Hitstun(c) => FighterState::Hitstun(c - 1),
+                FighterState::Idle => FighterState::Idle,
+            };
+        }
+
+        // 2. Read intentions.
+        for i in 0..2 {
+            let player = Player(i as u8);
+            let facing_right = self.facing_right(i);
+            let (fwd, back) = if facing_right {
+                (Button::Right, Button::Left)
+            } else {
+                (Button::Left, Button::Right)
+            };
+            let f = &mut self.fighters[i];
+            f.blocking = false;
+            match f.state {
+                FighterState::Idle => {
+                    if input.is_pressed(player, Button::A) {
+                        f.state = FighterState::Punch(0);
+                        f.connected = false;
+                    } else if input.is_pressed(player, Button::B) {
+                        f.state = FighterState::Kick(0);
+                        f.connected = false;
+                    } else {
+                        let mut dx = 0;
+                        if input.is_pressed(player, fwd) {
+                            dx += WALK_SPEED;
+                        }
+                        if input.is_pressed(player, back) {
+                            dx -= WALK_SPEED;
+                            f.blocking = true;
+                        }
+                        if !facing_right {
+                            dx = -dx;
+                        }
+                        f.x += dx;
+                    }
+                }
+                FighterState::Hitstun(_) => {
+                    // Knockback away from the opponent.
+                    let push = if facing_right { -KNOCKBACK } else { KNOCKBACK };
+                    f.x += push;
+                }
+                _ => {}
+            }
+            self.fighters[i].x = self.fighters[i].x.clamp(8 << FP, (W - 8) << FP);
+        }
+
+        // 3. Keep fighters from overlapping.
+        let gap = (self.fighters[1].x - self.fighters[0].x).abs();
+        if gap < MIN_GAP {
+            let push = (MIN_GAP - gap) / 2;
+            if self.fighters[0].x <= self.fighters[1].x {
+                self.fighters[0].x -= push;
+                self.fighters[1].x += push;
+            } else {
+                self.fighters[0].x += push;
+                self.fighters[1].x -= push;
+            }
+        }
+
+        // 4. Resolve hits.
+        for i in 0..2 {
+            let j = 1 - i;
+            let (range, dmg, active) = match self.fighters[i].state {
+                FighterState::Punch(c) if PUNCH_ACTIVE.contains(&c) => {
+                    (PUNCH_RANGE, PUNCH_DMG, true)
+                }
+                FighterState::Kick(c) if KICK_ACTIVE.contains(&c) => (KICK_RANGE, KICK_DMG, true),
+                _ => (0, 0, false),
+            };
+            if !active || self.fighters[i].connected {
+                continue;
+            }
+            let dist = (self.fighters[j].x - self.fighters[i].x).abs();
+            if dist <= range + (4 << FP) {
+                let blocked = self.fighters[j].blocking;
+                let dealt = if blocked { 1 } else { dmg };
+                self.fighters[j].health = (self.fighters[j].health - dealt).max(0);
+                self.fighters[i].connected = true;
+                if !blocked {
+                    self.fighters[j].state = FighterState::Hitstun(HITSTUN);
+                    self.audio.tone(220, 3, 6_000);
+                } else {
+                    self.audio.tone(660, 2, 3_000);
+                }
+            }
+        }
+
+        // 5. Clock and round end.
+        self.timer_frames = self.timer_frames.saturating_sub(1);
+        let koed: Vec<usize> = (0..2).filter(|&i| self.fighters[i].health == 0).collect();
+        let round_winner = if !koed.is_empty() {
+            if koed.len() == 2 {
+                Some(2) // double KO: draw
+            } else {
+                Some(1 - koed[0] as u8)
+            }
+        } else if self.timer_frames == 0 {
+            use std::cmp::Ordering;
+            match self.fighters[0].health.cmp(&self.fighters[1].health) {
+                Ordering::Greater => Some(0),
+                Ordering::Less => Some(1),
+                Ordering::Equal => Some(2),
+            }
+        } else {
+            None
+        };
+        if let Some(winner) = round_winner {
+            if winner < 2 {
+                self.rounds_won[winner as usize] += 1;
+            }
+            self.audio.tone(110, 20, 8_000);
+            self.phase = Phase::RoundEnd { pause: 90, winner };
+        }
+    }
+
+    fn facing_right(&self, i: usize) -> bool {
+        self.fighters[i].x <= self.fighters[1 - i].x
+    }
+
+    fn draw(&mut self) {
+        self.fb.clear(Color(1)); // night sky
+        self.fb.fill_rect(0, GROUND, W, 120 - GROUND, Color(6)); // ground
+
+        // Health bars.
+        self.fb.fill_rect(6, 6, 60, 5, Color(8));
+        self.fb.fill_rect(94, 6, 60, 5, Color(8));
+        let h0 = self.fighters[0].health * 60 / MAX_HEALTH;
+        let h1 = self.fighters[1].health * 60 / MAX_HEALTH;
+        self.fb.fill_rect(6 + (60 - h0), 6, h0, 5, Color(12));
+        self.fb.fill_rect(94, 6, h1, 5, Color(12));
+
+        // Round pips.
+        for r in 0..self.rounds_won[0] {
+            self.fb.fill_rect(6 + r as i32 * 6, 13, 4, 3, Color(14));
+        }
+        for r in 0..self.rounds_won[1] {
+            self.fb.fill_rect(150 - r as i32 * 6, 13, 4, 3, Color(14));
+        }
+
+        // Timer.
+        self.fb.draw_number(W / 2 - 4, 4, self.clock(), Color(15));
+
+        // Fighters.
+        for i in 0..2 {
+            let f = &self.fighters[i];
+            let x = (f.x >> FP) - 4;
+            let body = if i == 0 { Color(9) } else { Color(12) };
+            let stunned = matches!(f.state, FighterState::Hitstun(_));
+            let color = if stunned { Color(15) } else { body };
+            // Torso + head.
+            self.fb.fill_rect(x, GROUND - 24, 8, 24, color);
+            self.fb.fill_rect(x + 1, GROUND - 31, 6, 6, Color(14));
+            // Active limb.
+            let facing_right = self.facing_right(i);
+            let (reach, active) = match f.state {
+                FighterState::Punch(c) => (12, PUNCH_ACTIVE.contains(&c)),
+                FighterState::Kick(c) => (18, KICK_ACTIVE.contains(&c)),
+                _ => (0, false),
+            };
+            if active {
+                let (lx, lw) = if facing_right {
+                    (x + 8, reach)
+                } else {
+                    (x - reach, reach)
+                };
+                self.fb.fill_rect(lx, GROUND - 18, lw, 3, Color(15));
+            }
+            // Block indicator.
+            if f.blocking {
+                let bx = if facing_right { x - 2 } else { x + 8 };
+                self.fb.fill_rect(bx, GROUND - 26, 2, 26, Color(11));
+            }
+        }
+
+        // Phase banners.
+        match self.phase {
+            Phase::Intro(_) => self.fb.fill_rect(W / 2 - 20, 40, 40, 3, Color(14)),
+            Phase::RoundEnd { winner, .. } if winner < 2 => {
+                let x = if winner == 0 { 20 } else { W / 2 + 20 };
+                self.fb.fill_rect(x, 40, 40, 3, Color(10));
+            }
+            Phase::MatchOver { winner } => {
+                let x = if winner == 0 { 20 } else { W / 2 + 20 };
+                self.fb.fill_rect(x, 36, 40, 8, Color(10));
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Fighter {
+    fn spawn(which: usize) -> Fighter {
+        Fighter {
+            x: if which == 0 { 40 << FP } else { (W - 40) << FP },
+            health: MAX_HEALTH,
+            state: FighterState::Idle,
+            blocking: false,
+            connected: false,
+        }
+    }
+}
+
+impl Default for Brawler {
+    fn default() -> Self {
+        Brawler::new()
+    }
+}
+
+impl Machine for Brawler {
+    fn info(&self) -> MachineInfo {
+        MachineInfo::new("Brawler", 2)
+    }
+
+    fn reset(&mut self) {
+        *self = Brawler::new();
+    }
+
+    fn step_frame(&mut self, input: InputWord) {
+        match self.phase {
+            Phase::Intro(n) => {
+                self.phase = if n == 0 {
+                    Phase::Fight
+                } else {
+                    Phase::Intro(n - 1)
+                };
+            }
+            Phase::Fight => self.step_fight(input),
+            Phase::RoundEnd { pause, winner } => {
+                if pause == 0 {
+                    if self.rounds_won.iter().any(|&r| r >= ROUNDS_TO_WIN) {
+                        let winner = if self.rounds_won[0] >= ROUNDS_TO_WIN { 0 } else { 1 };
+                        self.phase = Phase::MatchOver { winner };
+                    } else {
+                        self.start_round();
+                    }
+                } else {
+                    self.phase = Phase::RoundEnd {
+                        pause: pause - 1,
+                        winner,
+                    };
+                }
+            }
+            Phase::MatchOver { .. } => {
+                if input.is_pressed(Player::ONE, Button::Start)
+                    || input.is_pressed(Player::TWO, Button::Start)
+                {
+                    *self = Brawler::new();
+                }
+            }
+        }
+        self.draw();
+        self.audio_frame = self.audio.render_frame(60).to_vec();
+        self.frame += 1;
+    }
+
+    fn frame(&self) -> u64 {
+        self.frame
+    }
+
+    fn framebuffer(&self) -> &FrameBuffer {
+        &self.fb
+    }
+
+    fn audio_samples(&self) -> &[i16] {
+        &self.audio_frame
+    }
+
+    fn state_hash(&self) -> u64 {
+        let mut h = StateHasher::new();
+        h.write(&self.save_state());
+        h.finish()
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(64);
+        v.extend_from_slice(STATE_MAGIC);
+        v.extend_from_slice(&self.frame.to_le_bytes());
+        let (code, a, b) = match self.phase {
+            Phase::Intro(n) => (0u8, n, 0u8),
+            Phase::Fight => (1, 0, 0),
+            Phase::RoundEnd { pause, winner } => (2, pause, winner),
+            Phase::MatchOver { winner } => (3, 0, winner),
+        };
+        v.push(code);
+        v.extend_from_slice(&a.to_le_bytes());
+        v.push(b);
+        for f in &self.fighters {
+            v.extend_from_slice(&f.x.to_le_bytes());
+            v.extend_from_slice(&f.health.to_le_bytes());
+            v.push(f.state.code());
+            v.push(f.state.counter());
+            v.push(f.blocking as u8);
+            v.push(f.connected as u8);
+        }
+        v.extend_from_slice(&self.timer_frames.to_le_bytes());
+        v.extend_from_slice(&self.rounds_won);
+        v
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), StateError> {
+        const LEN: usize = 4 + 8 + 1 + 2 + 1 + 2 * (4 + 4 + 4) + 4 + 2;
+        if bytes.len() < LEN {
+            return Err(StateError::Truncated {
+                expected: LEN,
+                actual: bytes.len(),
+            });
+        }
+        if &bytes[..4] != STATE_MAGIC {
+            return Err(StateError::BadMagic);
+        }
+        let mut p = 4;
+        let mut take = |n: usize| {
+            let s = &bytes[p..p + n];
+            p += n;
+            s
+        };
+        self.frame = u64::from_le_bytes(take(8).try_into().expect("len 8"));
+        let code = take(1)[0];
+        let a = u16::from_le_bytes(take(2).try_into().expect("len 2"));
+        let b = take(1)[0];
+        self.phase = match code {
+            0 => Phase::Intro(a),
+            1 => Phase::Fight,
+            2 => Phase::RoundEnd { pause: a, winner: b },
+            _ => Phase::MatchOver { winner: b },
+        };
+        for f in &mut self.fighters {
+            f.x = i32::from_le_bytes(take(4).try_into().expect("len 4"));
+            f.health = i32::from_le_bytes(take(4).try_into().expect("len 4"));
+            let code = take(1)[0];
+            let counter = take(1)[0];
+            f.state = FighterState::from_parts(code, counter);
+            f.blocking = take(1)[0] != 0;
+            f.connected = take(1)[0] != 0;
+        }
+        self.timer_frames = u32::from_le_bytes(take(4).try_into().expect("len 4"));
+        self.rounds_won.copy_from_slice(take(2));
+        self.draw();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hold(player: Player, buttons: &[Button]) -> InputWord {
+        let mut w = InputWord::NONE;
+        for &b in buttons {
+            w.press(player, b);
+        }
+        w
+    }
+
+    fn skip_intro(g: &mut Brawler) {
+        while matches!(g.phase, Phase::Intro(_)) {
+            g.step_frame(InputWord::NONE);
+        }
+    }
+
+    #[test]
+    fn intro_freezes_then_fight_begins() {
+        let mut g = Brawler::new();
+        let x0 = g.fighters[0].x;
+        let walk = hold(Player::ONE, &[Button::Right]);
+        g.step_frame(walk);
+        assert_eq!(g.fighters[0].x, x0, "no movement during intro");
+        skip_intro(&mut g);
+        g.step_frame(walk);
+        assert!(g.fighters[0].x > x0, "walks once the round starts");
+    }
+
+    #[test]
+    fn fighters_cannot_pass_through_each_other() {
+        let mut g = Brawler::new();
+        skip_intro(&mut g);
+        let charge = {
+            let mut w = hold(Player::ONE, &[Button::Right]);
+            w.press(Player::TWO, Button::Left);
+            w
+        };
+        for _ in 0..600 {
+            g.step_frame(charge);
+        }
+        assert!(
+            g.fighters[1].x - g.fighters[0].x >= MIN_GAP - (1 << FP),
+            "gap {} too small",
+            g.fighters[1].x - g.fighters[0].x
+        );
+    }
+
+    #[test]
+    fn punches_deal_damage_in_range() {
+        let mut g = Brawler::new();
+        skip_intro(&mut g);
+        // Walk together, then P1 mashes punch.
+        let approach = {
+            let mut w = hold(Player::ONE, &[Button::Right]);
+            w.press(Player::TWO, Button::Left);
+            w
+        };
+        for _ in 0..120 {
+            g.step_frame(approach);
+        }
+        let before = g.health().1;
+        let punch = hold(Player::ONE, &[Button::A]);
+        for _ in 0..60 {
+            g.step_frame(punch);
+        }
+        assert!(g.health().1 < before, "punches should land");
+        assert_eq!(g.health().0, MAX_HEALTH, "P1 untouched");
+    }
+
+    #[test]
+    fn out_of_range_attacks_miss() {
+        let mut g = Brawler::new();
+        skip_intro(&mut g);
+        let punch = hold(Player::ONE, &[Button::A]);
+        for _ in 0..60 {
+            g.step_frame(punch);
+        }
+        assert_eq!(g.health(), (MAX_HEALTH, MAX_HEALTH));
+    }
+
+    #[test]
+    fn blocking_reduces_damage_to_chip() {
+        // P1 alternates pursuing and kicking; P2 either blocks (holds away)
+        // or stands still.
+        let run = |p2_blocks: bool| {
+            let mut g = Brawler::new();
+            skip_intro(&mut g);
+            for k in 0..900 {
+                let mut w = InputWord::NONE;
+                if (k / 20) % 2 == 0 {
+                    w.press(Player::ONE, Button::Right);
+                } else {
+                    w.press(Player::ONE, Button::B);
+                }
+                if p2_blocks {
+                    w.press(Player::TWO, Button::Right);
+                }
+                g.step_frame(w);
+            }
+            MAX_HEALTH - g.health().1
+        };
+        let unblocked = run(false);
+        let blocked = run(true);
+        assert!(blocked > 0, "chip damage still applies");
+        assert!(
+            blocked < unblocked / 2,
+            "blocked {blocked} should be far less than unblocked {unblocked}"
+        );
+    }
+
+    #[test]
+    fn ko_ends_round_and_match_plays_out() {
+        let mut g = Brawler::new();
+        // P1 alternates pursuit and kicks; P2 idles.
+        let mut saw_round_end = false;
+        for k in 0..60 * 60 * 10 {
+            let mut w = InputWord::NONE;
+            if (k / 20) % 2 == 0 {
+                w.press(Player::ONE, Button::Right);
+            } else {
+                w.press(Player::ONE, Button::B);
+            }
+            g.step_frame(w);
+            if matches!(g.phase, Phase::RoundEnd { .. }) {
+                saw_round_end = true;
+            }
+            if g.winner().is_some() {
+                break;
+            }
+        }
+        assert!(saw_round_end, "round should have ended by KO");
+        assert_eq!(g.winner(), Some(0));
+        assert_eq!(g.rounds().0, ROUNDS_TO_WIN);
+        // Start restarts the match.
+        g.step_frame(hold(Player::TWO, &[Button::Start]));
+        assert!(g.winner().is_none());
+        assert_eq!(g.rounds(), (0, 0));
+    }
+
+    #[test]
+    fn timeout_awards_round_to_healthier_fighter() {
+        let mut g = Brawler::new();
+        skip_intro(&mut g);
+        g.timer_frames = 30; // nearly expired
+        g.fighters[1].health = 50;
+        for _ in 0..31 {
+            g.step_frame(InputWord::NONE);
+        }
+        assert!(matches!(g.phase, Phase::RoundEnd { winner: 0, .. }));
+        assert_eq!(g.rounds(), (1, 0));
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let script: Vec<InputWord> = (0..2_000u32)
+            .map(|i| InputWord((i.wrapping_mul(2_654_435_761) >> 9) & 0x3F3F))
+            .collect();
+        let run = || {
+            let mut g = Brawler::new();
+            for &w in &script {
+                g.step_frame(w);
+            }
+            g.state_hash()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn save_load_roundtrip_mid_fight() {
+        let mut a = Brawler::new();
+        let script: Vec<InputWord> = (0..400u32)
+            .map(|i| InputWord((i.wrapping_mul(0x9E37_79B9) >> 11) & 0x3F3F))
+            .collect();
+        for &w in &script {
+            a.step_frame(w);
+        }
+        let snap = a.save_state();
+        let mut b = Brawler::new();
+        b.load_state(&snap).unwrap();
+        assert_eq!(a.state_hash(), b.state_hash());
+        for &w in script.iter().rev() {
+            a.step_frame(w);
+            b.step_frame(w);
+        }
+        assert_eq!(a.state_hash(), b.state_hash());
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let mut g = Brawler::new();
+        assert!(matches!(
+            g.load_state(&[1, 2, 3]),
+            Err(StateError::Truncated { .. })
+        ));
+        let mut snap = g.save_state();
+        snap[1] = b'?';
+        assert!(matches!(g.load_state(&snap), Err(StateError::BadMagic)));
+    }
+
+    #[test]
+    fn health_bars_reflect_damage() {
+        let mut g = Brawler::new();
+        skip_intro(&mut g);
+        let full_fb = g.framebuffer().clone();
+        g.fighters[1].health = 10;
+        g.step_frame(InputWord::NONE);
+        assert_ne!(g.framebuffer(), &full_fb);
+    }
+
+    #[test]
+    fn hitstun_prevents_immediate_rehit() {
+        let mut g = Brawler::new();
+        skip_intro(&mut g);
+        let approach = {
+            let mut w = hold(Player::ONE, &[Button::Right]);
+            w.press(Player::TWO, Button::Left);
+            w
+        };
+        for _ in 0..120 {
+            g.step_frame(approach);
+        }
+        // One full punch cycle: damage equals exactly one PUNCH_DMG.
+        let punch = hold(Player::ONE, &[Button::A]);
+        for _ in 0..PUNCH_TOTAL as usize {
+            g.step_frame(punch);
+        }
+        assert_eq!(MAX_HEALTH - g.health().1, PUNCH_DMG);
+    }
+}

@@ -1,0 +1,574 @@
+//! Breakout: cooperative brick-breaking with two paddles.
+//!
+//! Both players defend the same ball with independent paddles — a
+//! cooperative continuous-state game that stresses the sync layer
+//! differently from the versus titles: every frame of *both* players'
+//! movement matters to the shared physics.
+
+use coplay_vm::{
+    AudioChannel, Button, Color, FrameBuffer, InputWord, Machine, MachineInfo, Player,
+    StateError, StateHasher,
+};
+
+const W: i32 = 160;
+const H: i32 = 120;
+/// Fixed-point shift (1/16 pixel).
+const FP: i32 = 4;
+
+const PAD_W: i32 = 20;
+const PAD_H: i32 = 3;
+const PAD_Y: i32 = H - 8;
+const PAD_SPEED: i32 = 3 << FP;
+
+const BALL: i32 = 2;
+const BRICK_COLS: usize = 10;
+const BRICK_ROWS: usize = 5;
+const BRICK_W: i32 = 16;
+const BRICK_H: i32 = 6;
+const BRICK_TOP: i32 = 16;
+const START_LIVES: u8 = 3;
+
+const STATE_MAGIC: &[u8; 4] = b"BRKT";
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Serving { countdown: u16 },
+    Play,
+    GameOver,
+}
+
+/// Cooperative two-paddle Breakout as a deterministic [`Machine`].
+///
+/// Player 1 and player 2 each steer their own paddle with `Left`/`Right`.
+/// Lives are shared; clearing the wall advances the level and speeds the
+/// ball up. `Start` restarts after game over.
+///
+/// # Examples
+///
+/// ```
+/// use coplay_games::Breakout;
+/// use coplay_vm::{InputWord, Machine};
+///
+/// let mut game = Breakout::new();
+/// for _ in 0..120 {
+///     game.step_frame(InputWord::NONE);
+/// }
+/// assert_eq!(game.frame(), 120);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Breakout {
+    frame: u64,
+    phase: Phase,
+    paddle_x: [i32; 2], // fixed point, left edge
+    ball_x: i32,
+    ball_y: i32,
+    vel_x: i32,
+    vel_y: i32,
+    bricks: u64, // bit r*BRICK_COLS+c set = brick alive
+    score: u32,
+    lives: u8,
+    level: u8,
+    rng: u32,
+    fb: FrameBuffer,
+    audio: AudioChannel,
+    audio_frame: Vec<i16>,
+}
+
+impl Breakout {
+    /// Creates a game at the opening serve.
+    pub fn new() -> Breakout {
+        Breakout::with_seed(0x42_52_4B_54)
+    }
+
+    /// Creates a game with serve randomness derived from `seed`.
+    pub fn with_seed(seed: u32) -> Breakout {
+        let mut g = Breakout {
+            frame: 0,
+            phase: Phase::Serving { countdown: 45 },
+            paddle_x: [(W / 4 - PAD_W / 2) << FP, (3 * W / 4 - PAD_W / 2) << FP],
+            ball_x: 0,
+            ball_y: 0,
+            vel_x: 0,
+            vel_y: 0,
+            bricks: full_wall(),
+            score: 0,
+            lives: START_LIVES,
+            level: 1,
+            rng: seed,
+            fb: FrameBuffer::standard(),
+            audio: AudioChannel::new(),
+            audio_frame: Vec::new(),
+        };
+        g.reset_ball();
+        g.draw();
+        g
+    }
+
+    /// The shared score.
+    pub fn score(&self) -> u32 {
+        self.score
+    }
+
+    /// Remaining shared lives.
+    pub fn lives(&self) -> u8 {
+        self.lives
+    }
+
+    /// Current level (1-based).
+    pub fn level(&self) -> u8 {
+        self.level
+    }
+
+    /// Bricks still standing.
+    pub fn bricks_left(&self) -> u32 {
+        self.bricks.count_ones()
+    }
+
+    /// `true` once all lives are spent.
+    pub fn is_game_over(&self) -> bool {
+        matches!(self.phase, Phase::GameOver)
+    }
+
+    fn next_rand(&mut self) -> u32 {
+        self.rng = self.rng.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+        self.rng >> 16
+    }
+
+    fn speed(&self) -> i32 {
+        // Base 1.25 px/frame, +0.25 per level, capped at 3 px/frame.
+        (20 + 4 * self.level as i32).min(48)
+    }
+
+    fn reset_ball(&mut self) {
+        self.ball_x = ((W - BALL) / 2) << FP;
+        self.ball_y = (H / 2) << FP;
+        self.vel_x = 0;
+        self.vel_y = 0;
+    }
+
+    fn serve(&mut self) {
+        let dir = if self.next_rand() & 1 == 0 { -1 } else { 1 };
+        self.vel_x = dir * (self.speed() / 2 + (self.next_rand() % 8) as i32);
+        self.vel_y = -self.speed();
+    }
+
+    fn move_paddles(&mut self, input: InputWord) {
+        for (i, px) in self.paddle_x.iter_mut().enumerate() {
+            let player = Player(i as u8);
+            if input.is_pressed(player, Button::Left) {
+                *px -= PAD_SPEED;
+            }
+            if input.is_pressed(player, Button::Right) {
+                *px += PAD_SPEED;
+            }
+            *px = (*px).clamp(0, (W - PAD_W) << FP);
+        }
+    }
+
+    fn brick_at(col: usize, row: usize) -> u64 {
+        1u64 << (row * BRICK_COLS + col)
+    }
+
+    fn step_ball(&mut self) {
+        self.ball_x += self.vel_x;
+        self.ball_y += self.vel_y;
+        let max_x = (W - BALL) << FP;
+
+        // Side and top walls.
+        if self.ball_x < 0 {
+            self.ball_x = -self.ball_x;
+            self.vel_x = -self.vel_x;
+            self.audio.tone(660, 1, 3_000);
+        } else if self.ball_x > max_x {
+            self.ball_x = 2 * max_x - self.ball_x;
+            self.vel_x = -self.vel_x;
+            self.audio.tone(660, 1, 3_000);
+        }
+        if self.ball_y < 0 {
+            self.ball_y = -self.ball_y;
+            self.vel_y = -self.vel_y;
+            self.audio.tone(660, 1, 3_000);
+        }
+
+        // Bricks: test the ball's centre cell.
+        let bx = (self.ball_x >> FP) + BALL / 2;
+        let by = (self.ball_y >> FP) + BALL / 2;
+        if by >= BRICK_TOP && by < BRICK_TOP + BRICK_ROWS as i32 * BRICK_H {
+            let row = ((by - BRICK_TOP) / BRICK_H) as usize;
+            let col = (bx / BRICK_W) as usize;
+            if col < BRICK_COLS && self.bricks & Self::brick_at(col, row) != 0 {
+                self.bricks &= !Self::brick_at(col, row);
+                self.vel_y = -self.vel_y;
+                self.score += 10 * (BRICK_ROWS as u32 - row as u32);
+                self.audio.tone(880, 2, 4_000);
+                if self.bricks == 0 {
+                    self.level += 1;
+                    self.bricks = full_wall();
+                    self.reset_ball();
+                    self.phase = Phase::Serving { countdown: 60 };
+                    self.audio.tone(1320, 10, 5_000);
+                    return;
+                }
+            }
+        }
+
+        // Paddles (only when falling).
+        if self.vel_y > 0 {
+            let ball_bottom = (self.ball_y >> FP) + BALL;
+            if (PAD_Y..=PAD_Y + PAD_H + 2).contains(&ball_bottom) {
+                for i in 0..2 {
+                    let px = self.paddle_x[i] >> FP;
+                    let bx = self.ball_x >> FP;
+                    if bx + BALL >= px && bx <= px + PAD_W {
+                        self.vel_y = -self.vel_y;
+                        // Deflect by where the ball met the paddle.
+                        let paddle_center = px + PAD_W / 2;
+                        let ball_center = bx + BALL / 2;
+                        self.vel_x += (ball_center - paddle_center) * 2;
+                        self.vel_x = self.vel_x.clamp(-self.speed() * 2, self.speed() * 2);
+                        self.ball_y = (PAD_Y - BALL) << FP;
+                        self.audio.tone(440, 2, 4_000);
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Bottom: shared life lost.
+        if (self.ball_y >> FP) > H {
+            self.lives = self.lives.saturating_sub(1);
+            self.audio.tone(110, 12, 8_000);
+            if self.lives == 0 {
+                self.phase = Phase::GameOver;
+            } else {
+                self.reset_ball();
+                self.phase = Phase::Serving { countdown: 45 };
+            }
+        }
+    }
+
+    fn draw(&mut self) {
+        self.fb.clear(Color::BLACK);
+        // HUD.
+        self.fb.draw_number(4, 2, self.score, Color(7));
+        self.fb.draw_number(W / 2 - 4, 2, self.level as u32, Color(8));
+        for l in 0..self.lives {
+            self.fb.fill_rect(W - 8 - l as i32 * 6, 2, 4, 4, Color(12));
+        }
+        // Bricks.
+        for row in 0..BRICK_ROWS {
+            for col in 0..BRICK_COLS {
+                if self.bricks & Self::brick_at(col, row) != 0 {
+                    let color = Color(9 + (row % 6) as u8);
+                    self.fb.fill_rect(
+                        col as i32 * BRICK_W + 1,
+                        BRICK_TOP + row as i32 * BRICK_H + 1,
+                        BRICK_W - 2,
+                        BRICK_H - 2,
+                        color,
+                    );
+                }
+            }
+        }
+        // Paddles.
+        self.fb
+            .fill_rect(self.paddle_x[0] >> FP, PAD_Y, PAD_W, PAD_H, Color(9));
+        self.fb
+            .fill_rect(self.paddle_x[1] >> FP, PAD_Y, PAD_W, PAD_H, Color(10));
+        // Ball.
+        if !matches!(self.phase, Phase::GameOver) {
+            self.fb
+                .fill_rect(self.ball_x >> FP, self.ball_y >> FP, BALL, BALL, Color(15));
+        } else {
+            self.fb.fill_rect(W / 2 - 30, H / 2 - 2, 60, 4, Color(4));
+        }
+    }
+}
+
+fn full_wall() -> u64 {
+    (1u64 << (BRICK_COLS * BRICK_ROWS)) - 1
+}
+
+impl Default for Breakout {
+    fn default() -> Self {
+        Breakout::new()
+    }
+}
+
+impl Machine for Breakout {
+    fn info(&self) -> MachineInfo {
+        MachineInfo::new("Breakout", 2)
+    }
+
+    fn reset(&mut self) {
+        *self = Breakout::new();
+    }
+
+    fn step_frame(&mut self, input: InputWord) {
+        match self.phase {
+            Phase::Serving { countdown } => {
+                self.move_paddles(input);
+                if countdown == 0 {
+                    self.serve();
+                    self.phase = Phase::Play;
+                } else {
+                    self.phase = Phase::Serving {
+                        countdown: countdown - 1,
+                    };
+                }
+            }
+            Phase::Play => {
+                self.move_paddles(input);
+                self.step_ball();
+            }
+            Phase::GameOver => {
+                if input.is_pressed(Player::ONE, Button::Start)
+                    || input.is_pressed(Player::TWO, Button::Start)
+                {
+                    *self = Breakout::new();
+                }
+            }
+        }
+        self.draw();
+        self.audio_frame = self.audio.render_frame(60).to_vec();
+        self.frame += 1;
+    }
+
+    fn frame(&self) -> u64 {
+        self.frame
+    }
+
+    fn framebuffer(&self) -> &FrameBuffer {
+        &self.fb
+    }
+
+    fn audio_samples(&self) -> &[i16] {
+        &self.audio_frame
+    }
+
+    fn state_hash(&self) -> u64 {
+        let mut h = StateHasher::new();
+        h.write(&self.save_state());
+        h.finish()
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(64);
+        v.extend_from_slice(STATE_MAGIC);
+        v.extend_from_slice(&self.frame.to_le_bytes());
+        let (code, countdown) = match self.phase {
+            Phase::Serving { countdown } => (0u8, countdown),
+            Phase::Play => (1, 0),
+            Phase::GameOver => (2, 0),
+        };
+        v.push(code);
+        v.extend_from_slice(&countdown.to_le_bytes());
+        for p in self.paddle_x {
+            v.extend_from_slice(&p.to_le_bytes());
+        }
+        for val in [self.ball_x, self.ball_y, self.vel_x, self.vel_y] {
+            v.extend_from_slice(&val.to_le_bytes());
+        }
+        v.extend_from_slice(&self.bricks.to_le_bytes());
+        v.extend_from_slice(&self.score.to_le_bytes());
+        v.push(self.lives);
+        v.push(self.level);
+        v.extend_from_slice(&self.rng.to_le_bytes());
+        v
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), StateError> {
+        const LEN: usize = 4 + 8 + 1 + 2 + 8 + 16 + 8 + 4 + 1 + 1 + 4;
+        if bytes.len() < LEN {
+            return Err(StateError::Truncated {
+                expected: LEN,
+                actual: bytes.len(),
+            });
+        }
+        if &bytes[..4] != STATE_MAGIC {
+            return Err(StateError::BadMagic);
+        }
+        let mut p = 4;
+        let mut take = |n: usize| {
+            let s = &bytes[p..p + n];
+            p += n;
+            s
+        };
+        self.frame = u64::from_le_bytes(take(8).try_into().expect("len 8"));
+        let code = take(1)[0];
+        let countdown = u16::from_le_bytes(take(2).try_into().expect("len 2"));
+        self.phase = match code {
+            0 => Phase::Serving { countdown },
+            1 => Phase::Play,
+            _ => Phase::GameOver,
+        };
+        for px in &mut self.paddle_x {
+            *px = i32::from_le_bytes(take(4).try_into().expect("len 4"));
+        }
+        self.ball_x = i32::from_le_bytes(take(4).try_into().expect("len 4"));
+        self.ball_y = i32::from_le_bytes(take(4).try_into().expect("len 4"));
+        self.vel_x = i32::from_le_bytes(take(4).try_into().expect("len 4"));
+        self.vel_y = i32::from_le_bytes(take(4).try_into().expect("len 4"));
+        self.bricks = u64::from_le_bytes(take(8).try_into().expect("len 8"));
+        self.score = u32::from_le_bytes(take(4).try_into().expect("len 4"));
+        self.lives = take(1)[0];
+        self.level = take(1)[0];
+        self.rng = u32::from_le_bytes(take(4).try_into().expect("len 4"));
+        self.draw();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hold(player: Player, button: Button) -> InputWord {
+        let mut w = InputWord::NONE;
+        w.press(player, button);
+        w
+    }
+
+    fn skip_serve(g: &mut Breakout) {
+        while matches!(g.phase, Phase::Serving { .. }) {
+            g.step_frame(InputWord::NONE);
+        }
+    }
+
+    #[test]
+    fn paddles_move_independently_and_clamp() {
+        let mut g = Breakout::new();
+        let both = {
+            let mut w = hold(Player::ONE, Button::Left);
+            w.press(Player::TWO, Button::Right);
+            w
+        };
+        for _ in 0..200 {
+            g.step_frame(both);
+        }
+        assert_eq!(g.paddle_x[0], 0);
+        assert_eq!(g.paddle_x[1], (W - PAD_W) << FP);
+    }
+
+    #[test]
+    fn serve_launches_the_ball_upward() {
+        let mut g = Breakout::new();
+        skip_serve(&mut g);
+        assert!(g.vel_y < 0, "ball must launch toward the bricks");
+        assert_ne!(g.vel_x, 0);
+    }
+
+    #[test]
+    fn ball_eventually_breaks_bricks() {
+        let mut g = Breakout::new();
+        let start = g.bricks_left();
+        for _ in 0..1200 {
+            g.step_frame(InputWord::NONE);
+            if g.bricks_left() < start {
+                break;
+            }
+        }
+        assert!(g.bricks_left() < start, "no brick broken in 20 seconds");
+        assert!(g.score() > 0);
+    }
+
+    #[test]
+    fn undefended_ball_costs_shared_lives_until_game_over() {
+        let mut g = Breakout::new();
+        // Park both paddles hard left so most returns are missed.
+        let left = {
+            let mut w = hold(Player::ONE, Button::Left);
+            w.press(Player::TWO, Button::Left);
+            w
+        };
+        for _ in 0..60 * 120 {
+            g.step_frame(left);
+            if g.is_game_over() {
+                break;
+            }
+        }
+        assert!(g.is_game_over(), "lives never ran out");
+        assert_eq!(g.lives(), 0);
+        // Start restarts.
+        g.step_frame(hold(Player::ONE, Button::Start));
+        assert!(!g.is_game_over());
+        assert_eq!(g.lives(), START_LIVES);
+    }
+
+    #[test]
+    fn clearing_the_wall_advances_the_level() {
+        let mut g = Breakout::new();
+        skip_serve(&mut g);
+        // Cheat the wall down to one brick and aim the ball straight at it.
+        g.bricks = Breakout::brick_at(5, 4);
+        g.ball_x = (5 * BRICK_W + BRICK_W / 2) << FP;
+        g.ball_y = 80 << FP;
+        g.vel_x = 0;
+        g.vel_y = -20;
+        for _ in 0..600 {
+            g.step_frame(InputWord::NONE);
+            if g.level() == 2 {
+                break;
+            }
+        }
+        assert_eq!(g.level(), 2, "level should advance");
+        assert_eq!(g.bricks_left(), (BRICK_COLS * BRICK_ROWS) as u32);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let script: Vec<InputWord> = (0..2_000u32)
+            .map(|i| InputWord((i.wrapping_mul(0x9E37_79B9) >> 10) & 0x0F0F))
+            .collect();
+        let run = || {
+            let mut g = Breakout::new();
+            for &w in &script {
+                g.step_frame(w);
+            }
+            (g.state_hash(), g.score(), g.lives())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn save_load_roundtrip_mid_volley() {
+        let mut a = Breakout::new();
+        for i in 0..400u32 {
+            a.step_frame(InputWord(i & 0x0C0C));
+        }
+        let snap = a.save_state();
+        let mut b = Breakout::new();
+        b.load_state(&snap).unwrap();
+        assert_eq!(a.state_hash(), b.state_hash());
+        for i in 0..400u32 {
+            a.step_frame(InputWord(i & 0x0505));
+            b.step_frame(InputWord(i & 0x0505));
+        }
+        assert_eq!(a.state_hash(), b.state_hash());
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let mut g = Breakout::new();
+        assert!(matches!(
+            g.load_state(&[0; 8]),
+            Err(StateError::Truncated { .. })
+        ));
+        let mut snap = g.save_state();
+        snap[2] = b'!';
+        assert!(matches!(g.load_state(&snap), Err(StateError::BadMagic)));
+    }
+
+    #[test]
+    fn bricks_render_and_disappear() {
+        let mut g = Breakout::new();
+        g.step_frame(InputWord::NONE);
+        // A brick pixel inside the wall region.
+        let with_bricks = g.framebuffer().pixel(8, BRICK_TOP + 3);
+        assert_ne!(with_bricks, Color::BLACK);
+        g.bricks = 0;
+        g.bricks |= Breakout::brick_at(9, 4); // avoid instant level-up
+        g.step_frame(InputWord::NONE);
+        assert_eq!(g.framebuffer().pixel(8, BRICK_TOP + 3), Color::BLACK);
+    }
+}

@@ -1,0 +1,555 @@
+//! Pong: the canonical two-player TV game (Tennis for Two's grandchild, the
+//! very lineage the paper's introduction opens with).
+//!
+//! Pure integer physics (1/16-pixel fixed point), deterministic serves from
+//! an LCG captured in the save state, first to 11 points.
+
+use coplay_vm::{
+    AudioChannel, Button, Color, FrameBuffer, InputWord, Machine, MachineInfo, Player,
+    StateError, StateHasher,
+};
+
+const W: i32 = 160;
+const H: i32 = 120;
+const PAD_W: i32 = 3;
+const PAD_H: i32 = 14;
+const P0_X: i32 = 4;
+const P1_X: i32 = W - 4 - PAD_W;
+const BALL: i32 = 2;
+/// Fixed-point shift: positions/velocities are in 1/16 pixel.
+const FP: i32 = 4;
+const PADDLE_SPEED: i32 = 2 << FP;
+const WIN_SCORE: u8 = 11;
+
+const STATE_MAGIC: &[u8; 4] = b"PONG";
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Ball frozen for a short countdown, then served toward `toward`.
+    Serving { countdown: u16, toward: u8 },
+    Rally,
+    GameOver { winner: u8 },
+}
+
+/// The classic two-paddle ball game as a deterministic [`Machine`].
+///
+/// Player 1 (left) uses `Up`/`Down`; player 2 (right) likewise. `Start`
+/// restarts after game over.
+///
+/// # Examples
+///
+/// ```
+/// use coplay_games::Pong;
+/// use coplay_vm::{Button, InputWord, Machine, Player};
+///
+/// let mut game = Pong::new();
+/// let mut input = InputWord::NONE;
+/// input.press(Player::ONE, Button::Up);
+/// for _ in 0..60 {
+///     game.step_frame(input);
+/// }
+/// assert_eq!(game.frame(), 60);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pong {
+    frame: u64,
+    phase: Phase,
+    paddle_y: [i32; 2], // fixed point, top edge
+    ball_x: i32,        // fixed point
+    ball_y: i32,
+    vel_x: i32,
+    vel_y: i32,
+    score: [u8; 2],
+    rng: u32,
+    fb: FrameBuffer,
+    audio: AudioChannel,
+    audio_frame: Vec<i16>,
+}
+
+impl Pong {
+    /// Creates a game at the opening serve.
+    pub fn new() -> Pong {
+        Pong::with_seed(0x50_4F_4E_47)
+    }
+
+    /// Creates a game whose serve randomness starts from `seed`.
+    pub fn with_seed(seed: u32) -> Pong {
+        let mut g = Pong {
+            frame: 0,
+            phase: Phase::Serving {
+                countdown: 30,
+                toward: 0,
+            },
+            paddle_y: [((H - PAD_H) / 2) << FP; 2],
+            ball_x: 0,
+            ball_y: 0,
+            vel_x: 0,
+            vel_y: 0,
+            score: [0, 0],
+            rng: seed,
+            fb: FrameBuffer::standard(),
+            audio: AudioChannel::new(),
+            audio_frame: Vec::new(),
+        };
+        g.center_ball();
+        g.draw();
+        g
+    }
+
+    /// Current score as `(left, right)`.
+    pub fn score(&self) -> (u8, u8) {
+        (self.score[0], self.score[1])
+    }
+
+    /// The winning site (0 or 1) once the game has ended.
+    pub fn winner(&self) -> Option<u8> {
+        match self.phase {
+            Phase::GameOver { winner } => Some(winner),
+            _ => None,
+        }
+    }
+
+    fn center_ball(&mut self) {
+        self.ball_x = ((W - BALL) / 2) << FP;
+        self.ball_y = ((H - BALL) / 2) << FP;
+        self.vel_x = 0;
+        self.vel_y = 0;
+    }
+
+    fn next_rand(&mut self) -> u32 {
+        self.rng = self.rng.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+        self.rng >> 16
+    }
+
+    fn serve(&mut self, toward: u8) {
+        let dir = if toward == 0 { -1 } else { 1 };
+        self.vel_x = dir * (24 + (self.next_rand() % 8) as i32); // 1.5–2 px/frame
+        let vy = (self.next_rand() % 33) as i32 - 16; // [-1, +1] px/frame
+        self.vel_y = vy;
+    }
+
+    fn move_paddle(&mut self, which: usize, input: InputWord) {
+        let player = Player(which as u8);
+        let mut y = self.paddle_y[which];
+        if input.is_pressed(player, Button::Up) {
+            y -= PADDLE_SPEED;
+        }
+        if input.is_pressed(player, Button::Down) {
+            y += PADDLE_SPEED;
+        }
+        self.paddle_y[which] = y.clamp(0, (H - PAD_H) << FP);
+    }
+
+    fn step_ball(&mut self) {
+        self.ball_x += self.vel_x;
+        self.ball_y += self.vel_y;
+
+        // Walls.
+        let max_y = (H - BALL) << FP;
+        if self.ball_y < 0 {
+            self.ball_y = -self.ball_y;
+            self.vel_y = -self.vel_y;
+            self.audio.tone(880, 2, 4_000);
+        } else if self.ball_y > max_y {
+            self.ball_y = 2 * max_y - self.ball_y;
+            self.vel_y = -self.vel_y;
+            self.audio.tone(880, 2, 4_000);
+        }
+
+        // Paddles: only test when moving toward one.
+        let bx = self.ball_x >> FP;
+        let by = self.ball_y >> FP;
+        if self.vel_x < 0 && bx <= P0_X + PAD_W && bx + BALL >= P0_X {
+            self.try_bounce(0, by);
+        } else if self.vel_x > 0 && bx + BALL >= P1_X && bx <= P1_X + PAD_W {
+            self.try_bounce(1, by);
+        }
+
+        // Goals.
+        if (self.ball_x >> FP) + BALL < 0 {
+            self.point_for(1);
+        } else if (self.ball_x >> FP) > W {
+            self.point_for(0);
+        }
+    }
+
+    fn try_bounce(&mut self, which: usize, ball_top: i32) {
+        let py = self.paddle_y[which] >> FP;
+        if ball_top + BALL < py || ball_top > py + PAD_H {
+            return;
+        }
+        self.vel_x = -self.vel_x;
+        // Speed up slightly every return, capped at 4 px/frame.
+        self.vel_x += self.vel_x.signum() * 2;
+        self.vel_x = self.vel_x.clamp(-(4 << FP), 4 << FP);
+        // English: hitting near an edge of the paddle deflects the ball.
+        let paddle_center = py + PAD_H / 2;
+        let ball_center = ball_top + BALL / 2;
+        self.vel_y += (ball_center - paddle_center) * 3;
+        self.vel_y = self.vel_y.clamp(-(3 << FP), 3 << FP);
+        // Push the ball out of the paddle to avoid double hits.
+        if which == 0 {
+            self.ball_x = (P0_X + PAD_W) << FP;
+        } else {
+            self.ball_x = (P1_X - BALL) << FP;
+        }
+        self.audio.tone(440, 2, 4_000);
+    }
+
+    fn point_for(&mut self, which: usize) {
+        self.score[which] += 1;
+        self.audio.tone(220, 6, 4_000);
+        if self.score[which] >= WIN_SCORE {
+            self.phase = Phase::GameOver {
+                winner: which as u8,
+            };
+        } else {
+            self.center_ball();
+            self.phase = Phase::Serving {
+                countdown: 45,
+                toward: 1 - which as u8, // loser receives
+            };
+        }
+    }
+
+    fn draw(&mut self) {
+        self.fb.clear(Color::BLACK);
+        // Center net.
+        let mut y = 2;
+        while y < H {
+            self.fb.fill_rect(W / 2 - 1, y, 1, 4, Color(8));
+            y += 8;
+        }
+        // Scores.
+        self.fb.draw_number(W / 2 - 20, 4, self.score[0] as u32, Color(7));
+        self.fb.draw_number(W / 2 + 12, 4, self.score[1] as u32, Color(7));
+        // Paddles.
+        self.fb
+            .fill_rect(P0_X, self.paddle_y[0] >> FP, PAD_W, PAD_H, Color(15));
+        self.fb
+            .fill_rect(P1_X, self.paddle_y[1] >> FP, PAD_W, PAD_H, Color(15));
+        // Ball.
+        if !matches!(self.phase, Phase::GameOver { .. }) {
+            self.fb
+                .fill_rect(self.ball_x >> FP, self.ball_y >> FP, BALL, BALL, Color(14));
+        } else if let Phase::GameOver { winner } = self.phase {
+            // Winner banner: a bright bar on the winner's half.
+            let x = if winner == 0 { 10 } else { W / 2 + 10 };
+            self.fb.fill_rect(x, H / 2 - 2, 60, 4, Color(10));
+        }
+    }
+}
+
+impl Default for Pong {
+    fn default() -> Self {
+        Pong::new()
+    }
+}
+
+impl Machine for Pong {
+    fn info(&self) -> MachineInfo {
+        MachineInfo::new("Pong", 2)
+    }
+
+    fn reset(&mut self) {
+        *self = Pong::with_seed(self.rng_seed_for_reset());
+    }
+
+    fn step_frame(&mut self, input: InputWord) {
+        self.move_paddle(0, input);
+        self.move_paddle(1, input);
+        match self.phase {
+            Phase::Serving { countdown, toward } => {
+                if countdown == 0 {
+                    self.serve(toward);
+                    self.phase = Phase::Rally;
+                } else {
+                    self.phase = Phase::Serving {
+                        countdown: countdown - 1,
+                        toward,
+                    };
+                }
+            }
+            Phase::Rally => self.step_ball(),
+            Phase::GameOver { .. } => {
+                if input.is_pressed(Player::ONE, Button::Start)
+                    || input.is_pressed(Player::TWO, Button::Start)
+                {
+                    let seed = self.rng;
+                    *self = Pong::with_seed(seed);
+                }
+            }
+        }
+        self.draw();
+        self.audio_frame = self.audio.render_frame(60).to_vec();
+        self.frame += 1;
+    }
+
+    fn frame(&self) -> u64 {
+        self.frame
+    }
+
+    fn framebuffer(&self) -> &FrameBuffer {
+        &self.fb
+    }
+
+    fn audio_samples(&self) -> &[i16] {
+        &self.audio_frame
+    }
+
+    fn state_hash(&self) -> u64 {
+        let mut h = StateHasher::new();
+        h.write_u64(self.frame);
+        h.write_i32(self.phase_code());
+        if let Phase::Serving { countdown, toward } = self.phase {
+            h.write_u16(countdown);
+            h.write(&[toward]);
+        }
+        if let Phase::GameOver { winner } = self.phase {
+            h.write(&[winner]);
+        }
+        h.write_i32(self.paddle_y[0]);
+        h.write_i32(self.paddle_y[1]);
+        h.write_i32(self.ball_x);
+        h.write_i32(self.ball_y);
+        h.write_i32(self.vel_x);
+        h.write_i32(self.vel_y);
+        h.write(&self.score);
+        h.write(&self.rng.to_le_bytes());
+        h.finish()
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(64);
+        v.extend_from_slice(STATE_MAGIC);
+        v.extend_from_slice(&self.frame.to_le_bytes());
+        v.extend_from_slice(&self.phase_code().to_le_bytes());
+        let (countdown, toward, winner) = match self.phase {
+            Phase::Serving { countdown, toward } => (countdown, toward, 0),
+            Phase::Rally => (0, 0, 0),
+            Phase::GameOver { winner } => (0, 0, winner),
+        };
+        v.extend_from_slice(&countdown.to_le_bytes());
+        v.push(toward);
+        v.push(winner);
+        for p in self.paddle_y {
+            v.extend_from_slice(&p.to_le_bytes());
+        }
+        for val in [self.ball_x, self.ball_y, self.vel_x, self.vel_y] {
+            v.extend_from_slice(&val.to_le_bytes());
+        }
+        v.extend_from_slice(&self.score);
+        v.extend_from_slice(&self.rng.to_le_bytes());
+        v
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), StateError> {
+        const LEN: usize = 4 + 8 + 4 + 2 + 1 + 1 + 8 + 16 + 2 + 4;
+        if bytes.len() < LEN {
+            return Err(StateError::Truncated {
+                expected: LEN,
+                actual: bytes.len(),
+            });
+        }
+        if &bytes[..4] != STATE_MAGIC {
+            return Err(StateError::BadMagic);
+        }
+        let mut p = 4;
+        let mut take = |n: usize| {
+            let s = &bytes[p..p + n];
+            p += n;
+            s
+        };
+        self.frame = u64::from_le_bytes(take(8).try_into().expect("len 8"));
+        let phase_code = i32::from_le_bytes(take(4).try_into().expect("len 4"));
+        let countdown = u16::from_le_bytes(take(2).try_into().expect("len 2"));
+        let toward = take(1)[0];
+        let winner = take(1)[0];
+        self.phase = match phase_code {
+            0 => Phase::Serving { countdown, toward },
+            1 => Phase::Rally,
+            _ => Phase::GameOver { winner },
+        };
+        for i in 0..2 {
+            self.paddle_y[i] = i32::from_le_bytes(take(4).try_into().expect("len 4"));
+        }
+        self.ball_x = i32::from_le_bytes(take(4).try_into().expect("len 4"));
+        self.ball_y = i32::from_le_bytes(take(4).try_into().expect("len 4"));
+        self.vel_x = i32::from_le_bytes(take(4).try_into().expect("len 4"));
+        self.vel_y = i32::from_le_bytes(take(4).try_into().expect("len 4"));
+        self.score.copy_from_slice(take(2));
+        self.rng = u32::from_le_bytes(take(4).try_into().expect("len 4"));
+        self.draw();
+        Ok(())
+    }
+}
+
+impl Pong {
+    fn phase_code(&self) -> i32 {
+        match self.phase {
+            Phase::Serving { .. } => 0,
+            Phase::Rally => 1,
+            Phase::GameOver { .. } => 2,
+        }
+    }
+
+    fn rng_seed_for_reset(&self) -> u32 {
+        0x50_4F_4E_47
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hold(player: Player, button: Button) -> InputWord {
+        let mut w = InputWord::NONE;
+        w.press(player, button);
+        w
+    }
+
+    #[test]
+    fn paddles_move_and_clamp() {
+        let mut g = Pong::new();
+        let up = hold(Player::ONE, Button::Up);
+        for _ in 0..200 {
+            g.step_frame(up);
+        }
+        assert_eq!(g.paddle_y[0], 0, "paddle clamps at top");
+        let down = hold(Player::ONE, Button::Down);
+        for _ in 0..200 {
+            g.step_frame(down);
+        }
+        assert_eq!(g.paddle_y[0], (H - PAD_H) << FP, "paddle clamps at bottom");
+    }
+
+    #[test]
+    fn ball_serves_after_countdown() {
+        let mut g = Pong::new();
+        for _ in 0..31 {
+            g.step_frame(InputWord::NONE);
+        }
+        assert!(matches!(g.phase, Phase::Rally));
+        assert_ne!(g.vel_x, 0);
+    }
+
+    #[test]
+    fn undefended_ball_eventually_scores() {
+        let mut g = Pong::new();
+        // Park both paddles at the top so the ball can slip past.
+        let both_up = {
+            let mut w = hold(Player::ONE, Button::Up);
+            w.press(Player::TWO, Button::Up);
+            w
+        };
+        let mut scored = false;
+        for _ in 0..3_000 {
+            g.step_frame(both_up);
+            if g.score() != (0, 0) {
+                scored = true;
+                break;
+            }
+        }
+        assert!(scored, "ball never scored in 3000 frames");
+    }
+
+    #[test]
+    fn game_ends_at_win_score() {
+        let mut g = Pong::new();
+        let both_up = {
+            let mut w = hold(Player::ONE, Button::Up);
+            w.press(Player::TWO, Button::Up);
+            w
+        };
+        for _ in 0..120_000 {
+            g.step_frame(both_up);
+            if g.winner().is_some() {
+                break;
+            }
+        }
+        let w = g.winner().expect("game should finish");
+        assert!(g.score.iter().any(|&s| s >= WIN_SCORE));
+        assert!(w == 0 || w == 1);
+        // Start restarts.
+        g.step_frame(hold(Player::ONE, Button::Start));
+        assert_eq!(g.score(), (0, 0));
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let script: Vec<InputWord> = (0..600u32)
+            .map(|i| InputWord((i.wrapping_mul(2_654_435_761) >> 7) & 0x3F3F))
+            .collect();
+        let run = || {
+            let mut g = Pong::new();
+            for &w in &script {
+                g.step_frame(w);
+            }
+            g.state_hash()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn save_load_roundtrip_mid_rally() {
+        let mut a = Pong::new();
+        for i in 0..200u32 {
+            a.step_frame(InputWord(i % 7));
+        }
+        let snap = a.save_state();
+        let mut b = Pong::new();
+        b.load_state(&snap).unwrap();
+        assert_eq!(a.state_hash(), b.state_hash());
+        for i in 0..200u32 {
+            a.step_frame(InputWord(i % 5));
+            b.step_frame(InputWord(i % 5));
+        }
+        assert_eq!(a.state_hash(), b.state_hash());
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let mut g = Pong::new();
+        assert!(matches!(
+            g.load_state(&[0; 4]),
+            Err(StateError::Truncated { .. })
+        ));
+        let mut snap = g.save_state();
+        snap[0] = b'X';
+        assert!(matches!(g.load_state(&snap), Err(StateError::BadMagic)));
+    }
+
+    #[test]
+    fn framebuffer_shows_paddles() {
+        let g = Pong::new();
+        let fb = g.framebuffer();
+        let py = (g.paddle_y[0] >> FP) + PAD_H / 2;
+        assert_eq!(fb.pixel(P0_X + 1, py), Color(15));
+        assert_eq!(fb.pixel(P1_X + 1, py), Color(15));
+    }
+
+    #[test]
+    fn bounce_makes_sound() {
+        let mut g = Pong::new();
+        let mut heard = false;
+        for _ in 0..2_000 {
+            g.step_frame(InputWord::NONE);
+            if g.audio_samples().iter().any(|&s| s != 0) {
+                heard = true;
+                break;
+            }
+        }
+        assert!(heard, "no bounce audio in 2000 frames");
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut g = Pong::new();
+        let h0 = g.state_hash();
+        for _ in 0..100 {
+            g.step_frame(InputWord(3));
+        }
+        g.reset();
+        assert_eq!(g.state_hash(), h0);
+    }
+}

@@ -1,0 +1,592 @@
+//! Games that ship as assembly source and run on the emulated console.
+//!
+//! These exercise the *emulator* path end-to-end — assembler → ROM → CPU →
+//! memory-mapped devices — the way the paper's MAME games do, whereas the
+//! native games in this crate implement [`coplay_vm::Machine`] directly.
+
+use coplay_vm::{assemble, Console, Rom};
+
+/// Pong, written in coplay console assembly.
+///
+/// Same rules as the native [`Pong`](crate::Pong) but implemented as a
+/// cartridge: paddle input from the joypad ports, integer ball physics,
+/// first to 9 points (single digit scoreboard).
+///
+/// # Examples
+///
+/// ```
+/// use coplay_games::rom_pong;
+/// use coplay_vm::{Console, InputWord, Machine};
+///
+/// let mut console = Console::new(rom_pong());
+/// console.step_frame(InputWord::NONE);
+/// assert_eq!(console.frame(), 1);
+/// ```
+pub fn rom_pong() -> Rom {
+    assemble(ROM_PONG_SRC).expect("rom_pong source must assemble")
+}
+
+/// A [`Console`] with [`rom_pong`] inserted.
+pub fn rom_pong_console() -> Console {
+    Console::new(rom_pong())
+}
+
+/// Button-mash racing, written in coplay console assembly.
+///
+/// Each tap of `A` advances that player's bar; first to the right edge
+/// wins. Tiny, but input-sensitive from the very first frame, which makes
+/// it a good smoke test for lockstep input delivery.
+pub fn rom_race() -> Rom {
+    assemble(ROM_RACE_SRC).expect("rom_race source must assemble")
+}
+
+/// A [`Console`] with [`rom_race`] inserted.
+pub fn rom_race_console() -> Console {
+    Console::new(rom_race())
+}
+
+const ROM_PONG_SRC: &str = r#"
+.title "ROM Pong"
+.players 2
+.seed 0x1234
+
+; --- RAM layout ---------------------------------------------------------
+.equ P0Y,   0x8000     ; paddle 0 top y
+.equ P1Y,   0x8002     ; paddle 1 top y
+.equ BALLX, 0x8004
+.equ BALLY, 0x8006
+.equ VELX,  0x8008     ; two's complement
+.equ VELY,  0x800A
+.equ SCO0,  0x800C
+.equ SCO1,  0x800E
+
+; --- constants ----------------------------------------------------------
+.equ PADH, 14
+.equ PADSPD, 2
+.equ MAXPY, 106        ; 120 - PADH
+.equ MAXBY, 118        ; 120 - ball height
+
+init:
+    ldi r0, 53
+    ldi r1, P0Y
+    stw [r1], r0
+    ldi r1, P1Y
+    stw [r1], r0
+    call serve_left
+
+frame:
+    in r0, 0            ; joypads: P1 low byte, P2 high byte
+
+    ; ---- paddle 0 ----
+    ldi r3, P0Y
+    mov r1, r0
+    ldi r2, 1           ; Up bit
+    and r1, r2
+    cmpi r1, 0
+    jz p0_down
+    ldw r4, [r3]
+    cmpi r4, PADSPD
+    jlt p0_down
+    subi r4, PADSPD
+    stw [r3], r4
+p0_down:
+    mov r1, r0
+    ldi r2, 2           ; Down bit
+    and r1, r2
+    cmpi r1, 0
+    jz p1_input
+    ldw r4, [r3]
+    cmpi r4, MAXPY
+    jge p1_input
+    addi r4, PADSPD
+    stw [r3], r4
+
+p1_input:
+    mov r5, r0
+    shri r5, 8          ; P2 byte
+    ldi r3, P1Y
+    mov r1, r5
+    ldi r2, 1
+    and r1, r2
+    cmpi r1, 0
+    jz p1_down
+    ldw r4, [r3]
+    cmpi r4, PADSPD
+    jlt p1_down
+    subi r4, PADSPD
+    stw [r3], r4
+p1_down:
+    mov r1, r5
+    ldi r2, 2
+    and r1, r2
+    cmpi r1, 0
+    jz move_ball
+    ldw r4, [r3]
+    cmpi r4, MAXPY
+    jge move_ball
+    addi r4, PADSPD
+    stw [r3], r4
+
+move_ball:
+    ldi r3, BALLX
+    ldw r1, [r3]
+    ldi r3, VELX
+    ldw r2, [r3]
+    add r1, r2
+    ldi r3, BALLX
+    stw [r3], r1
+
+    ldi r3, BALLY
+    ldw r1, [r3]
+    ldi r3, VELY
+    ldw r2, [r3]
+    add r1, r2
+
+    ; top wall
+    cmpi r1, 0
+    jge check_bottom
+    ldi r1, 0
+    call flip_vely
+check_bottom:
+    cmpi r1, MAXBY
+    jlt store_bally
+    ldi r1, MAXBY
+    call flip_vely
+store_bally:
+    ldi r3, BALLY
+    stw [r3], r1
+
+    ; ---- paddle collisions ----
+    ldi r3, VELX
+    ldw r2, [r3]
+    cmpi r2, 0
+    jlt check_left_paddle
+    jmp check_right_paddle
+
+check_left_paddle:
+    ldi r3, BALLX
+    ldw r1, [r3]
+    cmpi r1, 7          ; paddle front at x=7 (x=4 w=3)
+    jge after_paddles
+    cmpi r1, 0
+    jlt score_p1        ; passed the paddle entirely
+    ; y overlap: P0Y-2 <= bally <= P0Y+PADH
+    ldi r3, BALLY
+    ldw r1, [r3]
+    ldi r3, P0Y
+    ldw r4, [r3]
+    subi r4, 2
+    cmp r1, r4
+    jlt after_paddles
+    addi r4, 16         ; PADH + 2
+    cmp r1, r4
+    jge after_paddles
+    call flip_velx
+    ldi r1, 8
+    ldi r3, BALLX
+    stw [r3], r1
+    call english
+    jmp after_paddles
+
+check_right_paddle:
+    ldi r3, BALLX
+    ldw r1, [r3]
+    cmpi r1, 151        ; paddle front at 153, ball 2 wide
+    jlt after_paddles
+    cmpi r1, 159
+    jge score_p0
+    ldi r3, BALLY
+    ldw r1, [r3]
+    ldi r3, P1Y
+    ldw r4, [r3]
+    subi r4, 2
+    cmp r1, r4
+    jlt after_paddles
+    addi r4, 16
+    cmp r1, r4
+    jge after_paddles
+    call flip_velx
+    ldi r1, 149
+    ldi r3, BALLX
+    stw [r3], r1
+    call english
+
+after_paddles:
+    jmp draw
+
+score_p0:
+    ldi r3, SCO0
+    ldw r1, [r3]
+    addi r1, 1
+    stw [r3], r1
+    ldi r1, 220
+    ldi r2, 6
+    ldi r3, 4000
+    sys 3
+    call serve_left
+    jmp draw
+
+score_p1:
+    ldi r3, SCO1
+    ldw r1, [r3]
+    addi r1, 1
+    stw [r3], r1
+    ldi r1, 220
+    ldi r2, 6
+    ldi r3, 4000
+    sys 3
+    call serve_right
+    jmp draw
+
+; ---- drawing -----------------------------------------------------------
+draw:
+    ldi r1, 0
+    sys 0               ; cls
+
+    ; left paddle
+    ldi r1, 4
+    ldi r3, P0Y
+    ldw r2, [r3]
+    ldi r3, 3
+    ldi r4, PADH
+    ldi r5, 15
+    sys 2
+
+    ; right paddle
+    ldi r1, 153
+    ldi r3, P1Y
+    ldw r2, [r3]
+    ldi r3, 3
+    ldi r4, PADH
+    ldi r5, 15
+    sys 2
+
+    ; ball
+    ldi r3, BALLX
+    ldw r1, [r3]
+    ldi r3, BALLY
+    ldw r2, [r3]
+    ldi r3, 2
+    ldi r4, 2
+    ldi r5, 14
+    sys 2
+
+    ; scores
+    ldi r1, 60
+    ldi r2, 4
+    ldi r3, SCO0
+    ldw r3, [r3]
+    ldi r4, 7
+    sys 4
+    ldi r1, 92
+    ldi r2, 4
+    ldi r3, SCO1
+    ldw r3, [r3]
+    ldi r4, 7
+    sys 4
+
+    yield
+    jmp frame
+
+; ---- subroutines -------------------------------------------------------
+flip_vely:
+    ldi r3, VELY
+    ldw r2, [r3]
+    neg r2
+    stw [r3], r2
+    push r1
+    ldi r1, 880
+    ldi r2, 2
+    ldi r3, 3000
+    sys 3
+    pop r1
+    ret
+
+flip_velx:
+    ldi r3, VELX
+    ldw r2, [r3]
+    neg r2
+    stw [r3], r2
+    ldi r1, 440
+    ldi r2, 2
+    ldi r3, 3000
+    sys 3
+    ret
+
+; randomize vertical english a little after a paddle hit
+english:
+    rnd r1
+    ldi r2, 3
+    modu r1, r2
+    subi r1, 1          ; -1, 0, +1
+    ldi r3, VELY
+    ldw r2, [r3]
+    add r2, r1
+    ; clamp to [-2, 2]
+    cmpi r2, -2
+    jge english_hi
+    ldi r2, -2
+english_hi:
+    cmpi r2, 3
+    jlt english_store
+    ldi r2, 2
+english_store:
+    stw [r3], r2
+    ret
+
+serve_left:
+    call center_ball
+    ldi r1, -1
+    ldi r3, VELX
+    stw [r3], r1
+    ret
+
+serve_right:
+    call center_ball
+    ldi r1, 1
+    ldi r3, VELX
+    stw [r3], r1
+    ret
+
+center_ball:
+    ldi r1, 79
+    ldi r3, BALLX
+    stw [r3], r1
+    ldi r1, 59
+    ldi r3, BALLY
+    stw [r3], r1
+    rnd r1
+    ldi r2, 3
+    modu r1, r2
+    subi r1, 1
+    ldi r3, VELY
+    stw [r3], r1
+    ret
+"#;
+
+const ROM_RACE_SRC: &str = r#"
+.title "Button Race"
+.players 2
+.seed 7
+
+.equ X0,   0x8000      ; player 1 progress
+.equ X1,   0x8002      ; player 2 progress
+.equ PREV, 0x8004      ; previous frame's buttons (edge detection)
+.equ WON,  0x8006      ; 0 = racing, 1/2 = winner
+
+init:
+    ldi r0, 0
+    ldi r1, X0
+    stw [r1], r0
+    ldi r1, X1
+    stw [r1], r0
+    ldi r1, PREV
+    stw [r1], r0
+    ldi r1, WON
+    stw [r1], r0
+
+frame:
+    ldi r1, WON
+    ldw r1, [r1]
+    cmpi r1, 0
+    jnz draw            ; freeze once won
+
+    in r0, 0
+    ldi r1, PREV
+    ldw r2, [r1]        ; prev buttons
+    stw [r1], r0        ; remember current
+
+    ; rising edge of P1 A (bit 4)
+    mov r3, r0
+    ldi r4, 16
+    and r3, r4
+    cmpi r3, 0
+    jz p2_tap
+    mov r3, r2
+    and r3, r4
+    cmpi r3, 0
+    jnz p2_tap          ; was already held
+    ldi r3, X0
+    ldw r4, [r3]
+    addi r4, 2
+    stw [r3], r4
+
+p2_tap:
+    ; rising edge of P2 A (bit 12)
+    mov r3, r0
+    ldi r4, 0x1000
+    and r3, r4
+    cmpi r3, 0
+    jz check_win
+    mov r3, r2
+    and r3, r4
+    cmpi r3, 0
+    jnz check_win
+    ldi r3, X1
+    ldw r4, [r3]
+    addi r4, 2
+    stw [r3], r4
+
+check_win:
+    ldi r3, X0
+    ldw r1, [r3]
+    cmpi r1, 150
+    jlt check_win2
+    ldi r1, 1
+    ldi r3, WON
+    stw [r3], r1
+    ldi r1, 660
+    ldi r2, 20
+    ldi r3, 6000
+    sys 3
+check_win2:
+    ldi r3, X1
+    ldw r1, [r3]
+    cmpi r1, 150
+    jlt draw
+    ldi r1, 2
+    ldi r3, WON
+    stw [r3], r1
+    ldi r1, 660
+    ldi r2, 20
+    ldi r3, 6000
+    sys 3
+
+draw:
+    ldi r1, 0
+    sys 0
+
+    ; finish line
+    ldi r1, 152
+    ldi r2, 0
+    ldi r3, 1
+    ldi r4, 120
+    ldi r5, 7
+    sys 2
+
+    ; player bars
+    ldi r3, X0
+    ldw r1, [r3]
+    ldi r2, 40
+    ldi r3, 6
+    ldi r4, 10
+    ldi r5, 9
+    sys 2
+
+    ldi r3, X1
+    ldw r1, [r3]
+    ldi r2, 70
+    ldi r3, 6
+    ldi r4, 10
+    ldi r5, 12
+    sys 2
+
+    yield
+    jmp frame
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coplay_vm::{Button, InputWord, Machine, Player};
+
+    #[test]
+    fn rom_pong_assembles_and_runs() {
+        let mut c = rom_pong_console();
+        for _ in 0..300 {
+            c.step_frame(InputWord::NONE);
+        }
+        assert_eq!(c.frame(), 300);
+        assert!(!c.is_halted(), "game loop must not halt or fault");
+    }
+
+    #[test]
+    fn rom_pong_replicas_converge() {
+        let mut a = rom_pong_console();
+        let mut b = rom_pong_console();
+        let mut input = InputWord::NONE;
+        input.press(Player::ONE, Button::Down);
+        input.press(Player::TWO, Button::Up);
+        for _ in 0..600 {
+            a.step_frame(input);
+            b.step_frame(input);
+        }
+        assert_eq!(a.state_hash(), b.state_hash());
+    }
+
+    #[test]
+    fn rom_pong_paddles_respond_to_input() {
+        let mut idle = rom_pong_console();
+        let mut moving = rom_pong_console();
+        let mut down = InputWord::NONE;
+        down.press(Player::ONE, Button::Down);
+        for _ in 0..30 {
+            idle.step_frame(InputWord::NONE);
+            moving.step_frame(down);
+        }
+        assert_ne!(idle.state_hash(), moving.state_hash());
+        // The paddle y cell must have grown from its initial 53.
+        let addr = 0x8000;
+        assert!(moving.cpu().read_word(addr) > 53);
+        assert_eq!(idle.cpu().read_word(addr), 53);
+    }
+
+    #[test]
+    fn rom_pong_ball_moves_and_eventually_scores() {
+        let mut c = rom_pong_console();
+        let score0 = 0x800C;
+        let score1 = 0x800E;
+        let mut scored = false;
+        // Hold both paddles at the top so the ball can get past.
+        let mut input = InputWord::NONE;
+        input.press(Player::ONE, Button::Up);
+        input.press(Player::TWO, Button::Up);
+        for _ in 0..5_000 {
+            c.step_frame(input);
+            if c.cpu().read_word(score0) + c.cpu().read_word(score1) > 0 {
+                scored = true;
+                break;
+            }
+        }
+        assert!(scored, "no point scored in 5000 frames");
+    }
+
+    #[test]
+    fn rom_race_edge_detection_counts_taps_not_holds() {
+        let mut c = rom_race_console();
+        let mut press = InputWord::NONE;
+        press.press(Player::ONE, Button::A);
+        // Hold for 10 frames: exactly one advance.
+        for _ in 0..10 {
+            c.step_frame(press);
+        }
+        assert_eq!(c.cpu().read_word(0x8000), 2);
+        // Tap 5 times (press+release): five more advances.
+        for _ in 0..5 {
+            c.step_frame(InputWord::NONE);
+            c.step_frame(press);
+        }
+        assert_eq!(c.cpu().read_word(0x8000), 12);
+    }
+
+    #[test]
+    fn rom_race_declares_a_winner() {
+        let mut c = rom_race_console();
+        let mut press = InputWord::NONE;
+        press.press(Player::TWO, Button::A);
+        for _ in 0..200 {
+            c.step_frame(InputWord::NONE);
+            c.step_frame(press);
+            if c.cpu().read_word(0x8006) != 0 {
+                break;
+            }
+        }
+        assert_eq!(c.cpu().read_word(0x8006), 2, "P2 should win");
+    }
+
+    #[test]
+    fn rom_hashes_are_stable_identifiers() {
+        assert_eq!(rom_pong().content_hash(), rom_pong().content_hash());
+        assert_ne!(rom_pong().content_hash(), rom_race().content_hash());
+    }
+}

@@ -1,0 +1,564 @@
+//! Shooter: a cooperative fixed shooter (Space-Invaders lineage).
+//!
+//! Unlike the versus games, both players fight on the same side — the
+//! collaboration scenario the paper's title is about. Shared lives, shared
+//! score, deterministic waves from a seeded LCG.
+
+use coplay_vm::{
+    AudioChannel, Button, Color, FrameBuffer, InputWord, Machine, MachineInfo, Player,
+    StateError, StateHasher,
+};
+
+const W: i32 = 160;
+const H: i32 = 120;
+/// Fixed-point shift (1/16 pixel).
+const FP: i32 = 4;
+const SHIP_Y: i32 = 108;
+const SHIP_W: i32 = 8;
+const SHIP_H: i32 = 5;
+const SHIP_SPEED: i32 = 2 << FP;
+const FIRE_COOLDOWN: u8 = 10;
+const BULLET_SPEED: i32 = 3 << FP;
+const ENEMY_W: i32 = 6;
+const ENEMY_H: i32 = 5;
+const MAX_BULLETS: usize = 64;
+const MAX_ENEMIES: usize = 32;
+const START_LIVES: u8 = 3;
+
+const STATE_MAGIC: &[u8; 4] = b"SHOT";
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Ship {
+    x: i32, // fixed point, left edge
+    cooldown: u8,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Bullet {
+    x: i32,
+    y: i32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Enemy {
+    x: i32,
+    y: i32,
+    drift: i32, // horizontal velocity, fixed point
+}
+
+/// A deterministic cooperative shooter for one or two players.
+///
+/// Controls per player: `Left`/`Right` move, `A` fires. Lives are shared;
+/// an enemy reaching the ground costs one. `Start` restarts after game over.
+///
+/// # Examples
+///
+/// ```
+/// use coplay_games::Shooter;
+/// use coplay_vm::{Button, InputWord, Machine, Player};
+///
+/// let mut game = Shooter::new();
+/// let mut fire = InputWord::NONE;
+/// fire.press(Player::ONE, Button::A);
+/// for _ in 0..600 {
+///     game.step_frame(fire);
+/// }
+/// assert!(game.frame() == 600);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Shooter {
+    frame: u64,
+    ships: [Ship; 2],
+    bullets: Vec<Bullet>,
+    enemies: Vec<Enemy>,
+    score: u32,
+    lives: u8,
+    spawn_timer: u16,
+    rng: u32,
+    game_over: bool,
+    fb: FrameBuffer,
+    audio: AudioChannel,
+    audio_frame: Vec<i16>,
+}
+
+impl Shooter {
+    /// Creates a game with the default seed.
+    pub fn new() -> Shooter {
+        Shooter::with_seed(0x53_48_4F_54)
+    }
+
+    /// Creates a game whose enemy waves derive from `seed`.
+    pub fn with_seed(seed: u32) -> Shooter {
+        let mut g = Shooter {
+            frame: 0,
+            ships: [
+                Ship {
+                    x: (W / 3 - SHIP_W / 2) << FP,
+                    cooldown: 0,
+                },
+                Ship {
+                    x: (2 * W / 3 - SHIP_W / 2) << FP,
+                    cooldown: 0,
+                },
+            ],
+            bullets: Vec::new(),
+            enemies: Vec::new(),
+            score: 0,
+            lives: START_LIVES,
+            spawn_timer: 30,
+            rng: seed,
+            game_over: false,
+            fb: FrameBuffer::standard(),
+            audio: AudioChannel::new(),
+            audio_frame: Vec::new(),
+        };
+        g.draw();
+        g
+    }
+
+    /// The shared score.
+    pub fn score(&self) -> u32 {
+        self.score
+    }
+
+    /// Remaining shared lives.
+    pub fn lives(&self) -> u8 {
+        self.lives
+    }
+
+    /// `true` once all lives are gone.
+    pub fn is_game_over(&self) -> bool {
+        self.game_over
+    }
+
+    fn next_rand(&mut self) -> u32 {
+        self.rng = self.rng.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+        self.rng >> 16
+    }
+
+    fn spawn_interval(&self) -> u16 {
+        // Waves speed up as the score grows, floor at 12 frames.
+        let base = 60u32.saturating_sub(self.score / 50);
+        base.max(12) as u16
+    }
+
+    fn step_play(&mut self, input: InputWord) {
+        // Ships.
+        for (i, ship) in self.ships.iter_mut().enumerate() {
+            let player = Player(i as u8);
+            if input.is_pressed(player, Button::Left) {
+                ship.x -= SHIP_SPEED;
+            }
+            if input.is_pressed(player, Button::Right) {
+                ship.x += SHIP_SPEED;
+            }
+            ship.x = ship.x.clamp(0, (W - SHIP_W) << FP);
+            ship.cooldown = ship.cooldown.saturating_sub(1);
+            if input.is_pressed(player, Button::A)
+                && ship.cooldown == 0
+                && self.bullets.len() < MAX_BULLETS
+            {
+                self.bullets.push(Bullet {
+                    x: ship.x + ((SHIP_W / 2) << FP),
+                    y: SHIP_Y << FP,
+                });
+                ship.cooldown = FIRE_COOLDOWN;
+                self.audio.tone(1200, 1, 2_000);
+            }
+        }
+
+        // Bullets travel up.
+        for b in &mut self.bullets {
+            b.y -= BULLET_SPEED;
+        }
+        self.bullets.retain(|b| b.y >= 0);
+
+        // Spawn enemies.
+        self.spawn_timer = self.spawn_timer.saturating_sub(1);
+        if self.spawn_timer == 0 && self.enemies.len() < MAX_ENEMIES {
+            let x = (self.next_rand() as i32 % (W - ENEMY_W)) << FP;
+            let drift = (self.next_rand() as i32 % 17) - 8; // ±0.5 px/frame
+            self.enemies.push(Enemy {
+                x,
+                y: -(ENEMY_H << FP),
+                drift,
+            });
+            self.spawn_timer = self.spawn_interval();
+        }
+
+        // Enemies descend and drift.
+        let fall = 8 + (self.score / 100).min(16) as i32; // 0.5..1.5 px/frame
+        for e in &mut self.enemies {
+            e.y += fall;
+            e.x += e.drift;
+            if e.x < 0 || e.x > (W - ENEMY_W) << FP {
+                e.drift = -e.drift;
+                e.x = e.x.clamp(0, (W - ENEMY_W) << FP);
+            }
+        }
+
+        // Bullet–enemy collisions.
+        let mut killed: Vec<usize> = Vec::new();
+        self.bullets.retain(|b| {
+            for (ei, e) in self.enemies.iter().enumerate() {
+                if killed.contains(&ei) {
+                    continue;
+                }
+                let bx = b.x >> FP;
+                let by = b.y >> FP;
+                let ex = e.x >> FP;
+                let ey = e.y >> FP;
+                if bx >= ex && bx < ex + ENEMY_W && by >= ey && by < ey + ENEMY_H {
+                    killed.push(ei);
+                    return false;
+                }
+            }
+            true
+        });
+        if !killed.is_empty() {
+            killed.sort_unstable_by(|a, b| b.cmp(a));
+            for ei in killed {
+                self.enemies.remove(ei);
+                self.score += 10;
+            }
+            self.audio.tone(330, 2, 4_000);
+        }
+
+        // Enemies reaching the ground cost a shared life.
+        let ground = (SHIP_Y + SHIP_H) << FP;
+        let before = self.enemies.len();
+        self.enemies.retain(|e| e.y < ground);
+        let breaches = before - self.enemies.len();
+        if breaches > 0 {
+            let lost = breaches.min(self.lives as usize) as u8;
+            self.lives -= lost;
+            self.audio.tone(110, 10, 8_000);
+            if self.lives == 0 {
+                self.game_over = true;
+            }
+        }
+    }
+
+    fn draw(&mut self) {
+        self.fb.clear(Color::BLACK);
+        // HUD.
+        self.fb.draw_number(4, 2, self.score, Color(7));
+        for l in 0..self.lives {
+            self.fb.fill_rect(W - 8 - l as i32 * 6, 2, 4, 4, Color(12));
+        }
+        // Ships.
+        for (i, ship) in self.ships.iter().enumerate() {
+            let color = if i == 0 { Color(9) } else { Color(10) };
+            self.fb
+                .fill_rect(ship.x >> FP, SHIP_Y, SHIP_W, SHIP_H, color);
+            self.fb
+                .fill_rect((ship.x >> FP) + SHIP_W / 2 - 1, SHIP_Y - 2, 2, 2, color);
+        }
+        // Bullets.
+        for b in &self.bullets {
+            self.fb.fill_rect(b.x >> FP, b.y >> FP, 1, 3, Color(14));
+        }
+        // Enemies.
+        for e in &self.enemies {
+            self.fb
+                .fill_rect(e.x >> FP, e.y >> FP, ENEMY_W, ENEMY_H, Color(13));
+        }
+        if self.game_over {
+            self.fb.fill_rect(W / 2 - 30, H / 2 - 2, 60, 4, Color(4));
+        }
+    }
+}
+
+impl Default for Shooter {
+    fn default() -> Self {
+        Shooter::new()
+    }
+}
+
+impl Machine for Shooter {
+    fn info(&self) -> MachineInfo {
+        MachineInfo::new("Shooter", 2)
+    }
+
+    fn reset(&mut self) {
+        *self = Shooter::new();
+    }
+
+    fn step_frame(&mut self, input: InputWord) {
+        if self.game_over {
+            if input.is_pressed(Player::ONE, Button::Start)
+                || input.is_pressed(Player::TWO, Button::Start)
+            {
+                *self = Shooter::new();
+            }
+        } else {
+            self.step_play(input);
+        }
+        self.draw();
+        self.audio_frame = self.audio.render_frame(60).to_vec();
+        self.frame += 1;
+    }
+
+    fn frame(&self) -> u64 {
+        self.frame
+    }
+
+    fn framebuffer(&self) -> &FrameBuffer {
+        &self.fb
+    }
+
+    fn audio_samples(&self) -> &[i16] {
+        &self.audio_frame
+    }
+
+    fn state_hash(&self) -> u64 {
+        let mut h = StateHasher::new();
+        h.write(&self.save_state());
+        h.finish()
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(64 + self.bullets.len() * 8 + self.enemies.len() * 12);
+        v.extend_from_slice(STATE_MAGIC);
+        v.extend_from_slice(&self.frame.to_le_bytes());
+        for s in &self.ships {
+            v.extend_from_slice(&s.x.to_le_bytes());
+            v.push(s.cooldown);
+        }
+        v.extend_from_slice(&self.score.to_le_bytes());
+        v.push(self.lives);
+        v.extend_from_slice(&self.spawn_timer.to_le_bytes());
+        v.extend_from_slice(&self.rng.to_le_bytes());
+        v.push(self.game_over as u8);
+        v.push(self.bullets.len() as u8);
+        for b in &self.bullets {
+            v.extend_from_slice(&b.x.to_le_bytes());
+            v.extend_from_slice(&b.y.to_le_bytes());
+        }
+        v.push(self.enemies.len() as u8);
+        for e in &self.enemies {
+            v.extend_from_slice(&e.x.to_le_bytes());
+            v.extend_from_slice(&e.y.to_le_bytes());
+            v.extend_from_slice(&e.drift.to_le_bytes());
+        }
+        v
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), StateError> {
+        const FIXED: usize = 4 + 8 + 2 * 5 + 4 + 1 + 2 + 4 + 1 + 1;
+        if bytes.len() < FIXED {
+            return Err(StateError::Truncated {
+                expected: FIXED,
+                actual: bytes.len(),
+            });
+        }
+        if &bytes[..4] != STATE_MAGIC {
+            return Err(StateError::BadMagic);
+        }
+        let mut p = 4;
+        let take = |p: &mut usize, n: usize| -> Result<&[u8], StateError> {
+            if *p + n > bytes.len() {
+                return Err(StateError::Truncated {
+                    expected: *p + n,
+                    actual: bytes.len(),
+                });
+            }
+            let s = &bytes[*p..*p + n];
+            *p += n;
+            Ok(s)
+        };
+        self.frame = u64::from_le_bytes(take(&mut p, 8)?.try_into().expect("len 8"));
+        for s in &mut self.ships {
+            s.x = i32::from_le_bytes(take(&mut p, 4)?.try_into().expect("len 4"));
+            s.cooldown = take(&mut p, 1)?[0];
+        }
+        self.score = u32::from_le_bytes(take(&mut p, 4)?.try_into().expect("len 4"));
+        self.lives = take(&mut p, 1)?[0];
+        self.spawn_timer = u16::from_le_bytes(take(&mut p, 2)?.try_into().expect("len 2"));
+        self.rng = u32::from_le_bytes(take(&mut p, 4)?.try_into().expect("len 4"));
+        self.game_over = take(&mut p, 1)?[0] != 0;
+        let nb = take(&mut p, 1)?[0] as usize;
+        self.bullets.clear();
+        for _ in 0..nb {
+            let x = i32::from_le_bytes(take(&mut p, 4)?.try_into().expect("len 4"));
+            let y = i32::from_le_bytes(take(&mut p, 4)?.try_into().expect("len 4"));
+            self.bullets.push(Bullet { x, y });
+        }
+        let ne = take(&mut p, 1)?[0] as usize;
+        self.enemies.clear();
+        for _ in 0..ne {
+            let x = i32::from_le_bytes(take(&mut p, 4)?.try_into().expect("len 4"));
+            let y = i32::from_le_bytes(take(&mut p, 4)?.try_into().expect("len 4"));
+            let drift = i32::from_le_bytes(take(&mut p, 4)?.try_into().expect("len 4"));
+            self.enemies.push(Enemy { x, y, drift });
+        }
+        self.draw();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hold(player: Player, buttons: &[Button]) -> InputWord {
+        let mut w = InputWord::NONE;
+        for &b in buttons {
+            w.press(player, b);
+        }
+        w
+    }
+
+    #[test]
+    fn ships_move_and_clamp_independently() {
+        let mut g = Shooter::new();
+        let both = {
+            let mut w = hold(Player::ONE, &[Button::Left]);
+            w.press(Player::TWO, Button::Right);
+            w
+        };
+        for _ in 0..200 {
+            g.step_frame(both);
+        }
+        assert_eq!(g.ships[0].x, 0);
+        assert_eq!(g.ships[1].x, (W - SHIP_W) << FP);
+    }
+
+    #[test]
+    fn firing_respects_cooldown() {
+        let mut g = Shooter::new();
+        let fire = hold(Player::ONE, &[Button::A]);
+        g.step_frame(fire);
+        assert_eq!(g.bullets.len(), 1);
+        g.step_frame(fire);
+        assert_eq!(g.bullets.len(), 1, "cooldown prevents immediate refire");
+        for _ in 0..FIRE_COOLDOWN {
+            g.step_frame(fire);
+        }
+        assert_eq!(g.bullets.len(), 2);
+    }
+
+    #[test]
+    fn bullets_leave_the_screen() {
+        let mut g = Shooter::new();
+        g.step_frame(hold(Player::ONE, &[Button::A]));
+        for _ in 0..60 {
+            g.step_frame(InputWord::NONE);
+        }
+        assert!(g.bullets.is_empty());
+    }
+
+    #[test]
+    fn enemies_spawn_and_descend() {
+        let mut g = Shooter::new();
+        for _ in 0..120 {
+            g.step_frame(InputWord::NONE);
+        }
+        assert!(!g.enemies.is_empty());
+        let y0 = g.enemies[0].y;
+        g.step_frame(InputWord::NONE);
+        assert!(g.enemies[0].y > y0);
+    }
+
+    #[test]
+    fn unopposed_enemies_end_the_game() {
+        let mut g = Shooter::new();
+        for _ in 0..60 * 120 {
+            g.step_frame(InputWord::NONE);
+            if g.is_game_over() {
+                break;
+            }
+        }
+        assert!(g.is_game_over());
+        assert_eq!(g.lives(), 0);
+        // Start restarts.
+        g.step_frame(hold(Player::TWO, &[Button::Start]));
+        assert!(!g.is_game_over());
+        assert_eq!(g.lives(), START_LIVES);
+    }
+
+    #[test]
+    fn shooting_enemies_scores() {
+        // Sweep and shoot long enough that some bullet connects.
+        let mut g = Shooter::new();
+        for i in 0..60 * 60 {
+            let dir = if (i / 40) % 2 == 0 {
+                Button::Left
+            } else {
+                Button::Right
+            };
+            let mut w = hold(Player::ONE, &[Button::A, dir]);
+            w.press(Player::TWO, Button::A);
+            let dir2 = if (i / 30) % 2 == 0 {
+                Button::Right
+            } else {
+                Button::Left
+            };
+            w.press(Player::TWO, dir2);
+            g.step_frame(w);
+            if g.score() > 0 {
+                break;
+            }
+        }
+        assert!(g.score() > 0, "no enemy was ever hit");
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let script: Vec<InputWord> = (0..3_000u32)
+            .map(|i| InputWord((i.wrapping_mul(0x85EB_CA6B) >> 10) & 0x3F3F))
+            .collect();
+        let run = || {
+            let mut g = Shooter::new();
+            for &w in &script {
+                g.step_frame(w);
+            }
+            (g.state_hash(), g.score(), g.lives())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn save_load_roundtrip_with_entities_in_flight() {
+        let mut a = Shooter::new();
+        let fire = hold(Player::ONE, &[Button::A]);
+        for _ in 0..300 {
+            a.step_frame(fire);
+        }
+        assert!(!a.bullets.is_empty() || !a.enemies.is_empty());
+        let snap = a.save_state();
+        let mut b = Shooter::new();
+        b.load_state(&snap).unwrap();
+        assert_eq!(a.state_hash(), b.state_hash());
+        for _ in 0..300 {
+            a.step_frame(fire);
+            b.step_frame(fire);
+        }
+        assert_eq!(a.state_hash(), b.state_hash());
+    }
+
+    #[test]
+    fn load_rejects_truncated_entity_lists() {
+        let mut a = Shooter::new();
+        for _ in 0..200 {
+            a.step_frame(hold(Player::ONE, &[Button::A]));
+        }
+        let snap = a.save_state();
+        let mut b = Shooter::new();
+        assert!(matches!(
+            b.load_state(&snap[..snap.len() - 3]),
+            Err(StateError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn seeded_games_differ() {
+        let mut a = Shooter::with_seed(1);
+        let mut b = Shooter::with_seed(2);
+        for _ in 0..240 {
+            a.step_frame(InputWord::NONE);
+            b.step_frame(InputWord::NONE);
+        }
+        assert_ne!(a.state_hash(), b.state_hash());
+    }
+}

@@ -1,0 +1,463 @@
+//! The lobby's datagram protocol.
+//!
+//! Deliberately separate from the sync protocol (different magic byte):
+//! the lobby is infrastructure the paper assumes exists, not part of the
+//! synchronization algorithm. All messages fit one datagram; clients
+//! retransmit requests until answered (the server is stateless per
+//! request).
+
+use std::error::Error;
+use std::fmt;
+
+use bytes::{Buf, BufMut, BytesMut};
+use coplay_net::PeerId;
+
+const MAGIC: u8 = 0xC6;
+const VERSION: u8 = 1;
+
+/// Longest session name accepted.
+pub const MAX_NAME: usize = 64;
+/// Most sessions returned in one listing.
+pub const MAX_LISTED: usize = 32;
+
+/// Identifies a registered session at the lobby.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SessionId(pub u32);
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "session#{}", self.0)
+    }
+}
+
+/// One row of a session listing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionEntry {
+    /// The session's lobby id.
+    pub id: SessionId,
+    /// Human-readable name chosen by the host.
+    pub name: String,
+    /// Hash of the game image (clients verify before joining).
+    pub rom_hash: u64,
+    /// Total player slots (including the host).
+    pub slots: u8,
+    /// Slots still open.
+    pub free: u8,
+    /// The host's transport peer.
+    pub host: PeerId,
+}
+
+/// Why a join was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinRefusal {
+    /// No such session (expired or never existed).
+    Unknown,
+    /// All player slots taken.
+    Full,
+}
+
+/// Lobby protocol messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LobbyMessage {
+    /// Host: create or refresh a session.
+    Register {
+        /// Session name (truncated to [`MAX_NAME`]).
+        name: String,
+        /// Hash of the host's game image.
+        rom_hash: u64,
+        /// Total player slots including the host.
+        slots: u8,
+    },
+    /// Server → host: the session's assigned id.
+    Registered {
+        /// The new session's id.
+        id: SessionId,
+    },
+    /// Host: remove the session.
+    Unregister {
+        /// Which session.
+        id: SessionId,
+    },
+    /// Host: keep the session alive.
+    Heartbeat {
+        /// Which session.
+        id: SessionId,
+    },
+    /// Client: list open sessions.
+    List,
+    /// Server → client: current sessions.
+    Listing {
+        /// Up to [`MAX_LISTED`] open sessions.
+        sessions: Vec<SessionEntry>,
+    },
+    /// Client: claim a slot.
+    Join {
+        /// Which session.
+        id: SessionId,
+    },
+    /// Server → client: slot granted.
+    Joined {
+        /// Which session.
+        id: SessionId,
+        /// The host to connect the game session to.
+        host: PeerId,
+        /// The site number assigned to this client (1-based; 0 is the host).
+        site: u8,
+        /// Game image hash to verify against.
+        rom_hash: u64,
+    },
+    /// Server → client: slot refused.
+    Refused {
+        /// Which session.
+        id: SessionId,
+        /// Why.
+        reason: JoinRefusal,
+    },
+}
+
+/// Errors decoding a lobby datagram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LobbyWireError {
+    /// Not a lobby datagram.
+    BadMagic,
+    /// Unsupported version.
+    BadVersion(u8),
+    /// Unknown message type.
+    UnknownType(u8),
+    /// Datagram shorter than advertised.
+    Truncated,
+    /// A length field exceeds its cap.
+    TooLarge,
+    /// Name bytes are not UTF-8.
+    BadName,
+}
+
+impl fmt::Display for LobbyWireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LobbyWireError::BadMagic => write!(f, "not a lobby datagram"),
+            LobbyWireError::BadVersion(v) => write!(f, "unsupported lobby version {v}"),
+            LobbyWireError::UnknownType(t) => write!(f, "unknown lobby message type {t}"),
+            LobbyWireError::Truncated => write!(f, "lobby datagram truncated"),
+            LobbyWireError::TooLarge => write!(f, "lobby length field exceeds cap"),
+            LobbyWireError::BadName => write!(f, "session name is not valid UTF-8"),
+        }
+    }
+}
+
+impl Error for LobbyWireError {}
+
+mod ty {
+    pub const REGISTER: u8 = 1;
+    pub const REGISTERED: u8 = 2;
+    pub const UNREGISTER: u8 = 3;
+    pub const HEARTBEAT: u8 = 4;
+    pub const LIST: u8 = 5;
+    pub const LISTING: u8 = 6;
+    pub const JOIN: u8 = 7;
+    pub const JOINED: u8 = 8;
+    pub const REFUSED: u8 = 9;
+}
+
+impl LobbyMessage {
+    /// Encodes to one datagram payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = BytesMut::with_capacity(32);
+        b.put_u8(MAGIC);
+        b.put_u8(VERSION);
+        match self {
+            LobbyMessage::Register {
+                name,
+                rom_hash,
+                slots,
+            } => {
+                b.put_u8(ty::REGISTER);
+                let name = &name.as_bytes()[..name.len().min(MAX_NAME)];
+                b.put_u8(name.len() as u8);
+                b.put_slice(name);
+                b.put_u64_le(*rom_hash);
+                b.put_u8(*slots);
+            }
+            LobbyMessage::Registered { id } => {
+                b.put_u8(ty::REGISTERED);
+                b.put_u32_le(id.0);
+            }
+            LobbyMessage::Unregister { id } => {
+                b.put_u8(ty::UNREGISTER);
+                b.put_u32_le(id.0);
+            }
+            LobbyMessage::Heartbeat { id } => {
+                b.put_u8(ty::HEARTBEAT);
+                b.put_u32_le(id.0);
+            }
+            LobbyMessage::List => b.put_u8(ty::LIST),
+            LobbyMessage::Listing { sessions } => {
+                b.put_u8(ty::LISTING);
+                b.put_u8(sessions.len().min(MAX_LISTED) as u8);
+                for s in sessions.iter().take(MAX_LISTED) {
+                    b.put_u32_le(s.id.0);
+                    let name = &s.name.as_bytes()[..s.name.len().min(MAX_NAME)];
+                    b.put_u8(name.len() as u8);
+                    b.put_slice(name);
+                    b.put_u64_le(s.rom_hash);
+                    b.put_u8(s.slots);
+                    b.put_u8(s.free);
+                    b.put_u8(s.host.0);
+                }
+            }
+            LobbyMessage::Join { id } => {
+                b.put_u8(ty::JOIN);
+                b.put_u32_le(id.0);
+            }
+            LobbyMessage::Joined {
+                id,
+                host,
+                site,
+                rom_hash,
+            } => {
+                b.put_u8(ty::JOINED);
+                b.put_u32_le(id.0);
+                b.put_u8(host.0);
+                b.put_u8(*site);
+                b.put_u64_le(*rom_hash);
+            }
+            LobbyMessage::Refused { id, reason } => {
+                b.put_u8(ty::REFUSED);
+                b.put_u32_le(id.0);
+                b.put_u8(match reason {
+                    JoinRefusal::Unknown => 0,
+                    JoinRefusal::Full => 1,
+                });
+            }
+        }
+        b.to_vec()
+    }
+
+    /// Decodes one datagram.
+    ///
+    /// # Errors
+    ///
+    /// Any [`LobbyWireError`]; decoding arbitrary bytes never panics.
+    pub fn decode(data: &[u8]) -> Result<LobbyMessage, LobbyWireError> {
+        let mut b = data;
+        if b.remaining() < 3 {
+            return Err(LobbyWireError::Truncated);
+        }
+        if b.get_u8() != MAGIC {
+            return Err(LobbyWireError::BadMagic);
+        }
+        let v = b.get_u8();
+        if v != VERSION {
+            return Err(LobbyWireError::BadVersion(v));
+        }
+        let t = b.get_u8();
+        macro_rules! need {
+            ($n:expr) => {
+                if b.remaining() < $n {
+                    return Err(LobbyWireError::Truncated);
+                }
+            };
+        }
+        fn get_name(b: &mut &[u8]) -> Result<String, LobbyWireError> {
+            if b.remaining() < 1 {
+                return Err(LobbyWireError::Truncated);
+            }
+            let n = b.get_u8() as usize;
+            if n > MAX_NAME {
+                return Err(LobbyWireError::TooLarge);
+            }
+            if b.remaining() < n {
+                return Err(LobbyWireError::Truncated);
+            }
+            let s = String::from_utf8(b[..n].to_vec()).map_err(|_| LobbyWireError::BadName)?;
+            b.advance(n);
+            Ok(s)
+        }
+        Ok(match t {
+            ty::REGISTER => {
+                let name = get_name(&mut b)?;
+                need!(9);
+                LobbyMessage::Register {
+                    name,
+                    rom_hash: b.get_u64_le(),
+                    slots: b.get_u8(),
+                }
+            }
+            ty::REGISTERED => {
+                need!(4);
+                LobbyMessage::Registered {
+                    id: SessionId(b.get_u32_le()),
+                }
+            }
+            ty::UNREGISTER => {
+                need!(4);
+                LobbyMessage::Unregister {
+                    id: SessionId(b.get_u32_le()),
+                }
+            }
+            ty::HEARTBEAT => {
+                need!(4);
+                LobbyMessage::Heartbeat {
+                    id: SessionId(b.get_u32_le()),
+                }
+            }
+            ty::LIST => LobbyMessage::List,
+            ty::LISTING => {
+                need!(1);
+                let n = b.get_u8() as usize;
+                if n > MAX_LISTED {
+                    return Err(LobbyWireError::TooLarge);
+                }
+                let mut sessions = Vec::with_capacity(n);
+                for _ in 0..n {
+                    need!(4);
+                    let id = SessionId(b.get_u32_le());
+                    let name = get_name(&mut b)?;
+                    need!(11);
+                    sessions.push(SessionEntry {
+                        id,
+                        name,
+                        rom_hash: b.get_u64_le(),
+                        slots: b.get_u8(),
+                        free: b.get_u8(),
+                        host: PeerId(b.get_u8()),
+                    });
+                }
+                LobbyMessage::Listing { sessions }
+            }
+            ty::JOIN => {
+                need!(4);
+                LobbyMessage::Join {
+                    id: SessionId(b.get_u32_le()),
+                }
+            }
+            ty::JOINED => {
+                need!(4 + 1 + 1 + 8);
+                LobbyMessage::Joined {
+                    id: SessionId(b.get_u32_le()),
+                    host: PeerId(b.get_u8()),
+                    site: b.get_u8(),
+                    rom_hash: b.get_u64_le(),
+                }
+            }
+            ty::REFUSED => {
+                need!(5);
+                LobbyMessage::Refused {
+                    id: SessionId(b.get_u32_le()),
+                    reason: if b.get_u8() == 1 {
+                        JoinRefusal::Full
+                    } else {
+                        JoinRefusal::Unknown
+                    },
+                }
+            }
+            other => return Err(LobbyWireError::UnknownType(other)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<LobbyMessage> {
+        vec![
+            LobbyMessage::Register {
+                name: "Friday Night SF2".into(),
+                rom_hash: 0xABCD,
+                slots: 2,
+            },
+            LobbyMessage::Registered { id: SessionId(7) },
+            LobbyMessage::Unregister { id: SessionId(7) },
+            LobbyMessage::Heartbeat { id: SessionId(7) },
+            LobbyMessage::List,
+            LobbyMessage::Listing {
+                sessions: vec![
+                    SessionEntry {
+                        id: SessionId(1),
+                        name: "pong room".into(),
+                        rom_hash: 1,
+                        slots: 2,
+                        free: 1,
+                        host: PeerId(0),
+                    },
+                    SessionEntry {
+                        id: SessionId(2),
+                        name: "4p shooter".into(),
+                        rom_hash: 2,
+                        slots: 4,
+                        free: 3,
+                        host: PeerId(9),
+                    },
+                ],
+            },
+            LobbyMessage::Join { id: SessionId(1) },
+            LobbyMessage::Joined {
+                id: SessionId(1),
+                host: PeerId(0),
+                site: 1,
+                rom_hash: 1,
+            },
+            LobbyMessage::Refused {
+                id: SessionId(1),
+                reason: JoinRefusal::Full,
+            },
+            LobbyMessage::Refused {
+                id: SessionId(9),
+                reason: JoinRefusal::Unknown,
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_every_message() {
+        for m in samples() {
+            assert_eq!(LobbyMessage::decode(&m.encode()).unwrap(), m, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn long_names_are_truncated_on_encode() {
+        let m = LobbyMessage::Register {
+            name: "x".repeat(500),
+            rom_hash: 0,
+            slots: 2,
+        };
+        let decoded = LobbyMessage::decode(&m.encode()).unwrap();
+        match decoded {
+            LobbyMessage::Register { name, .. } => assert_eq!(name.len(), MAX_NAME),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(LobbyMessage::decode(&[]), Err(LobbyWireError::Truncated));
+        assert_eq!(
+            LobbyMessage::decode(&[0x00, VERSION, 1]),
+            Err(LobbyWireError::BadMagic)
+        );
+        assert_eq!(
+            LobbyMessage::decode(&[MAGIC, 9, 1]),
+            Err(LobbyWireError::BadVersion(9))
+        );
+        assert_eq!(
+            LobbyMessage::decode(&[MAGIC, VERSION, 200]),
+            Err(LobbyWireError::UnknownType(200))
+        );
+    }
+
+    #[test]
+    fn truncated_payloads_rejected() {
+        for m in samples() {
+            let mut bytes = m.encode();
+            if bytes.len() > 3 {
+                bytes.truncate(bytes.len() - 1);
+                assert!(
+                    LobbyMessage::decode(&bytes).is_err(),
+                    "truncated {m:?} decoded"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,591 @@
+//! The paper's testbed in software: two (or more) gaming sites, a Netem box
+//! between them, and a LAN time server — all in deterministic virtual time.
+//!
+//! [`Experiment`] wires `LockstepSession`s over a [`SimNetwork`], runs the
+//! configured number of frames, and computes exactly the statistics of §4:
+//! Series 1 (per-site average frame time and average deviation — Figure 1)
+//! and Series 2 (average absolute inter-site frame-begin difference —
+//! Figure 2). Replica convergence is verified from per-frame state hashes,
+//! something the paper assumes but the harness proves on every run.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use coplay_clock::{Clock, EventId, EventQueue, SimDuration, SimTime, TimeServer, VirtualClock};
+use coplay_games::GameId;
+use coplay_net::{
+    JitterDistribution, NetemConfig, PeerId, SimNetwork, SimSocket, Transport,
+};
+use coplay_sync::{
+    LockstepSession, Message, RandomPresser, Step, SyncConfig, SyncError,
+};
+use coplay_vm::{Machine, Player};
+
+use crate::metrics::{abs_mean, deltas_ms, SiteStats};
+
+/// First observer site number (distinct from player sites 0–3).
+pub const FIRST_OBSERVER_SITE: u8 = 0xE0;
+
+/// Everything that defines one experimental run.
+///
+/// Defaults reproduce the paper's setup: Brawler (the SF2 stand-in),
+/// 3600 frames at 60 FPS, local lag 6 frames, one message per 20 ms, a
+/// 10 ms sender thread slice, two players, pace smoothing on.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Which game both sites load.
+    pub game: GameId,
+    /// Frames to measure (the paper records 3600 per point).
+    pub frames: u64,
+    /// Master seed for input scripts and network impairments.
+    pub seed: u64,
+    /// Round-trip time of the inter-site path (split evenly per direction).
+    pub rtt: SimDuration,
+    /// Jitter magnitude on the inter-site path.
+    pub jitter: SimDuration,
+    /// Jitter distribution.
+    pub jitter_dist: JitterDistribution,
+    /// Packet loss probability on the inter-site path.
+    pub loss: f64,
+    /// Loss burst correlation.
+    pub loss_correlation: f64,
+    /// Packet duplication probability.
+    pub duplicate: f64,
+    /// Reordering probability.
+    pub reorder: f64,
+    /// Sender-side thread time slice (uniform `[0, slice)` extra delay;
+    /// the paper's §4.2 charges an average of half of 10 ms to this).
+    pub tx_slice: SimDuration,
+    /// The local lag in frames (`BufFrame`).
+    pub buf_frames: u64,
+    /// Outbound message pacing.
+    pub send_interval: SimDuration,
+    /// Game frame rate.
+    pub cfps: u32,
+    /// Algorithm 4 (master/slave pace smoothing) on/off.
+    pub rate_sync: bool,
+    /// Number of player sites (2 in the ICDCS paper).
+    pub num_players: u8,
+    /// Number of observer sites that join at session start.
+    pub observers: u8,
+    /// Virtual time at which a latecomer observer joins (snapshot path),
+    /// if any.
+    pub latecomer_at: Option<SimDuration>,
+    /// Extra delay before the slave (site 1) boots, for the pacing ablation.
+    pub start_skew: SimDuration,
+    /// Verify per-frame state-hash equality across replicas.
+    pub check_convergence: bool,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            game: GameId::Brawler,
+            frames: 3600,
+            seed: 0x0C05_01A1,
+            rtt: SimDuration::ZERO,
+            jitter: SimDuration::ZERO,
+            jitter_dist: JitterDistribution::Uniform,
+            loss: 0.0,
+            loss_correlation: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            tx_slice: SimDuration::from_millis(10),
+            buf_frames: 6,
+            send_interval: SimDuration::from_millis(20),
+            cfps: 60,
+            rate_sync: true,
+            num_players: 2,
+            observers: 0,
+            latecomer_at: None,
+            start_skew: SimDuration::ZERO,
+            check_convergence: true,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// The paper's sweep point: everything default except the RTT.
+    pub fn with_rtt(rtt: SimDuration) -> ExperimentConfig {
+        ExperimentConfig {
+            rtt,
+            ..ExperimentConfig::default()
+        }
+    }
+}
+
+/// The measured outcome of one run.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Series-1 statistics per player site.
+    pub sites: Vec<SiteStats>,
+    /// Series-2 statistic: average absolute inter-site frame-begin
+    /// difference between sites 0 and 1, in ms.
+    pub synchrony_ms: f64,
+    /// `true` if every common frame's state hash matched across replicas.
+    pub converged: bool,
+    /// Frames measured per site.
+    pub frames: u64,
+    /// Virtual time the run spanned.
+    pub elapsed: SimDuration,
+    /// Inter-site packets offered / lost (both directions of the 0↔1 link).
+    pub packets_offered: u64,
+    /// Packets dropped by the loss process.
+    pub packets_lost: u64,
+}
+
+impl ExperimentResult {
+    /// Convenience: the master's mean frame time in ms.
+    pub fn master_frame_time_ms(&self) -> f64 {
+        self.sites[0].mean_frame_time_ms
+    }
+
+    /// Convenience: the worse smoothness (average deviation) of the two
+    /// player sites, ms — the conservative reading of Figure 1.
+    pub fn worst_deviation_ms(&self) -> f64 {
+        self.sites
+            .iter()
+            .map(|s| s.frame_time_deviation_ms)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Errors from a simulation run.
+#[derive(Debug)]
+pub enum SimError {
+    /// A session failed (transport, mismatch, stall).
+    Session {
+        /// Which site failed.
+        site: u8,
+        /// The underlying error.
+        error: SyncError,
+    },
+    /// No events left but the target frame count was not reached.
+    Deadlock {
+        /// Virtual time of the deadlock.
+        at: SimTime,
+    },
+    /// The run exceeded its virtual-time budget (e.g. RTT far beyond the
+    /// playable regime with a stalled site).
+    TimeBudgetExceeded {
+        /// The budget that was exhausted.
+        budget: SimDuration,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Session { site, error } => write!(f, "site {site} failed: {error}"),
+            SimError::Deadlock { at } => write!(f, "event queue ran dry at {at}"),
+            SimError::TimeBudgetExceeded { budget } => {
+                write!(f, "virtual time budget of {budget} exceeded")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+type Site = LockstepSession<Box<dyn Machine>, SimSocket, RandomPresser>;
+
+struct SiteRunner {
+    site_no: u8,
+    session: Site,
+    pending_wake: Option<EventId>,
+    frames_done: u64,
+    hashes: Vec<u64>,
+    first_frame: u64,
+    failed: bool,
+}
+
+/// One configured run of the paper's testbed.
+#[derive(Debug)]
+pub struct Experiment {
+    config: ExperimentConfig,
+}
+
+impl Experiment {
+    /// Prepares a run.
+    pub fn new(config: ExperimentConfig) -> Experiment {
+        Experiment { config }
+    }
+
+    /// Executes the run to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if a session fails, the simulation deadlocks,
+    /// or the virtual-time budget is exceeded.
+    pub fn run(&self) -> Result<ExperimentResult, SimError> {
+        let cfg = &self.config;
+        let clock = VirtualClock::new();
+        let net = SimNetwork::shared(clock.clone());
+
+        // Inter-site impairments (the Netem box).
+        let impaired = NetemConfig::new()
+            .delay(cfg.rtt / 2)
+            .jitter(cfg.jitter)
+            .jitter_distribution(cfg.jitter_dist)
+            .loss(cfg.loss)
+            .loss_correlation(cfg.loss_correlation)
+            .duplicate(cfg.duplicate)
+            .reorder(cfg.reorder)
+            .tx_slice(cfg.tx_slice);
+        // The measurement LAN: sub-millisecond, clean.
+        let lan = NetemConfig::new().delay(SimDuration::from_micros(250));
+
+        let mut site_numbers: Vec<u8> = (0..cfg.num_players).collect();
+        for o in 0..cfg.observers + cfg.latecomer_at.map_or(0, |_| 1) {
+            site_numbers.push(FIRST_OBSERVER_SITE + o);
+        }
+        for (i, &a) in site_numbers.iter().enumerate() {
+            for &b in &site_numbers[i + 1..] {
+                SimNetwork::link_pair(
+                    &net,
+                    PeerId(a),
+                    PeerId(b),
+                    impaired.clone(),
+                    cfg.seed ^ ((a as u64) << 32) ^ (b as u64).wrapping_mul(0x9E37),
+                );
+            }
+            SimNetwork::link_pair(&net, PeerId(a), PeerId::TIME_SERVER, lan.clone(), 7 + a as u64);
+        }
+        let mut server_sock = SimNetwork::socket(&net, PeerId::TIME_SERVER);
+        let mut time_server = TimeServer::new();
+
+        // Build the sites.
+        let mut sites: Vec<SiteRunner> = Vec::new();
+        let mut wakes: EventQueue<usize> = EventQueue::new();
+        for (idx, &site_no) in site_numbers.iter().enumerate() {
+            let is_observer = site_no >= FIRST_OBSERVER_SITE;
+            let mut sync_cfg = SyncConfig::two_player(0);
+            sync_cfg.my_site = site_no;
+            sync_cfg.num_sites = cfg.num_players;
+            sync_cfg.port_map = coplay_vm::PortMap::one_per_site(cfg.num_players as usize);
+            sync_cfg.buf_frames = cfg.buf_frames;
+            sync_cfg.send_interval = cfg.send_interval;
+            sync_cfg.cfps = cfg.cfps;
+            sync_cfg.rate_sync = cfg.rate_sync;
+            // §3.2 initialization deviation: the slave's frame loop starts
+            // late (applied post-handshake so it actually manifests).
+            if site_no != 0 && !is_observer {
+                sync_cfg.first_frame_delay = cfg.start_skew;
+            }
+
+            let machine = cfg.game.create();
+            let source = RandomPresser::new(
+                Player(site_no.min(3)),
+                cfg.seed.wrapping_add(1 + site_no as u64),
+            );
+            let mut session = LockstepSession::new(
+                sync_cfg,
+                machine,
+                SimNetwork::socket(&net, PeerId(site_no)),
+                source,
+            )
+            .with_time_server(PeerId::TIME_SERVER);
+            if !cfg.check_convergence {
+                session = session.without_frame_hashes();
+            }
+            // Boot times: everyone at 0 except a latecomer, which appears
+            // at its join time.
+            let is_latecomer =
+                cfg.latecomer_at.is_some() && idx + 1 == site_numbers.len() && is_observer;
+            let boot = if is_latecomer {
+                SimTime::ZERO + cfg.latecomer_at.expect("latecomer checked")
+            } else {
+                SimTime::ZERO
+            };
+            let wake = wakes.schedule(boot, idx);
+            sites.push(SiteRunner {
+                site_no,
+                session,
+                pending_wake: Some(wake),
+                frames_done: 0,
+                hashes: Vec::new(),
+                first_frame: 0,
+                failed: false,
+            });
+        }
+
+        // Virtual-time budget: generous multiple of the ideal runtime.
+        let tpf_us = 1_000_000u64 / cfg.cfps.max(1) as u64;
+        let budget = SimDuration::from_micros(cfg.frames * tpf_us * 30 + 120_000_000);
+
+        // Main event loop.
+        loop {
+            let all_done = sites
+                .iter()
+                .all(|s| s.frames_done >= cfg.frames || s.failed);
+            if all_done {
+                break;
+            }
+            let next_net = net.borrow_mut().next_delivery_time();
+            let next_wake = wakes.peek_time();
+            let t = match (next_net, next_wake) {
+                (Some(a), Some(b)) => a.min(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => return Err(SimError::Deadlock { at: clock.now() }),
+            };
+            if t.saturating_since(SimTime::ZERO) > budget {
+                return Err(SimError::TimeBudgetExceeded { budget });
+            }
+            clock.set(t.max(clock.now()));
+            let now = clock.now();
+
+            let delivered = net.borrow_mut().deliver_due(now);
+            if delivered > 0 {
+                // Drain the time server's inbox.
+                while let Some((_, data)) = server_sock.try_recv().expect("sim socket") {
+                    if let Ok(Message::TimeStamp { site, frame }) = Message::decode(&data) {
+                        time_server.record(site, frame, now);
+                    }
+                }
+                // Datagrams may unblock any site: tick them all.
+                for idx in 0..sites.len() {
+                    self.tick_site(&mut sites, idx, now, &mut wakes)?;
+                }
+            }
+            while let Some(at) = wakes.peek_time() {
+                if at > now {
+                    break;
+                }
+                let (_, idx) = wakes.pop().expect("peeked");
+                if sites[idx].pending_wake.is_some() {
+                    sites[idx].pending_wake = None;
+                    self.tick_site(&mut sites, idx, now, &mut wakes)?;
+                }
+            }
+        }
+
+        self.collect(sites, time_server, net, clock.now())
+    }
+
+    fn tick_site(
+        &self,
+        sites: &mut [SiteRunner],
+        idx: usize,
+        now: SimTime,
+        wakes: &mut EventQueue<usize>,
+    ) -> Result<(), SimError> {
+        let target = self.config.frames;
+        let s = &mut sites[idx];
+        if s.failed || s.frames_done >= target.saturating_mul(2) {
+            return Ok(());
+        }
+        // Cancel any stale pending wake; we re-derive it from this tick.
+        if let Some(id) = s.pending_wake.take() {
+            wakes.cancel(id);
+        }
+        match s.session.tick(now) {
+            Ok(Step::Wait(t)) => {
+                s.pending_wake = Some(wakes.schedule(t.max(now), idx));
+            }
+            Ok(Step::FrameDone { report, next_wake }) => {
+                if s.frames_done == 0 {
+                    s.first_frame = report.frame;
+                }
+                if let Some(h) = report.state_hash {
+                    s.hashes.push(h);
+                }
+                s.frames_done += 1;
+                s.pending_wake = Some(wakes.schedule(next_wake.max(now), idx));
+            }
+            Ok(Step::Stopped(_)) => {
+                s.failed = true;
+            }
+            Err(error) => {
+                return Err(SimError::Session {
+                    site: s.site_no,
+                    error,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn collect(
+        &self,
+        sites: Vec<SiteRunner>,
+        time_server: TimeServer,
+        net: Rc<RefCell<SimNetwork>>,
+        end: SimTime,
+    ) -> Result<ExperimentResult, SimError> {
+        let cfg = &self.config;
+        // Series 1: frame times per player site, first `frames` frames.
+        let mut stats = Vec::new();
+        for s in sites.iter().take(cfg.num_players as usize) {
+            let mut times = time_server.frame_times(s.site_no);
+            times.truncate(cfg.frames as usize);
+            stats.push(SiteStats::from_frame_times(&times));
+        }
+        // Series 2: per-frame inter-site differences, sites 0 and 1.
+        let synchrony_ms = if cfg.num_players >= 2 {
+            let diffs: Vec<_> = time_server
+                .pair_differences(0, 1)
+                .into_iter()
+                .filter(|(f, _)| *f < cfg.frames)
+                .map(|(_, d)| d)
+                .collect();
+            abs_mean(&deltas_ms(&diffs))
+        } else {
+            0.0
+        };
+        // Convergence: every pair of replicas must agree on every common
+        // frame's state hash (offset by each site's first executed frame).
+        let mut converged = true;
+        if cfg.check_convergence {
+            let reference = &sites[0];
+            for s in &sites[1..] {
+                for (i, h) in s.hashes.iter().enumerate() {
+                    let frame = s.first_frame + i as u64;
+                    let Some(ri) = frame.checked_sub(reference.first_frame) else {
+                        continue;
+                    };
+                    if let Some(rh) = reference.hashes.get(ri as usize) {
+                        if rh != h {
+                            converged = false;
+                        }
+                    }
+                }
+            }
+        }
+        let net = net.borrow();
+        let s01 = net.link_stats(PeerId(0), PeerId(1)).unwrap_or_default();
+        let s10 = net.link_stats(PeerId(1), PeerId(0)).unwrap_or_default();
+        Ok(ExperimentResult {
+            sites: stats,
+            synchrony_ms,
+            converged,
+            frames: cfg.frames,
+            elapsed: end.saturating_since(SimTime::ZERO),
+            packets_offered: s01.offered + s10.offered,
+            packets_lost: s01.lost + s10.lost,
+        })
+    }
+}
+
+/// Runs one experiment with the given config (convenience wrapper).
+///
+/// # Errors
+///
+/// See [`Experiment::run`].
+pub fn run_experiment(config: ExperimentConfig) -> Result<ExperimentResult, SimError> {
+    Experiment::new(config).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(mut cfg: ExperimentConfig) -> ExperimentConfig {
+        cfg.frames = 240;
+        cfg.game = GameId::Pong;
+        cfg
+    }
+
+    #[test]
+    fn ideal_network_runs_at_60fps_with_zero_deviation() {
+        let r = run_experiment(quick(ExperimentConfig::default())).unwrap();
+        assert!(r.converged, "replicas must converge");
+        for s in &r.sites {
+            assert!(
+                (s.mean_frame_time_ms - 16.667).abs() < 0.5,
+                "frame time {} off 16.7ms",
+                s.mean_frame_time_ms
+            );
+            assert!(s.frame_time_deviation_ms < 1.0, "deviation {}", s.frame_time_deviation_ms);
+        }
+        // Figure 2's own envelope below the threshold is <10ms.
+        assert!(r.synchrony_ms < 10.0, "synchrony {}", r.synchrony_ms);
+    }
+
+    #[test]
+    fn low_rtt_keeps_full_speed() {
+        let mut cfg = quick(ExperimentConfig::with_rtt(SimDuration::from_millis(60)));
+        cfg.frames = 240;
+        let r = run_experiment(cfg).unwrap();
+        assert!(r.converged);
+        assert!((r.master_frame_time_ms() - 16.667).abs() < 1.0);
+    }
+
+    #[test]
+    fn extreme_rtt_slows_the_game_but_stays_consistent() {
+        let cfg = quick(ExperimentConfig::with_rtt(SimDuration::from_millis(300)));
+        let r = run_experiment(cfg).unwrap();
+        assert!(r.converged, "logical consistency holds at any latency");
+        assert!(
+            r.master_frame_time_ms() > 18.0,
+            "game should be visibly slowed, got {}ms",
+            r.master_frame_time_ms()
+        );
+    }
+
+    #[test]
+    fn packet_loss_is_survived() {
+        let mut cfg = quick(ExperimentConfig::with_rtt(SimDuration::from_millis(40)));
+        cfg.loss = 0.1;
+        let r = run_experiment(cfg).unwrap();
+        assert!(r.converged, "retransmission must mask 10% loss");
+        assert!(r.packets_lost > 0, "loss process actually ran");
+    }
+
+    #[test]
+    fn duplication_and_reordering_are_survived() {
+        let mut cfg = quick(ExperimentConfig::with_rtt(SimDuration::from_millis(40)));
+        cfg.duplicate = 0.1;
+        cfg.reorder = 0.1;
+        cfg.jitter = SimDuration::from_millis(15);
+        let r = run_experiment(cfg).unwrap();
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn start_skew_is_smoothed_by_the_slave() {
+        let mut cfg = quick(ExperimentConfig::default());
+        cfg.start_skew = SimDuration::from_millis(200);
+        let r = run_experiment(cfg).unwrap();
+        assert!(r.converged);
+        // Despite a 200ms late slave, synchrony recovers to a small value
+        // on average over the run.
+        assert!(r.synchrony_ms < 25.0, "synchrony {}", r.synchrony_ms);
+    }
+
+    #[test]
+    fn fresh_observer_replays_the_match() {
+        let mut cfg = quick(ExperimentConfig::default());
+        cfg.observers = 1;
+        let r = run_experiment(cfg).unwrap();
+        assert!(r.converged, "observer replica must match the players");
+    }
+
+    #[test]
+    fn three_player_session_works() {
+        let mut cfg = quick(ExperimentConfig::default());
+        cfg.num_players = 3;
+        let r = run_experiment(cfg).unwrap();
+        assert!(r.converged);
+        assert_eq!(r.sites.len(), 3);
+    }
+
+    #[test]
+    fn latecomer_joins_via_snapshot_and_converges() {
+        let mut cfg = quick(ExperimentConfig::default());
+        cfg.frames = 360;
+        cfg.latecomer_at = Some(SimDuration::from_secs(2)); // ~frame 120
+        let r = run_experiment(cfg).unwrap();
+        assert!(r.converged, "latecomer replica must match from its join point");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = quick(ExperimentConfig::with_rtt(SimDuration::from_millis(80)));
+        let a = run_experiment(cfg.clone()).unwrap();
+        let b = run_experiment(cfg).unwrap();
+        assert_eq!(a.sites[0].mean_frame_time_ms, b.sites[0].mean_frame_time_ms);
+        assert_eq!(a.synchrony_ms, b.synchrony_ms);
+        assert_eq!(a.packets_offered, b.packets_offered);
+    }
+}

@@ -1,0 +1,129 @@
+//! The paper's evaluation statistics (§4, footnotes 10 and 11).
+//!
+//! * Footnote 10: for numbers x₁…xₙ, the *average deviation* is
+//!   `Σ|xᵢ − x̄| / n` — the smoothness metric of Figure 1.
+//! * Footnote 11: the *absolute average* is `Σ|xᵢ| / n` — the synchrony
+//!   metric of Figure 2.
+
+use coplay_clock::{SimDelta, SimDuration};
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// The paper's footnote-10 "average deviation": mean absolute deviation
+/// from the mean.
+pub fn mean_abs_deviation(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let m = mean(values);
+    values.iter().map(|v| (v - m).abs()).sum::<f64>() / values.len() as f64
+}
+
+/// The paper's footnote-11 "absolute average": mean of absolute values.
+pub fn abs_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().map(|v| v.abs()).sum::<f64>() / values.len() as f64
+}
+
+/// Converts frame durations to fractional milliseconds for the stats above.
+pub fn durations_ms(values: &[SimDuration]) -> Vec<f64> {
+    values.iter().map(|d| d.as_millis_f64()).collect()
+}
+
+/// Converts signed deltas to fractional milliseconds.
+pub fn deltas_ms(values: &[SimDelta]) -> Vec<f64> {
+    values.iter().map(|d| d.as_millis_f64()).collect()
+}
+
+/// Per-site Series-1 statistics: pace and smoothness.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SiteStats {
+    /// Frames with measured durations.
+    pub frames: usize,
+    /// Average frame time, ms (Figure 1's first series).
+    pub mean_frame_time_ms: f64,
+    /// Average deviation of frame time, ms (Figure 1's second series).
+    pub frame_time_deviation_ms: f64,
+}
+
+impl SiteStats {
+    /// Computes Series-1 statistics from measured frame durations.
+    pub fn from_frame_times(times: &[SimDuration]) -> SiteStats {
+        let ms = durations_ms(times);
+        SiteStats {
+            frames: times.len(),
+            mean_frame_time_ms: mean(&ms),
+            frame_time_deviation_ms: mean_abs_deviation(&ms),
+        }
+    }
+
+    /// The effective frame rate implied by the mean frame time.
+    pub fn fps(&self) -> f64 {
+        if self.mean_frame_time_ms <= 0.0 {
+            return 0.0;
+        }
+        1_000.0 / self.mean_frame_time_ms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean_abs_deviation(&[]), 0.0);
+        assert_eq!(abs_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn mean_matches_hand_computation() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    fn footnote_10_average_deviation() {
+        // x̄ = 2, |1-2|+|2-2|+|3-2| = 2, /3.
+        let v = [1.0, 2.0, 3.0];
+        assert!((mean_abs_deviation(&v) - 2.0 / 3.0).abs() < 1e-12);
+        // Constant series: zero deviation.
+        assert_eq!(mean_abs_deviation(&[5.0; 10]), 0.0);
+    }
+
+    #[test]
+    fn footnote_11_absolute_average() {
+        let v = [-3.0, 3.0];
+        assert_eq!(abs_mean(&v), 3.0);
+        assert_eq!(mean(&v), 0.0, "plain mean would hide the divergence");
+    }
+
+    #[test]
+    fn site_stats_from_steady_60fps() {
+        let times = vec![SimDuration::from_micros(16_667); 100];
+        let s = SiteStats::from_frame_times(&times);
+        assert_eq!(s.frames, 100);
+        assert!((s.mean_frame_time_ms - 16.667).abs() < 1e-9);
+        assert!(s.frame_time_deviation_ms.abs() < 1e-9);
+        assert!((s.fps() - 60.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn fps_of_zero_mean_is_zero() {
+        assert_eq!(SiteStats::default().fps(), 0.0);
+    }
+
+    #[test]
+    fn delta_conversion() {
+        let d = [SimDelta::from_millis(-2), SimDelta::from_millis(2)];
+        assert_eq!(abs_mean(&deltas_ms(&d)), 2.0);
+    }
+}

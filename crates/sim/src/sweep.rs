@@ -1,0 +1,163 @@
+//! The paper's RTT sweep and report formatting.
+//!
+//! §4.1: "we experiment on round-trip times ranging from 0 to 400
+//! milliseconds … the step is set to 10ms from 0 to 200ms and 50ms from
+//! 200ms to 400ms." [`paper_rtt_points`] generates exactly that series;
+//! [`run_sweep`] executes one experiment per point and returns the rows
+//! behind Figures 1 and 2.
+
+use coplay_clock::SimDuration;
+
+use crate::experiment::{run_experiment, ExperimentConfig, ExperimentResult, SimError};
+
+/// The RTT values of the paper's sweeps: 0–200 ms step 10, 200–400 step 50.
+pub fn paper_rtt_points() -> Vec<SimDuration> {
+    let mut points: Vec<SimDuration> = (0..=20).map(|i| SimDuration::from_millis(i * 10)).collect();
+    points.extend((1..=4).map(|i| SimDuration::from_millis(200 + i * 50)));
+    points
+}
+
+/// One row of the sweep output.
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// The swept round-trip time.
+    pub rtt: SimDuration,
+    /// The full per-point result.
+    pub result: ExperimentResult,
+}
+
+/// Runs `base` at every RTT in `points`.
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`] (points far past the playable regime
+/// can exhaust the virtual-time budget; the paper stops at 400 ms which
+/// stays well inside it).
+pub fn run_sweep(
+    base: &ExperimentConfig,
+    points: &[SimDuration],
+    mut progress: impl FnMut(SimDuration, &ExperimentResult),
+) -> Result<Vec<SweepRow>, SimError> {
+    let mut rows = Vec::with_capacity(points.len());
+    for &rtt in points {
+        let mut cfg = base.clone();
+        cfg.rtt = rtt;
+        let result = run_experiment(cfg)?;
+        progress(rtt, &result);
+        rows.push(SweepRow { rtt, result });
+    }
+    Ok(rows)
+}
+
+/// Formats the sweep as the Figure-1 table (average frame time and average
+/// deviation per RTT).
+pub fn format_figure1(rows: &[SweepRow]) -> String {
+    let mut out = String::from(
+        "Figure 1 — Frame rates and smoothness\n\
+         RTT(ms)  avg frame time(ms)  avg deviation(ms)  FPS   converged\n",
+    );
+    for row in rows {
+        let s = &row.result.sites[0];
+        out.push_str(&format!(
+            "{:7}  {:18.2}  {:17.2}  {:4.1}  {}\n",
+            row.rtt.as_millis(),
+            s.mean_frame_time_ms,
+            row.result.worst_deviation_ms(),
+            s.fps(),
+            row.result.converged,
+        ));
+    }
+    out
+}
+
+/// Formats the sweep as the Figure-2 table (average absolute inter-site
+/// frame-begin difference per RTT).
+pub fn format_figure2(rows: &[SweepRow]) -> String {
+    let mut out = String::from(
+        "Figure 2 — Synchrony between two sites\n\
+         RTT(ms)  avg |site0-site1| per frame (ms)  converged\n",
+    );
+    for row in rows {
+        out.push_str(&format!(
+            "{:7}  {:33.2}  {}\n",
+            row.rtt.as_millis(),
+            row.result.synchrony_ms,
+            row.result.converged,
+        ));
+    }
+    out
+}
+
+/// Finds the threshold RTT: the last point whose frame rate stays within
+/// `tolerance_ms` of the nominal frame time (the paper identifies ≈140 ms).
+pub fn threshold_rtt(rows: &[SweepRow], nominal_ms: f64, tolerance_ms: f64) -> Option<SimDuration> {
+    rows.iter()
+        .take_while(|r| (r.result.master_frame_time_ms() - nominal_ms).abs() <= tolerance_ms)
+        .map(|r| r.rtt)
+        .last()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coplay_games::GameId;
+
+    #[test]
+    fn paper_points_match_section_4() {
+        let p = paper_rtt_points();
+        assert_eq!(p.len(), 25);
+        assert_eq!(p[0], SimDuration::ZERO);
+        assert_eq!(p[1], SimDuration::from_millis(10));
+        assert_eq!(p[20], SimDuration::from_millis(200));
+        assert_eq!(p[21], SimDuration::from_millis(250));
+        assert_eq!(p[24], SimDuration::from_millis(400));
+    }
+
+    #[test]
+    fn small_sweep_produces_monotone_slowdown() {
+        let base = ExperimentConfig {
+            frames: 180,
+            game: GameId::Pong,
+            ..ExperimentConfig::default()
+        };
+        let points = [
+            SimDuration::ZERO,
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(350),
+        ];
+        let mut seen = 0;
+        let rows = run_sweep(&base, &points, |_, _| seen += 1).unwrap();
+        assert_eq!(seen, 3);
+        assert_eq!(rows.len(), 3);
+        let ft: Vec<f64> = rows.iter().map(|r| r.result.master_frame_time_ms()).collect();
+        assert!(ft[0] <= ft[2] + 0.5, "fast link must not be slower: {ft:?}");
+        assert!(
+            ft[2] > ft[0] + 2.0,
+            "350ms RTT must visibly slow the game: {ft:?}"
+        );
+        // Formatting smoke tests.
+        let f1 = format_figure1(&rows);
+        assert!(f1.contains("Figure 1"));
+        assert_eq!(f1.lines().count(), 2 + rows.len());
+        let f2 = format_figure2(&rows);
+        assert!(f2.contains("Figure 2"));
+    }
+
+    #[test]
+    fn threshold_detection() {
+        let base = ExperimentConfig {
+            frames: 180,
+            game: GameId::Pong,
+            ..ExperimentConfig::default()
+        };
+        let points = [
+            SimDuration::ZERO,
+            SimDuration::from_millis(40),
+            SimDuration::from_millis(350),
+        ];
+        let rows = run_sweep(&base, &points, |_, _| {}).unwrap();
+        let th = threshold_rtt(&rows, 16.667, 1.0).expect("low points are at speed");
+        assert!(th >= SimDuration::from_millis(40));
+        assert!(th < SimDuration::from_millis(350));
+    }
+}

@@ -1,0 +1,690 @@
+//! The distributed game VM loop (Algorithm 1) plus session control.
+//!
+//! [`LockstepSession`] owns one site's machine replica and runs the paper's
+//! frame loop:
+//!
+//! ```text
+//! repeat
+//!     BeginFrameTiming();          // FrameTimer::begin_frame (Algorithm 4)
+//!     I  = GetInput();             // InputSource::sample
+//!     I' = SyncInput(I, Frame);    // InputSync poll loop (Algorithm 2)
+//!     S' = Transition(I', S);      // Machine::step_frame — the black box
+//!     translate and present S';    // caller-side, via FrameReport
+//!     EndFrameTiming();            // FrameTimer::end_frame (Algorithm 3)
+//!     Frame++;
+//! until end of game
+//! ```
+//!
+//! The session is sans-io in time: [`LockstepSession::tick`] takes `now`
+//! explicitly and returns what to do next ([`Step`]), so the discrete-event
+//! simulator and the real-time runner drive identical code.
+//!
+//! Session control implements the paper's start protocol (two sites start
+//! within one RTT) plus the journal extensions: N players, observers, and
+//! latecomers joining mid-game via state snapshots.
+
+use std::collections::BTreeMap;
+
+use coplay_clock::{SimDuration, SimTime};
+use coplay_net::{PeerId, Transport};
+use coplay_vm::{InputWord, Machine};
+
+use crate::config::SyncConfig;
+use crate::error::{StopReason, SyncError};
+use crate::input_source::InputSource;
+use crate::rtt::RttEstimator;
+use crate::stats::SessionStats;
+use crate::sync_input::InputSync;
+use crate::timing::{FrameEnd, FrameTimer};
+use crate::wire::{Message, MAX_CHUNK_BYTES};
+
+/// Retransmission margin applied when a latecomer is registered, covering
+/// pointer divergence between players at join time. Must stay below the
+/// input-history retention window
+/// ([`RETAIN_FRAMES`](crate::sync_input::RETAIN_FRAMES)).
+pub const JOIN_MARGIN_FRAMES: u64 = 64;
+
+/// Hello/SnapshotRequest retransmission interval during joins.
+const JOIN_RETRY: SimDuration = SimDuration::from_millis(200);
+
+/// What the driver should do after a [`LockstepSession::tick`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Step {
+    /// Nothing to do until this instant (or until a datagram arrives —
+    /// whichever is first).
+    Wait(SimTime),
+    /// A frame was executed; `next_wake` is when the next frame may begin.
+    FrameDone {
+        /// What happened this frame.
+        report: FrameReport,
+        /// Earliest instant the next frame can start.
+        next_wake: SimTime,
+    },
+    /// The session ended.
+    Stopped(StopReason),
+}
+
+/// One executed frame, for presentation and metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameReport {
+    /// The frame number just executed.
+    pub frame: u64,
+    /// The merged input word fed to the machine.
+    pub input: InputWord,
+    /// The machine's state digest after the frame (if hashing is enabled).
+    pub state_hash: Option<u64>,
+    /// When this frame began (`CurrFrameStart`).
+    pub began_at: SimTime,
+}
+
+#[derive(Debug)]
+enum Phase {
+    /// Master: waiting for every player's Hello.
+    MasterWait,
+    /// Non-master: helloing until every player acknowledged.
+    Connecting {
+        next_hello: SimTime,
+        acks: BTreeMap<u8, u64>,
+    },
+    /// Latecomer: snapshot transfer in progress.
+    AwaitSnapshot {
+        next_request: SimTime,
+        frame: u64,
+        total: usize,
+        buf: Vec<u8>,
+        received: Vec<bool>, // per chunk
+    },
+    Run(RunState),
+    Done(StopReason),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RunState {
+    /// Initialization deviation: hold until this instant before frame 0.
+    StartAt(SimTime),
+    Begin,
+    Syncing,
+    EndWait(SimTime),
+}
+
+/// One site of a distributed game session.
+pub struct LockstepSession<M, T, S> {
+    cfg: SyncConfig,
+    machine: M,
+    transport: T,
+    source: S,
+    sync: InputSync,
+    timer: FrameTimer,
+    rtt: RttEstimator,
+    phase: Phase,
+    frame: u64,
+    frame_start: SimTime,
+    rom_hash: u64,
+    joined: Vec<u8>,
+    time_server: Option<PeerId>,
+    hash_frames: bool,
+    stats: SessionStats,
+    blocked_at: Option<SimTime>,
+}
+
+impl<M: Machine, T: Transport, S: InputSource> LockstepSession<M, T, S> {
+    /// Creates a session site. `machine` must be in its initial state — its
+    /// state hash doubles as the game-image identity both sites compare.
+    pub fn new(cfg: SyncConfig, machine: M, transport: T, source: S) -> Self {
+        let rom_hash = machine.state_hash();
+        let tpf = cfg.time_per_frame();
+        // The dead zone must stay well inside the local-lag budget: a slave
+        // allowed to drift by more than the lag window would starve the
+        // master of inputs every frame (visible at high CFPS, where 15 ms
+        // spans many frames).
+        let dead_zone = cfg.sync_dead_zone.min(cfg.local_lag() / 4);
+        let timer = FrameTimer::new(tpf, cfg.is_master(), cfg.rate_sync, cfg.buf_frames)
+            .with_dead_zone(dead_zone);
+        let phase = if cfg.is_master() {
+            Phase::MasterWait
+        } else {
+            Phase::Connecting {
+                next_hello: SimTime::ZERO,
+                acks: BTreeMap::new(),
+            }
+        };
+        LockstepSession {
+            sync: InputSync::new(cfg.clone()),
+            timer,
+            rtt: RttEstimator::default(),
+            phase,
+            frame: 0,
+            frame_start: SimTime::ZERO,
+            rom_hash,
+            joined: Vec::new(),
+            time_server: None,
+            hash_frames: true,
+            stats: SessionStats::default(),
+            blocked_at: None,
+            cfg,
+            machine,
+            transport,
+            source,
+        }
+    }
+
+    /// Also stamp every frame begin to the measurement time server at
+    /// `peer` (§4's experimental setup).
+    pub fn with_time_server(mut self, peer: PeerId) -> Self {
+        self.time_server = Some(peer);
+        self
+    }
+
+    /// Disables per-frame state hashing (saves time in throughput benches).
+    pub fn without_frame_hashes(mut self) -> Self {
+        self.hash_frames = false;
+        self
+    }
+
+    /// The local machine replica.
+    pub fn machine(&self) -> &M {
+        &self.machine
+    }
+
+    /// The site's current frame (Algorithm 1's `Frame`).
+    pub fn frame(&self) -> u64 {
+        self.frame
+    }
+
+    /// The site configuration.
+    pub fn config(&self) -> &SyncConfig {
+        &self.cfg
+    }
+
+    /// The current smoothed RTT estimate.
+    pub fn rtt(&self) -> SimDuration {
+        self.rtt.rtt()
+    }
+
+    /// The sync engine (metrics/test hook).
+    pub fn sync(&self) -> &InputSync {
+        &self.sync
+    }
+
+    /// In-band session counters (messages, stalls, late frames).
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Sends an orderly goodbye and stops the session.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures while sending the goodbye.
+    pub fn stop(&mut self) -> Result<(), SyncError> {
+        let bye = Message::Bye.encode();
+        for p in self.peer_ids() {
+            self.transport.send(p, &bye)?;
+        }
+        self.phase = Phase::Done(StopReason::LocalQuit);
+        Ok(())
+    }
+
+    fn peer_ids(&self) -> Vec<PeerId> {
+        self.cfg.peers().map(PeerId).collect()
+    }
+
+    /// Drives the session. Call whenever the previous [`Step::Wait`]
+    /// deadline passes **or** a datagram may have arrived.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SyncError`] on transport failure, game-image mismatch, a
+    /// failed snapshot join, or a stall exceeding the configured timeout.
+    pub fn tick(&mut self, now: SimTime) -> Result<Step, SyncError> {
+        self.drain_transport(now)?;
+        loop {
+            match &mut self.phase {
+                Phase::Done(reason) => return Ok(Step::Stopped(reason.clone())),
+                Phase::MasterWait => {
+                    let players_expected = self.cfg.num_sites as usize - 1;
+                    if self.joined.len() >= players_expected {
+                        self.phase =
+                            Phase::Run(RunState::StartAt(now + self.cfg.first_frame_delay));
+                        continue;
+                    }
+                    return Ok(Step::Wait(now + JOIN_RETRY));
+                }
+                Phase::Connecting { next_hello, acks } => {
+                    let player_peers: Vec<u8> =
+                        (0..self.cfg.num_sites).filter(|&s| s != self.cfg.my_site).collect();
+                    if player_peers.iter().all(|p| acks.contains_key(p)) {
+                        let start = acks.values().copied().max().unwrap_or(0);
+                        if start == 0 {
+                            self.phase =
+                                Phase::Run(RunState::StartAt(now + self.cfg.first_frame_delay));
+                        } else {
+                            // Mid-game join: fetch a snapshot from the master.
+                            self.phase = Phase::AwaitSnapshot {
+                                next_request: SimTime::ZERO,
+                                frame: 0,
+                                total: 0,
+                                buf: Vec::new(),
+                                received: Vec::new(),
+                            };
+                        }
+                        continue;
+                    }
+                    if now >= *next_hello {
+                        *next_hello = now + JOIN_RETRY;
+                        let hello = Message::Hello {
+                            site: self.cfg.my_site,
+                            rom_hash: self.rom_hash,
+                            observer: !self.sync.is_player(),
+                        }
+                        .encode();
+                        for &p in &player_peers {
+                            if !acks.contains_key(&p) {
+                                self.transport.send(PeerId(p), &hello)?;
+                            }
+                        }
+                    }
+                    let deadline = match &self.phase {
+                        Phase::Connecting { next_hello, .. } => *next_hello,
+                        _ => unreachable!(),
+                    };
+                    return Ok(Step::Wait(deadline));
+                }
+                Phase::AwaitSnapshot {
+                    next_request,
+                    frame,
+                    total,
+                    buf,
+                    received,
+                } => {
+                    let complete = *total > 0 && received.iter().all(|&r| r);
+                    if complete {
+                        let frame = *frame;
+                        let bytes = std::mem::take(buf);
+                        self.machine
+                            .load_state(&bytes)
+                            .map_err(|e| SyncError::Snapshot(e.to_string()))?;
+                        self.frame = frame;
+                        self.sync = InputSync::new_at(self.cfg.clone(), frame);
+                        self.phase = Phase::Run(RunState::StartAt(now));
+                        continue;
+                    }
+                    if now >= *next_request {
+                        *next_request = now + JOIN_RETRY;
+                        self.transport
+                            .send(PeerId(0), &Message::SnapshotRequest.encode())?;
+                    }
+                    let deadline = match &self.phase {
+                        Phase::AwaitSnapshot { next_request, .. } => *next_request,
+                        _ => unreachable!(),
+                    };
+                    return Ok(Step::Wait(deadline));
+                }
+                Phase::Run(state) => match *state {
+                    RunState::StartAt(t) => {
+                        if now >= t {
+                            self.phase = Phase::Run(RunState::Begin);
+                            continue;
+                        }
+                        return Ok(Step::Wait(t));
+                    }
+                    RunState::Begin => {
+                        self.frame_start = now;
+                        let obs = self.sync.master_observation();
+                        self.timer
+                            .begin_frame(now, self.frame, obs.as_ref(), self.rtt.rtt());
+                        let local = self.source.sample(self.frame);
+                        self.sync.begin_frame(self.frame, local, now);
+                        if let Some(server) = self.time_server {
+                            let stamp = Message::TimeStamp {
+                                site: self.cfg.my_site,
+                                frame: self.frame,
+                            };
+                            self.transport.send(server, &stamp.encode())?;
+                        }
+                        self.phase = Phase::Run(RunState::Syncing);
+                    }
+                    RunState::Syncing => {
+                        // Non-masters probe the master for RTT (Algorithm 4
+                        // needs RTT/2).
+                        if !self.cfg.is_master() {
+                            if let Some(nonce) = self.rtt.maybe_ping(now) {
+                                self.transport
+                                    .send(PeerId(0), &Message::Ping { nonce }.encode())?;
+                            }
+                        }
+                        for (dst, msg) in self.sync.outgoing(now) {
+                            self.stats.input_messages_sent += 1;
+                            self.stats.input_frames_sent += msg.inputs.len() as u64;
+                            self.transport
+                                .send(PeerId(dst), &Message::Input(msg).encode())?;
+                        }
+                        if self.sync.ready() {
+                            if let Some(began) = self.blocked_at.take() {
+                                self.stats.note_stall(began, now);
+                            }
+                            let input = self.sync.take();
+                            self.machine.step_frame(input);
+                            let report = FrameReport {
+                                frame: self.frame,
+                                input,
+                                state_hash: self.hash_frames.then(|| self.machine.state_hash()),
+                                began_at: self.frame_start,
+                            };
+                            self.stats.frames += 1;
+                            let next_wake = match self.timer.end_frame(now) {
+                                FrameEnd::WaitUntil(t) => t,
+                                FrameEnd::Behind => {
+                                    self.stats.late_frames += 1;
+                                    now
+                                }
+                            };
+                            self.phase = Phase::Run(RunState::EndWait(next_wake));
+                            return Ok(Step::FrameDone { report, next_wake });
+                        }
+                        if self.blocked_at.is_none() {
+                            self.blocked_at = Some(now);
+                        }
+                        if let (Some(limit), Some(stalled)) =
+                            (self.cfg.stall_timeout, self.sync.stalled_for(now))
+                        {
+                            if stalled >= limit {
+                                return Err(SyncError::Stalled(stalled));
+                            }
+                        }
+                        return Ok(Step::Wait(now + self.cfg.poll_interval));
+                    }
+                    RunState::EndWait(until) => {
+                        if now >= until {
+                            self.frame += 1;
+                            self.phase = Phase::Run(RunState::Begin);
+                            continue;
+                        }
+                        return Ok(Step::Wait(until));
+                    }
+                },
+            }
+        }
+    }
+
+    fn drain_transport(&mut self, now: SimTime) -> Result<(), SyncError> {
+        while let Some((from, data)) = self.transport.try_recv()? {
+            let Ok(msg) = Message::decode(&data) else {
+                continue; // UDP noise
+            };
+            self.handle_message(from, msg, now)?;
+        }
+        Ok(())
+    }
+
+    fn handle_message(&mut self, from: PeerId, msg: Message, now: SimTime) -> Result<(), SyncError> {
+        match msg {
+            Message::Input(m) => {
+                self.stats.input_messages_received += 1;
+                self.sync.on_message(&m, now);
+            }
+            Message::Ping { nonce } => {
+                self.transport.send(from, &Message::Pong { nonce }.encode())?;
+            }
+            Message::Pong { nonce } => self.rtt.on_pong(nonce, now),
+            Message::Hello {
+                site,
+                rom_hash,
+                observer,
+            } => {
+                if rom_hash != self.rom_hash {
+                    return Err(SyncError::RomMismatch {
+                        ours: self.rom_hash,
+                        theirs: rom_hash,
+                    });
+                }
+                // Register the joiner for (re)transmission. Late joiners get
+                // a margin of history to cover pointer divergence.
+                let joined_at = self.sync.pointer().saturating_sub(JOIN_MARGIN_FRAMES);
+                self.sync.add_peer(site, joined_at);
+                if !observer && !self.joined.contains(&site) {
+                    self.joined.push(site);
+                }
+                let ack = Message::HelloAck {
+                    rom_hash: self.rom_hash,
+                    start_frame: self.sync.pointer(),
+                };
+                self.transport.send(from, &ack.encode())?;
+            }
+            Message::HelloAck {
+                rom_hash,
+                start_frame,
+            } => {
+                if rom_hash != self.rom_hash {
+                    return Err(SyncError::RomMismatch {
+                        ours: self.rom_hash,
+                        theirs: rom_hash,
+                    });
+                }
+                if let Phase::Connecting { acks, .. } = &mut self.phase {
+                    acks.insert(from.0, start_frame);
+                }
+            }
+            Message::SnapshotRequest => {
+                // Serve the current state in chunks (master only, but any
+                // player can technically serve). The snapshot frame is the
+                // next frame the machine will execute — `machine.frame()`,
+                // not the session counter, which lags by one between a
+                // frame's execution and its end-of-frame wait.
+                let state = self.machine.save_state();
+                let frame = self.machine.frame();
+                let total = state.len();
+                for (i, chunk) in state.chunks(MAX_CHUNK_BYTES).enumerate() {
+                    let m = Message::SnapshotChunk {
+                        frame,
+                        offset: (i * MAX_CHUNK_BYTES) as u32,
+                        total: total as u32,
+                        bytes: bytes::Bytes::copy_from_slice(chunk),
+                    };
+                    self.transport.send(from, &m.encode())?;
+                }
+            }
+            Message::SnapshotChunk {
+                frame,
+                offset,
+                total,
+                bytes,
+            } => {
+                if let Phase::AwaitSnapshot {
+                    frame: cur_frame,
+                    total: cur_total,
+                    buf,
+                    received,
+                    ..
+                } = &mut self.phase
+                {
+                    let total = total as usize;
+                    if *cur_total != total || *cur_frame != frame {
+                        // New (or first) snapshot generation: restart assembly.
+                        *cur_frame = frame;
+                        *cur_total = total;
+                        *buf = vec![0; total];
+                        *received = vec![false; total.div_ceil(MAX_CHUNK_BYTES)];
+                    }
+                    let offset = offset as usize;
+                    if offset + bytes.len() <= total {
+                        buf[offset..offset + bytes.len()].copy_from_slice(&bytes);
+                        let idx = offset / MAX_CHUNK_BYTES;
+                        if let Some(slot) = received.get_mut(idx) {
+                            *slot = true;
+                        }
+                    }
+                }
+            }
+            Message::Bye => {
+                self.phase = Phase::Done(StopReason::PeerLeft);
+            }
+            Message::TimeStamp { .. } => {} // only the time server consumes these
+        }
+        Ok(())
+    }
+}
+
+impl<M: Machine, T: Transport, S> std::fmt::Debug for LockstepSession<M, T, S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LockstepSession")
+            .field("site", &self.cfg.my_site)
+            .field("frame", &self.frame)
+            .field("phase", &self.phase)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input_source::{Idle, RandomPresser};
+    use coplay_clock::SimDuration;
+    use coplay_net::{loopback, LoopbackTransport};
+    use coplay_vm::{NullMachine, Player};
+
+    type Sess<S> = LockstepSession<NullMachine, LoopbackTransport, S>;
+
+    fn sessions() -> (Sess<RandomPresser>, Sess<RandomPresser>) {
+        let (ta, tb) = loopback(PeerId(0), PeerId(1));
+        let a = LockstepSession::new(
+            SyncConfig::two_player(0),
+            NullMachine::new(),
+            ta,
+            RandomPresser::new(Player::ONE, 1),
+        );
+        let b = LockstepSession::new(
+            SyncConfig::two_player(1),
+            NullMachine::new(),
+            tb,
+            RandomPresser::new(Player::TWO, 2),
+        );
+        (a, b)
+    }
+
+    /// Runs both sessions in lockstep over perfect loopback until each has
+    /// executed `frames` frames; returns the per-frame hashes of each site.
+    fn run_pair<S: InputSource>(
+        a: &mut Sess<S>,
+        b: &mut Sess<S>,
+        frames: u64,
+    ) -> (Vec<u64>, Vec<u64>) {
+        let mut now = SimTime::ZERO;
+        let mut ha = Vec::new();
+        let mut hb = Vec::new();
+        let mut guard = 0;
+        while (ha.len() as u64) < frames || (hb.len() as u64) < frames {
+            guard += 1;
+            assert!(guard < 1_000_000, "no progress after 1M ticks");
+            let mut next = now + SimDuration::from_millis(1);
+            for (sess, out) in [(&mut *a, &mut ha), (&mut *b, &mut hb)] {
+                match sess.tick(now).unwrap() {
+                    Step::Wait(t) => next = next.min(t),
+                    Step::FrameDone { report, next_wake } => {
+                        out.push(report.state_hash.unwrap());
+                        next = next.min(next_wake);
+                    }
+                    Step::Stopped(r) => panic!("unexpected stop: {r}"),
+                }
+            }
+            now = next.max(now + SimDuration::from_micros(100));
+        }
+        ha.truncate(frames as usize);
+        hb.truncate(frames as usize);
+        (ha, hb)
+    }
+
+    #[test]
+    fn two_sites_converge_over_loopback() {
+        let (mut a, mut b) = sessions();
+        let (ha, hb) = run_pair(&mut a, &mut b, 120);
+        assert_eq!(ha, hb, "replicas must produce identical state sequences");
+        // The 120th report executes frame index 119.
+        assert!(a.frame() >= 119 && b.frame() >= 119);
+    }
+
+    #[test]
+    fn frames_are_paced_at_cfps() {
+        let (mut a, mut b) = sessions();
+        let (ha, _) = run_pair(&mut a, &mut b, 60);
+        assert_eq!(ha.len(), 60);
+        assert!(a.frame() >= 59);
+    }
+
+    #[test]
+    fn rom_mismatch_is_detected_by_the_master() {
+        let (ta, tb) = loopback(PeerId(0), PeerId(1));
+        let mut modified = NullMachine::new();
+        modified.step_frame(InputWord(1)); // different "image"
+        let mut a = LockstepSession::new(
+            SyncConfig::two_player(0),
+            NullMachine::new(),
+            ta,
+            Idle,
+        );
+        let mut b = LockstepSession::new(SyncConfig::two_player(1), modified, tb, Idle);
+        let now = SimTime::ZERO;
+        let _ = b.tick(now).unwrap(); // b sends Hello with the wrong hash
+        let err = a.tick(now).unwrap_err();
+        assert!(matches!(err, SyncError::RomMismatch { .. }));
+    }
+
+    #[test]
+    fn bye_stops_the_peer() {
+        let (mut a, mut b) = sessions();
+        let _ = run_pair(&mut a, &mut b, 10);
+        a.stop().unwrap();
+        let now = SimTime::from_secs(10);
+        match b.tick(now).unwrap() {
+            Step::Stopped(StopReason::PeerLeft) => {}
+            other => panic!("expected PeerLeft, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn silent_peer_freezes_the_game_by_default() {
+        let (a, b) = sessions();
+        let mut a = a;
+        let mut b_held = b;
+        let _ = run_pair(&mut a, &mut b_held, 10);
+        // b stops ticking (stays alive so the link stays up): the paper's
+        // behaviour is that a freezes in SyncInput, waiting forever.
+        let mut waits = 0;
+        let mut now = SimTime::from_secs(2);
+        for i in 0..50u64 {
+            now += SimDuration::from_millis(10 + i);
+            match a.tick(now) {
+                Ok(Step::Wait(_)) => waits += 1,
+                Ok(Step::FrameDone { .. }) => {} // drains in-flight frames
+                other => panic!("unexpected: {other:?}"),
+            }
+        }
+        assert!(waits > 10, "paper behaviour: freeze, waiting forever");
+    }
+
+    #[test]
+    fn stall_timeout_errors_when_configured() {
+        let (ta, tb) = loopback(PeerId(0), PeerId(1));
+        let mut cfg0 = SyncConfig::two_player(0);
+        cfg0.stall_timeout = Some(SimDuration::from_millis(500));
+        let mut a = LockstepSession::new(cfg0, NullMachine::new(), ta, Idle);
+        let mut b = LockstepSession::new(
+            SyncConfig::two_player(1),
+            NullMachine::new(),
+            tb,
+            Idle,
+        );
+        let _ = run_pair(&mut a, &mut b, 10);
+        let _b_alive_but_silent = b;
+        // Keep ticking: a blocks in SyncInput, then errors out.
+        let mut now = SimTime::from_secs(5);
+        let err = loop {
+            match a.tick(now) {
+                Ok(_) => now += SimDuration::from_millis(50),
+                Err(e) => break e,
+            }
+            assert!(now < SimTime::from_secs(30), "never stalled out");
+        };
+        assert!(matches!(err, SyncError::Stalled(_)));
+    }
+}

@@ -1,0 +1,258 @@
+//! The paper's `IBuf`: per-frame partial inputs from every site.
+//!
+//! Algorithm 2 assumes "a buffer of unlimited size … for simplicity in
+//! presentation"; this implementation is a growable ring with an explicit
+//! base so delivered-and-acknowledged frames can be pruned, giving bounded
+//! memory on long sessions without changing the algorithm's semantics.
+
+use std::collections::VecDeque;
+
+use coplay_vm::{InputWord, PortMap};
+
+const MAX_SITES: usize = 4;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Slot {
+    partial: [InputWord; MAX_SITES],
+    received: u8, // bit k set = site k's partial present
+}
+
+/// Frame-indexed storage of partial inputs (`IBuf[f](SET[k])`).
+///
+/// # Examples
+///
+/// ```
+/// use coplay_sync::InputBuffer;
+/// use coplay_vm::{InputWord, PortMap};
+///
+/// let mut buf = InputBuffer::new(2);
+/// buf.set_partial(6, 0, InputWord(0x01));
+/// buf.set_partial(6, 1, InputWord(0x0200));
+/// assert!(buf.has(6, 0) && buf.has(6, 1));
+/// assert_eq!(buf.merged(6, &PortMap::two_player()), InputWord(0x0201));
+/// ```
+#[derive(Debug, Clone)]
+pub struct InputBuffer {
+    base: u64,
+    slots: VecDeque<Slot>,
+    num_sites: u8,
+}
+
+impl InputBuffer {
+    /// Creates an empty buffer for `num_sites` player sites.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_sites` is 0 or exceeds 4.
+    pub fn new(num_sites: u8) -> InputBuffer {
+        assert!(
+            (1..=MAX_SITES as u8).contains(&num_sites),
+            "1-{MAX_SITES} sites supported"
+        );
+        InputBuffer {
+            base: 0,
+            slots: VecDeque::new(),
+            num_sites,
+        }
+    }
+
+    /// Lowest frame still stored.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Number of frames currently stored.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` if no frames are stored.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    fn slot_mut(&mut self, frame: u64) -> Option<&mut Slot> {
+        if frame < self.base {
+            return None; // pruned: a stale duplicate — ignore
+        }
+        let idx = (frame - self.base) as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, Slot::default());
+        }
+        Some(&mut self.slots[idx])
+    }
+
+    fn slot(&self, frame: u64) -> Option<&Slot> {
+        if frame < self.base {
+            return None;
+        }
+        self.slots.get((frame - self.base) as usize)
+    }
+
+    /// Stores `site`'s partial input for `frame`. Duplicates are ignored
+    /// (Algorithm 2 line 13: "only one copy of them will be kept").
+    ///
+    /// Returns `true` if the partial was newly recorded.
+    pub fn set_partial(&mut self, frame: u64, site: u8, word: InputWord) -> bool {
+        debug_assert!(site < self.num_sites);
+        let Some(slot) = self.slot_mut(frame) else {
+            return false;
+        };
+        let bit = 1u8 << site;
+        if slot.received & bit != 0 {
+            return false;
+        }
+        slot.partial[site as usize] = word;
+        slot.received |= bit;
+        true
+    }
+
+    /// `true` once `site`'s partial for `frame` has been received.
+    /// Pruned frames count as received (they were delivered already).
+    pub fn has(&self, frame: u64, site: u8) -> bool {
+        if frame < self.base {
+            return true;
+        }
+        self.slot(frame)
+            .is_some_and(|s| s.received & (1 << site) != 0)
+    }
+
+    /// `true` once every player site's partial for `frame` is present.
+    pub fn complete(&self, frame: u64) -> bool {
+        (0..self.num_sites).all(|s| self.has(frame, s))
+    }
+
+    /// `site`'s stored partial for `frame` (zero if absent or pruned).
+    pub fn partial(&self, frame: u64, site: u8) -> InputWord {
+        self.slot(frame)
+            .map(|s| s.partial[site as usize])
+            .unwrap_or(InputWord::NONE)
+    }
+
+    /// The combined input for `frame`: every site's partial masked by its
+    /// `SET[k]` and merged; unowned bits (`SET[-1]`) are dropped.
+    pub fn merged(&self, frame: u64, map: &PortMap) -> InputWord {
+        map.merge((0..self.num_sites).map(|s| (s, self.partial(frame, s))))
+    }
+
+    /// Copies `site`'s partials for `frames` (used to build retransmission
+    /// payloads). Absent frames yield zero words.
+    pub fn partial_range(&self, site: u8, frames: std::ops::RangeInclusive<u64>) -> Vec<InputWord> {
+        frames.map(|f| self.partial(f, site)).collect()
+    }
+
+    /// Drops storage for all frames strictly below `frame`.
+    ///
+    /// Call only with frames that are both delivered locally and
+    /// acknowledged by every peer; [`InputBuffer::has`] treats pruned
+    /// frames as received.
+    pub fn prune_below(&mut self, frame: u64) {
+        while self.base < frame && !self.slots.is_empty() {
+            self.slots.pop_front();
+            self.base += 1;
+        }
+        if self.slots.is_empty() && self.base < frame {
+            self.base = frame;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stores_and_merges_partials() {
+        let map = PortMap::two_player();
+        let mut buf = InputBuffer::new(2);
+        assert!(!buf.complete(0));
+        buf.set_partial(0, 0, InputWord(0x0000_0011));
+        assert!(!buf.complete(0));
+        buf.set_partial(0, 1, InputWord(0x0000_2200));
+        assert!(buf.complete(0));
+        assert_eq!(buf.merged(0, &map), InputWord(0x0000_2211));
+    }
+
+    #[test]
+    fn merge_strips_bits_outside_each_sites_set() {
+        let map = PortMap::two_player();
+        let mut buf = InputBuffer::new(2);
+        // Site 0 illegally claims site 1's byte; merge must strip it.
+        buf.set_partial(0, 0, InputWord(0x0000_FF11));
+        buf.set_partial(0, 1, InputWord(0x0000_2200));
+        assert_eq!(buf.merged(0, &map), InputWord(0x0000_2211));
+    }
+
+    #[test]
+    fn duplicates_are_ignored() {
+        let mut buf = InputBuffer::new(2);
+        assert!(buf.set_partial(3, 0, InputWord(1)));
+        assert!(!buf.set_partial(3, 0, InputWord(2)), "duplicate rejected");
+        assert_eq!(buf.partial(3, 0), InputWord(1), "first copy kept");
+    }
+
+    #[test]
+    fn grows_on_demand_and_reads_zero_for_absent() {
+        let mut buf = InputBuffer::new(2);
+        buf.set_partial(100, 1, InputWord(5));
+        assert_eq!(buf.len(), 101);
+        assert_eq!(buf.partial(50, 0), InputWord::NONE);
+        assert!(!buf.has(50, 0));
+        assert!(buf.has(100, 1));
+    }
+
+    #[test]
+    fn prune_drops_old_frames_and_treats_them_received() {
+        let mut buf = InputBuffer::new(2);
+        for f in 0..10 {
+            buf.set_partial(f, 0, InputWord(f as u32));
+            buf.set_partial(f, 1, InputWord(f as u32));
+        }
+        buf.prune_below(5);
+        assert_eq!(buf.base(), 5);
+        assert_eq!(buf.len(), 5);
+        assert!(buf.has(2, 0), "pruned counts as received");
+        assert_eq!(buf.partial(2, 0), InputWord::NONE);
+        assert_eq!(buf.partial(7, 0), InputWord(7));
+        // Stale duplicate for a pruned frame is ignored, not stored.
+        assert!(!buf.set_partial(2, 0, InputWord(9)));
+    }
+
+    #[test]
+    fn prune_past_everything_moves_base() {
+        let mut buf = InputBuffer::new(2);
+        buf.set_partial(0, 0, InputWord(1));
+        buf.prune_below(100);
+        assert_eq!(buf.base(), 100);
+        assert!(buf.is_empty());
+        buf.set_partial(100, 0, InputWord(2));
+        assert_eq!(buf.partial(100, 0), InputWord(2));
+    }
+
+    #[test]
+    fn partial_range_builds_payloads() {
+        let mut buf = InputBuffer::new(2);
+        buf.set_partial(5, 0, InputWord(50));
+        buf.set_partial(7, 0, InputWord(70));
+        assert_eq!(
+            buf.partial_range(0, 5..=7),
+            vec![InputWord(50), InputWord::NONE, InputWord(70)]
+        );
+    }
+
+    #[test]
+    fn four_site_completeness() {
+        let mut buf = InputBuffer::new(4);
+        for s in 0..4 {
+            assert!(!buf.complete(0));
+            buf.set_partial(0, s, InputWord(1 << (8 * s)));
+        }
+        assert!(buf.complete(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "sites supported")]
+    fn rejects_zero_sites() {
+        let _ = InputBuffer::new(0);
+    }
+}

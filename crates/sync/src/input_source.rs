@@ -1,0 +1,153 @@
+//! Sources of local player input (`GetInput()` in Algorithm 1).
+
+use coplay_vm::{InputWord, Player};
+
+/// Supplies the local input for each frame.
+///
+/// Implemented by closures (`FnMut(u64) -> InputWord`), by [`Scripted`]
+/// traces, and by [`RandomPresser`] (the seeded stand-in for a human player
+/// used in the experiments).
+pub trait InputSource {
+    /// The local input sampled at the beginning of `frame`.
+    fn sample(&mut self, frame: u64) -> InputWord;
+}
+
+impl<F: FnMut(u64) -> InputWord> InputSource for F {
+    fn sample(&mut self, frame: u64) -> InputWord {
+        self(frame)
+    }
+}
+
+/// A source that never presses anything.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Idle;
+
+impl InputSource for Idle {
+    fn sample(&mut self, _frame: u64) -> InputWord {
+        InputWord::NONE
+    }
+}
+
+/// Replays a recorded input trace; frames beyond the trace are idle.
+#[derive(Debug, Clone, Default)]
+pub struct Scripted {
+    trace: Vec<InputWord>,
+}
+
+impl Scripted {
+    /// Wraps a recorded trace.
+    pub fn new(trace: Vec<InputWord>) -> Scripted {
+        Scripted { trace }
+    }
+}
+
+impl InputSource for Scripted {
+    fn sample(&mut self, frame: u64) -> InputWord {
+        self.trace
+            .get(frame as usize)
+            .copied()
+            .unwrap_or(InputWord::NONE)
+    }
+}
+
+/// A deterministic random button-masher: holds a random button combination
+/// for a few frames, then picks another — statistically similar to a human
+/// hammering a joystick, and exactly reproducible from its seed.
+#[derive(Debug, Clone)]
+pub struct RandomPresser {
+    player: Player,
+    state: u64,
+    held: u8,
+    frames_left: u8,
+}
+
+impl RandomPresser {
+    /// Creates a masher for `player`'s buttons, seeded with `seed`.
+    pub fn new(player: Player, seed: u64) -> RandomPresser {
+        // splitmix64 scrambles the seed so nearby seeds give unrelated
+        // streams (and the xorshift state is never zero).
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        RandomPresser {
+            player,
+            state: z | 1,
+            held: 0,
+            frames_left: 0,
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        // xorshift64*: deterministic, platform-independent.
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+impl InputSource for RandomPresser {
+    fn sample(&mut self, _frame: u64) -> InputWord {
+        if self.frames_left == 0 {
+            let r = self.next();
+            self.held = (r & 0x3F) as u8; // direction + A/B bits only
+            self.frames_left = 2 + ((r >> 8) % 10) as u8; // hold 2-11 frames
+        }
+        self.frames_left -= 1;
+        InputWord::for_player(self.player, self.held)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_never_presses() {
+        let mut s = Idle;
+        assert_eq!(s.sample(0), InputWord::NONE);
+        assert_eq!(s.sample(999), InputWord::NONE);
+    }
+
+    #[test]
+    fn scripted_replays_then_idles() {
+        let mut s = Scripted::new(vec![InputWord(1), InputWord(2)]);
+        assert_eq!(s.sample(0), InputWord(1));
+        assert_eq!(s.sample(1), InputWord(2));
+        assert_eq!(s.sample(2), InputWord::NONE);
+    }
+
+    #[test]
+    fn closures_are_sources() {
+        let mut s = |f: u64| InputWord(f as u32);
+        assert_eq!(InputSource::sample(&mut s, 7), InputWord(7));
+    }
+
+    #[test]
+    fn random_presser_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut s = RandomPresser::new(Player::TWO, seed);
+            (0..200).map(|f| s.sample(f)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn random_presser_stays_on_its_player() {
+        let mut s = RandomPresser::new(Player::TWO, 7);
+        for f in 0..500 {
+            let w = s.sample(f);
+            assert_eq!(w.0 & !0x0000_FF00, 0, "frame {f}: foreign bits in {w}");
+        }
+    }
+
+    #[test]
+    fn random_presser_actually_presses() {
+        let mut s = RandomPresser::new(Player::ONE, 7);
+        assert!((0..100).any(|f| s.sample(f) != InputWord::NONE));
+    }
+}

@@ -1,0 +1,128 @@
+//! A wall-clock runner for live play.
+//!
+//! Drives a [`LockstepSession`] against real time and a real transport
+//! (UDP or loopback). This is the deployment shape of the paper's system:
+//! the same sans-io session code the simulator benchmarks, attached to the
+//! operating system's clock and sockets.
+
+use std::time::Duration;
+
+use coplay_clock::{Clock, SimDuration, SimTime, SystemClock};
+use coplay_net::Transport;
+use coplay_vm::Machine;
+
+use crate::driver::{FrameReport, LockstepSession, Step};
+use crate::error::{StopReason, SyncError};
+use crate::input_source::InputSource;
+
+/// Result of [`run_realtime`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The frame budget was reached.
+    FrameLimit,
+    /// The session stopped (peer left or local quit).
+    Stopped(StopReason),
+}
+
+/// Runs `session` against the OS clock until `max_frames` frames have
+/// executed, invoking `on_frame` after each frame (for rendering).
+///
+/// The loop sleeps in sub-millisecond slices while waiting so arriving
+/// datagrams are noticed promptly — the spirit of Algorithm 2's poll loop.
+///
+/// # Errors
+///
+/// Propagates any [`SyncError`] from the session (transport failure, game
+/// image mismatch, stall timeout).
+///
+/// # Examples
+///
+/// See `examples/lan_duel.rs`, which runs two sessions over real UDP.
+pub fn run_realtime<M, T, S, F>(
+    mut session: LockstepSession<M, T, S>,
+    max_frames: u64,
+    mut on_frame: F,
+) -> Result<(RunOutcome, LockstepSession<M, T, S>), SyncError>
+where
+    M: Machine,
+    T: Transport,
+    S: InputSource,
+    F: FnMut(&FrameReport, &M),
+{
+    let clock = SystemClock::new();
+    let mut frames = 0u64;
+    loop {
+        let now = clock.now();
+        match session.tick(now)? {
+            Step::FrameDone { report, .. } => {
+                on_frame(&report, session.machine());
+                frames += 1;
+                if frames >= max_frames {
+                    return Ok((RunOutcome::FrameLimit, session));
+                }
+            }
+            Step::Wait(until) => {
+                sleep_until(&clock, until);
+            }
+            Step::Stopped(reason) => return Ok((RunOutcome::Stopped(reason), session)),
+        }
+    }
+}
+
+/// Sleeps toward `until` in short slices (capped at 1 ms) so socket traffic
+/// is polled frequently.
+fn sleep_until(clock: &SystemClock, until: SimTime) {
+    let now = clock.now();
+    if until <= now {
+        return;
+    }
+    let remaining = (until - now).min(SimDuration::from_millis(1));
+    std::thread::sleep(Duration::from_micros(remaining.as_micros().max(50)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SyncConfig;
+    use crate::input_source::RandomPresser;
+    use coplay_net::{loopback, PeerId};
+    use coplay_vm::{NullMachine, Player};
+
+    #[test]
+    fn realtime_pair_converges_over_threads() {
+        let (ta, tb) = loopback(PeerId(0), PeerId(1));
+        let mut cfg0 = SyncConfig::two_player(0);
+        let mut cfg1 = SyncConfig::two_player(1);
+        // Speed the test up: 240fps equivalent pacing.
+        cfg0.cfps = 240;
+        cfg1.cfps = 240;
+        let a = LockstepSession::new(
+            cfg0,
+            NullMachine::new(),
+            ta,
+            RandomPresser::new(Player::ONE, 11),
+        );
+        let b = LockstepSession::new(
+            cfg1,
+            NullMachine::new(),
+            tb,
+            RandomPresser::new(Player::TWO, 22),
+        );
+
+        let ja = std::thread::spawn(move || {
+            let mut hashes = Vec::new();
+            let r = run_realtime(a, 60, |rep, _| hashes.push(rep.state_hash.unwrap()));
+            (r.map(|(o, _)| o), hashes)
+        });
+        let jb = std::thread::spawn(move || {
+            let mut hashes = Vec::new();
+            let r = run_realtime(b, 60, |rep, _| hashes.push(rep.state_hash.unwrap()));
+            (r.map(|(o, _)| o), hashes)
+        });
+        let (ra, ha) = ja.join().unwrap();
+        let (rb, hb) = jb.join().unwrap();
+        assert_eq!(ra.unwrap(), RunOutcome::FrameLimit);
+        assert_eq!(rb.unwrap(), RunOutcome::FrameLimit);
+        assert_eq!(ha, hb, "real-time replicas diverged");
+    }
+}

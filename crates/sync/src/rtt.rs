@@ -1,0 +1,173 @@
+//! Round-trip time estimation.
+//!
+//! Algorithm 4 needs `RTT/2` to turn `MasterRcvTime` into an estimate of
+//! when the master actually sent its message. The estimator runs a periodic
+//! ping/pong exchange and keeps a TCP-style exponentially weighted moving
+//! average (gain 1/8).
+
+use std::collections::HashMap;
+
+use coplay_clock::{SimDuration, SimTime};
+
+/// Default interval between probes.
+pub const DEFAULT_PING_INTERVAL: SimDuration = SimDuration::from_millis(500);
+
+/// Cap on outstanding (unanswered) probes kept for matching.
+const MAX_OUTSTANDING: usize = 32;
+
+/// A ping/pong RTT estimator with an EWMA filter.
+///
+/// # Examples
+///
+/// ```
+/// use coplay_clock::{SimDuration, SimTime};
+/// use coplay_sync::RttEstimator;
+///
+/// let mut est = RttEstimator::new(SimDuration::from_millis(500));
+/// let t0 = SimTime::from_secs(1);
+/// let nonce = est.maybe_ping(t0).expect("first probe fires immediately");
+/// est.on_pong(nonce, t0 + SimDuration::from_millis(80));
+/// assert_eq!(est.rtt(), SimDuration::from_millis(80));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RttEstimator {
+    interval: SimDuration,
+    srtt: Option<SimDuration>,
+    outstanding: HashMap<u32, SimTime>,
+    next_nonce: u32,
+    next_ping: SimTime,
+}
+
+impl RttEstimator {
+    /// Creates an estimator probing every `interval`.
+    pub fn new(interval: SimDuration) -> RttEstimator {
+        RttEstimator {
+            interval,
+            srtt: None,
+            outstanding: HashMap::new(),
+            next_nonce: 1,
+            next_ping: SimTime::ZERO,
+        }
+    }
+
+    /// The smoothed round-trip estimate; zero until the first pong.
+    pub fn rtt(&self) -> SimDuration {
+        self.srtt.unwrap_or(SimDuration::ZERO)
+    }
+
+    /// `true` once at least one pong has been matched.
+    pub fn has_sample(&self) -> bool {
+        self.srtt.is_some()
+    }
+
+    /// If a probe is due, registers it and returns its nonce for the caller
+    /// to put in a `Ping` message.
+    pub fn maybe_ping(&mut self, now: SimTime) -> Option<u32> {
+        if now < self.next_ping {
+            return None;
+        }
+        if self.outstanding.len() >= MAX_OUTSTANDING {
+            // Forget the backlog (peer unreachable); keep probing afresh.
+            self.outstanding.clear();
+        }
+        let nonce = self.next_nonce;
+        self.next_nonce = self.next_nonce.wrapping_add(1).max(1);
+        self.outstanding.insert(nonce, now);
+        self.next_ping = now + self.interval;
+        Some(nonce)
+    }
+
+    /// Matches a pong and folds the sample into the EWMA. Unknown nonces
+    /// (forged or duplicated pongs) are ignored.
+    pub fn on_pong(&mut self, nonce: u32, now: SimTime) {
+        let Some(sent) = self.outstanding.remove(&nonce) else {
+            return;
+        };
+        let sample = now.saturating_since(sent);
+        self.srtt = Some(match self.srtt {
+            None => sample,
+            // srtt += (sample - srtt) / 8, in integer microseconds.
+            Some(srtt) => {
+                let s = srtt.as_micros() as i64;
+                let m = sample.as_micros() as i64;
+                SimDuration::from_micros((s + (m - s) / 8).max(0) as u64)
+            }
+        });
+    }
+}
+
+impl Default for RttEstimator {
+    fn default() -> Self {
+        RttEstimator::new(DEFAULT_PING_INTERVAL)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn first_sample_sets_estimate() {
+        let mut e = RttEstimator::default();
+        assert!(!e.has_sample());
+        assert_eq!(e.rtt(), SimDuration::ZERO);
+        let n = e.maybe_ping(SimTime::ZERO).unwrap();
+        e.on_pong(n, SimTime::from_millis(140));
+        assert_eq!(e.rtt(), ms(140));
+    }
+
+    #[test]
+    fn probes_are_paced() {
+        let mut e = RttEstimator::new(ms(500));
+        assert!(e.maybe_ping(SimTime::ZERO).is_some());
+        assert!(e.maybe_ping(SimTime::from_millis(499)).is_none());
+        assert!(e.maybe_ping(SimTime::from_millis(500)).is_some());
+    }
+
+    #[test]
+    fn ewma_converges_toward_new_conditions() {
+        let mut e = RttEstimator::new(ms(1));
+        let mut t = SimTime::ZERO;
+        // Stable 100ms link.
+        for _ in 0..20 {
+            let n = e.maybe_ping(t).unwrap();
+            e.on_pong(n, t + ms(100));
+            t += ms(1000);
+        }
+        assert_eq!(e.rtt(), ms(100));
+        // Link degrades to 200ms; estimate moves toward it.
+        for _ in 0..40 {
+            let n = e.maybe_ping(t).unwrap();
+            e.on_pong(n, t + ms(200));
+            t += ms(1000);
+        }
+        let rtt = e.rtt();
+        assert!(rtt > ms(190) && rtt <= ms(200), "rtt={rtt}");
+    }
+
+    #[test]
+    fn unknown_and_duplicate_pongs_ignored() {
+        let mut e = RttEstimator::default();
+        e.on_pong(999, SimTime::from_secs(1));
+        assert!(!e.has_sample());
+        let n = e.maybe_ping(SimTime::ZERO).unwrap();
+        e.on_pong(n, SimTime::from_millis(50));
+        e.on_pong(n, SimTime::from_millis(900)); // duplicate: ignored
+        assert_eq!(e.rtt(), ms(50));
+    }
+
+    #[test]
+    fn outstanding_backlog_is_bounded() {
+        let mut e = RttEstimator::new(SimDuration::from_micros(1));
+        let mut t = SimTime::ZERO;
+        for _ in 0..100 {
+            let _ = e.maybe_ping(t);
+            t += ms(1);
+        }
+        assert!(e.outstanding.len() <= MAX_OUTSTANDING);
+    }
+}

@@ -1,0 +1,103 @@
+//! Session observability: the counters an operator of a netplay service
+//! would watch.
+//!
+//! The paper reports its metrics from an external time server; a production
+//! deployment also needs *in-band* numbers. [`SessionStats`] accumulates
+//! them inside the driver with no protocol impact.
+
+use coplay_clock::{SimDuration, SimTime};
+
+/// Running counters for one site of a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionStats {
+    /// Frames executed.
+    pub frames: u64,
+    /// Input messages sent (including retransmissions).
+    pub input_messages_sent: u64,
+    /// Input messages received (including duplicates).
+    pub input_messages_received: u64,
+    /// Input-frame payload words sent (≥ frames when retransmitting).
+    pub input_frames_sent: u64,
+    /// Frames on which `SyncInput` blocked at least one poll interval.
+    pub stalled_frames: u64,
+    /// Total time spent blocked in `SyncInput`.
+    pub stall_total: SimDuration,
+    /// Longest single `SyncInput` blockage.
+    pub stall_max: SimDuration,
+    /// Frames that finished late (Algorithm 3 took the `Behind` branch).
+    pub late_frames: u64,
+}
+
+impl SessionStats {
+    /// Retransmission overhead: payload frames sent beyond one per executed
+    /// frame, as a fraction of executed frames. Zero on a perfect link.
+    pub fn retransmission_ratio(&self) -> f64 {
+        if self.frames == 0 {
+            return 0.0;
+        }
+        let extra = self.input_frames_sent.saturating_sub(self.frames);
+        extra as f64 / self.frames as f64
+    }
+
+    /// Fraction of frames that stalled waiting for remote input.
+    pub fn stall_ratio(&self) -> f64 {
+        if self.frames == 0 {
+            return 0.0;
+        }
+        self.stalled_frames as f64 / self.frames as f64
+    }
+
+    pub(crate) fn note_stall(&mut self, began: SimTime, ended: SimTime) {
+        let d = ended.saturating_since(began);
+        if d > SimDuration::ZERO {
+            self.stalled_frames += 1;
+            self.stall_total += d;
+            self.stall_max = self.stall_max.max(d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_on_empty_stats_are_zero() {
+        let s = SessionStats::default();
+        assert_eq!(s.retransmission_ratio(), 0.0);
+        assert_eq!(s.stall_ratio(), 0.0);
+    }
+
+    #[test]
+    fn retransmission_ratio_counts_extra_payload() {
+        let s = SessionStats {
+            frames: 100,
+            input_frames_sent: 150,
+            ..SessionStats::default()
+        };
+        assert!((s.retransmission_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn note_stall_tracks_total_and_max() {
+        let mut s = SessionStats::default();
+        s.note_stall(SimTime::from_millis(10), SimTime::from_millis(30));
+        s.note_stall(SimTime::from_millis(50), SimTime::from_millis(55));
+        assert_eq!(s.stalled_frames, 2);
+        assert_eq!(s.stall_total, SimDuration::from_millis(25));
+        assert_eq!(s.stall_max, SimDuration::from_millis(20));
+        // Zero-length stalls are not stalls.
+        s.note_stall(SimTime::from_millis(60), SimTime::from_millis(60));
+        assert_eq!(s.stalled_frames, 2);
+    }
+
+    #[test]
+    fn stall_ratio() {
+        let mut s = SessionStats {
+            frames: 10,
+            ..SessionStats::default()
+        };
+        s.note_stall(SimTime::ZERO, SimTime::from_millis(5));
+        assert!((s.stall_ratio() - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,446 @@
+//! The UDP wire protocol.
+//!
+//! §3.1: "like in many other realtime applications, we resort to UDP and
+//! implement some of the reliability mechanisms in TCP." Every datagram
+//! carries one [`Message`]. The input message is the paper's `sd` vector:
+//!
+//! * `sd[0]` → [`InputMsg::ack`] — cumulative ack of the *receiver's*
+//!   partial inputs (`LastRcvFrame[RmSiteNo]`),
+//! * `sd[1]` → [`InputMsg::first`] — first frame carried
+//!   (`LastAckFrame[RmSiteNo] + 1`),
+//! * `sd[2]` → `first + inputs.len() - 1` — last frame carried
+//!   (`LastRcvFrame[MySiteNo]`),
+//! * `sd[3…]` → [`InputMsg::inputs`] — the sender's partial input words.
+//!
+//! The format is hand-rolled, versioned, and length-checked: exactly what a
+//! production netplay protocol needs, with no serialization framework to
+//! obscure it.
+
+use std::error::Error;
+use std::fmt;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use coplay_vm::InputWord;
+
+/// Protocol magic (1 byte) and version (1 byte).
+const MAGIC: u8 = 0xC5;
+const VERSION: u8 = 1;
+
+/// Hard cap on input words per message; bounds allocation on receive.
+pub const MAX_INPUTS_PER_MSG: usize = 1024;
+
+/// Hard cap on snapshot chunk payload (fits one UDP datagram comfortably).
+pub const MAX_CHUNK_BYTES: usize = 1024;
+
+/// A lockstep input batch (the paper's `sd` message).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InputMsg {
+    /// Sender's site number.
+    pub from: u8,
+    /// `sd[0]`: the sender has received all of *the destination's* partial
+    /// inputs up to and including this frame.
+    pub ack: u64,
+    /// `sd[1]`: frame number of `inputs[0]`.
+    pub first: u64,
+    /// `sd[3…]`: the sender's partial input words for frames
+    /// `first .. first + inputs.len()`.
+    pub inputs: Vec<InputWord>,
+}
+
+impl InputMsg {
+    /// `sd[2]`: the last frame carried, or `first - 1` when empty (pure ack).
+    pub fn last(&self) -> u64 {
+        (self.first + self.inputs.len() as u64).saturating_sub(1)
+    }
+}
+
+/// Session-control and measurement messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// Input batch (the protocol's workhorse).
+    Input(InputMsg),
+    /// Join request: "I am site `site`, my game image hashes to `rom_hash`".
+    Hello {
+        /// Sender's site number.
+        site: u8,
+        /// Hash of the sender's game image.
+        rom_hash: u64,
+        /// `true` if the sender wants to watch, not play.
+        observer: bool,
+    },
+    /// Host's accept; the receiver may start its frame loop on receipt.
+    HelloAck {
+        /// Hash of the host's game image (receiver re-verifies).
+        rom_hash: u64,
+        /// Frame at which the newcomer joins (0 for a fresh session).
+        start_frame: u64,
+    },
+    /// RTT probe.
+    Ping {
+        /// Echoed verbatim in the matching [`Message::Pong`].
+        nonce: u32,
+    },
+    /// RTT probe response.
+    Pong {
+        /// Copied from the probe.
+        nonce: u32,
+    },
+    /// Latecomer support: ask the host for a state snapshot.
+    SnapshotRequest,
+    /// One chunk of a machine snapshot (latecomer join).
+    SnapshotChunk {
+        /// Frame the snapshot was taken at.
+        frame: u64,
+        /// Byte offset of this chunk.
+        offset: u32,
+        /// Total snapshot size in bytes.
+        total: u32,
+        /// The chunk payload.
+        bytes: Bytes,
+    },
+    /// Orderly goodbye (peer quit; the paper's system would freeze instead).
+    Bye,
+    /// A frame-begin stamp for the measurement time server (§4).
+    TimeStamp {
+        /// Stamping site.
+        site: u8,
+        /// The frame that just began.
+        frame: u64,
+    },
+}
+
+/// Errors decoding a datagram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Datagram shorter than its advertised contents.
+    Truncated,
+    /// Wrong magic byte (not a coplay datagram).
+    BadMagic,
+    /// Protocol version mismatch.
+    BadVersion(u8),
+    /// Unknown message type byte.
+    UnknownType(u8),
+    /// A length field exceeds its hard cap.
+    TooLarge,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "datagram truncated"),
+            WireError::BadMagic => write!(f, "bad magic byte"),
+            WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::UnknownType(t) => write!(f, "unknown message type {t}"),
+            WireError::TooLarge => write!(f, "length field exceeds protocol cap"),
+        }
+    }
+}
+
+impl Error for WireError {}
+
+mod ty {
+    pub const INPUT: u8 = 1;
+    pub const HELLO: u8 = 2;
+    pub const HELLO_ACK: u8 = 3;
+    pub const PING: u8 = 4;
+    pub const PONG: u8 = 5;
+    pub const SNAPSHOT_REQUEST: u8 = 6;
+    pub const SNAPSHOT_CHUNK: u8 = 7;
+    pub const BYE: u8 = 8;
+    pub const TIME_STAMP: u8 = 9;
+}
+
+impl Message {
+    /// Encodes the message into a fresh datagram payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = BytesMut::with_capacity(64);
+        b.put_u8(MAGIC);
+        b.put_u8(VERSION);
+        match self {
+            Message::Input(m) => {
+                b.put_u8(ty::INPUT);
+                b.put_u8(m.from);
+                b.put_u64_le(m.ack);
+                b.put_u64_le(m.first);
+                b.put_u16_le(m.inputs.len() as u16);
+                for w in &m.inputs {
+                    b.put_u32_le(w.0);
+                }
+            }
+            Message::Hello {
+                site,
+                rom_hash,
+                observer,
+            } => {
+                b.put_u8(ty::HELLO);
+                b.put_u8(*site);
+                b.put_u64_le(*rom_hash);
+                b.put_u8(*observer as u8);
+            }
+            Message::HelloAck {
+                rom_hash,
+                start_frame,
+            } => {
+                b.put_u8(ty::HELLO_ACK);
+                b.put_u64_le(*rom_hash);
+                b.put_u64_le(*start_frame);
+            }
+            Message::Ping { nonce } => {
+                b.put_u8(ty::PING);
+                b.put_u32_le(*nonce);
+            }
+            Message::Pong { nonce } => {
+                b.put_u8(ty::PONG);
+                b.put_u32_le(*nonce);
+            }
+            Message::SnapshotRequest => b.put_u8(ty::SNAPSHOT_REQUEST),
+            Message::SnapshotChunk {
+                frame,
+                offset,
+                total,
+                bytes,
+            } => {
+                b.put_u8(ty::SNAPSHOT_CHUNK);
+                b.put_u64_le(*frame);
+                b.put_u32_le(*offset);
+                b.put_u32_le(*total);
+                b.put_u16_le(bytes.len() as u16);
+                b.put_slice(bytes);
+            }
+            Message::Bye => b.put_u8(ty::BYE),
+            Message::TimeStamp { site, frame } => {
+                b.put_u8(ty::TIME_STAMP);
+                b.put_u8(*site);
+                b.put_u64_le(*frame);
+            }
+        }
+        b.to_vec()
+    }
+
+    /// Decodes one datagram.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] for short, foreign, or oversized datagrams —
+    /// a UDP port receives arbitrary bytes, so decoding must never panic.
+    pub fn decode(data: &[u8]) -> Result<Message, WireError> {
+        let mut b = data;
+        if b.remaining() < 3 {
+            return Err(WireError::Truncated);
+        }
+        if b.get_u8() != MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        let version = b.get_u8();
+        if version != VERSION {
+            return Err(WireError::BadVersion(version));
+        }
+        let t = b.get_u8();
+        macro_rules! need {
+            ($n:expr) => {
+                if b.remaining() < $n {
+                    return Err(WireError::Truncated);
+                }
+            };
+        }
+        Ok(match t {
+            ty::INPUT => {
+                need!(1 + 8 + 8 + 2);
+                let from = b.get_u8();
+                let ack = b.get_u64_le();
+                let first = b.get_u64_le();
+                let n = b.get_u16_le() as usize;
+                if n > MAX_INPUTS_PER_MSG {
+                    return Err(WireError::TooLarge);
+                }
+                need!(n * 4);
+                let mut inputs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    inputs.push(InputWord(b.get_u32_le()));
+                }
+                Message::Input(InputMsg {
+                    from,
+                    ack,
+                    first,
+                    inputs,
+                })
+            }
+            ty::HELLO => {
+                need!(1 + 8 + 1);
+                let site = b.get_u8();
+                let rom_hash = b.get_u64_le();
+                let observer = b.get_u8() != 0;
+                Message::Hello {
+                    site,
+                    rom_hash,
+                    observer,
+                }
+            }
+            ty::HELLO_ACK => {
+                need!(8 + 8);
+                Message::HelloAck {
+                    rom_hash: b.get_u64_le(),
+                    start_frame: b.get_u64_le(),
+                }
+            }
+            ty::PING => {
+                need!(4);
+                Message::Ping {
+                    nonce: b.get_u32_le(),
+                }
+            }
+            ty::PONG => {
+                need!(4);
+                Message::Pong {
+                    nonce: b.get_u32_le(),
+                }
+            }
+            ty::SNAPSHOT_REQUEST => Message::SnapshotRequest,
+            ty::SNAPSHOT_CHUNK => {
+                need!(8 + 4 + 4 + 2);
+                let frame = b.get_u64_le();
+                let offset = b.get_u32_le();
+                let total = b.get_u32_le();
+                let n = b.get_u16_le() as usize;
+                if n > MAX_CHUNK_BYTES {
+                    return Err(WireError::TooLarge);
+                }
+                need!(n);
+                let bytes = Bytes::copy_from_slice(&b[..n]);
+                Message::SnapshotChunk {
+                    frame,
+                    offset,
+                    total,
+                    bytes,
+                }
+            }
+            ty::BYE => Message::Bye,
+            ty::TIME_STAMP => {
+                need!(1 + 8);
+                Message::TimeStamp {
+                    site: b.get_u8(),
+                    frame: b.get_u64_le(),
+                }
+            }
+            other => return Err(WireError::UnknownType(other)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Message> {
+        vec![
+            Message::Input(InputMsg {
+                from: 1,
+                ack: 41,
+                first: 42,
+                inputs: vec![InputWord(0xAB), InputWord(0), InputWord(0xFFFF_FFFF)],
+            }),
+            Message::Input(InputMsg {
+                from: 0,
+                ack: 7,
+                first: 8,
+                inputs: vec![], // pure ack
+            }),
+            Message::Hello {
+                site: 1,
+                rom_hash: 0xDEAD_BEEF_CAFE_F00D,
+                observer: false,
+            },
+            Message::Hello {
+                site: 2,
+                rom_hash: 1,
+                observer: true,
+            },
+            Message::HelloAck {
+                rom_hash: 99,
+                start_frame: 1234,
+            },
+            Message::Ping { nonce: 0x01020304 },
+            Message::Pong { nonce: 0x01020304 },
+            Message::SnapshotRequest,
+            Message::SnapshotChunk {
+                frame: 600,
+                offset: 2048,
+                total: 70_000,
+                bytes: Bytes::from_static(b"state-bytes"),
+            },
+            Message::Bye,
+            Message::TimeStamp { site: 1, frame: 77 },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_every_message() {
+        for m in samples() {
+            let encoded = m.encode();
+            assert_eq!(Message::decode(&encoded).unwrap(), m, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn input_last_frame_math() {
+        let m = InputMsg {
+            from: 0,
+            ack: 0,
+            first: 10,
+            inputs: vec![InputWord(1); 5],
+        };
+        assert_eq!(m.last(), 14);
+        let empty = InputMsg {
+            from: 0,
+            ack: 0,
+            first: 10,
+            inputs: vec![],
+        };
+        assert_eq!(empty.last(), 9);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(Message::decode(&[]), Err(WireError::Truncated));
+        assert_eq!(Message::decode(&[1, 2]), Err(WireError::Truncated));
+        assert_eq!(Message::decode(&[0x00, VERSION, 1]), Err(WireError::BadMagic));
+        assert_eq!(
+            Message::decode(&[MAGIC, 99, 1]),
+            Err(WireError::BadVersion(99))
+        );
+        assert_eq!(
+            Message::decode(&[MAGIC, VERSION, 200]),
+            Err(WireError::UnknownType(200))
+        );
+    }
+
+    #[test]
+    fn decode_rejects_truncated_payload() {
+        let mut bytes = samples()[0].encode();
+        bytes.truncate(bytes.len() - 1);
+        assert_eq!(Message::decode(&bytes), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn decode_rejects_oversized_counts() {
+        // Hand-craft an input message claiming 2000 words.
+        let mut b = vec![MAGIC, VERSION, 1, 0];
+        b.extend_from_slice(&0u64.to_le_bytes());
+        b.extend_from_slice(&0u64.to_le_bytes());
+        b.extend_from_slice(&2000u16.to_le_bytes());
+        assert_eq!(Message::decode(&b), Err(WireError::TooLarge));
+    }
+
+    #[test]
+    fn encoding_is_compact() {
+        // A 3-frame input message fits well inside a minimal MTU.
+        let bytes = samples()[0].encode();
+        assert!(bytes.len() < 64, "len {}", bytes.len());
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(WireError::BadVersion(3).to_string().contains('3'));
+        assert!(WireError::Truncated.to_string().contains("truncated"));
+    }
+}

@@ -1,0 +1,671 @@
+//! A two-pass assembler for the coplay console ISA.
+//!
+//! Lets games ship as human-readable source (see `coplay-games`' ROM
+//! titles), which is how we stand in for the thousands of legacy ROM images
+//! the paper's MAME build can load. Syntax:
+//!
+//! ```text
+//! ; line comment
+//! .title "Pong"        ; ROM metadata
+//! .players 2
+//! .seed 1234
+//! .org 0x0100          ; move the location counter
+//! .equ SPEED, 3        ; named constant
+//! main:
+//!     ldi r0, SPEED
+//!     addi r0, 1
+//!     cmpi r0, 10
+//!     jlt main
+//!     yield
+//!     jmp main
+//! table:
+//!     .word 1, 2, main ; labels usable in data
+//!     .byte 0x10, 255
+//! ```
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::isa::{Instruction, Reg, Syscall, INSTR_SIZE};
+use crate::rom::Rom;
+
+/// An assembly failure, with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number in the source text.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for AsmError {}
+
+/// Assembles `source` into a ROM.
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] encountered (unknown mnemonic, bad
+/// operand, duplicate or undefined label, value out of range).
+///
+/// # Examples
+///
+/// ```
+/// use coplay_vm::assemble;
+///
+/// let rom = assemble(
+///     r#"
+///     .title "Tiny"
+///     loop:
+///         addi r0, 1
+///         yield
+///         jmp loop
+///     "#,
+/// )?;
+/// assert_eq!(rom.title(), "Tiny");
+/// # Ok::<(), coplay_vm::AsmError>(())
+/// ```
+pub fn assemble(source: &str) -> Result<Rom, AsmError> {
+    let mut asm = Assembler::default();
+    asm.pass1(source)?;
+    asm.pass2(source)
+}
+
+#[derive(Default)]
+struct Assembler {
+    labels: HashMap<String, u16>,
+    equs: HashMap<String, u16>,
+    title: String,
+    players: u8,
+    cfps: u32,
+    seed: u32,
+    entry: Option<String>,
+}
+
+/// A parsed line: optional label, optional statement body.
+fn split_line(line: &str) -> (Option<&str>, &str) {
+    let line = match line.find(';') {
+        Some(i) => &line[..i],
+        None => line,
+    };
+    let line = line.trim();
+    if let Some(colon) = line.find(':') {
+        let (label, rest) = line.split_at(colon);
+        // A ':' inside a string (e.g. a .title) is not a label separator.
+        if label.chars().all(|c| c.is_alphanumeric() || c == '_') && !label.is_empty() {
+            return (Some(label), rest[1..].trim());
+        }
+    }
+    (None, line)
+}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+impl Assembler {
+    fn pass1(&mut self, source: &str) -> Result<(), AsmError> {
+        let mut pc: u32 = 0;
+        for (n, raw) in source.lines().enumerate() {
+            let lineno = n + 1;
+            let (label, body) = split_line(raw);
+            if let Some(l) = label {
+                if self.labels.insert(l.to_string(), pc as u16).is_some() {
+                    return Err(err(lineno, format!("duplicate label `{l}`")));
+                }
+            }
+            if body.is_empty() {
+                continue;
+            }
+            let (word, rest) = take_word(body);
+            match word.to_ascii_lowercase().as_str() {
+                ".org" => {
+                    pc = self.number(rest.trim(), lineno)? as u32;
+                }
+                ".byte" => pc += rest.split(',').count() as u32,
+                ".word" => pc += 2 * rest.split(',').count() as u32,
+                ".equ" => {
+                    let (name, value) = rest
+                        .split_once(',')
+                        .ok_or_else(|| err(lineno, ".equ needs `name, value`"))?;
+                    let v = self.number(value.trim(), lineno)?;
+                    self.equs.insert(name.trim().to_string(), v);
+                }
+                ".title" | ".players" | ".cfps" | ".seed" | ".entry" => {}
+                w if w.starts_with('.') => {
+                    return Err(err(lineno, format!("unknown directive `{w}`")));
+                }
+                _ => pc += INSTR_SIZE as u32,
+            }
+            if pc > crate::cpu::MEM_SIZE as u32 {
+                return Err(err(lineno, "program exceeds 64 KiB address space"));
+            }
+        }
+        Ok(())
+    }
+
+    fn pass2(&mut self, source: &str) -> Result<Rom, AsmError> {
+        let mut image = vec![0u8; 0];
+        let mut pc: usize = 0;
+        let emit = |image: &mut Vec<u8>, pc: &mut usize, bytes: &[u8]| {
+            if image.len() < *pc + bytes.len() {
+                image.resize(*pc + bytes.len(), 0);
+            }
+            image[*pc..*pc + bytes.len()].copy_from_slice(bytes);
+            *pc += bytes.len();
+        };
+        for (n, raw) in source.lines().enumerate() {
+            let lineno = n + 1;
+            let (_, body) = split_line(raw);
+            if body.is_empty() {
+                continue;
+            }
+            let (word, rest) = take_word(body);
+            let rest = rest.trim();
+            match word.to_ascii_lowercase().as_str() {
+                ".org" => pc = self.number(rest, lineno)? as usize,
+                ".byte" => {
+                    for item in rest.split(',') {
+                        let v = self.value(item.trim(), lineno)?;
+                        if v > 0xFF {
+                            return Err(err(lineno, format!("byte value {v} out of range")));
+                        }
+                        emit(&mut image, &mut pc, &[v as u8]);
+                    }
+                }
+                ".word" => {
+                    for item in rest.split(',') {
+                        let v = self.value(item.trim(), lineno)?;
+                        emit(&mut image, &mut pc, &v.to_le_bytes());
+                    }
+                }
+                ".equ" => {}
+                ".title" => self.title = parse_string(rest, lineno)?,
+                ".players" => self.players = self.number(rest, lineno)? as u8,
+                ".cfps" => self.cfps = self.number(rest, lineno)? as u32,
+                ".seed" => self.seed = self.number(rest, lineno)? as u32,
+                ".entry" => self.entry = Some(rest.to_string()),
+                _ => {
+                    let instr = self.instruction(word, rest, lineno)?;
+                    emit(&mut image, &mut pc, &instr.encode());
+                }
+            }
+        }
+        let entry = match &self.entry {
+            Some(label) => *self
+                .labels
+                .get(label)
+                .ok_or_else(|| err(0, format!("undefined entry label `{label}`")))?,
+            None => 0,
+        };
+        Ok(Rom::builder(if self.title.is_empty() {
+            "untitled".to_string()
+        } else {
+            self.title.clone()
+        })
+        .players(if self.players == 0 { 2 } else { self.players })
+        .cfps(if self.cfps == 0 { 60 } else { self.cfps })
+        .seed(self.seed)
+        .entry(entry)
+        .image(image)
+        .build())
+    }
+
+    /// Parses a bare numeric literal (no labels) — used by directives that
+    /// run during pass 1.
+    fn number(&self, s: &str, lineno: usize) -> Result<u16, AsmError> {
+        parse_number(s).ok_or_else(|| err(lineno, format!("expected a number, found `{s}`")))
+    }
+
+    /// Parses a numeric literal, label, or .equ constant.
+    fn value(&self, s: &str, lineno: usize) -> Result<u16, AsmError> {
+        if let Some(v) = parse_number(s) {
+            return Ok(v);
+        }
+        if let Some(&v) = self.equs.get(s).or_else(|| self.labels.get(s)) {
+            return Ok(v);
+        }
+        Err(err(lineno, format!("undefined symbol `{s}`")))
+    }
+
+    fn register(&self, s: &str, lineno: usize) -> Result<Reg, AsmError> {
+        let s = s.trim();
+        let idx = s
+            .strip_prefix(['r', 'R'])
+            .and_then(|d| d.parse::<u8>().ok())
+            .filter(|&d| d < 16)
+            .ok_or_else(|| err(lineno, format!("expected register r0-r15, found `{s}`")))?;
+        Ok(Reg(idx))
+    }
+
+    /// Parses `[rN+off]` or `[rN]`.
+    fn mem_operand(&self, s: &str, lineno: usize) -> Result<(Reg, u8), AsmError> {
+        let inner = s
+            .trim()
+            .strip_prefix('[')
+            .and_then(|x| x.strip_suffix(']'))
+            .ok_or_else(|| err(lineno, format!("expected `[rN+off]`, found `{s}`")))?;
+        let (reg, off) = match inner.split_once('+') {
+            Some((r, o)) => {
+                let off = self.value(o.trim(), lineno)?;
+                if off > 0xFF {
+                    return Err(err(lineno, format!("offset {off} out of byte range")));
+                }
+                (r, off as u8)
+            }
+            None => (inner, 0u8),
+        };
+        Ok((self.register(reg, lineno)?, off))
+    }
+
+    fn instruction(&self, mnemonic: &str, rest: &str, lineno: usize) -> Result<Instruction, AsmError> {
+        use Instruction as I;
+        let ops: Vec<&str> = if rest.is_empty() {
+            Vec::new()
+        } else {
+            split_operands(rest)
+        };
+        let argc = |n: usize| -> Result<(), AsmError> {
+            if ops.len() == n {
+                Ok(())
+            } else {
+                Err(err(
+                    lineno,
+                    format!("`{mnemonic}` expects {n} operand(s), found {}", ops.len()),
+                ))
+            }
+        };
+        let m = mnemonic.to_ascii_lowercase();
+        Ok(match m.as_str() {
+            "nop" => {
+                argc(0)?;
+                I::Nop
+            }
+            "halt" => {
+                argc(0)?;
+                I::Halt
+            }
+            "yield" => {
+                argc(0)?;
+                I::Yield
+            }
+            "ret" => {
+                argc(0)?;
+                I::Ret
+            }
+            "ldi" | "addi" | "subi" | "cmpi" | "shli" | "shri" => {
+                argc(2)?;
+                let rd = self.register(ops[0], lineno)?;
+                let imm = self.value(ops[1], lineno)?;
+                match m.as_str() {
+                    "ldi" => I::Ldi(rd, imm),
+                    "addi" => I::Addi(rd, imm),
+                    "subi" => I::Subi(rd, imm),
+                    "cmpi" => I::Cmpi(rd, imm),
+                    "shli" => I::Shli(rd, imm),
+                    _ => I::Shri(rd, imm),
+                }
+            }
+            "mov" | "add" | "sub" | "mul" | "div" | "modu" | "and" | "or" | "xor" | "cmp" => {
+                argc(2)?;
+                let rd = self.register(ops[0], lineno)?;
+                let rs = self.register(ops[1], lineno)?;
+                match m.as_str() {
+                    "mov" => I::Mov(rd, rs),
+                    "add" => I::Add(rd, rs),
+                    "sub" => I::Sub(rd, rs),
+                    "mul" => I::Mul(rd, rs),
+                    "div" => I::Div(rd, rs),
+                    "modu" => I::Modu(rd, rs),
+                    "and" => I::And(rd, rs),
+                    "or" => I::Or(rd, rs),
+                    "xor" => I::Xor(rd, rs),
+                    _ => I::Cmp(rd, rs),
+                }
+            }
+            "neg" | "push" | "pop" | "rnd" => {
+                argc(1)?;
+                let r = self.register(ops[0], lineno)?;
+                match m.as_str() {
+                    "neg" => I::Neg(r),
+                    "push" => I::Push(r),
+                    "pop" => I::Pop(r),
+                    _ => I::Rnd(r),
+                }
+            }
+            "jmp" | "jz" | "jnz" | "jlt" | "jge" | "call" => {
+                argc(1)?;
+                let a = self.value(ops[0], lineno)?;
+                match m.as_str() {
+                    "jmp" => I::Jmp(a),
+                    "jz" => I::Jz(a),
+                    "jnz" => I::Jnz(a),
+                    "jlt" => I::Jlt(a),
+                    "jge" => I::Jge(a),
+                    _ => I::Call(a),
+                }
+            }
+            "ldw" | "ldb" => {
+                argc(2)?;
+                let rd = self.register(ops[0], lineno)?;
+                let (rs, off) = self.mem_operand(ops[1], lineno)?;
+                if m == "ldw" {
+                    I::Ldw(rd, rs, off)
+                } else {
+                    I::Ldb(rd, rs, off)
+                }
+            }
+            "stw" | "stb" => {
+                argc(2)?;
+                let (rd, off) = self.mem_operand(ops[0], lineno)?;
+                let rs = self.register(ops[1], lineno)?;
+                if m == "stw" {
+                    I::Stw(rd, rs, off)
+                } else {
+                    I::Stb(rd, rs, off)
+                }
+            }
+            "in" => {
+                argc(2)?;
+                let rd = self.register(ops[0], lineno)?;
+                let port = self.value(ops[1], lineno)?;
+                if port > 0xFF {
+                    return Err(err(lineno, format!("port {port} out of range")));
+                }
+                I::In(rd, port as u8)
+            }
+            "sys" => {
+                argc(1)?;
+                let n = self.value(ops[0], lineno)?;
+                let call = u8::try_from(n)
+                    .ok()
+                    .and_then(Syscall::from_u8)
+                    .ok_or_else(|| err(lineno, format!("unknown syscall {n}")))?;
+                I::Sys(call)
+            }
+            other => return Err(err(lineno, format!("unknown mnemonic `{other}`"))),
+        })
+    }
+}
+
+fn take_word(s: &str) -> (&str, &str) {
+    match s.find(char::is_whitespace) {
+        Some(i) => (&s[..i], &s[i..]),
+        None => (s, ""),
+    }
+}
+
+fn split_operands(s: &str) -> Vec<&str> {
+    // Commas inside `[...]` do not occur in this ISA, so a flat split works.
+    s.split(',').map(str::trim).collect()
+}
+
+fn parse_number(s: &str) -> Option<u16> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        return u16::from_str_radix(hex, 16).ok();
+    }
+    if let Some(neg) = s.strip_prefix('-') {
+        return neg.parse::<u16>().ok().map(|v| (v as i32).wrapping_neg() as u16);
+    }
+    s.parse::<u16>().ok()
+}
+
+fn parse_string(s: &str, lineno: usize) -> Result<String, AsmError> {
+    let s = s.trim();
+    s.strip_prefix('"')
+        .and_then(|x| x.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| err(lineno, "expected a double-quoted string"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_metadata_and_code() {
+        let rom = assemble(
+            r#"
+            .title "Meta Test"
+            .players 4
+            .cfps 30
+            .seed 0x55
+            start:
+                ldi r0, 1
+                halt
+            .entry start
+            "#,
+        )
+        .unwrap();
+        assert_eq!(rom.title(), "Meta Test");
+        assert_eq!(rom.players(), 4);
+        assert_eq!(rom.cfps(), 30);
+        assert_eq!(rom.seed(), 0x55);
+        assert_eq!(rom.entry(), 0);
+        assert_eq!(rom.image().len(), 8);
+    }
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let rom = assemble(
+            r#"
+            back:
+                jmp fwd
+                nop
+            fwd:
+                jmp back
+            "#,
+        )
+        .unwrap();
+        // jmp fwd -> address 8; jmp back -> address 0.
+        assert_eq!(&rom.image()[0..4], &Instruction::Jmp(8).encode());
+        assert_eq!(&rom.image()[8..12], &Instruction::Jmp(0).encode());
+    }
+
+    #[test]
+    fn equ_constants_work() {
+        let rom = assemble(
+            r#"
+            .equ SPEED, 7
+                ldi r1, SPEED
+            "#,
+        )
+        .unwrap();
+        assert_eq!(&rom.image()[0..4], &Instruction::Ldi(Reg(1), 7).encode());
+    }
+
+    #[test]
+    fn org_and_data_directives() {
+        let rom = assemble(
+            r#"
+            .org 0x10
+            data:
+                .word 0x1234, data
+                .byte 1, 2, 3
+            "#,
+        )
+        .unwrap();
+        let img = rom.image();
+        assert_eq!(&img[0x10..0x12], &[0x34, 0x12]);
+        assert_eq!(&img[0x12..0x14], &[0x10, 0x00]); // label value
+        assert_eq!(&img[0x14..0x17], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn memory_operands_parse() {
+        let rom = assemble(
+            r#"
+                ldw r1, [r2+4]
+                stw [r3], r4
+                ldb r5, [r6+0x10]
+                stb [r7+1], r8
+            "#,
+        )
+        .unwrap();
+        let img = rom.image();
+        assert_eq!(&img[0..4], &Instruction::Ldw(Reg(1), Reg(2), 4).encode());
+        assert_eq!(&img[4..8], &Instruction::Stw(Reg(3), Reg(4), 0).encode());
+        assert_eq!(&img[8..12], &Instruction::Ldb(Reg(5), Reg(6), 0x10).encode());
+        assert_eq!(&img[12..16], &Instruction::Stb(Reg(7), Reg(8), 1).encode());
+    }
+
+    #[test]
+    fn negative_literals_wrap() {
+        let rom = assemble("ldi r0, -1").unwrap();
+        assert_eq!(&rom.image()[0..4], &Instruction::Ldi(Reg(0), 0xFFFF).encode());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let rom = assemble("; nothing\n\n   ; still nothing\nnop ; trailing\n").unwrap();
+        assert_eq!(rom.image().len(), 4);
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let e = assemble("a:\n nop\na:\n nop").unwrap_err();
+        assert!(e.message.contains("duplicate label"));
+        assert_eq!(e.line, 3);
+    }
+
+    #[test]
+    fn undefined_symbol_rejected() {
+        let e = assemble("jmp nowhere").unwrap_err();
+        assert!(e.message.contains("undefined symbol"));
+    }
+
+    #[test]
+    fn unknown_mnemonic_rejected() {
+        let e = assemble("frobnicate r0").unwrap_err();
+        assert!(e.message.contains("unknown mnemonic"));
+        assert_eq!(e.line, 1);
+    }
+
+    #[test]
+    fn wrong_operand_count_rejected() {
+        let e = assemble("ldi r0").unwrap_err();
+        assert!(e.message.contains("expects 2 operand"));
+    }
+
+    #[test]
+    fn bad_register_rejected() {
+        let e = assemble("ldi r16, 0").unwrap_err();
+        assert!(e.message.contains("expected register"));
+    }
+
+    #[test]
+    fn unknown_directive_rejected() {
+        let e = assemble(".frob 1").unwrap_err();
+        assert!(e.message.contains("unknown directive"));
+    }
+
+    #[test]
+    fn entry_label_must_exist() {
+        let e = assemble(".entry missing\nnop").unwrap_err();
+        assert!(e.message.contains("undefined entry label"));
+    }
+
+    #[test]
+    fn sys_mnemonics() {
+        let rom = assemble("sys 0\nsys 2").unwrap();
+        assert_eq!(&rom.image()[0..4], &Instruction::Sys(Syscall::Cls).encode());
+        assert_eq!(&rom.image()[4..8], &Instruction::Sys(Syscall::Rect).encode());
+        let e = assemble("sys 9").unwrap_err();
+        assert!(e.message.contains("unknown syscall"));
+    }
+
+    #[test]
+    fn error_display_includes_line() {
+        let e = assemble("nop\nbadop").unwrap_err();
+        assert_eq!(e.to_string(), "line 2: unknown mnemonic `badop`");
+    }
+}
+
+/// Disassembles a code region into assembler-compatible text, one
+/// instruction per line (illegal encodings render as `.word` directives).
+///
+/// Round-trips with [`assemble`]: feeding the output back produces the
+/// identical image bytes for legal code.
+///
+/// # Examples
+///
+/// ```
+/// use coplay_vm::{assemble, disassemble};
+///
+/// let rom = assemble("ldi r1, 7\nyield\n")?;
+/// let text = disassemble(rom.image());
+/// assert_eq!(text, "ldi r1, 0x0007\nyield\n");
+/// let again = assemble(&text)?;
+/// assert_eq!(again.image(), rom.image());
+/// # Ok::<(), coplay_vm::AsmError>(())
+/// ```
+pub fn disassemble(code: &[u8]) -> String {
+    let mut out = String::new();
+    for chunk in code.chunks(INSTR_SIZE as usize) {
+        if chunk.len() < INSTR_SIZE as usize {
+            for b in chunk {
+                out.push_str(&format!(".byte 0x{b:02x}\n"));
+            }
+            break;
+        }
+        let bytes = [chunk[0], chunk[1], chunk[2], chunk[3]];
+        match Instruction::decode(bytes) {
+            Some(i) => out.push_str(&format!("{i}\n")),
+            None => out.push_str(&format!(
+                ".word 0x{:04x}, 0x{:04x}\n",
+                u16::from_le_bytes([bytes[0], bytes[1]]),
+                u16::from_le_bytes([bytes[2], bytes[3]])
+            )),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod disasm_tests {
+    use super::*;
+
+    #[test]
+    fn disassembly_reassembles_to_identical_bytes() {
+        let rom = assemble(
+            r#"
+            start:
+                ldi r0, 5
+                cmpi r0, 9
+                jlt start
+                ldw r3, [r4+8]
+                sys 2
+                halt
+            "#,
+        )
+        .unwrap();
+        let text = disassemble(rom.image());
+        let again = assemble(&text).unwrap();
+        assert_eq!(again.image(), rom.image());
+    }
+
+    #[test]
+    fn illegal_bytes_become_word_directives() {
+        let text = disassemble(&[0xFF, 0x01, 0x02, 0x03]);
+        assert!(text.starts_with(".word"));
+        let rom = assemble(&text).unwrap();
+        assert_eq!(rom.image(), &[0xFF, 0x01, 0x02, 0x03]);
+    }
+
+    #[test]
+    fn trailing_fragment_becomes_bytes() {
+        let text = disassemble(&[0x00, 0x00, 0x00, 0x00, 0xAB, 0xCD]);
+        assert!(text.contains(".byte 0xab"));
+        assert!(text.contains(".byte 0xcd"));
+    }
+}

@@ -1,0 +1,179 @@
+//! The virtual audio device: a deterministic square-wave beeper.
+//!
+//! One channel, 44.1 kHz, integer phase accumulation — every replica
+//! produces bit-identical sample buffers, so audio participates in the
+//! determinism contract like everything else.
+
+/// Samples generated per second.
+pub const SAMPLE_RATE: u32 = 44_100;
+
+/// A single square-wave voice that renders one frame of audio at a time.
+///
+/// # Examples
+///
+/// ```
+/// use coplay_vm::AudioChannel;
+///
+/// let mut ch = AudioChannel::new();
+/// ch.tone(440, 2, 8_000);
+/// let frame = ch.render_frame(60).to_vec();
+/// assert!(frame.iter().any(|&s| s != 0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AudioChannel {
+    freq_hz: u32,
+    frames_left: u32,
+    volume: i16,
+    phase: u32, // fixed-point phase accumulator (1/65536 cycles)
+    buffer: Vec<i16>,
+}
+
+impl AudioChannel {
+    /// Creates a silent channel.
+    pub fn new() -> AudioChannel {
+        AudioChannel {
+            freq_hz: 0,
+            frames_left: 0,
+            volume: 0,
+            phase: 0,
+            buffer: Vec::new(),
+        }
+    }
+
+    /// Starts a tone of `freq_hz` for `frames` video frames at `volume`.
+    /// A new tone replaces any tone still sounding.
+    pub fn tone(&mut self, freq_hz: u32, frames: u32, volume: i16) {
+        self.freq_hz = freq_hz;
+        self.frames_left = frames;
+        self.volume = volume;
+    }
+
+    /// Stops any sounding tone immediately.
+    pub fn silence(&mut self) {
+        self.frames_left = 0;
+    }
+
+    /// `true` while a tone is sounding.
+    pub fn is_active(&self) -> bool {
+        self.frames_left > 0 && self.freq_hz > 0 && self.volume != 0
+    }
+
+    /// Renders the samples for one video frame at `cfps` frames/second and
+    /// returns them. The buffer is valid until the next call.
+    pub fn render_frame(&mut self, cfps: u32) -> &[i16] {
+        let n = (SAMPLE_RATE / cfps.max(1)) as usize;
+        self.buffer.clear();
+        self.buffer.reserve(n);
+        if self.is_active() {
+            // Phase step in 1/65536 cycles per sample.
+            let step = ((self.freq_hz as u64) << 16) / SAMPLE_RATE as u64;
+            for _ in 0..n {
+                self.phase = self.phase.wrapping_add(step as u32);
+                let high = self.phase & 0x8000 != 0;
+                self.buffer.push(if high { self.volume } else { -self.volume });
+            }
+            self.frames_left -= 1;
+        } else {
+            self.buffer.resize(n, 0);
+        }
+        &self.buffer
+    }
+
+    /// The most recently rendered frame of samples.
+    pub fn last_frame(&self) -> &[i16] {
+        &self.buffer
+    }
+
+    /// Serializes channel state (not the sample buffer) for save states.
+    pub fn save(&self) -> [u8; 14] {
+        let mut out = [0u8; 14];
+        out[0..4].copy_from_slice(&self.freq_hz.to_le_bytes());
+        out[4..8].copy_from_slice(&self.frames_left.to_le_bytes());
+        out[8..10].copy_from_slice(&self.volume.to_le_bytes());
+        out[10..14].copy_from_slice(&self.phase.to_le_bytes());
+        out
+    }
+
+    /// Restores state written by [`AudioChannel::save`].
+    pub fn load(&mut self, bytes: &[u8; 14]) {
+        self.freq_hz = u32::from_le_bytes(bytes[0..4].try_into().expect("slice len 4"));
+        self.frames_left = u32::from_le_bytes(bytes[4..8].try_into().expect("slice len 4"));
+        self.volume = i16::from_le_bytes(bytes[8..10].try_into().expect("slice len 2"));
+        self.phase = u32::from_le_bytes(bytes[10..14].try_into().expect("slice len 4"));
+    }
+}
+
+impl Default for AudioChannel {
+    fn default() -> Self {
+        AudioChannel::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silent_channel_renders_zeros() {
+        let mut ch = AudioChannel::new();
+        let f = ch.render_frame(60);
+        assert_eq!(f.len(), 735);
+        assert!(f.iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn tone_renders_square_wave_and_expires() {
+        let mut ch = AudioChannel::new();
+        ch.tone(1_000, 2, 100);
+        assert!(ch.is_active());
+        let f = ch.render_frame(60).to_vec();
+        assert!(f.contains(&100) && f.contains(&-100));
+        let _ = ch.render_frame(60);
+        assert!(!ch.is_active());
+        assert!(ch.render_frame(60).iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn silence_cuts_tone_short() {
+        let mut ch = AudioChannel::new();
+        ch.tone(440, 100, 50);
+        ch.silence();
+        assert!(!ch.is_active());
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let run = || {
+            let mut ch = AudioChannel::new();
+            ch.tone(440, 3, 1000);
+            let mut all = Vec::new();
+            for _ in 0..3 {
+                all.extend_from_slice(ch.render_frame(60));
+            }
+            all
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_phase() {
+        let mut a = AudioChannel::new();
+        a.tone(440, 10, 500);
+        let _ = a.render_frame(60);
+        let saved = a.save();
+
+        let mut b = AudioChannel::new();
+        b.load(&saved);
+        assert_eq!(a.render_frame(60), b.render_frame(60));
+    }
+
+    #[test]
+    fn frequency_roughly_honoured() {
+        let mut ch = AudioChannel::new();
+        ch.tone(1_000, 1, 100);
+        let f = ch.render_frame(60);
+        // Count zero crossings: a 1kHz square over 1/60s has ~33 edges.
+        let crossings = f.windows(2).filter(|w| w[0] != w[1]).count();
+        assert!((25..45).contains(&crossings), "crossings={crossings}");
+    }
+}

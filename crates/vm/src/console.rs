@@ -1,0 +1,470 @@
+//! The complete virtual arcade board.
+//!
+//! [`Console`] wires the CPU core to the virtual video, audio, and input
+//! devices and exposes the whole board as a [`Machine`] — the black box the
+//! sync layer replicates. This is our stand-in for the paper's MAME build:
+//! load any [`Rom`] and the board runs it deterministically at its declared
+//! frame rate.
+
+use crate::audio::AudioChannel;
+use crate::cpu::{Cpu, Devices, MEM_SIZE};
+use crate::hash::fnv1a;
+use crate::input::InputWord;
+use crate::isa::Syscall;
+use crate::machine::{Machine, MachineInfo, StateError};
+use crate::rom::Rom;
+use crate::video::{Color, FrameBuffer};
+
+/// Default CPU cycles (instructions) per video frame.
+pub const DEFAULT_CYCLES_PER_FRAME: u32 = 20_000;
+
+const STATE_MAGIC: &[u8; 5] = b"CPST1";
+
+/// A coplay arcade board with a loaded cartridge.
+///
+/// # Examples
+///
+/// ```
+/// use coplay_vm::{assemble, Console, InputWord, Machine};
+///
+/// let rom = assemble(
+///     r#"
+///     .title "Counter"
+///     loop:
+///         addi r0, 1
+///         yield
+///         jmp loop
+///     "#,
+/// )?;
+/// let mut console = Console::new(rom);
+/// console.step_frame(InputWord::NONE);
+/// assert_eq!(console.frame(), 1);
+/// # Ok::<(), coplay_vm::AsmError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Console {
+    rom: Rom,
+    cpu: Cpu,
+    fb: FrameBuffer,
+    audio: AudioChannel,
+    audio_frame: Vec<i16>,
+    frame: u64,
+    cycles_per_frame: u32,
+}
+
+impl Console {
+    /// Powers on a board with `rom` inserted.
+    pub fn new(rom: Rom) -> Console {
+        let mut cpu = Cpu::new(rom.entry(), rom.seed());
+        cpu.load_image(rom.image());
+        Console {
+            cpu,
+            fb: FrameBuffer::standard(),
+            audio: AudioChannel::new(),
+            audio_frame: Vec::new(),
+            frame: 0,
+            rom,
+            cycles_per_frame: DEFAULT_CYCLES_PER_FRAME,
+        }
+    }
+
+    /// Overrides the per-frame cycle budget (default
+    /// [`DEFAULT_CYCLES_PER_FRAME`]).
+    pub fn with_cycle_budget(mut self, cycles: u32) -> Console {
+        self.cycles_per_frame = cycles.max(1);
+        self
+    }
+
+    /// The inserted cartridge.
+    pub fn rom(&self) -> &Rom {
+        &self.rom
+    }
+
+    /// `true` once the program halted or faulted.
+    pub fn is_halted(&self) -> bool {
+        self.cpu.is_halted()
+    }
+
+    /// Direct CPU access for debuggers and tests.
+    pub fn cpu(&self) -> &Cpu {
+        &self.cpu
+    }
+}
+
+/// The device bus the CPU sees during one frame.
+struct Bus<'a> {
+    fb: &'a mut FrameBuffer,
+    audio: &'a mut AudioChannel,
+    input: InputWord,
+    frame: u64,
+}
+
+impl Devices for Bus<'_> {
+    fn input_port(&mut self, port: u8) -> u16 {
+        match port {
+            0 => self.input.0 as u16,
+            1 => (self.input.0 >> 16) as u16,
+            2 => self.frame as u16,
+            3 => (self.frame >> 16) as u16,
+            _ => 0,
+        }
+    }
+
+    fn syscall(&mut self, call: Syscall, regs: &[u16; 16]) {
+        // Coordinates are signed 16-bit so games can move sprites partially
+        // off-screen; the framebuffer clips.
+        let s = |v: u16| v as i16 as i32;
+        match call {
+            Syscall::Cls => self.fb.clear(Color(regs[1] as u8)),
+            Syscall::Pix => self.fb.set_pixel(s(regs[1]), s(regs[2]), Color(regs[3] as u8)),
+            Syscall::Rect => self.fb.fill_rect(
+                s(regs[1]),
+                s(regs[2]),
+                s(regs[3]),
+                s(regs[4]),
+                Color(regs[5] as u8),
+            ),
+            Syscall::Tone => self.audio.tone(regs[1] as u32, regs[2] as u32, regs[3] as i16),
+            Syscall::Num => {
+                self.fb
+                    .draw_number(s(regs[1]), s(regs[2]), regs[3] as u32, Color(regs[4] as u8))
+            }
+        }
+    }
+}
+
+impl Machine for Console {
+    fn info(&self) -> MachineInfo {
+        MachineInfo {
+            title: self.rom.title().to_string(),
+            players: self.rom.players(),
+            cfps: self.rom.cfps(),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.cpu = Cpu::new(self.rom.entry(), self.rom.seed());
+        self.cpu.load_image(self.rom.image());
+        self.fb = FrameBuffer::standard();
+        self.audio = AudioChannel::new();
+        self.audio_frame.clear();
+        self.frame = 0;
+    }
+
+    fn step_frame(&mut self, input: InputWord) {
+        let mut bus = Bus {
+            fb: &mut self.fb,
+            audio: &mut self.audio,
+            input,
+            frame: self.frame,
+        };
+        self.cpu.run_frame(self.cycles_per_frame, &mut bus);
+        self.audio_frame = self.audio.render_frame(self.rom.cfps()).to_vec();
+        self.frame += 1;
+    }
+
+    fn frame(&self) -> u64 {
+        self.frame
+    }
+
+    fn framebuffer(&self) -> &FrameBuffer {
+        &self.fb
+    }
+
+    fn audio_samples(&self) -> &[i16] {
+        &self.audio_frame
+    }
+
+    fn state_hash(&self) -> u64 {
+        fnv1a(&self.save_state())
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(STATE_MAGIC.len() + 8 + 8 + Cpu::SERIALIZED_LEN + 14);
+        out.extend_from_slice(STATE_MAGIC);
+        out.extend_from_slice(&self.rom.content_hash().to_le_bytes());
+        out.extend_from_slice(&self.frame.to_le_bytes());
+        self.cpu.serialize(&mut out);
+        out.extend_from_slice(&self.audio.save());
+        out.extend_from_slice(self.fb.pixels());
+        out
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), StateError> {
+        let fb_len = self.fb.pixels().len();
+        let expected = STATE_MAGIC.len() + 8 + 8 + Cpu::SERIALIZED_LEN + 14 + fb_len;
+        if bytes.len() < expected {
+            return Err(StateError::Truncated {
+                expected,
+                actual: bytes.len(),
+            });
+        }
+        if &bytes[..STATE_MAGIC.len()] != STATE_MAGIC {
+            return Err(StateError::BadMagic);
+        }
+        let mut pos = STATE_MAGIC.len();
+        let rom_hash = u64::from_le_bytes(bytes[pos..pos + 8].try_into().expect("len 8"));
+        if rom_hash != self.rom.content_hash() {
+            return Err(StateError::WrongMachine);
+        }
+        pos += 8;
+        self.frame = u64::from_le_bytes(bytes[pos..pos + 8].try_into().expect("len 8"));
+        pos += 8;
+        self.cpu
+            .deserialize(&bytes[pos..pos + Cpu::SERIALIZED_LEN])
+            .expect("length checked above");
+        pos += Cpu::SERIALIZED_LEN;
+        self.audio
+            .load(bytes[pos..pos + 14].try_into().expect("len 14"));
+        pos += 14;
+        let mut fb = FrameBuffer::standard();
+        for (i, &px) in bytes[pos..pos + fb_len].iter().enumerate() {
+            fb.set_pixel(
+                (i % fb.width()) as i32,
+                (i / fb.width()) as i32,
+                Color(px),
+            );
+        }
+        self.fb = fb;
+        Ok(())
+    }
+}
+
+// The memory image dominates snapshot size; make that visible in docs.
+const _: () = assert!(MEM_SIZE == 0x1_0000);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assembler::assemble;
+    use crate::input::{Button, Player};
+
+    fn counter_rom() -> Rom {
+        assemble(
+            r#"
+            .title "Counter"
+            .seed 5
+            loop:
+                addi r0, 1
+                rnd r5
+                yield
+                jmp loop
+            "#,
+        )
+        .unwrap()
+    }
+
+    /// A game that draws a paddle whose y position follows P1 up/down.
+    fn paddle_rom() -> Rom {
+        assemble(
+            r#"
+            .title "Paddle"
+            .equ YPOS, 0x8000
+            init:
+                ldi r0, 50
+                ldi r1, YPOS
+                stw [r1], r0
+            loop:
+                in r0, 0          ; P1 buttons in low byte
+                ldi r1, 1         ; Up bit
+                and r1, r0
+                cmpi r1, 0
+                jz check_down
+                ldi r1, YPOS
+                ldw r2, [r1]
+                subi r2, 1
+                stw [r1], r2
+            check_down:
+                ldi r1, 2         ; Down bit
+                and r1, r0
+                cmpi r1, 0
+                jz draw
+                ldi r1, YPOS
+                ldw r2, [r1]
+                addi r2, 1
+                stw [r1], r2
+            draw:
+                ldi r1, 0
+                sys 0             ; cls black
+                ldi r1, 4         ; x
+                ldi r3, YPOS
+                ldw r2, [r3]      ; y
+                ldi r3, 3         ; w
+                ldi r4, 12        ; h
+                ldi r5, 15        ; white
+                sys 2             ; rect
+                yield
+                jmp loop
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn frames_advance_and_counter_runs() {
+        let mut c = Console::new(counter_rom());
+        for _ in 0..10 {
+            c.step_frame(InputWord::NONE);
+        }
+        assert_eq!(c.frame(), 10);
+        assert_eq!(c.cpu().reg(crate::isa::Reg(0)), 10);
+    }
+
+    #[test]
+    fn replicas_converge_under_same_inputs() {
+        let mut a = Console::new(paddle_rom());
+        let mut b = Console::new(paddle_rom());
+        let mut input = InputWord::NONE;
+        input.press(Player::ONE, Button::Down);
+        for _ in 0..30 {
+            a.step_frame(input);
+            b.step_frame(input);
+        }
+        assert_eq!(a.state_hash(), b.state_hash());
+    }
+
+    #[test]
+    fn replicas_diverge_under_different_inputs() {
+        let mut a = Console::new(paddle_rom());
+        let mut b = Console::new(paddle_rom());
+        let mut up = InputWord::NONE;
+        up.press(Player::ONE, Button::Up);
+        for _ in 0..5 {
+            a.step_frame(up);
+            b.step_frame(InputWord::NONE);
+        }
+        assert_ne!(a.state_hash(), b.state_hash());
+    }
+
+    #[test]
+    fn input_moves_the_paddle_on_screen() {
+        let mut c = Console::new(paddle_rom());
+        c.step_frame(InputWord::NONE);
+        let before = c.framebuffer().clone();
+        let mut down = InputWord::NONE;
+        down.press(Player::ONE, Button::Down);
+        for _ in 0..10 {
+            c.step_frame(down);
+        }
+        assert_ne!(c.framebuffer(), &before, "paddle should have moved");
+    }
+
+    #[test]
+    fn reset_restores_power_on_state() {
+        let mut c = Console::new(counter_rom());
+        let initial = c.state_hash();
+        for _ in 0..7 {
+            c.step_frame(InputWord::NONE);
+        }
+        c.reset();
+        assert_eq!(c.state_hash(), initial);
+        assert_eq!(c.frame(), 0);
+    }
+
+    #[test]
+    fn save_load_roundtrip_resumes_identically() {
+        let mut a = Console::new(counter_rom());
+        for i in 0..20u32 {
+            a.step_frame(InputWord(i % 4));
+        }
+        let snap = a.save_state();
+
+        let mut b = Console::new(counter_rom());
+        b.load_state(&snap).unwrap();
+        assert_eq!(a.state_hash(), b.state_hash());
+
+        for i in 0..20u32 {
+            a.step_frame(InputWord(i % 3));
+            b.step_frame(InputWord(i % 3));
+        }
+        assert_eq!(a.state_hash(), b.state_hash());
+        assert_eq!(b.frame(), 40);
+    }
+
+    #[test]
+    fn load_state_rejects_wrong_rom() {
+        let a = Console::new(counter_rom());
+        let snap = a.save_state();
+        let mut b = Console::new(paddle_rom());
+        assert!(matches!(
+            b.load_state(&snap),
+            Err(StateError::WrongMachine)
+        ));
+    }
+
+    #[test]
+    fn load_state_rejects_garbage() {
+        let mut c = Console::new(counter_rom());
+        assert!(matches!(
+            c.load_state(&[0u8; 10]),
+            Err(StateError::Truncated { .. })
+        ));
+        let mut snap = c.save_state();
+        snap[0] = b'X';
+        assert!(matches!(c.load_state(&snap), Err(StateError::BadMagic)));
+    }
+
+    #[test]
+    fn info_reflects_rom() {
+        let c = Console::new(counter_rom());
+        let info = c.info();
+        assert_eq!(info.title, "Counter");
+        assert_eq!(info.cfps, 60);
+    }
+
+    #[test]
+    fn audio_syscall_produces_samples() {
+        let rom = assemble(
+            r#"
+                ldi r1, 440
+                ldi r2, 10
+                ldi r3, 1000
+                sys 3
+                yield
+            loop:
+                yield
+                jmp loop
+            "#,
+        )
+        .unwrap();
+        let mut c = Console::new(rom);
+        c.step_frame(InputWord::NONE);
+        assert!(c.audio_samples().iter().any(|&s| s != 0));
+    }
+
+    #[test]
+    fn frame_counter_port_readable() {
+        let rom = assemble(
+            r#"
+            loop:
+                in r0, 2
+                yield
+                jmp loop
+            "#,
+        )
+        .unwrap();
+        let mut c = Console::new(rom);
+        c.step_frame(InputWord::NONE); // reads frame 0
+        c.step_frame(InputWord::NONE); // reads frame 1
+        assert_eq!(c.cpu().reg(crate::isa::Reg(0)), 1);
+    }
+
+    #[test]
+    fn cycle_budget_bounds_runaway_programs() {
+        let rom = assemble("loop:\n jmp loop").unwrap();
+        let mut c = Console::new(rom).with_cycle_budget(100);
+        c.step_frame(InputWord::NONE); // must terminate despite infinite loop
+        assert_eq!(c.frame(), 1);
+        assert!(!c.is_halted());
+    }
+
+    #[test]
+    fn halted_program_keeps_framing() {
+        let rom = assemble("halt").unwrap();
+        let mut c = Console::new(rom);
+        c.step_frame(InputWord::NONE);
+        c.step_frame(InputWord::NONE);
+        assert!(c.is_halted());
+        assert_eq!(c.frame(), 2);
+    }
+}

@@ -1,0 +1,122 @@
+//! Deterministic state hashing.
+//!
+//! The paper assumes the game VM is deterministic and relies on replicas
+//! converging bit-for-bit. `fnv1a` gives every machine a cheap, portable,
+//! platform-independent digest of its state so tests and sessions can
+//! *verify* convergence every frame instead of assuming it.
+
+/// FNV-1a 64-bit hash of `bytes`.
+///
+/// # Examples
+///
+/// ```
+/// use coplay_vm::fnv1a;
+///
+/// assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+/// assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+/// ```
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// An incremental FNV-1a hasher for composing state digests field by field.
+///
+/// # Examples
+///
+/// ```
+/// use coplay_vm::{fnv1a, StateHasher};
+///
+/// let mut h = StateHasher::new();
+/// h.write(b"ab");
+/// assert_eq!(h.finish(), fnv1a(b"ab"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct StateHasher(u64);
+
+impl StateHasher {
+    /// Creates a hasher in the FNV offset-basis state.
+    pub fn new() -> StateHasher {
+        StateHasher(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Feeds raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    /// Feeds a `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Feeds an `i32` in little-endian byte order.
+    pub fn write_i32(&mut self, v: i32) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Feeds a `u16` in little-endian byte order.
+    pub fn write_u16(&mut self, v: u16) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for StateHasher {
+    fn default() -> Self {
+        StateHasher::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        // Standard FNV-1a test vector.
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let mut h = StateHasher::new();
+        h.write(b"foo");
+        h.write(b"bar");
+        assert_eq!(h.finish(), fnv1a(b"foobar"));
+    }
+
+    #[test]
+    fn typed_writes_are_order_sensitive() {
+        let mut a = StateHasher::new();
+        a.write_u64(1);
+        a.write_u64(2);
+        let mut b = StateHasher::new();
+        b.write_u64(2);
+        b.write_u64(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn typed_writes_cover_widths() {
+        let mut h = StateHasher::new();
+        h.write_u16(0xBEEF);
+        h.write_i32(-7);
+        let mut manual = StateHasher::new();
+        manual.write(&0xBEEFu16.to_le_bytes());
+        manual.write(&(-7i32).to_le_bytes());
+        assert_eq!(h.finish(), manual.finish());
+    }
+}

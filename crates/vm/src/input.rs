@@ -1,0 +1,386 @@
+//! The input model of the paper, made concrete.
+//!
+//! §3 of the paper views the per-frame input to the game as a *binary
+//! string* in which "different sites control different bits"; `SET[k]` maps
+//! site `k` to its bit set, the sets are pairwise disjoint, and bits owned by
+//! no site (`SET[-1]`) are ignored. Here the string is an [`InputWord`]
+//! (32 bits = up to four joypads of eight buttons) and [`PortMap`] realizes
+//! `SET[k]`.
+
+use std::fmt;
+
+/// One joypad button. The discriminant is the button's bit within its
+/// player's byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Button {
+    /// D-pad up.
+    Up = 0,
+    /// D-pad down.
+    Down = 1,
+    /// D-pad left.
+    Left = 2,
+    /// D-pad right.
+    Right = 3,
+    /// Primary action button.
+    A = 4,
+    /// Secondary action button.
+    B = 5,
+    /// Start button.
+    Start = 6,
+    /// Select button.
+    Select = 7,
+}
+
+impl Button {
+    /// All buttons, in bit order.
+    pub const ALL: [Button; 8] = [
+        Button::Up,
+        Button::Down,
+        Button::Left,
+        Button::Right,
+        Button::A,
+        Button::B,
+        Button::Start,
+        Button::Select,
+    ];
+}
+
+impl fmt::Display for Button {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Button::Up => "Up",
+            Button::Down => "Down",
+            Button::Left => "Left",
+            Button::Right => "Right",
+            Button::A => "A",
+            Button::B => "B",
+            Button::Start => "Start",
+            Button::Select => "Select",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A player slot on the virtual arcade board (0–3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Player(pub u8);
+
+impl Player {
+    /// Player one.
+    pub const ONE: Player = Player(0);
+    /// Player two.
+    pub const TWO: Player = Player(1);
+
+    /// The maximum number of player slots on the board.
+    pub const MAX: usize = 4;
+
+    fn shift(self) -> u32 {
+        debug_assert!((self.0 as usize) < Player::MAX);
+        (self.0 as u32) * 8
+    }
+}
+
+impl fmt::Display for Player {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0 + 1)
+    }
+}
+
+/// The complete input to one frame: the paper's "binary string".
+///
+/// Bits `[8k, 8k+8)` belong to player `k`. The word is `Copy`, ordered, and
+/// hashable so it can live in input buffers and wire messages unchanged.
+///
+/// # Examples
+///
+/// ```
+/// use coplay_vm::{Button, InputWord, Player};
+///
+/// let mut word = InputWord::NONE;
+/// word.press(Player::ONE, Button::Left);
+/// word.press(Player::TWO, Button::A);
+/// assert!(word.is_pressed(Player::ONE, Button::Left));
+/// assert!(!word.is_pressed(Player::TWO, Button::Left));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct InputWord(pub u32);
+
+impl InputWord {
+    /// No buttons pressed anywhere.
+    pub const NONE: InputWord = InputWord(0);
+
+    /// Builds a word with only `player`'s byte set to `buttons`.
+    pub fn for_player(player: Player, buttons: u8) -> InputWord {
+        InputWord((buttons as u32) << player.shift())
+    }
+
+    /// Presses `button` for `player`.
+    pub fn press(&mut self, player: Player, button: Button) {
+        self.0 |= 1 << (player.shift() + button as u32);
+    }
+
+    /// Releases `button` for `player`.
+    pub fn release(&mut self, player: Player, button: Button) {
+        self.0 &= !(1 << (player.shift() + button as u32));
+    }
+
+    /// Whether `player` holds `button` this frame.
+    pub fn is_pressed(self, player: Player, button: Button) -> bool {
+        self.0 & (1 << (player.shift() + button as u32)) != 0
+    }
+
+    /// The byte of buttons held by `player`.
+    pub fn player_byte(self, player: Player) -> u8 {
+        (self.0 >> player.shift()) as u8
+    }
+
+    /// Bitwise union of two words (used to merge partial inputs).
+    pub fn merged(self, other: InputWord) -> InputWord {
+        InputWord(self.0 | other.0)
+    }
+
+    /// Keeps only the bits selected by `mask`.
+    pub fn masked(self, mask: u32) -> InputWord {
+        InputWord(self.0 & mask)
+    }
+}
+
+impl fmt::Display for InputWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:08x}", self.0)
+    }
+}
+
+impl From<u32> for InputWord {
+    fn from(v: u32) -> Self {
+        InputWord(v)
+    }
+}
+
+impl From<InputWord> for u32 {
+    fn from(w: InputWord) -> u32 {
+        w.0
+    }
+}
+
+/// The paper's `SET[k]`: which bits of the [`InputWord`] each site owns.
+///
+/// Sets are pairwise disjoint by construction: a player slot can be assigned
+/// to at most one site. Bits of unassigned players are the paper's `SET[-1]`
+/// and are stripped before reaching the game.
+///
+/// # Examples
+///
+/// ```
+/// use coplay_vm::{Button, InputWord, Player, PortMap};
+///
+/// let map = PortMap::two_player();
+/// let mut local = InputWord::NONE;
+/// local.press(Player::ONE, Button::A);
+/// local.press(Player::TWO, Button::B); // not ours — will be stripped
+///
+/// let mine = map.partial_input(0, local);
+/// assert!(mine.is_pressed(Player::ONE, Button::A));
+/// assert!(!mine.is_pressed(Player::TWO, Button::B));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortMap {
+    // owner[p] = site controlling player slot p, or None.
+    owner: [Option<u8>; Player::MAX],
+}
+
+impl PortMap {
+    /// A map with no assignments (every bit is `SET[-1]`).
+    pub fn empty() -> PortMap {
+        PortMap {
+            owner: [None; Player::MAX],
+        }
+    }
+
+    /// The classic configuration: site 0 plays P1, site 1 plays P2.
+    pub fn two_player() -> PortMap {
+        let mut m = PortMap::empty();
+        m.assign(0, Player::ONE);
+        m.assign(1, Player::TWO);
+        m
+    }
+
+    /// Each of the first `n` sites controls the player slot of its own index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > 4`.
+    pub fn one_per_site(n: usize) -> PortMap {
+        assert!(n <= Player::MAX, "at most {} player slots", Player::MAX);
+        let mut m = PortMap::empty();
+        for s in 0..n {
+            m.assign(s as u8, Player(s as u8));
+        }
+        m
+    }
+
+    /// Gives `site` control of `player`.
+    ///
+    /// Reassigning a player to a different site replaces the previous owner
+    /// (sets stay disjoint).
+    pub fn assign(&mut self, site: u8, player: Player) {
+        self.owner[player.0 as usize] = Some(site);
+    }
+
+    /// The bit mask of `SET[site]`.
+    pub fn site_mask(&self, site: u8) -> u32 {
+        let mut mask = 0u32;
+        for (p, owner) in self.owner.iter().enumerate() {
+            if *owner == Some(site) {
+                mask |= 0xFFu32 << (p * 8);
+            }
+        }
+        mask
+    }
+
+    /// The mask of bits owned by *any* site (complement of `SET[-1]`).
+    pub fn assigned_mask(&self) -> u32 {
+        let mut mask = 0u32;
+        for (p, owner) in self.owner.iter().enumerate() {
+            if owner.is_some() {
+                mask |= 0xFFu32 << (p * 8);
+            }
+        }
+        mask
+    }
+
+    /// Sites that own at least one bit, ascending.
+    pub fn sites(&self) -> Vec<u8> {
+        let mut v: Vec<u8> = self.owner.iter().flatten().copied().collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Player slots owned by `site`, ascending.
+    pub fn players_of(&self, site: u8) -> Vec<Player> {
+        (0..Player::MAX as u8)
+            .filter(|&p| self.owner[p as usize] == Some(site))
+            .map(Player)
+            .collect()
+    }
+
+    /// Extracts `site`'s partial input from a locally sampled word
+    /// (the paper's `I(SET[k])`).
+    pub fn partial_input(&self, site: u8, word: InputWord) -> InputWord {
+        word.masked(self.site_mask(site))
+    }
+
+    /// Merges partial inputs from all sites into the word fed to the game,
+    /// dropping any bit not owned by a site (`SET[-1]`).
+    pub fn merge<I: IntoIterator<Item = (u8, InputWord)>>(&self, partials: I) -> InputWord {
+        let mut out = InputWord::NONE;
+        for (site, partial) in partials {
+            out = out.merged(partial.masked(self.site_mask(site)));
+        }
+        out
+    }
+}
+
+impl Default for PortMap {
+    fn default() -> Self {
+        PortMap::two_player()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn press_release_roundtrip() {
+        let mut w = InputWord::NONE;
+        w.press(Player::TWO, Button::Start);
+        assert!(w.is_pressed(Player::TWO, Button::Start));
+        assert_eq!(w.player_byte(Player::TWO), 1 << 6);
+        w.release(Player::TWO, Button::Start);
+        assert_eq!(w, InputWord::NONE);
+    }
+
+    #[test]
+    fn player_bytes_do_not_interfere() {
+        let mut w = InputWord::NONE;
+        for b in Button::ALL {
+            w.press(Player::ONE, b);
+        }
+        assert_eq!(w.player_byte(Player::ONE), 0xFF);
+        assert_eq!(w.player_byte(Player::TWO), 0);
+    }
+
+    #[test]
+    fn two_player_masks_are_disjoint_and_cover_two_bytes() {
+        let m = PortMap::two_player();
+        assert_eq!(m.site_mask(0), 0x0000_00FF);
+        assert_eq!(m.site_mask(1), 0x0000_FF00);
+        assert_eq!(m.site_mask(0) & m.site_mask(1), 0);
+        assert_eq!(m.assigned_mask(), 0x0000_FFFF);
+    }
+
+    #[test]
+    fn reassignment_keeps_sets_disjoint() {
+        let mut m = PortMap::two_player();
+        m.assign(0, Player::TWO); // site 0 takes over P2
+        assert_eq!(m.site_mask(0), 0x0000_FFFF);
+        assert_eq!(m.site_mask(1), 0);
+    }
+
+    #[test]
+    fn unassigned_bits_are_stripped_on_merge() {
+        let m = PortMap::two_player();
+        let mut w0 = InputWord::NONE;
+        w0.press(Player::ONE, Button::A);
+        w0.press(Player(2), Button::A); // nobody owns P3
+        let merged = m.merge([(0, w0)]);
+        assert!(merged.is_pressed(Player::ONE, Button::A));
+        assert_eq!(merged.player_byte(Player(2)), 0);
+    }
+
+    #[test]
+    fn merge_combines_sites() {
+        let m = PortMap::two_player();
+        let w0 = InputWord::for_player(Player::ONE, 0b1);
+        let w1 = InputWord::for_player(Player::TWO, 0b10);
+        let merged = m.merge([(0, w0), (1, w1)]);
+        assert!(merged.is_pressed(Player::ONE, Button::Up));
+        assert!(merged.is_pressed(Player::TWO, Button::Down));
+    }
+
+    #[test]
+    fn partial_input_strips_foreign_bits() {
+        let m = PortMap::two_player();
+        let mut w = InputWord::NONE;
+        w.press(Player::ONE, Button::Left);
+        w.press(Player::TWO, Button::Right);
+        assert_eq!(m.partial_input(0, w).player_byte(Player::TWO), 0);
+        assert_eq!(m.partial_input(1, w).player_byte(Player::ONE), 0);
+    }
+
+    #[test]
+    fn one_per_site_and_queries() {
+        let m = PortMap::one_per_site(3);
+        assert_eq!(m.sites(), vec![0, 1, 2]);
+        assert_eq!(m.players_of(2), vec![Player(2)]);
+        assert_eq!(m.players_of(3), vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 4")]
+    fn one_per_site_rejects_too_many() {
+        let _ = PortMap::one_per_site(5);
+    }
+
+    #[test]
+    fn conversions_and_display() {
+        let w: InputWord = 0xDEAD_BEEFu32.into();
+        assert_eq!(u32::from(w), 0xDEAD_BEEF);
+        assert_eq!(format!("{w}"), "deadbeef");
+        assert_eq!(format!("{}", Player::TWO), "P2");
+        assert_eq!(format!("{}", Button::Select), "Select");
+    }
+}

@@ -1,0 +1,479 @@
+//! The instruction set of the coplay arcade console.
+//!
+//! A small, fixed-width (4-byte) 16-bit ISA, rich enough to write real
+//! games in (see `coplay-games`' ROM titles) and small enough to audit for
+//! determinism. [`Instruction`] round-trips through [`Instruction::encode`]
+//! and [`Instruction::decode`]; its `Display` impl doubles as the
+//! disassembler.
+
+use std::fmt;
+
+/// A register index `r0`–`r15`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// Validates and constructs a register index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx > 15`.
+    pub fn new(idx: u8) -> Reg {
+        assert!(idx < 16, "register index out of range: {idx}");
+        Reg(idx)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// System-call numbers accepted by `SYS`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Syscall {
+    /// Clear screen to colour `r1`.
+    Cls = 0,
+    /// Plot pixel at (`r1`,`r2`) colour `r3`.
+    Pix = 1,
+    /// Fill rect (`r1`,`r2`,`r3`×`r4`) colour `r5`.
+    Rect = 2,
+    /// Square-wave tone: freq `r1` Hz, `r2` frames, volume `r3`.
+    Tone = 3,
+    /// Draw decimal `r3` at (`r1`,`r2`) colour `r4`.
+    Num = 4,
+}
+
+impl Syscall {
+    /// Decodes a syscall number.
+    pub fn from_u8(v: u8) -> Option<Syscall> {
+        Some(match v {
+            0 => Syscall::Cls,
+            1 => Syscall::Pix,
+            2 => Syscall::Rect,
+            3 => Syscall::Tone,
+            4 => Syscall::Num,
+            _ => return None,
+        })
+    }
+}
+
+/// One decoded instruction.
+///
+/// # Examples
+///
+/// ```
+/// use coplay_vm::{Instruction, Reg};
+///
+/// let i = Instruction::Ldi(Reg(3), 0x1234);
+/// let bytes = i.encode();
+/// assert_eq!(Instruction::decode(bytes), Some(i));
+/// assert_eq!(i.to_string(), "ldi r3, 0x1234");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instruction {
+    /// Do nothing.
+    Nop,
+    /// Stop the CPU permanently.
+    Halt,
+    /// End the current video frame.
+    Yield,
+    /// `rd = imm`.
+    Ldi(Reg, u16),
+    /// `rd = rs`.
+    Mov(Reg, Reg),
+    /// `rd += rs` (wrapping).
+    Add(Reg, Reg),
+    /// `rd -= rs` (wrapping).
+    Sub(Reg, Reg),
+    /// `rd *= rs` (wrapping).
+    Mul(Reg, Reg),
+    /// `rd /= rs`; division by zero yields `0xFFFF`.
+    Div(Reg, Reg),
+    /// `rd %= rs`; modulo by zero yields `0`.
+    Modu(Reg, Reg),
+    /// `rd &= rs`.
+    And(Reg, Reg),
+    /// `rd |= rs`.
+    Or(Reg, Reg),
+    /// `rd ^= rs`.
+    Xor(Reg, Reg),
+    /// `rd <<= imm & 15`.
+    Shli(Reg, u16),
+    /// `rd >>= imm & 15` (logical).
+    Shri(Reg, u16),
+    /// `rd += imm` (wrapping).
+    Addi(Reg, u16),
+    /// `rd -= imm` (wrapping).
+    Subi(Reg, u16),
+    /// `rd = -rd` (two's complement).
+    Neg(Reg),
+    /// Set flags from `rd - rs`.
+    Cmp(Reg, Reg),
+    /// Set flags from `rd - imm`.
+    Cmpi(Reg, u16),
+    /// Unconditional jump.
+    Jmp(u16),
+    /// Jump if zero flag.
+    Jz(u16),
+    /// Jump if not zero flag.
+    Jnz(u16),
+    /// Jump if signed less-than flag.
+    Jlt(u16),
+    /// Jump if not signed less-than.
+    Jge(u16),
+    /// Push return address, jump.
+    Call(u16),
+    /// Pop return address, jump back.
+    Ret,
+    /// `rd = word at [rs + off]`.
+    Ldw(Reg, Reg, u8),
+    /// `word at [rd + off] = rs`.
+    Stw(Reg, Reg, u8),
+    /// `rd = byte at [rs + off]` (zero-extended).
+    Ldb(Reg, Reg, u8),
+    /// `byte at [rd + off] = low byte of rs`.
+    Stb(Reg, Reg, u8),
+    /// Push `rs`.
+    Push(Reg),
+    /// Pop into `rd`.
+    Pop(Reg),
+    /// `rd = input/frame port`.
+    In(Reg, u8),
+    /// `rd = next pseudo-random` (deterministic LCG).
+    Rnd(Reg),
+    /// Invoke a [`Syscall`].
+    Sys(Syscall),
+}
+
+/// Size of every encoded instruction, in bytes.
+pub const INSTR_SIZE: u16 = 4;
+
+// Opcode bytes. Grouped by shape for decoder clarity.
+mod op {
+    pub const NOP: u8 = 0x00;
+    pub const HALT: u8 = 0x01;
+    pub const YIELD: u8 = 0x02;
+    pub const LDI: u8 = 0x10;
+    pub const MOV: u8 = 0x11;
+    pub const ADD: u8 = 0x12;
+    pub const SUB: u8 = 0x13;
+    pub const MUL: u8 = 0x14;
+    pub const AND: u8 = 0x15;
+    pub const OR: u8 = 0x16;
+    pub const XOR: u8 = 0x17;
+    pub const SHLI: u8 = 0x18;
+    pub const SHRI: u8 = 0x19;
+    pub const ADDI: u8 = 0x1A;
+    pub const SUBI: u8 = 0x1B;
+    pub const NEG: u8 = 0x1C;
+    pub const DIV: u8 = 0x1D;
+    pub const MODU: u8 = 0x1E;
+    pub const CMP: u8 = 0x20;
+    pub const CMPI: u8 = 0x21;
+    pub const JMP: u8 = 0x30;
+    pub const JZ: u8 = 0x31;
+    pub const JNZ: u8 = 0x32;
+    pub const JLT: u8 = 0x33;
+    pub const JGE: u8 = 0x34;
+    pub const CALL: u8 = 0x35;
+    pub const RET: u8 = 0x36;
+    pub const LDW: u8 = 0x40;
+    pub const STW: u8 = 0x41;
+    pub const LDB: u8 = 0x42;
+    pub const STB: u8 = 0x43;
+    pub const PUSH: u8 = 0x44;
+    pub const POP: u8 = 0x45;
+    pub const IN: u8 = 0x50;
+    pub const RND: u8 = 0x51;
+    pub const SYS: u8 = 0x60;
+}
+
+impl Instruction {
+    /// Encodes to the fixed 4-byte wire form.
+    pub fn encode(self) -> [u8; 4] {
+        use Instruction::*;
+        let (o, a, b, c) = match self {
+            Nop => (op::NOP, 0, 0, 0),
+            Halt => (op::HALT, 0, 0, 0),
+            Yield => (op::YIELD, 0, 0, 0),
+            Ldi(rd, imm) => (op::LDI, rd.0, imm as u8, (imm >> 8) as u8),
+            Mov(rd, rs) => (op::MOV, rd.0, rs.0, 0),
+            Add(rd, rs) => (op::ADD, rd.0, rs.0, 0),
+            Sub(rd, rs) => (op::SUB, rd.0, rs.0, 0),
+            Mul(rd, rs) => (op::MUL, rd.0, rs.0, 0),
+            Div(rd, rs) => (op::DIV, rd.0, rs.0, 0),
+            Modu(rd, rs) => (op::MODU, rd.0, rs.0, 0),
+            And(rd, rs) => (op::AND, rd.0, rs.0, 0),
+            Or(rd, rs) => (op::OR, rd.0, rs.0, 0),
+            Xor(rd, rs) => (op::XOR, rd.0, rs.0, 0),
+            Shli(rd, imm) => (op::SHLI, rd.0, imm as u8, (imm >> 8) as u8),
+            Shri(rd, imm) => (op::SHRI, rd.0, imm as u8, (imm >> 8) as u8),
+            Addi(rd, imm) => (op::ADDI, rd.0, imm as u8, (imm >> 8) as u8),
+            Subi(rd, imm) => (op::SUBI, rd.0, imm as u8, (imm >> 8) as u8),
+            Neg(rd) => (op::NEG, rd.0, 0, 0),
+            Cmp(rd, rs) => (op::CMP, rd.0, rs.0, 0),
+            Cmpi(rd, imm) => (op::CMPI, rd.0, imm as u8, (imm >> 8) as u8),
+            Jmp(a16) => (op::JMP, 0, a16 as u8, (a16 >> 8) as u8),
+            Jz(a16) => (op::JZ, 0, a16 as u8, (a16 >> 8) as u8),
+            Jnz(a16) => (op::JNZ, 0, a16 as u8, (a16 >> 8) as u8),
+            Jlt(a16) => (op::JLT, 0, a16 as u8, (a16 >> 8) as u8),
+            Jge(a16) => (op::JGE, 0, a16 as u8, (a16 >> 8) as u8),
+            Call(a16) => (op::CALL, 0, a16 as u8, (a16 >> 8) as u8),
+            Ret => (op::RET, 0, 0, 0),
+            Ldw(rd, rs, off) => (op::LDW, pack(rd, rs), off, 0),
+            Stw(rd, rs, off) => (op::STW, pack(rd, rs), off, 0),
+            Ldb(rd, rs, off) => (op::LDB, pack(rd, rs), off, 0),
+            Stb(rd, rs, off) => (op::STB, pack(rd, rs), off, 0),
+            Push(rs) => (op::PUSH, rs.0, 0, 0),
+            Pop(rd) => (op::POP, rd.0, 0, 0),
+            In(rd, port) => (op::IN, rd.0, port, 0),
+            Rnd(rd) => (op::RND, rd.0, 0, 0),
+            Sys(n) => (op::SYS, n as u8, 0, 0),
+        };
+        [o, a, b, c]
+    }
+
+    /// Decodes a 4-byte wire form; `None` for illegal encodings.
+    pub fn decode(bytes: [u8; 4]) -> Option<Instruction> {
+        use Instruction::*;
+        let [o, a, b, c] = bytes;
+        let imm = u16::from_le_bytes([b, c]);
+        let rd = || -> Option<Reg> { (a < 16).then_some(Reg(a)) };
+        let rr = || -> Option<(Reg, Reg)> { (a < 16 && b < 16).then_some((Reg(a), Reg(b))) };
+        Some(match o {
+            op::NOP => Nop,
+            op::HALT => Halt,
+            op::YIELD => Yield,
+            op::LDI => Ldi(rd()?, imm),
+            op::MOV => {
+                let (d, s) = rr()?;
+                Mov(d, s)
+            }
+            op::ADD => {
+                let (d, s) = rr()?;
+                Add(d, s)
+            }
+            op::SUB => {
+                let (d, s) = rr()?;
+                Sub(d, s)
+            }
+            op::MUL => {
+                let (d, s) = rr()?;
+                Mul(d, s)
+            }
+            op::DIV => {
+                let (d, s) = rr()?;
+                Div(d, s)
+            }
+            op::MODU => {
+                let (d, s) = rr()?;
+                Modu(d, s)
+            }
+            op::AND => {
+                let (d, s) = rr()?;
+                And(d, s)
+            }
+            op::OR => {
+                let (d, s) = rr()?;
+                Or(d, s)
+            }
+            op::XOR => {
+                let (d, s) = rr()?;
+                Xor(d, s)
+            }
+            op::SHLI => Shli(rd()?, imm),
+            op::SHRI => Shri(rd()?, imm),
+            op::ADDI => Addi(rd()?, imm),
+            op::SUBI => Subi(rd()?, imm),
+            op::NEG => Neg(rd()?),
+            op::CMP => {
+                let (d, s) = rr()?;
+                Cmp(d, s)
+            }
+            op::CMPI => Cmpi(rd()?, imm),
+            op::JMP => Jmp(imm),
+            op::JZ => Jz(imm),
+            op::JNZ => Jnz(imm),
+            op::JLT => Jlt(imm),
+            op::JGE => Jge(imm),
+            op::CALL => Call(imm),
+            op::RET => Ret,
+            op::LDW => {
+                let (d, s) = unpack(a)?;
+                Ldw(d, s, b)
+            }
+            op::STW => {
+                let (d, s) = unpack(a)?;
+                Stw(d, s, b)
+            }
+            op::LDB => {
+                let (d, s) = unpack(a)?;
+                Ldb(d, s, b)
+            }
+            op::STB => {
+                let (d, s) = unpack(a)?;
+                Stb(d, s, b)
+            }
+            op::PUSH => Push(rd()?),
+            op::POP => Pop(rd()?),
+            op::IN => In(rd()?, b),
+            op::RND => Rnd(rd()?),
+            op::SYS => Sys(Syscall::from_u8(a)?),
+            _ => return None,
+        })
+    }
+}
+
+fn pack(a: Reg, b: Reg) -> u8 {
+    (a.0 << 4) | (b.0 & 0x0F)
+}
+
+fn unpack(v: u8) -> Option<(Reg, Reg)> {
+    Some((Reg(v >> 4), Reg(v & 0x0F)))
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Instruction::*;
+        match self {
+            Nop => write!(f, "nop"),
+            Halt => write!(f, "halt"),
+            Yield => write!(f, "yield"),
+            Ldi(d, i) => write!(f, "ldi {d}, 0x{i:04x}"),
+            Mov(d, s) => write!(f, "mov {d}, {s}"),
+            Add(d, s) => write!(f, "add {d}, {s}"),
+            Sub(d, s) => write!(f, "sub {d}, {s}"),
+            Mul(d, s) => write!(f, "mul {d}, {s}"),
+            Div(d, s) => write!(f, "div {d}, {s}"),
+            Modu(d, s) => write!(f, "modu {d}, {s}"),
+            And(d, s) => write!(f, "and {d}, {s}"),
+            Or(d, s) => write!(f, "or {d}, {s}"),
+            Xor(d, s) => write!(f, "xor {d}, {s}"),
+            Shli(d, i) => write!(f, "shli {d}, {i}"),
+            Shri(d, i) => write!(f, "shri {d}, {i}"),
+            Addi(d, i) => write!(f, "addi {d}, {i}"),
+            Subi(d, i) => write!(f, "subi {d}, {i}"),
+            Neg(d) => write!(f, "neg {d}"),
+            Cmp(d, s) => write!(f, "cmp {d}, {s}"),
+            Cmpi(d, i) => write!(f, "cmpi {d}, {i}"),
+            Jmp(a) => write!(f, "jmp 0x{a:04x}"),
+            Jz(a) => write!(f, "jz 0x{a:04x}"),
+            Jnz(a) => write!(f, "jnz 0x{a:04x}"),
+            Jlt(a) => write!(f, "jlt 0x{a:04x}"),
+            Jge(a) => write!(f, "jge 0x{a:04x}"),
+            Call(a) => write!(f, "call 0x{a:04x}"),
+            Ret => write!(f, "ret"),
+            Ldw(d, s, o) => write!(f, "ldw {d}, [{s}+{o}]"),
+            Stw(d, s, o) => write!(f, "stw [{d}+{o}], {s}"),
+            Ldb(d, s, o) => write!(f, "ldb {d}, [{s}+{o}]"),
+            Stb(d, s, o) => write!(f, "stb [{d}+{o}], {s}"),
+            Push(s) => write!(f, "push {s}"),
+            Pop(d) => write!(f, "pop {d}"),
+            In(d, p) => write!(f, "in {d}, {p}"),
+            Rnd(d) => write!(f, "rnd {d}"),
+            Sys(n) => write!(f, "sys {}", *n as u8),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_samples() -> Vec<Instruction> {
+        use Instruction::*;
+        vec![
+            Nop,
+            Halt,
+            Yield,
+            Ldi(Reg(1), 0xBEEF),
+            Mov(Reg(2), Reg(3)),
+            Add(Reg(4), Reg(5)),
+            Sub(Reg(6), Reg(7)),
+            Mul(Reg(8), Reg(9)),
+            Div(Reg(1), Reg(2)),
+            Modu(Reg(3), Reg(4)),
+            And(Reg(10), Reg(11)),
+            Or(Reg(12), Reg(13)),
+            Xor(Reg(14), Reg(15)),
+            Shli(Reg(0), 3),
+            Shri(Reg(1), 12),
+            Addi(Reg(2), 999),
+            Subi(Reg(3), 1),
+            Neg(Reg(4)),
+            Cmp(Reg(5), Reg(6)),
+            Cmpi(Reg(7), 0x8000),
+            Jmp(0x0100),
+            Jz(0x0104),
+            Jnz(0x0108),
+            Jlt(0x010C),
+            Jge(0x0110),
+            Call(0x0200),
+            Ret,
+            Ldw(Reg(1), Reg(2), 4),
+            Stw(Reg(3), Reg(4), 8),
+            Ldb(Reg(5), Reg(6), 0),
+            Stb(Reg(7), Reg(8), 255),
+            Push(Reg(9)),
+            Pop(Reg(10)),
+            In(Reg(11), 2),
+            Rnd(Reg(12)),
+            Sys(Syscall::Rect),
+        ]
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for i in all_samples() {
+            assert_eq!(Instruction::decode(i.encode()), Some(i), "{i}");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_unknown_opcode() {
+        assert_eq!(Instruction::decode([0xFF, 0, 0, 0]), None);
+        assert_eq!(Instruction::decode([0x03, 0, 0, 0]), None);
+    }
+
+    #[test]
+    fn decode_rejects_bad_register() {
+        // LDI with register 16.
+        assert_eq!(Instruction::decode([0x10, 16, 0, 0]), None);
+        // MOV with second register out of range.
+        assert_eq!(Instruction::decode([0x11, 0, 16, 0]), None);
+    }
+
+    #[test]
+    fn decode_rejects_bad_syscall() {
+        assert_eq!(Instruction::decode([0x60, 99, 0, 0]), None);
+    }
+
+    #[test]
+    fn display_is_nonempty_for_all() {
+        for i in all_samples() {
+            assert!(!i.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn immediate_encoding_is_little_endian() {
+        let bytes = Instruction::Ldi(Reg(0), 0x1234).encode();
+        assert_eq!(&bytes[2..], &[0x34, 0x12]);
+    }
+
+    #[test]
+    #[should_panic(expected = "register index out of range")]
+    fn reg_new_validates() {
+        let _ = Reg::new(16);
+    }
+
+    #[test]
+    fn syscall_decoding() {
+        assert_eq!(Syscall::from_u8(0), Some(Syscall::Cls));
+        assert_eq!(Syscall::from_u8(4), Some(Syscall::Num));
+        assert_eq!(Syscall::from_u8(5), None);
+    }
+}

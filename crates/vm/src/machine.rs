@@ -1,0 +1,329 @@
+//! The game-transparent machine abstraction.
+//!
+//! §2 of the paper: "state transition is a black box to this work. We do not
+//! seek to modify the game behavior nor sneak into the game itself…". The
+//! sync layer only ever sees this trait — a deterministic frame-step driven
+//! by an [`InputWord`] — which is precisely what makes the approach *game
+//! transparent*: anything implementing [`Machine`] is instantly playable
+//! over the network.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::input::InputWord;
+use crate::video::FrameBuffer;
+
+/// Static facts about a machine (the "ROM header").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineInfo {
+    /// Human-readable title.
+    pub title: String,
+    /// Number of player slots the game reads.
+    pub players: u8,
+    /// The constant frame rate the game is authored for (the paper's CFPS;
+    /// "normally 60").
+    pub cfps: u32,
+}
+
+impl MachineInfo {
+    /// Convenience constructor for the common 60 FPS case.
+    pub fn new(title: impl Into<String>, players: u8) -> MachineInfo {
+        MachineInfo {
+            title: title.into(),
+            players,
+            cfps: 60,
+        }
+    }
+}
+
+impl fmt::Display for MachineInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}P @ {}fps)", self.title, self.players, self.cfps)
+    }
+}
+
+/// Error restoring a machine from a serialized state snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StateError {
+    /// The snapshot is shorter than the format requires.
+    Truncated {
+        /// Bytes required.
+        expected: usize,
+        /// Bytes supplied.
+        actual: usize,
+    },
+    /// The snapshot does not carry the expected magic/version tag.
+    BadMagic,
+    /// The snapshot belongs to a different machine or ROM.
+    WrongMachine,
+}
+
+impl fmt::Display for StateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StateError::Truncated { expected, actual } => {
+                write!(f, "state snapshot truncated: need {expected} bytes, got {actual}")
+            }
+            StateError::BadMagic => write!(f, "state snapshot has an unrecognized header"),
+            StateError::WrongMachine => write!(f, "state snapshot is for a different machine"),
+        }
+    }
+}
+
+impl Error for StateError {}
+
+/// A deterministic, frame-stepped game machine.
+///
+/// # Determinism contract
+///
+/// This trait encodes the assumption the paper states in §5: *"with the same
+/// initial state and same input sequence, the VM always produces the same
+/// sequence of output states."* Implementations must not read wall clocks,
+/// OS randomness, thread timing, or any other host-dependent source; any
+/// pseudo-randomness must be seeded from state that [`Machine::save_state`]
+/// captures. Floating point should be avoided (or used in ways that are
+/// bit-stable across platforms).
+///
+/// Violating the contract breaks replica convergence — the sync layer
+/// detects this via [`Machine::state_hash`] mismatches but cannot repair it.
+///
+/// # Examples
+///
+/// Stepping a machine and checking convergence of two replicas:
+///
+/// ```
+/// use coplay_vm::{InputWord, Machine, NullMachine};
+///
+/// let mut a = NullMachine::default();
+/// let mut b = NullMachine::default();
+/// for f in 0..100u32 {
+///     let input = InputWord(f % 3);
+///     a.step_frame(input);
+///     b.step_frame(input);
+/// }
+/// assert_eq!(a.state_hash(), b.state_hash());
+/// ```
+pub trait Machine {
+    /// Static information about the game.
+    fn info(&self) -> MachineInfo;
+
+    /// Returns the machine to its initial (power-on) state.
+    fn reset(&mut self);
+
+    /// Advances exactly one frame under `input`.
+    fn step_frame(&mut self, input: InputWord);
+
+    /// Number of frames executed since reset.
+    fn frame(&self) -> u64;
+
+    /// The video output of the last completed frame.
+    fn framebuffer(&self) -> &FrameBuffer;
+
+    /// The audio samples of the last completed frame (may be empty for
+    /// silent machines).
+    fn audio_samples(&self) -> &[i16] {
+        &[]
+    }
+
+    /// A digest of the complete game state. Two replicas that have executed
+    /// the same inputs from the same initial state must return equal hashes.
+    fn state_hash(&self) -> u64;
+
+    /// Serializes the complete game state (for latecomer joins and saves).
+    fn save_state(&self) -> Vec<u8>;
+
+    /// Restores state captured by [`Machine::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StateError`] if the snapshot is malformed or belongs to a
+    /// different machine.
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), StateError>;
+}
+
+impl<M: Machine + ?Sized> Machine for Box<M> {
+    fn info(&self) -> MachineInfo {
+        (**self).info()
+    }
+    fn reset(&mut self) {
+        (**self).reset()
+    }
+    fn step_frame(&mut self, input: InputWord) {
+        (**self).step_frame(input)
+    }
+    fn frame(&self) -> u64 {
+        (**self).frame()
+    }
+    fn framebuffer(&self) -> &FrameBuffer {
+        (**self).framebuffer()
+    }
+    fn audio_samples(&self) -> &[i16] {
+        (**self).audio_samples()
+    }
+    fn state_hash(&self) -> u64 {
+        (**self).state_hash()
+    }
+    fn save_state(&self) -> Vec<u8> {
+        (**self).save_state()
+    }
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), StateError> {
+        (**self).load_state(bytes)
+    }
+}
+
+/// A trivial [`Machine`] for tests and examples: its state is a counter and
+/// a running hash of every input it has consumed.
+#[derive(Debug, Clone, Default)]
+pub struct NullMachine {
+    frame: u64,
+    digest: u64,
+    fb: Option<FrameBuffer>,
+}
+
+impl NullMachine {
+    /// Creates a fresh machine.
+    pub fn new() -> NullMachine {
+        NullMachine::default()
+    }
+
+    fn fb(&self) -> &FrameBuffer {
+        // Lazily materialized 8x8 buffer; NullMachine never draws.
+        self.fb.as_ref().expect("framebuffer initialized on first step")
+    }
+}
+
+impl Machine for NullMachine {
+    fn info(&self) -> MachineInfo {
+        MachineInfo::new("Null", 2)
+    }
+
+    fn reset(&mut self) {
+        self.frame = 0;
+        self.digest = 0;
+    }
+
+    fn step_frame(&mut self, input: InputWord) {
+        if self.fb.is_none() {
+            self.fb = Some(FrameBuffer::new(8, 8));
+        }
+        let mut h = crate::hash::StateHasher::new();
+        h.write_u64(self.digest);
+        h.write(&input.0.to_le_bytes());
+        self.digest = h.finish();
+        self.frame += 1;
+    }
+
+    fn frame(&self) -> u64 {
+        self.frame
+    }
+
+    fn framebuffer(&self) -> &FrameBuffer {
+        if self.fb.is_none() {
+            // A reset machine that never stepped still owes a framebuffer.
+            static EMPTY: std::sync::OnceLock<FrameBuffer> = std::sync::OnceLock::new();
+            return EMPTY.get_or_init(|| FrameBuffer::new(8, 8));
+        }
+        self.fb()
+    }
+
+    fn state_hash(&self) -> u64 {
+        let mut h = crate::hash::StateHasher::new();
+        h.write_u64(self.frame);
+        h.write_u64(self.digest);
+        h.finish()
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(16);
+        v.extend_from_slice(&self.frame.to_le_bytes());
+        v.extend_from_slice(&self.digest.to_le_bytes());
+        v
+    }
+
+    fn load_state(&mut self, bytes: &[u8]) -> Result<(), StateError> {
+        if bytes.len() < 16 {
+            return Err(StateError::Truncated {
+                expected: 16,
+                actual: bytes.len(),
+            });
+        }
+        self.frame = u64::from_le_bytes(bytes[0..8].try_into().expect("len 8"));
+        self.digest = u64::from_le_bytes(bytes[8..16].try_into().expect("len 8"));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_machine_is_deterministic() {
+        let mut a = NullMachine::new();
+        let mut b = NullMachine::new();
+        for i in 0..50u32 {
+            a.step_frame(InputWord(i));
+            b.step_frame(InputWord(i));
+        }
+        assert_eq!(a.state_hash(), b.state_hash());
+        assert_eq!(a.frame(), 50);
+    }
+
+    #[test]
+    fn null_machine_diverges_on_different_inputs() {
+        let mut a = NullMachine::new();
+        let mut b = NullMachine::new();
+        a.step_frame(InputWord(1));
+        b.step_frame(InputWord(2));
+        assert_ne!(a.state_hash(), b.state_hash());
+    }
+
+    #[test]
+    fn reset_restores_initial_hash() {
+        let mut a = NullMachine::new();
+        let initial = a.state_hash();
+        a.step_frame(InputWord(7));
+        assert_ne!(a.state_hash(), initial);
+        a.reset();
+        assert_eq!(a.state_hash(), initial);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let mut a = NullMachine::new();
+        for i in 0..10u32 {
+            a.step_frame(InputWord(i));
+        }
+        let snapshot = a.save_state();
+        let mut b = NullMachine::new();
+        b.load_state(&snapshot).unwrap();
+        assert_eq!(a.state_hash(), b.state_hash());
+        assert_eq!(b.frame(), 10);
+    }
+
+    #[test]
+    fn load_rejects_truncated() {
+        let mut m = NullMachine::new();
+        let err = m.load_state(&[1, 2, 3]).unwrap_err();
+        assert_eq!(
+            err,
+            StateError::Truncated {
+                expected: 16,
+                actual: 3
+            }
+        );
+        assert!(err.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn framebuffer_available_before_first_step() {
+        let m = NullMachine::new();
+        assert_eq!(m.framebuffer().width(), 8);
+    }
+
+    #[test]
+    fn machine_info_display() {
+        let info = MachineInfo::new("Test Game", 2);
+        assert_eq!(info.to_string(), "Test Game (2P @ 60fps)");
+    }
+}

@@ -1,0 +1,341 @@
+//! Game cartridge images for the coplay console.
+//!
+//! A [`Rom`] is what the paper calls the *game image*: both players must
+//! load the identical image so the replicas share an initial state. The
+//! session handshake compares [`Rom::content_hash`] across sites before
+//! starting (§3.1: "we replicate the game image to ensure that the VMs start
+//! from the same initial state").
+
+use std::error::Error;
+use std::fmt;
+
+use crate::hash::fnv1a;
+
+/// Magic bytes prefixing a serialized ROM.
+const MAGIC: &[u8; 6] = b"CPROM1";
+
+/// A cartridge: metadata plus the memory image loaded at address 0.
+///
+/// # Examples
+///
+/// ```
+/// use coplay_vm::Rom;
+///
+/// let rom = Rom::builder("Demo")
+///     .players(2)
+///     .seed(7)
+///     .image(vec![0x02, 0, 0, 0]) // yield
+///     .build();
+/// let bytes = rom.to_bytes();
+/// let back = Rom::from_bytes(&bytes)?;
+/// assert_eq!(back.content_hash(), rom.content_hash());
+/// # Ok::<(), coplay_vm::RomError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rom {
+    title: String,
+    players: u8,
+    cfps: u32,
+    seed: u32,
+    entry: u16,
+    image: Vec<u8>,
+}
+
+/// Builder for [`Rom`] values.
+#[derive(Debug, Clone)]
+pub struct RomBuilder {
+    rom: Rom,
+}
+
+impl Rom {
+    /// Starts building a ROM titled `title`.
+    pub fn builder(title: impl Into<String>) -> RomBuilder {
+        RomBuilder {
+            rom: Rom {
+                title: title.into(),
+                players: 2,
+                cfps: 60,
+                seed: 0,
+                entry: 0,
+                image: Vec::new(),
+            },
+        }
+    }
+
+    /// The game's title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of player slots the game reads.
+    pub fn players(&self) -> u8 {
+        self.players
+    }
+
+    /// The frame rate the game is authored for.
+    pub fn cfps(&self) -> u32 {
+        self.cfps
+    }
+
+    /// Seed for the console's deterministic RNG.
+    pub fn seed(&self) -> u32 {
+        self.seed
+    }
+
+    /// Initial program counter.
+    pub fn entry(&self) -> u16 {
+        self.entry
+    }
+
+    /// The memory image loaded at address 0.
+    pub fn image(&self) -> &[u8] {
+        &self.image
+    }
+
+    /// A digest covering every byte that affects execution. Equal hashes ⇒
+    /// identical initial machine states.
+    pub fn content_hash(&self) -> u64 {
+        fnv1a(&self.to_bytes())
+    }
+
+    /// Serializes the ROM for distribution.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let title = self.title.as_bytes();
+        let mut out = Vec::with_capacity(MAGIC.len() + 16 + title.len() + self.image.len());
+        out.extend_from_slice(MAGIC);
+        out.push(self.players);
+        out.extend_from_slice(&self.cfps.to_le_bytes());
+        out.extend_from_slice(&self.seed.to_le_bytes());
+        out.extend_from_slice(&self.entry.to_le_bytes());
+        out.extend_from_slice(&(title.len() as u16).to_le_bytes());
+        out.extend_from_slice(title);
+        out.extend_from_slice(&(self.image.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.image);
+        out
+    }
+
+    /// Parses a ROM serialized by [`Rom::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RomError`] on bad magic, truncation, or oversized images.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Rom, RomError> {
+        let mut r = Reader { bytes, pos: 0 };
+        if r.take(MAGIC.len())? != MAGIC {
+            return Err(RomError::BadMagic);
+        }
+        let players = r.u8()?;
+        let cfps = r.u32()?;
+        let seed = r.u32()?;
+        let entry = r.u16()?;
+        let title_len = r.u16()? as usize;
+        let title = String::from_utf8(r.take(title_len)?.to_vec())
+            .map_err(|_| RomError::BadTitle)?;
+        let image_len = r.u32()? as usize;
+        if image_len > crate::cpu::MEM_SIZE {
+            return Err(RomError::ImageTooLarge(image_len));
+        }
+        let image = r.take(image_len)?.to_vec();
+        Ok(Rom {
+            title,
+            players,
+            cfps,
+            seed,
+            entry,
+            image,
+        })
+    }
+}
+
+impl fmt::Display for Rom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}P, {}fps, {} bytes]",
+            self.title,
+            self.players,
+            self.cfps,
+            self.image.len()
+        )
+    }
+}
+
+impl RomBuilder {
+    /// Sets the number of players (default 2).
+    pub fn players(mut self, players: u8) -> Self {
+        self.rom.players = players;
+        self
+    }
+
+    /// Sets the frame rate (default 60).
+    pub fn cfps(mut self, cfps: u32) -> Self {
+        self.rom.cfps = cfps.max(1);
+        self
+    }
+
+    /// Sets the RNG seed (default 0).
+    pub fn seed(mut self, seed: u32) -> Self {
+        self.rom.seed = seed;
+        self
+    }
+
+    /// Sets the entry point (default 0).
+    pub fn entry(mut self, entry: u16) -> Self {
+        self.rom.entry = entry;
+        self
+    }
+
+    /// Sets the memory image.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image exceeds the console's 64 KiB address space.
+    pub fn image(mut self, image: Vec<u8>) -> Self {
+        assert!(
+            image.len() <= crate::cpu::MEM_SIZE,
+            "image exceeds 64 KiB address space"
+        );
+        self.rom.image = image;
+        self
+    }
+
+    /// Finishes the ROM.
+    pub fn build(self) -> Rom {
+        self.rom
+    }
+}
+
+/// Errors parsing a serialized [`Rom`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RomError {
+    /// Missing or wrong magic prefix.
+    BadMagic,
+    /// Input ended before the advertised field lengths.
+    Truncated,
+    /// Title bytes are not valid UTF-8.
+    BadTitle,
+    /// Image length exceeds the 64 KiB address space.
+    ImageTooLarge(usize),
+}
+
+impl fmt::Display for RomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RomError::BadMagic => write!(f, "not a coplay ROM (bad magic)"),
+            RomError::Truncated => write!(f, "ROM data truncated"),
+            RomError::BadTitle => write!(f, "ROM title is not valid UTF-8"),
+            RomError::ImageTooLarge(n) => write!(f, "ROM image of {n} bytes exceeds 64 KiB"),
+        }
+    }
+}
+
+impl Error for RomError {}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], RomError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(RomError::Truncated);
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, RomError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, RomError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+    fn u32(&mut self) -> Result<u32, RomError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Rom {
+        Rom::builder("Space Duel")
+            .players(2)
+            .cfps(60)
+            .seed(0xDEAD)
+            .entry(0x0010)
+            .image(vec![1, 2, 3, 4, 5])
+            .build()
+    }
+
+    #[test]
+    fn builder_sets_fields() {
+        let r = sample();
+        assert_eq!(r.title(), "Space Duel");
+        assert_eq!(r.players(), 2);
+        assert_eq!(r.cfps(), 60);
+        assert_eq!(r.seed(), 0xDEAD);
+        assert_eq!(r.entry(), 0x0010);
+        assert_eq!(r.image(), &[1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn serialize_roundtrip() {
+        let r = sample();
+        assert_eq!(Rom::from_bytes(&r.to_bytes()).unwrap(), r);
+    }
+
+    #[test]
+    fn hash_is_content_sensitive() {
+        let a = sample();
+        let b = Rom::builder("Space Duel")
+            .players(2)
+            .cfps(60)
+            .seed(0xDEAD)
+            .entry(0x0010)
+            .image(vec![1, 2, 3, 4, 6])
+            .build();
+        assert_ne!(a.content_hash(), b.content_hash());
+        assert_eq!(a.content_hash(), sample().content_hash());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(Rom::from_bytes(b"NOTROM_xxxx"), Err(RomError::BadMagic));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes.truncate(bytes.len() - 2);
+        assert_eq!(Rom::from_bytes(&bytes), Err(RomError::Truncated));
+    }
+
+    #[test]
+    fn invalid_utf8_title_rejected() {
+        let mut bytes = sample().to_bytes();
+        // Title begins after magic(6)+players(1)+cfps(4)+seed(4)+entry(2)+len(2)=19.
+        bytes[19] = 0xFF;
+        bytes[20] = 0xFE;
+        assert_eq!(Rom::from_bytes(&bytes), Err(RomError::BadTitle));
+    }
+
+    #[test]
+    #[should_panic(expected = "64 KiB")]
+    fn oversized_image_panics_in_builder() {
+        let _ = Rom::builder("big").image(vec![0; 0x10001]);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(sample().to_string(), "Space Duel [2P, 60fps, 5 bytes]");
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(RomError::Truncated.to_string().contains("truncated"));
+        assert!(RomError::ImageTooLarge(99999).to_string().contains("99999"));
+    }
+}

@@ -1,0 +1,357 @@
+//! The virtual video device: an indexed-colour framebuffer.
+//!
+//! Legacy arcade boards render into small palettized framebuffers; the VM
+//! "translates [game outputs] into target platform dependent outputs" (§2).
+//! [`FrameBuffer`] is the source-platform output; translation targets here
+//! are raw RGB ([`FrameBuffer::to_rgb`]) and terminal art
+//! ([`FrameBuffer::to_ascii`]) for the examples.
+
+use std::fmt;
+
+/// Default framebuffer width in pixels.
+pub const WIDTH: usize = 160;
+/// Default framebuffer height in pixels.
+pub const HEIGHT: usize = 120;
+
+/// The 16-colour master palette (RGB), loosely the classic EGA ramp.
+pub const PALETTE: [(u8, u8, u8); 16] = [
+    (0x00, 0x00, 0x00), // 0 black
+    (0x00, 0x00, 0xAA), // 1 blue
+    (0x00, 0xAA, 0x00), // 2 green
+    (0x00, 0xAA, 0xAA), // 3 cyan
+    (0xAA, 0x00, 0x00), // 4 red
+    (0xAA, 0x00, 0xAA), // 5 magenta
+    (0xAA, 0x55, 0x00), // 6 brown
+    (0xAA, 0xAA, 0xAA), // 7 light grey
+    (0x55, 0x55, 0x55), // 8 dark grey
+    (0x55, 0x55, 0xFF), // 9 bright blue
+    (0x55, 0xFF, 0x55), // 10 bright green
+    (0x55, 0xFF, 0xFF), // 11 bright cyan
+    (0xFF, 0x55, 0x55), // 12 bright red
+    (0xFF, 0x55, 0xFF), // 13 bright magenta
+    (0xFF, 0xFF, 0x55), // 14 yellow
+    (0xFF, 0xFF, 0xFF), // 15 white
+];
+
+/// A 4-bit indexed colour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Color(pub u8);
+
+impl Color {
+    /// Palette index 0.
+    pub const BLACK: Color = Color(0);
+    /// Palette index 15.
+    pub const WHITE: Color = Color(15);
+
+    fn index(self) -> u8 {
+        self.0 & 0x0F
+    }
+}
+
+/// A palettized framebuffer with simple 2-D drawing primitives.
+///
+/// # Examples
+///
+/// ```
+/// use coplay_vm::{Color, FrameBuffer};
+///
+/// let mut fb = FrameBuffer::new(32, 16);
+/// fb.fill_rect(4, 4, 8, 4, Color(12));
+/// assert_eq!(fb.pixel(5, 5), Color(12));
+/// assert_eq!(fb.pixel(0, 0), Color::BLACK);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrameBuffer {
+    width: usize,
+    height: usize,
+    pixels: Vec<u8>,
+}
+
+impl FrameBuffer {
+    /// Creates a cleared (black) buffer of the given size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(width: usize, height: usize) -> FrameBuffer {
+        assert!(width > 0 && height > 0, "framebuffer must be non-empty");
+        FrameBuffer {
+            width,
+            height,
+            pixels: vec![0; width * height],
+        }
+    }
+
+    /// Creates the standard 160×120 arcade buffer.
+    pub fn standard() -> FrameBuffer {
+        FrameBuffer::new(WIDTH, HEIGHT)
+    }
+
+    /// Buffer width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Buffer height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The raw palette indices, row-major.
+    pub fn pixels(&self) -> &[u8] {
+        &self.pixels
+    }
+
+    /// The colour at `(x, y)`; out-of-bounds reads are black.
+    pub fn pixel(&self, x: i32, y: i32) -> Color {
+        if x < 0 || y < 0 || x as usize >= self.width || y as usize >= self.height {
+            return Color::BLACK;
+        }
+        Color(self.pixels[y as usize * self.width + x as usize])
+    }
+
+    /// Sets one pixel; out-of-bounds writes are clipped away.
+    pub fn set_pixel(&mut self, x: i32, y: i32, color: Color) {
+        if x < 0 || y < 0 || x as usize >= self.width || y as usize >= self.height {
+            return;
+        }
+        self.pixels[y as usize * self.width + x as usize] = color.index();
+    }
+
+    /// Fills the whole buffer with `color`.
+    pub fn clear(&mut self, color: Color) {
+        self.pixels.fill(color.index());
+    }
+
+    /// Fills the axis-aligned rectangle, clipping at the edges.
+    pub fn fill_rect(&mut self, x: i32, y: i32, w: i32, h: i32, color: Color) {
+        let x0 = x.max(0);
+        let y0 = y.max(0);
+        let x1 = (x + w).min(self.width as i32);
+        let y1 = (y + h).min(self.height as i32);
+        for yy in y0..y1 {
+            let row = yy as usize * self.width;
+            for xx in x0..x1 {
+                self.pixels[row + xx as usize] = color.index();
+            }
+        }
+    }
+
+    /// Draws a 1-pixel horizontal line.
+    pub fn hline(&mut self, x: i32, y: i32, w: i32, color: Color) {
+        self.fill_rect(x, y, w, 1, color);
+    }
+
+    /// Draws a 1-pixel vertical line.
+    pub fn vline(&mut self, x: i32, y: i32, h: i32, color: Color) {
+        self.fill_rect(x, y, 1, h, color);
+    }
+
+    /// Blits a `w`-wide sprite of palette indices; index 0 is transparent.
+    pub fn blit(&mut self, x: i32, y: i32, w: usize, data: &[u8]) {
+        for (i, &px) in data.iter().enumerate() {
+            if px & 0x0F != 0 {
+                let dx = (i % w) as i32;
+                let dy = (i / w) as i32;
+                self.set_pixel(x + dx, y + dy, Color(px));
+            }
+        }
+    }
+
+    /// Draws a decimal number with a tiny 3×5 digit font (for scores).
+    pub fn draw_number(&mut self, x: i32, y: i32, value: u32, color: Color) {
+        const DIGITS: [u16; 10] = [
+            0b111_101_101_101_111, // 0
+            0b010_110_010_010_111, // 1
+            0b111_001_111_100_111, // 2
+            0b111_001_111_001_111, // 3
+            0b101_101_111_001_001, // 4
+            0b111_100_111_001_111, // 5
+            0b111_100_111_101_111, // 6
+            0b111_001_010_010_010, // 7
+            0b111_101_111_101_111, // 8
+            0b111_101_111_001_111, // 9
+        ];
+        let digits: Vec<u32> = {
+            let mut v = Vec::new();
+            let mut rest = value;
+            loop {
+                v.push(rest % 10);
+                rest /= 10;
+                if rest == 0 {
+                    break;
+                }
+            }
+            v.reverse();
+            v
+        };
+        for (i, d) in digits.iter().enumerate() {
+            let glyph = DIGITS[*d as usize];
+            for row in 0..5 {
+                for col in 0..3 {
+                    let bit = 14 - (row * 3 + col);
+                    if glyph >> bit & 1 == 1 {
+                        self.set_pixel(x + (i as i32) * 4 + col, y + row, color);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Translates to packed RGB bytes (3 per pixel) via [`PALETTE`].
+    pub fn to_rgb(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.pixels.len() * 3);
+        for &p in &self.pixels {
+            let (r, g, b) = PALETTE[(p & 0x0F) as usize];
+            out.extend_from_slice(&[r, g, b]);
+        }
+        out
+    }
+
+    /// Renders the buffer as ASCII art, down-sampling by `step` in both
+    /// axes — the "target platform" of terminal examples.
+    pub fn to_ascii(&self, step: usize) -> String {
+        const RAMP: &[u8] = b" .:-=+*#%@&XNWM?";
+        let step = step.max(1);
+        let mut s = String::with_capacity((self.width / step + 1) * (self.height / step));
+        for y in (0..self.height).step_by(step) {
+            for x in (0..self.width).step_by(step) {
+                let p = self.pixels[y * self.width + x] & 0x0F;
+                s.push(RAMP[p as usize] as char);
+            }
+            s.push('\n');
+        }
+        s
+    }
+
+    /// FNV-1a hash of the pixel contents (used in state hashing and tests).
+    pub fn content_hash(&self) -> u64 {
+        crate::hash::fnv1a(&self.pixels)
+    }
+}
+
+impl fmt::Display for FrameBuffer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FrameBuffer({}x{})", self.width, self.height)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_buffer_is_black() {
+        let fb = FrameBuffer::new(8, 8);
+        assert!(fb.pixels().iter().all(|&p| p == 0));
+        assert_eq!(fb.width(), 8);
+        assert_eq!(fb.height(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_size_rejected() {
+        let _ = FrameBuffer::new(0, 8);
+    }
+
+    #[test]
+    fn set_and_get_pixel() {
+        let mut fb = FrameBuffer::new(4, 4);
+        fb.set_pixel(2, 3, Color(9));
+        assert_eq!(fb.pixel(2, 3), Color(9));
+    }
+
+    #[test]
+    fn out_of_bounds_access_is_safe() {
+        let mut fb = FrameBuffer::new(4, 4);
+        fb.set_pixel(-1, 0, Color(5));
+        fb.set_pixel(4, 0, Color(5));
+        fb.set_pixel(0, 99, Color(5));
+        assert_eq!(fb.pixel(-1, 0), Color::BLACK);
+        assert_eq!(fb.pixel(99, 99), Color::BLACK);
+        assert!(fb.pixels().iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn fill_rect_clips() {
+        let mut fb = FrameBuffer::new(4, 4);
+        fb.fill_rect(-2, -2, 4, 4, Color(3));
+        assert_eq!(fb.pixel(0, 0), Color(3));
+        assert_eq!(fb.pixel(1, 1), Color(3));
+        assert_eq!(fb.pixel(2, 2), Color::BLACK);
+    }
+
+    #[test]
+    fn clear_fills_everything() {
+        let mut fb = FrameBuffer::new(4, 4);
+        fb.clear(Color(7));
+        assert!(fb.pixels().iter().all(|&p| p == 7));
+    }
+
+    #[test]
+    fn blit_treats_zero_as_transparent() {
+        let mut fb = FrameBuffer::new(4, 4);
+        fb.clear(Color(1));
+        fb.blit(0, 0, 2, &[0, 5, 5, 0]);
+        assert_eq!(fb.pixel(0, 0), Color(1)); // transparent
+        assert_eq!(fb.pixel(1, 0), Color(5));
+        assert_eq!(fb.pixel(0, 1), Color(5));
+        assert_eq!(fb.pixel(1, 1), Color(1)); // transparent
+    }
+
+    #[test]
+    fn color_index_wraps_to_palette() {
+        let mut fb = FrameBuffer::new(2, 2);
+        fb.set_pixel(0, 0, Color(0xFF));
+        assert_eq!(fb.pixel(0, 0), Color(0x0F));
+    }
+
+    #[test]
+    fn draw_number_renders_digits() {
+        let mut fb = FrameBuffer::new(16, 8);
+        fb.draw_number(0, 0, 10, Color::WHITE);
+        // "1" then "0": some pixels must be set in both 4-wide cells.
+        let left: u32 = (0..4)
+            .flat_map(|x| (0..5).map(move |y| (x, y)))
+            .filter(|&(x, y)| fb.pixel(x, y) == Color::WHITE)
+            .count() as u32;
+        let right: u32 = (4..8)
+            .flat_map(|x| (0..5).map(move |y| (x, y)))
+            .filter(|&(x, y)| fb.pixel(x, y) == Color::WHITE)
+            .count() as u32;
+        assert!(left > 0 && right > 0);
+    }
+
+    #[test]
+    fn rgb_translation_uses_palette() {
+        let mut fb = FrameBuffer::new(1, 1);
+        fb.set_pixel(0, 0, Color(4));
+        assert_eq!(fb.to_rgb(), vec![0xAA, 0x00, 0x00]);
+    }
+
+    #[test]
+    fn ascii_rendering_has_expected_shape() {
+        let fb = FrameBuffer::new(8, 4);
+        let art = fb.to_ascii(2);
+        assert_eq!(art.lines().count(), 2);
+        assert!(art.lines().all(|l| l.len() == 4));
+    }
+
+    #[test]
+    fn content_hash_tracks_changes() {
+        let mut fb = FrameBuffer::new(8, 8);
+        let h0 = fb.content_hash();
+        fb.set_pixel(3, 3, Color(2));
+        assert_ne!(fb.content_hash(), h0);
+    }
+
+    #[test]
+    fn hline_vline() {
+        let mut fb = FrameBuffer::new(8, 8);
+        fb.hline(1, 1, 3, Color(2));
+        fb.vline(1, 1, 3, Color(3));
+        assert_eq!(fb.pixel(3, 1), Color(2));
+        assert_eq!(fb.pixel(1, 3), Color(3));
+        assert_eq!(fb.pixel(1, 1), Color(3)); // vline drew last
+    }
+}

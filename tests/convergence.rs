@@ -1,0 +1,134 @@
+//! Cross-crate integration: logical consistency (replica convergence) must
+//! hold for every bundled game under every class of network impairment the
+//! paper's environment can produce.
+
+use coplay::clock::SimDuration;
+use coplay::games::{catalog, GameId};
+use coplay::net::JitterDistribution;
+use coplay::sim::{run_experiment, ExperimentConfig};
+
+fn quick(game: GameId) -> ExperimentConfig {
+    ExperimentConfig {
+        game,
+        frames: 240,
+        ..ExperimentConfig::default()
+    }
+}
+
+#[test]
+fn every_game_converges_on_a_clean_link() {
+    for game in catalog() {
+        let r = run_experiment(quick(game)).unwrap_or_else(|e| panic!("{game}: {e}"));
+        assert!(r.converged, "{game} diverged on a clean link");
+        assert!(
+            (r.master_frame_time_ms() - 16.667).abs() < 0.5,
+            "{game} not at 60fps: {}",
+            r.master_frame_time_ms()
+        );
+    }
+}
+
+#[test]
+fn every_game_converges_under_hostile_network() {
+    for game in catalog() {
+        let mut cfg = quick(game);
+        cfg.rtt = SimDuration::from_millis(120);
+        cfg.jitter = SimDuration::from_millis(10);
+        cfg.jitter_dist = JitterDistribution::Normal;
+        cfg.loss = 0.08;
+        cfg.loss_correlation = 0.5;
+        cfg.duplicate = 0.05;
+        cfg.reorder = 0.05;
+        let r = run_experiment(cfg).unwrap_or_else(|e| panic!("{game}: {e}"));
+        assert!(r.converged, "{game} diverged under loss+jitter+dup+reorder");
+    }
+}
+
+#[test]
+fn heavy_tail_jitter_does_not_break_consistency() {
+    let mut cfg = quick(GameId::Shooter);
+    cfg.rtt = SimDuration::from_millis(80);
+    cfg.jitter = SimDuration::from_millis(20);
+    cfg.jitter_dist = JitterDistribution::HeavyTail;
+    let r = run_experiment(cfg).expect("run");
+    assert!(r.converged);
+}
+
+#[test]
+fn beyond_threshold_rtt_is_slow_but_never_inconsistent() {
+    // The paper recommends RTT <= 140ms; far beyond it the game must
+    // degrade gracefully (slower frames), never diverge.
+    let mut cfg = quick(GameId::Brawler);
+    cfg.rtt = SimDuration::from_millis(400);
+    let r = run_experiment(cfg).expect("run");
+    assert!(r.converged);
+    assert!(r.master_frame_time_ms() > 20.0, "400ms RTT must slow the game");
+}
+
+#[test]
+fn four_players_and_observers_converge() {
+    let mut cfg = quick(GameId::Shooter);
+    cfg.num_players = 4;
+    cfg.observers = 2;
+    cfg.rtt = SimDuration::from_millis(40);
+    let r = run_experiment(cfg).expect("run");
+    assert!(r.converged);
+    assert_eq!(r.sites.len(), 4);
+}
+
+#[test]
+fn latecomer_snapshot_join_reproduces_console_state() {
+    // The emulated console has the largest snapshot (full 64KiB memory
+    // image): the chunked snapshot transfer must reassemble it exactly.
+    let mut cfg = quick(GameId::RomPong);
+    cfg.frames = 420;
+    cfg.rtt = SimDuration::from_millis(30);
+    cfg.latecomer_at = Some(SimDuration::from_secs(3));
+    let r = run_experiment(cfg).expect("run");
+    assert!(r.converged, "latecomer console replica diverged");
+}
+
+#[test]
+fn results_are_reproducible_across_runs() {
+    let cfg = || {
+        let mut c = quick(GameId::Pong);
+        c.rtt = SimDuration::from_millis(100);
+        c.loss = 0.05;
+        c.jitter = SimDuration::from_millis(5);
+        c
+    };
+    let a = run_experiment(cfg()).expect("run a");
+    let b = run_experiment(cfg()).expect("run b");
+    assert_eq!(a.sites[0].mean_frame_time_ms, b.sites[0].mean_frame_time_ms);
+    assert_eq!(a.sites[1].frame_time_deviation_ms, b.sites[1].frame_time_deviation_ms);
+    assert_eq!(a.synchrony_ms, b.synchrony_ms);
+    assert_eq!(a.packets_lost, b.packets_lost);
+}
+
+#[test]
+fn different_seeds_give_different_runs() {
+    let mut a_cfg = quick(GameId::Pong);
+    a_cfg.seed = 1;
+    let mut b_cfg = quick(GameId::Pong);
+    b_cfg.seed = 2;
+    let a = run_experiment(a_cfg).expect("run a");
+    let b = run_experiment(b_cfg).expect("run b");
+    // Different input scripts produce different games; both still converge.
+    assert!(a.converged && b.converged);
+}
+
+#[test]
+fn larger_local_lag_tolerates_higher_rtt() {
+    let run = |buf: u64| {
+        let mut cfg = quick(GameId::Pong);
+        cfg.rtt = SimDuration::from_millis(260);
+        cfg.buf_frames = buf;
+        run_experiment(cfg).expect("run").master_frame_time_ms()
+    };
+    let small_lag = run(4);
+    let big_lag = run(12);
+    assert!(
+        big_lag < small_lag - 1.0,
+        "12-frame lag ({big_lag}ms) should outpace 4-frame lag ({small_lag}ms) at RTT 260"
+    );
+}

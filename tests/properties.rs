@@ -1,0 +1,257 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants the paper's correctness rests on.
+
+use proptest::prelude::*;
+
+use coplay::clock::{SimDelta, SimDuration, SimTime};
+use coplay::net::{NetemChannel, NetemConfig};
+use coplay::sync::{InputBuffer, InputMsg, InputSync, Message, SyncConfig};
+use coplay::vm::{assemble, Instruction, InputWord, PortMap, Reg, Syscall};
+
+// ---------------------------------------------------------------------------
+// Wire protocol: decode(encode(m)) == m for arbitrary messages, and decode
+// never panics on arbitrary bytes.
+// ---------------------------------------------------------------------------
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        (any::<u8>(), any::<u64>(), any::<u64>(), proptest::collection::vec(any::<u32>(), 0..64))
+            .prop_map(|(from, ack, first, inputs)| Message::Input(InputMsg {
+                from,
+                ack,
+                first,
+                inputs: inputs.into_iter().map(InputWord).collect(),
+            })),
+        (any::<u8>(), any::<u64>(), any::<bool>()).prop_map(|(site, rom_hash, observer)| {
+            Message::Hello {
+                site,
+                rom_hash,
+                observer,
+            }
+        }),
+        (any::<u64>(), any::<u64>()).prop_map(|(rom_hash, start_frame)| Message::HelloAck {
+            rom_hash,
+            start_frame
+        }),
+        any::<u32>().prop_map(|nonce| Message::Ping { nonce }),
+        any::<u32>().prop_map(|nonce| Message::Pong { nonce }),
+        Just(Message::SnapshotRequest),
+        (any::<u64>(), any::<u32>(), any::<u32>(), proptest::collection::vec(any::<u8>(), 0..256))
+            .prop_map(|(frame, offset, total, bytes)| Message::SnapshotChunk {
+                frame,
+                offset,
+                total,
+                bytes: bytes::Bytes::from(bytes),
+            }),
+        Just(Message::Bye),
+        (any::<u8>(), any::<u64>()).prop_map(|(site, frame)| Message::TimeStamp { site, frame }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn wire_roundtrip(msg in arb_message()) {
+        let encoded = msg.encode();
+        prop_assert_eq!(Message::decode(&encoded).unwrap(), msg);
+    }
+
+    #[test]
+    fn wire_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Message::decode(&bytes); // must not panic, result irrelevant
+    }
+
+    #[test]
+    fn wire_decode_survives_truncation(msg in arb_message(), cut in 0usize..64) {
+        let mut encoded = msg.encode();
+        let keep = encoded.len().saturating_sub(cut);
+        encoded.truncate(keep);
+        let _ = Message::decode(&encoded); // must not panic
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Input buffer: duplicates never alter the first-written value; merge only
+// ever exposes bits owned by some site.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn input_buffer_first_write_wins(
+        ops in proptest::collection::vec((0u64..64, 0u8..2, any::<u32>()), 1..200)
+    ) {
+        let mut buf = InputBuffer::new(2);
+        let mut expected: std::collections::HashMap<(u64, u8), u32> =
+            std::collections::HashMap::new();
+        for (frame, site, word) in ops {
+            buf.set_partial(frame, site, InputWord(word));
+            expected.entry((frame, site)).or_insert(word);
+        }
+        for ((frame, site), word) in expected {
+            prop_assert_eq!(buf.partial(frame, site), InputWord(word));
+        }
+    }
+
+    #[test]
+    fn merge_never_leaks_unowned_bits(
+        w0 in any::<u32>(), w1 in any::<u32>()
+    ) {
+        let map = PortMap::two_player();
+        let mut buf = InputBuffer::new(2);
+        buf.set_partial(0, 0, InputWord(w0));
+        buf.set_partial(0, 1, InputWord(w1));
+        let merged = buf.merged(0, &map);
+        prop_assert_eq!(merged.0 & !map.assigned_mask(), 0);
+        // And each site's owned bits pass through exactly.
+        prop_assert_eq!(merged.0 & map.site_mask(0), w0 & map.site_mask(0));
+        prop_assert_eq!(merged.0 & map.site_mask(1), w1 & map.site_mask(1));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lockstep invariant: under ANY delivery schedule (drop, duplicate, delay),
+// the two engines deliver identical input sequences, frame by frame.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn lockstep_sequences_identical_under_arbitrary_delivery(
+        inputs_a in proptest::collection::vec(any::<u8>(), 40),
+        inputs_b in proptest::collection::vec(any::<u8>(), 40),
+        // For each (frame, direction): 0 = deliver now, 1 = drop (rely on
+        // retransmission), 2 = deliver twice.
+        fates in proptest::collection::vec((0u8..3, 0u8..3), 40),
+    ) {
+        let mut a = InputSync::new(SyncConfig::two_player(0));
+        let mut b = InputSync::new(SyncConfig::two_player(1));
+        let mut seq_a = Vec::new();
+        let mut seq_b = Vec::new();
+        for f in 0..40u64 {
+            let t = SimTime::from_millis(f * 25);
+            a.begin_frame(f, InputWord(inputs_a[f as usize] as u32), t);
+            b.begin_frame(f, InputWord((inputs_b[f as usize] as u32) << 8), t);
+            let (fa, fb) = fates[f as usize];
+            for (_, m) in a.outgoing(t) {
+                match fa { 0 => b.on_message(&m, t), 2 => { b.on_message(&m, t); b.on_message(&m, t); }, _ => {} }
+            }
+            for (_, m) in b.outgoing(t) {
+                match fb { 0 => a.on_message(&m, t), 2 => { a.on_message(&m, t); a.on_message(&m, t); }, _ => {} }
+            }
+            // Drain with retransmissions until both are ready (bounded).
+            let mut spins = 0;
+            let mut tt = t;
+            while !(a.ready() && b.ready()) {
+                spins += 1;
+                prop_assert!(spins < 100, "no progress at frame {}", f);
+                tt += SimDuration::from_millis(25);
+                for (_, m) in a.outgoing(tt) { b.on_message(&m, tt); }
+                for (_, m) in b.outgoing(tt) { a.on_message(&m, tt); }
+            }
+            seq_a.push(a.take());
+            seq_b.push(b.take());
+        }
+        prop_assert_eq!(seq_a, seq_b);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Assembler: the disassembly (Display) of any instruction re-assembles to
+// the identical encoding — a full round trip through text.
+// ---------------------------------------------------------------------------
+
+fn arb_instruction() -> impl Strategy<Value = Instruction> {
+    let reg = || (0u8..16).prop_map(Reg);
+    prop_oneof![
+        Just(Instruction::Nop),
+        Just(Instruction::Halt),
+        Just(Instruction::Yield),
+        Just(Instruction::Ret),
+        (reg(), any::<u16>()).prop_map(|(r, i)| Instruction::Ldi(r, i)),
+        (reg(), reg()).prop_map(|(a, b)| Instruction::Mov(a, b)),
+        (reg(), reg()).prop_map(|(a, b)| Instruction::Add(a, b)),
+        (reg(), reg()).prop_map(|(a, b)| Instruction::Mul(a, b)),
+        (reg(), reg()).prop_map(|(a, b)| Instruction::Div(a, b)),
+        (reg(), any::<u16>()).prop_map(|(r, i)| Instruction::Addi(r, i)),
+        (reg(), any::<u16>()).prop_map(|(r, i)| Instruction::Cmpi(r, i)),
+        (reg(), 0u16..16).prop_map(|(r, i)| Instruction::Shli(r, i)),
+        any::<u16>().prop_map(Instruction::Jmp),
+        any::<u16>().prop_map(Instruction::Jz),
+        any::<u16>().prop_map(Instruction::Call),
+        (reg(), reg(), any::<u8>()).prop_map(|(a, b, o)| Instruction::Ldw(a, b, o)),
+        (reg(), reg(), any::<u8>()).prop_map(|(a, b, o)| Instruction::Stw(a, b, o)),
+        reg().prop_map(Instruction::Push),
+        reg().prop_map(Instruction::Pop),
+        (reg(), any::<u8>()).prop_map(|(r, p)| Instruction::In(r, p)),
+        reg().prop_map(Instruction::Rnd),
+        (0u8..5).prop_map(|n| Instruction::Sys(Syscall::from_u8(n).unwrap())),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn assembler_roundtrips_disassembly(instrs in proptest::collection::vec(arb_instruction(), 1..40)) {
+        let source: String = instrs.iter().map(|i| format!("{i}\n")).collect();
+        let rom = assemble(&source).expect("disassembly must re-assemble");
+        let expected: Vec<u8> = instrs.iter().flat_map(|i| i.encode()).collect();
+        prop_assert_eq!(rom.image(), &expected[..]);
+    }
+
+    #[test]
+    fn instruction_decode_never_panics(bytes in any::<[u8; 4]>()) {
+        if let Some(i) = Instruction::decode(bytes) {
+            // Legal decodings re-encode to a decodable form (not necessarily
+            // the same bytes: unused fields are normalized to zero).
+            prop_assert_eq!(Instruction::decode(i.encode()), Some(i));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Netem: deliveries never travel back in time, and never before the base
+// delay on the reorder-free path.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn netem_deliveries_are_causal(
+        delay_ms in 0u64..200,
+        jitter_ms in 0u64..50,
+        loss in 0.0f64..0.5,
+        seed in any::<u64>(),
+    ) {
+        let cfg = NetemConfig::new()
+            .delay(SimDuration::from_millis(delay_ms))
+            .jitter(SimDuration::from_millis(jitter_ms))
+            .loss(loss);
+        let mut ch = NetemChannel::new(cfg, seed);
+        for i in 0..200u64 {
+            let now = SimTime::from_millis(i * 3);
+            let fate = ch.process(now, 64);
+            for d in &fate.deliveries {
+                prop_assert!(*d >= now, "delivery {d} before send {now}");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Time arithmetic sanity.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn time_offset_roundtrip(base in 0u64..u64::MAX / 4, delta in -1_000_000i64..1_000_000) {
+        let t = SimTime::from_micros(base + 2_000_000);
+        let d = SimDelta::from_micros(delta);
+        let moved = t.offset(d);
+        prop_assert_eq!(moved.delta_since(t), d);
+    }
+
+    #[test]
+    fn duration_ordering_consistent(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let da = SimDuration::from_micros(a);
+        let db = SimDuration::from_micros(b);
+        prop_assert_eq!(da < db, a < b);
+        prop_assert_eq!(da.saturating_sub(db).as_micros(), a.saturating_sub(b));
+    }
+}
