@@ -1,9 +1,13 @@
-//! Criterion micro-benchmarks: the per-frame costs of the system's hot
-//! paths. Not figures from the paper — engineering due diligence showing
-//! the sync layer's overhead is negligible next to a 16.7 ms frame budget.
+//! Micro-benchmarks: the per-frame costs of the system's hot paths. Not
+//! figures from the paper — engineering due diligence showing the sync
+//! layer's overhead is negligible next to a 16.7 ms frame budget.
+//!
+//! Self-contained harness (`harness = false`): each benchmark is timed
+//! with `std::time::Instant` over enough iterations to amortize clock
+//! overhead, reporting ns/iter. Run with `cargo bench -p coplay-bench`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use coplay_clock::{SimDuration, SimTime};
 use coplay_games::{rom_pong, Brawler, GameId, Pong};
@@ -12,46 +16,56 @@ use coplay_sim::{run_experiment, ExperimentConfig};
 use coplay_sync::{InputMsg, InputSync, Message, SyncConfig};
 use coplay_vm::{Console, InputWord, Machine};
 
-fn bench_machines(c: &mut Criterion) {
-    let mut g = c.benchmark_group("machine_step_frame");
-    g.bench_function("pong_native", |b| {
-        let mut m = Pong::new();
-        let mut f = 0u32;
-        b.iter(|| {
-            f = f.wrapping_add(1);
-            m.step_frame(black_box(InputWord(f & 0x3F)));
-        });
-    });
-    g.bench_function("brawler_native", |b| {
-        let mut m = Brawler::new();
-        let mut f = 0u32;
-        b.iter(|| {
-            f = f.wrapping_add(1);
-            m.step_frame(black_box(InputWord(f & 0x3F3F)));
-        });
-    });
-    g.bench_function("rom_pong_emulated_cpu", |b| {
-        let mut m = Console::new(rom_pong());
-        let mut f = 0u32;
-        b.iter(|| {
-            f = f.wrapping_add(1);
-            m.step_frame(black_box(InputWord(f & 0x3F)));
-        });
-    });
-    g.finish();
+/// Times `f` over `iters` iterations (after a warmup tenth) and prints
+/// a `name: X ns/iter` line.
+fn bench(name: &str, iters: u64, mut f: impl FnMut()) {
+    for _ in 0..iters / 10 {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let elapsed = start.elapsed();
+    let per_iter = elapsed.as_nanos() as f64 / iters as f64;
+    println!("{name:<44} {per_iter:>12.1} ns/iter   ({iters} iters)");
+}
 
-    c.bench_function("machine_state_hash/brawler", |b| {
-        let mut m = Brawler::new();
-        m.step_frame(InputWord::NONE);
-        b.iter(|| black_box(m.state_hash()));
+fn bench_machines() {
+    let mut m = Pong::new();
+    let mut f = 0u32;
+    bench("machine_step_frame/pong_native", 100_000, || {
+        f = f.wrapping_add(1);
+        m.step_frame(black_box(InputWord(f & 0x3F)));
     });
-    c.bench_function("machine_save_state/console", |b| {
-        let m = Console::new(rom_pong());
-        b.iter(|| black_box(m.save_state().len()));
+
+    let mut m = Brawler::new();
+    let mut f = 0u32;
+    bench("machine_step_frame/brawler_native", 100_000, || {
+        f = f.wrapping_add(1);
+        m.step_frame(black_box(InputWord(f & 0x3F3F)));
+    });
+
+    let mut m = Console::new(rom_pong());
+    let mut f = 0u32;
+    bench("machine_step_frame/rom_pong_emulated_cpu", 20_000, || {
+        f = f.wrapping_add(1);
+        m.step_frame(black_box(InputWord(f & 0x3F)));
+    });
+
+    let mut m = Brawler::new();
+    m.step_frame(InputWord::NONE);
+    bench("machine_state_hash/brawler", 100_000, || {
+        black_box(m.state_hash());
+    });
+
+    let m = Console::new(rom_pong());
+    bench("machine_save_state/console", 50_000, || {
+        black_box(m.save_state().len());
     });
 }
 
-fn bench_wire(c: &mut Criterion) {
+fn bench_wire() {
     let msg = Message::Input(InputMsg {
         from: 1,
         ack: 1000,
@@ -59,82 +73,68 @@ fn bench_wire(c: &mut Criterion) {
         inputs: (0..8).map(InputWord).collect(),
     });
     let encoded = msg.encode();
-    c.bench_function("wire_encode/input_8_frames", |b| {
-        b.iter(|| black_box(msg.encode().len()));
+    bench("wire_encode/input_8_frames", 200_000, || {
+        black_box(msg.encode().len());
     });
-    c.bench_function("wire_decode/input_8_frames", |b| {
-        b.iter(|| black_box(Message::decode(&encoded).unwrap()));
+    bench("wire_decode/input_8_frames", 200_000, || {
+        black_box(Message::decode(&encoded).unwrap());
     });
 }
 
-fn bench_sync_engine(c: &mut Criterion) {
+fn bench_sync_engine() {
     // One full lockstep frame: begin, exchange, take, on both engines.
-    c.bench_function("sync_engine/lockstep_frame_pair", |b| {
-        b.iter_batched(
-            || {
-                let mut cfg0 = SyncConfig::two_player(0);
-                let mut cfg1 = SyncConfig::two_player(1);
-                cfg0.send_interval = SimDuration::ZERO;
-                cfg1.send_interval = SimDuration::ZERO;
-                (InputSync::new(cfg0), InputSync::new(cfg1), 0u64)
-            },
-            |(mut a, mut b, _)| {
-                for f in 0..64u64 {
-                    let t = SimTime::from_micros(f * 16_667);
-                    a.begin_frame(f, InputWord(1), t);
-                    b.begin_frame(f, InputWord(0x0100), t);
-                    for (_, m) in a.outgoing(t) {
-                        b.on_message(&m, t);
-                    }
-                    for (_, m) in b.outgoing(t) {
-                        a.on_message(&m, t);
-                    }
-                    black_box((a.take(), b.take()));
-                }
-            },
-            BatchSize::SmallInput,
-        );
+    bench("sync_engine/lockstep_frame_pair_x64", 1_000, || {
+        let mut cfg0 = SyncConfig::two_player(0);
+        let mut cfg1 = SyncConfig::two_player(1);
+        cfg0.send_interval = SimDuration::ZERO;
+        cfg1.send_interval = SimDuration::ZERO;
+        let mut a = InputSync::new(cfg0);
+        let mut b = InputSync::new(cfg1);
+        for f in 0..64u64 {
+            let t = SimTime::from_micros(f * 16_667);
+            a.begin_frame(f, InputWord(1), t);
+            b.begin_frame(f, InputWord(0x0100), t);
+            for (_, m) in a.outgoing(t) {
+                b.on_message(&m, t);
+            }
+            for (_, m) in b.outgoing(t) {
+                a.on_message(&m, t);
+            }
+            black_box((a.take(), b.take()));
+        }
     });
 }
 
-fn bench_netem(c: &mut Criterion) {
-    c.bench_function("netem_process/impaired_packet", |b| {
-        let cfg = NetemConfig::new()
-            .delay(SimDuration::from_millis(50))
-            .jitter(SimDuration::from_millis(5))
-            .loss(0.02)
-            .duplicate(0.01)
-            .tx_slice(SimDuration::from_millis(10));
-        let mut ch = NetemChannel::new(cfg, 42);
-        let mut t = 0u64;
-        b.iter(|| {
-            t += 100;
-            black_box(ch.process(SimTime::from_micros(t), 64));
-        });
+fn bench_netem() {
+    let cfg = NetemConfig::new()
+        .delay(SimDuration::from_millis(50))
+        .jitter(SimDuration::from_millis(5))
+        .loss(0.02)
+        .duplicate(0.01)
+        .tx_slice(SimDuration::from_millis(10));
+    let mut ch = NetemChannel::new(cfg, 42);
+    let mut t = 0u64;
+    bench("netem_process/impaired_packet", 500_000, || {
+        t += 100;
+        black_box(ch.process(SimTime::from_micros(t), 64));
     });
 }
 
-fn bench_full_experiment(c: &mut Criterion) {
+fn bench_full_experiment() {
     // Whole-system throughput: simulated frames per wall second.
-    let mut g = c.benchmark_group("experiment_600_frames");
-    g.sample_size(10);
-    g.bench_function("rtt_60ms_pong", |b| {
-        b.iter(|| {
-            let mut cfg = ExperimentConfig::with_rtt(SimDuration::from_millis(60));
-            cfg.frames = 600;
-            cfg.game = GameId::Pong;
-            black_box(run_experiment(cfg).unwrap().converged)
-        });
+    bench("experiment_600_frames/rtt_60ms_pong", 10, || {
+        let mut cfg = ExperimentConfig::with_rtt(SimDuration::from_millis(60));
+        cfg.frames = 600;
+        cfg.game = GameId::Pong;
+        black_box(run_experiment(cfg).unwrap().converged);
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_machines,
-    bench_wire,
-    bench_sync_engine,
-    bench_netem,
-    bench_full_experiment
-);
-criterion_main!(benches);
+fn main() {
+    println!("coplay micro-benchmarks (ns/iter, lower is better)");
+    bench_machines();
+    bench_wire();
+    bench_sync_engine();
+    bench_netem();
+    bench_full_experiment();
+}

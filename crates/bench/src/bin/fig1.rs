@@ -11,7 +11,7 @@
 //!
 //! Run: `cargo run --release -p coplay-bench --bin fig1 [--quick]`
 
-use coplay_bench::{banner, Options};
+use coplay_bench::{banner, figure1_json, write_results_json, Options};
 use coplay_sim::{format_figure1, paper_rtt_points, run_sweep, threshold_rtt, ExperimentConfig};
 
 fn main() {
@@ -29,11 +29,17 @@ fn main() {
     })
     .expect("sweep failed");
     println!("{}", format_figure1(&rows));
-    match threshold_rtt(&rows, 1_000.0 / 60.0, 0.5) {
+    let threshold = threshold_rtt(&rows, 1_000.0 / 60.0, 0.5);
+    match threshold {
         Some(th) => println!(
             "Measured RTT threshold (last point at full 60 FPS): {} (paper: ~140ms)",
             th
         ),
         None => println!("No full-speed point found (unexpected)"),
+    }
+    let json = figure1_json(&opts, &rows, threshold.map(|t| t.as_millis()));
+    match write_results_json("BENCH_fig1.json", &json) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write results JSON: {e}"),
     }
 }

@@ -10,7 +10,7 @@
 //!
 //! Run: `cargo run --release -p coplay-bench --bin fig2 [--quick]`
 
-use coplay_bench::{banner, Options};
+use coplay_bench::{banner, figure2_json, write_results_json, Options};
 use coplay_sim::{format_figure2, paper_rtt_points, run_sweep, ExperimentConfig};
 
 fn main() {
@@ -34,5 +34,10 @@ fn main() {
         .map(|r| r.rtt);
     if let Some(rtt) = below_10 {
         println!("Synchrony stays under 10ms up to RTT {rtt} (paper: up to ~130ms)");
+    }
+    let json = figure2_json(&opts, &rows);
+    match write_results_json("BENCH_fig2.json", &json) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write results JSON: {e}"),
     }
 }

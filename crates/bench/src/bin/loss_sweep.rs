@@ -18,7 +18,14 @@ fn main() {
 
     println!("rtt(ms)  loss%  corr  frame(ms)  dev(ms)  sync(ms)  lost/offered  converged");
     for rtt in [20u64, 60, 100] {
-        for (loss, corr) in [(0.0, 0.0), (0.01, 0.0), (0.05, 0.0), (0.10, 0.0), (0.10, 0.8), (0.20, 0.0)] {
+        for (loss, corr) in [
+            (0.0, 0.0),
+            (0.01, 0.0),
+            (0.05, 0.0),
+            (0.10, 0.0),
+            (0.10, 0.8),
+            (0.20, 0.0),
+        ] {
             let mut cfg = opts.apply(ExperimentConfig::with_rtt(SimDuration::from_millis(rtt)));
             cfg.loss = loss;
             cfg.loss_correlation = corr;

@@ -17,9 +17,14 @@ fn main() {
 
     println!("players  observers  latecomer  rtt(ms)  frame(ms)  dev(ms)  converged");
     for rtt in [20u64, 80] {
-        for (players, observers, latecomer) in
-            [(2u8, 0u8, false), (3, 0, false), (4, 0, false), (2, 1, false), (2, 2, false), (2, 0, true)]
-        {
+        for (players, observers, latecomer) in [
+            (2u8, 0u8, false),
+            (3, 0, false),
+            (4, 0, false),
+            (2, 1, false),
+            (2, 2, false),
+            (2, 0, true),
+        ] {
             let mut cfg = opts.apply(ExperimentConfig::with_rtt(SimDuration::from_millis(rtt)));
             cfg.num_players = players;
             cfg.observers = observers;
@@ -37,7 +42,9 @@ fn main() {
                     r.worst_deviation_ms(),
                     r.converged,
                 ),
-                Err(e) => println!("{players:7}  {observers:9}  {latecomer:9}  {rtt:7}  error: {e}"),
+                Err(e) => {
+                    println!("{players:7}  {observers:9}  {latecomer:9}  {rtt:7}  error: {e}")
+                }
             }
         }
     }

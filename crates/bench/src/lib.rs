@@ -2,9 +2,11 @@
 //!
 //! Every figure and extension experiment from DESIGN.md §4 has a binary in
 //! `src/bin/`; they share the small argument parser and formatting helpers
-//! here. Criterion micro-benchmarks live in `benches/micro.rs`.
+//! here. Micro-benchmarks live in `benches/micro.rs`.
 
-use coplay_sim::ExperimentConfig;
+use std::path::{Path, PathBuf};
+
+use coplay_sim::{ExperimentConfig, SweepRow};
 
 /// Command-line options shared by the experiment binaries.
 ///
@@ -74,6 +76,84 @@ pub fn banner(title: &str, opts: &Options) {
     println!();
 }
 
+/// Formats an `f64` as a JSON number (`null` for non-finite values).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Serialises a Figure-1 sweep as a machine-readable JSON document.
+///
+/// One object per swept point with the quantities behind the figure
+/// (mean frame time, footnote-10 deviation, FPS, convergence), plus the
+/// measured full-speed RTT threshold when one exists.
+pub fn figure1_json(opts: &Options, rows: &[SweepRow], threshold_ms: Option<u64>) -> String {
+    let mut out = String::from("{\n  \"figure\": \"fig1\",\n");
+    out.push_str(&format!(
+        "  \"frames\": {},\n  \"seed\": {},\n",
+        opts.frames, opts.seed
+    ));
+    out.push_str(&format!(
+        "  \"threshold_rtt_ms\": {},\n  \"rows\": [\n",
+        threshold_ms.map_or("null".to_string(), |t| t.to_string())
+    ));
+    for (i, row) in rows.iter().enumerate() {
+        let site = &row.result.sites[0];
+        out.push_str(&format!(
+            "    {{\"rtt_ms\": {}, \"frame_time_ms\": {}, \"deviation_ms\": {}, \
+             \"fps\": {}, \"converged\": {}}}{}\n",
+            row.rtt.as_millis(),
+            json_num(site.mean_frame_time_ms),
+            json_num(row.result.worst_deviation_ms()),
+            json_num(site.fps()),
+            row.result.converged,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Serialises a Figure-2 sweep as a machine-readable JSON document.
+///
+/// One object per swept point with the footnote-11 inter-site synchrony
+/// and convergence flag.
+pub fn figure2_json(opts: &Options, rows: &[SweepRow]) -> String {
+    let mut out = String::from("{\n  \"figure\": \"fig2\",\n");
+    out.push_str(&format!(
+        "  \"frames\": {},\n  \"seed\": {},\n  \"rows\": [\n",
+        opts.frames, opts.seed
+    ));
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rtt_ms\": {}, \"synchrony_ms\": {}, \"converged\": {}}}{}\n",
+            row.rtt.as_millis(),
+            json_num(row.result.synchrony_ms),
+            row.result.converged,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes `json` to `results/<file_name>`, creating the directory as
+/// needed, and returns the written path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from creating the directory or writing.
+pub fn write_results_json(file_name: &str, json: &str) -> std::io::Result<PathBuf> {
+    let dir = Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(file_name);
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -85,9 +165,7 @@ mod tests {
 
     #[test]
     fn parse_flags() {
-        let o = Options::parse(
-            ["--frames", "100", "--seed", "7"].map(String::from),
-        );
+        let o = Options::parse(["--frames", "100", "--seed", "7"].map(String::from));
         assert_eq!(o.frames, 100);
         assert_eq!(o.seed, 7);
     }
@@ -106,9 +184,63 @@ mod tests {
 
     #[test]
     fn apply_overrides_config() {
-        let o = Options { frames: 42, seed: 9 };
+        let o = Options {
+            frames: 42,
+            seed: 9,
+        };
         let cfg = o.apply(ExperimentConfig::default());
         assert_eq!(cfg.frames, 42);
         assert_eq!(cfg.seed, 9);
+    }
+
+    fn mini_rows(opts: &Options) -> Vec<SweepRow> {
+        let base = opts.apply(ExperimentConfig {
+            game: coplay_games::GameId::Pong,
+            ..ExperimentConfig::default()
+        });
+        let points = [
+            coplay_clock::SimDuration::ZERO,
+            coplay_clock::SimDuration::from_millis(40),
+        ];
+        coplay_sim::run_sweep(&base, &points, |_, _| {}).unwrap()
+    }
+
+    #[test]
+    fn figure1_json_is_well_formed() {
+        let opts = Options {
+            frames: 120,
+            seed: 7,
+        };
+        let rows = mini_rows(&opts);
+        let json = figure1_json(&opts, &rows, Some(40));
+        assert!(json.contains("\"figure\": \"fig1\""));
+        assert!(json.contains("\"threshold_rtt_ms\": 40"));
+        assert!(json.contains("\"rtt_ms\": 0"));
+        assert!(json.contains("\"rtt_ms\": 40"));
+        assert!(json.contains("\"frame_time_ms\": "));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // Exactly one row separator for two rows.
+        assert_eq!(json.matches("},\n").count(), 1);
+    }
+
+    #[test]
+    fn figure2_json_is_well_formed() {
+        let opts = Options {
+            frames: 120,
+            seed: 7,
+        };
+        let rows = mini_rows(&opts);
+        let json = figure2_json(&opts, &rows);
+        assert!(json.contains("\"figure\": \"fig2\""));
+        assert!(json.contains("\"synchrony_ms\": "));
+        assert!(json.contains("\"converged\": true"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn json_num_handles_non_finite() {
+        assert_eq!(json_num(f64::NAN), "null");
+        assert_eq!(json_num(f64::INFINITY), "null");
+        assert!(json_num(1.5).starts_with("1.5"));
     }
 }

@@ -390,7 +390,10 @@ mod tests {
     fn offset_applies_signed_delta_with_saturation() {
         let t = SimTime::from_micros(100);
         assert_eq!(t.offset(SimDelta::from_micros(-300)), SimTime::ZERO);
-        assert_eq!(t.offset(SimDelta::from_micros(50)), SimTime::from_micros(150));
+        assert_eq!(
+            t.offset(SimDelta::from_micros(50)),
+            SimTime::from_micros(150)
+        );
     }
 
     #[test]

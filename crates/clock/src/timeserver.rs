@@ -136,7 +136,10 @@ mod tests {
         s.record(0, 1, ms(17));
         s.record(0, 2, ms(33));
         let ft = s.frame_times(0);
-        assert_eq!(ft, vec![SimDuration::from_millis(17), SimDuration::from_millis(16)]);
+        assert_eq!(
+            ft,
+            vec![SimDuration::from_millis(17), SimDuration::from_millis(16)]
+        );
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //! bit-for-bit under lockstep.
 
 use coplay_vm::{
-    AudioChannel, Button, Color, FrameBuffer, InputWord, Machine, MachineInfo, Player,
-    StateError, StateHasher,
+    AudioChannel, Button, Color, FrameBuffer, InputWord, Machine, MachineInfo, Player, StateError,
+    StateHasher,
 };
 
 const W: i32 = 160;
@@ -87,8 +87,13 @@ enum Phase {
     Intro(u16),
     Fight,
     /// Round decided; brief pause. 0/1 = winner, 2 = draw.
-    RoundEnd { pause: u16, winner: u8 },
-    MatchOver { winner: u8 },
+    RoundEnd {
+        pause: u16,
+        winner: u8,
+    },
+    MatchOver {
+        winner: u8,
+    },
 }
 
 /// A deterministic two-player fighting game (the paper's SF2 stand-in).
@@ -411,7 +416,11 @@ impl Machine for Brawler {
             Phase::RoundEnd { pause, winner } => {
                 if pause == 0 {
                     if self.rounds_won.iter().any(|&r| r >= ROUNDS_TO_WIN) {
-                        let winner = if self.rounds_won[0] >= ROUNDS_TO_WIN { 0 } else { 1 };
+                        let winner = if self.rounds_won[0] >= ROUNDS_TO_WIN {
+                            0
+                        } else {
+                            1
+                        };
                         self.phase = Phase::MatchOver { winner };
                     } else {
                         self.start_round();
@@ -504,7 +513,10 @@ impl Machine for Brawler {
         self.phase = match code {
             0 => Phase::Intro(a),
             1 => Phase::Fight,
-            2 => Phase::RoundEnd { pause: a, winner: b },
+            2 => Phase::RoundEnd {
+                pause: a,
+                winner: b,
+            },
             _ => Phase::MatchOver { winner: b },
         };
         for f in &mut self.fighters {

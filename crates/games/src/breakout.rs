@@ -6,8 +6,8 @@
 //! movement matters to the shared physics.
 
 use coplay_vm::{
-    AudioChannel, Button, Color, FrameBuffer, InputWord, Machine, MachineInfo, Player,
-    StateError, StateHasher,
+    AudioChannel, Button, Color, FrameBuffer, InputWord, Machine, MachineInfo, Player, StateError,
+    StateHasher,
 };
 
 const W: i32 = 160;
@@ -251,7 +251,8 @@ impl Breakout {
         self.fb.clear(Color::BLACK);
         // HUD.
         self.fb.draw_number(4, 2, self.score, Color(7));
-        self.fb.draw_number(W / 2 - 4, 2, self.level as u32, Color(8));
+        self.fb
+            .draw_number(W / 2 - 4, 2, self.level as u32, Color(8));
         for l in 0..self.lives {
             self.fb.fill_rect(W - 8 - l as i32 * 6, 2, 4, 4, Color(12));
         }

@@ -5,8 +5,8 @@
 //! an LCG captured in the save state, first to 11 points.
 
 use coplay_vm::{
-    AudioChannel, Button, Color, FrameBuffer, InputWord, Machine, MachineInfo, Player,
-    StateError, StateHasher,
+    AudioChannel, Button, Color, FrameBuffer, InputWord, Machine, MachineInfo, Player, StateError,
+    StateHasher,
 };
 
 const W: i32 = 160;
@@ -26,9 +26,14 @@ const STATE_MAGIC: &[u8; 4] = b"PONG";
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
     /// Ball frozen for a short countdown, then served toward `toward`.
-    Serving { countdown: u16, toward: u8 },
+    Serving {
+        countdown: u16,
+        toward: u8,
+    },
     Rally,
-    GameOver { winner: u8 },
+    GameOver {
+        winner: u8,
+    },
 }
 
 /// The classic two-paddle ball game as a deterministic [`Machine`].
@@ -221,8 +226,10 @@ impl Pong {
             y += 8;
         }
         // Scores.
-        self.fb.draw_number(W / 2 - 20, 4, self.score[0] as u32, Color(7));
-        self.fb.draw_number(W / 2 + 12, 4, self.score[1] as u32, Color(7));
+        self.fb
+            .draw_number(W / 2 - 20, 4, self.score[0] as u32, Color(7));
+        self.fb
+            .draw_number(W / 2 + 12, 4, self.score[1] as u32, Color(7));
         // Paddles.
         self.fb
             .fill_rect(P0_X, self.paddle_y[0] >> FP, PAD_W, PAD_H, Color(15));

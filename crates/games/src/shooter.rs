@@ -5,8 +5,8 @@
 //! score, deterministic waves from a seeded LCG.
 
 use coplay_vm::{
-    AudioChannel, Button, Color, FrameBuffer, InputWord, Machine, MachineInfo, Player,
-    StateError, StateHasher,
+    AudioChannel, Button, Color, FrameBuffer, InputWord, Machine, MachineInfo, Player, StateError,
+    StateHasher,
 };
 
 const W: i32 = 160;

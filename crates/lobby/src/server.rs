@@ -10,6 +10,7 @@ use std::collections::BTreeMap;
 
 use coplay_clock::{SimDuration, SimTime};
 use coplay_net::PeerId;
+use coplay_telemetry::MetricsRegistry;
 
 use crate::wire::{JoinRefusal, LobbyMessage, SessionEntry, SessionId, MAX_LISTED};
 
@@ -49,6 +50,7 @@ struct Registration {
 pub struct LobbyServer {
     sessions: BTreeMap<SessionId, Registration>,
     next_id: u32,
+    metrics: MetricsRegistry,
 }
 
 impl LobbyServer {
@@ -62,11 +64,29 @@ impl LobbyServer {
         self.sessions.len()
     }
 
+    /// The server's metrics registry (request counters, session gauge).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// The server's metrics as a Prometheus-style text exposition — what a
+    /// [`LobbyMessage::MetricsRequest`] is answered with.
+    pub fn metrics_text(&mut self) -> String {
+        self.metrics
+            .gauge_set("sessions", self.sessions.len() as i64);
+        self.metrics.prometheus("coplay_lobby")
+    }
+
     /// Drops sessions whose hosts stopped heartbeating before
     /// `now - SESSION_TTL`. Call periodically.
     pub fn expire(&mut self, now: SimTime) {
+        let before = self.sessions.len();
         self.sessions
             .retain(|_, s| now.saturating_since(s.last_seen) < SESSION_TTL);
+        self.metrics.counter_add(
+            "sessions_expired_total",
+            (before - self.sessions.len()) as u64,
+        );
     }
 
     /// Processes one request; returns `(destination, reply)` pairs.
@@ -76,12 +96,14 @@ impl LobbyServer {
         msg: &LobbyMessage,
         now: SimTime,
     ) -> Vec<(PeerId, LobbyMessage)> {
+        self.metrics.counter_add("requests_total", 1);
         match msg {
             LobbyMessage::Register {
                 name,
                 rom_hash,
                 slots,
             } => {
+                self.metrics.counter_add("register_total", 1);
                 // Idempotent: re-registering the same host+name refreshes.
                 if let Some((&id, reg)) = self
                     .sessions
@@ -122,6 +144,7 @@ impl LobbyServer {
                 Vec::new()
             }
             LobbyMessage::List => {
+                self.metrics.counter_add("list_total", 1);
                 let sessions: Vec<SessionEntry> = self
                     .sessions
                     .iter()
@@ -138,7 +161,9 @@ impl LobbyServer {
                 vec![(from, LobbyMessage::Listing { sessions })]
             }
             LobbyMessage::Join { id } => {
+                self.metrics.counter_add("join_total", 1);
                 let Some(s) = self.sessions.get_mut(id) else {
+                    self.metrics.counter_add("join_refused_total", 1);
                     return vec![(
                         from,
                         LobbyMessage::Refused {
@@ -152,6 +177,7 @@ impl LobbyServer {
                     Some(pos) => pos as u8 + 1,
                     None => {
                         if s.members.len() as u8 + 1 >= s.slots {
+                            self.metrics.counter_add("join_refused_total", 1);
                             return vec![(
                                 from,
                                 LobbyMessage::Refused {
@@ -173,6 +199,10 @@ impl LobbyServer {
                         rom_hash: s.rom_hash,
                     },
                 )]
+            }
+            LobbyMessage::MetricsRequest => {
+                let text = self.metrics_text();
+                vec![(from, LobbyMessage::MetricsReport { text })]
             }
             // Server-to-client messages arriving at the server are noise.
             _ => Vec::new(),
@@ -223,7 +253,10 @@ mod tests {
         let join = server.handle(PeerId(5), &LobbyMessage::Join { id }, t(2));
         match join[0].1 {
             LobbyMessage::Joined {
-                host, site, rom_hash, ..
+                host,
+                site,
+                rom_hash,
+                ..
             } => {
                 assert_eq!(host, PeerId(0));
                 assert_eq!(site, 1);
@@ -298,10 +331,31 @@ mod tests {
     }
 
     #[test]
+    fn metrics_request_answered_with_exposition() {
+        let mut server = LobbyServer::new();
+        let _ = register(&mut server, PeerId(0), "duel", 2);
+        server.handle(PeerId(5), &LobbyMessage::List, t(1));
+        let replies = server.handle(PeerId(9), &LobbyMessage::MetricsRequest, t(2));
+        match &replies[0].1 {
+            LobbyMessage::MetricsReport { text } => {
+                assert!(text.contains("coplay_lobby_sessions 1"), "{text}");
+                assert!(text.contains("coplay_lobby_requests_total 3"), "{text}");
+                assert!(text.contains("coplay_lobby_register_total 1"), "{text}");
+                assert!(text.contains("coplay_lobby_list_total 1"), "{text}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
     fn noise_messages_ignored() {
         let mut server = LobbyServer::new();
         assert!(server
-            .handle(PeerId(1), &LobbyMessage::Registered { id: SessionId(1) }, t(0))
+            .handle(
+                PeerId(1),
+                &LobbyMessage::Registered { id: SessionId(1) },
+                t(0)
+            )
             .is_empty());
     }
 }

@@ -9,7 +9,7 @@
 use std::error::Error;
 use std::fmt;
 
-use bytes::{Buf, BufMut, BytesMut};
+use coplay_net::bytes::{Buf, BytesMut};
 use coplay_net::PeerId;
 
 const MAGIC: u8 = 0xC6;
@@ -19,6 +19,9 @@ const VERSION: u8 = 1;
 pub const MAX_NAME: usize = 64;
 /// Most sessions returned in one listing.
 pub const MAX_LISTED: usize = 32;
+/// Longest metrics exposition carried in one report (text beyond this is
+/// truncated at a line boundary so the exposition stays parseable).
+pub const MAX_METRICS_TEXT: usize = 32 * 1024;
 
 /// Identifies a registered session at the lobby.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -113,6 +116,14 @@ pub enum LobbyMessage {
         /// Why.
         reason: JoinRefusal,
     },
+    /// Operator: ask the server for its metrics.
+    MetricsRequest,
+    /// Server → operator: Prometheus-style text exposition of the server's
+    /// metrics registry.
+    MetricsReport {
+        /// The exposition, truncated to [`MAX_METRICS_TEXT`] bytes.
+        text: String,
+    },
 }
 
 /// Errors decoding a lobby datagram.
@@ -157,6 +168,22 @@ mod ty {
     pub const JOIN: u8 = 7;
     pub const JOINED: u8 = 8;
     pub const REFUSED: u8 = 9;
+    pub const METRICS_REQUEST: u8 = 10;
+    pub const METRICS_REPORT: u8 = 11;
+}
+
+/// Truncates a metrics exposition to `MAX_METRICS_TEXT` bytes, cutting at
+/// the last complete line so the result still parses.
+fn truncate_exposition(text: &str) -> &[u8] {
+    let bytes = text.as_bytes();
+    if bytes.len() <= MAX_METRICS_TEXT {
+        return bytes;
+    }
+    let cut = bytes[..MAX_METRICS_TEXT]
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map_or(0, |i| i + 1);
+    &bytes[..cut]
 }
 
 impl LobbyMessage {
@@ -228,6 +255,13 @@ impl LobbyMessage {
                     JoinRefusal::Unknown => 0,
                     JoinRefusal::Full => 1,
                 });
+            }
+            LobbyMessage::MetricsRequest => b.put_u8(ty::METRICS_REQUEST),
+            LobbyMessage::MetricsReport { text } => {
+                b.put_u8(ty::METRICS_REPORT);
+                let text = truncate_exposition(text);
+                b.put_u32_le(text.len() as u32);
+                b.put_slice(text);
             }
         }
         b.to_vec()
@@ -351,6 +385,19 @@ impl LobbyMessage {
                     },
                 }
             }
+            ty::METRICS_REQUEST => LobbyMessage::MetricsRequest,
+            ty::METRICS_REPORT => {
+                need!(4);
+                let n = b.get_u32_le() as usize;
+                if n > MAX_METRICS_TEXT {
+                    return Err(LobbyWireError::TooLarge);
+                }
+                need!(n);
+                let text =
+                    String::from_utf8(b[..n].to_vec()).map_err(|_| LobbyWireError::BadName)?;
+                b.advance(n);
+                LobbyMessage::MetricsReport { text }
+            }
             other => return Err(LobbyWireError::UnknownType(other)),
         })
     }
@@ -406,6 +453,10 @@ mod tests {
                 id: SessionId(9),
                 reason: JoinRefusal::Unknown,
             },
+            LobbyMessage::MetricsRequest,
+            LobbyMessage::MetricsReport {
+                text: "# TYPE lobby_sessions gauge\nlobby_sessions 3\n".into(),
+            },
         ]
     }
 
@@ -426,6 +477,21 @@ mod tests {
         let decoded = LobbyMessage::decode(&m.encode()).unwrap();
         match decoded {
             LobbyMessage::Register { name, .. } => assert_eq!(name.len(), MAX_NAME),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_metrics_report_truncates_at_a_line_boundary() {
+        let line = "coplay_lobby_requests_total 1234567890\n";
+        let text = line.repeat(MAX_METRICS_TEXT / line.len() + 10);
+        let m = LobbyMessage::MetricsReport { text };
+        match LobbyMessage::decode(&m.encode()).unwrap() {
+            LobbyMessage::MetricsReport { text } => {
+                assert!(text.len() <= MAX_METRICS_TEXT);
+                assert!(text.ends_with('\n'), "cut at a complete line");
+                assert_eq!(text.len() % line.len(), 0, "only whole lines kept");
+            }
             other => panic!("{other:?}"),
         }
     }

@@ -37,12 +37,15 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod bytes;
 mod netem;
+pub mod rng;
 mod sim;
 mod transport;
 mod udp;
 
 pub use netem::{ChannelStats, JitterDistribution, NetemChannel, NetemConfig, PacketFate};
+pub use rng::DetRng;
 pub use sim::{SimNetwork, SimSocket};
 pub use transport::{loopback, LoopbackTransport, PeerId, Transport, TransportError};
 pub use udp::UdpTransport;

@@ -10,9 +10,8 @@
 //! A [`NetemChannel`] models **one direction** of a link: feed it a packet
 //! (time + size) and it answers with zero, one, or two delivery times.
 
+use crate::rng::DetRng;
 use coplay_clock::{SimDuration, SimTime};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Distribution from which per-packet jitter is drawn.
 ///
@@ -246,7 +245,7 @@ pub struct ChannelStats {
 #[derive(Debug)]
 pub struct NetemChannel {
     config: NetemConfig,
-    rng: StdRng,
+    rng: DetRng,
     last_lost: bool,
     busy_until: SimTime,
     last_scheduled: SimTime,
@@ -258,7 +257,7 @@ impl NetemChannel {
     pub fn new(config: NetemConfig, seed: u64) -> Self {
         NetemChannel {
             config,
-            rng: StdRng::seed_from_u64(seed),
+            rng: DetRng::seed_from_u64(seed),
             last_lost: false,
             busy_until: SimTime::ZERO,
             last_scheduled: SimTime::ZERO,
@@ -295,7 +294,7 @@ impl NetemChannel {
             } else {
                 self.config.loss * (1.0 - self.config.loss_correlation)
             };
-            if self.rng.random::<f64>() < p {
+            if self.rng.next_f64() < p {
                 self.last_lost = true;
                 self.stats.lost += 1;
                 fate.lost = true;
@@ -320,8 +319,7 @@ impl NetemChannel {
         }
 
         // 3. Reorder fast path: base delay only, may overtake queued traffic.
-        let reordered =
-            self.config.reorder > 0.0 && self.rng.random::<f64>() < self.config.reorder;
+        let reordered = self.config.reorder > 0.0 && self.rng.next_f64() < self.config.reorder;
         let mut delivery = if reordered {
             self.stats.reordered += 1;
             fate.reordered = true;
@@ -343,8 +341,9 @@ impl NetemChannel {
         self.stats.delivered += 1;
 
         // 4. Duplication: netem emits the copy back-to-back with the original.
-        if self.config.duplicate > 0.0 && self.rng.random::<f64>() < self.config.duplicate {
-            fate.deliveries.push(delivery + SimDuration::from_micros(100));
+        if self.config.duplicate > 0.0 && self.rng.next_f64() < self.config.duplicate {
+            fate.deliveries
+                .push(delivery + SimDuration::from_micros(100));
             self.stats.duplicated += 1;
             self.stats.delivered += 1;
         }
@@ -359,7 +358,7 @@ impl NetemChannel {
         let slice_extra = if slice == 0 {
             0
         } else {
-            self.rng.random_range(0..slice)
+            self.rng.range_u64(slice)
         };
         let base = (self.config.delay.as_micros() + slice_extra) as f64;
         let j = self.config.jitter.as_micros();
@@ -368,16 +367,16 @@ impl NetemChannel {
         }
         let jf = j as f64;
         let offset: f64 = match self.config.jitter_dist {
-            JitterDistribution::Uniform => self.rng.random_range(-jf..=jf),
+            JitterDistribution::Uniform => self.rng.range_f64(-jf, jf),
             JitterDistribution::Normal => {
                 // Box-Muller, truncated at +/-3 sigma like netem's table.
-                let u1: f64 = self.rng.random::<f64>().max(f64::MIN_POSITIVE);
-                let u2: f64 = self.rng.random();
+                let u1: f64 = self.rng.next_f64().max(f64::MIN_POSITIVE);
+                let u2: f64 = self.rng.next_f64();
                 let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
                 (z * jf).clamp(-3.0 * jf, 3.0 * jf)
             }
             JitterDistribution::HeavyTail => {
-                let u: f64 = self.rng.random::<f64>().max(f64::MIN_POSITIVE);
+                let u: f64 = self.rng.next_f64().max(f64::MIN_POSITIVE);
                 (-u.ln() * jf).min(6.0 * jf)
             }
         };

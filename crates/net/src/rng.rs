@@ -1,0 +1,137 @@
+//! Small deterministic PRNG for network impairment simulation.
+//!
+//! The impairment model only needs a fast, seedable, statistically decent
+//! generator — not cryptographic strength — and the offline build rules
+//! out external crates, so this is a self-contained xoshiro256++ with a
+//! splitmix64 seeder (the standard public-domain constructions).
+
+/// A seedable xoshiro256++ generator.
+///
+/// Identical seeds produce identical streams on every platform, which is
+/// what makes impaired-network experiments replayable; see the
+/// determinism tests in [`crate::netem`].
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    s: [u64; 4],
+}
+
+/// One step of the splitmix64 sequence, used to expand a 64-bit seed into
+/// generator state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl DetRng {
+    /// Creates a generator whose stream is fully determined by `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        DetRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn range_u64(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "range_u64 needs a non-empty range");
+        // Multiply-shift range reduction; the bias is < 1/2^64 per draw,
+        // far below what the impairment statistics can resolve.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// A uniform `f64` in `[lo, hi)` (degenerating to `lo` when `lo == hi`).
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo <= hi, "range_f64 bounds out of order");
+        lo + self.next_f64() * (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::seed_from_u64(42);
+        let mut b = DetRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = DetRng::seed_from_u64(1);
+        let mut b = DetRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval_and_is_roughly_uniform() {
+        let mut r = DetRng::seed_from_u64(7);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn range_u64_is_bounded_and_covers() {
+        let mut r = DetRng::seed_from_u64(9);
+        let mut hit = [false; 10];
+        for _ in 0..1_000 {
+            let v = r.range_u64(10);
+            assert!(v < 10);
+            hit[v as usize] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "all residues reachable");
+    }
+
+    #[test]
+    fn range_f64_respects_bounds() {
+        let mut r = DetRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let v = r.range_f64(-3.5, 3.5);
+            assert!((-3.5..3.5).contains(&v));
+        }
+    }
+}

@@ -11,6 +11,7 @@ use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
 use coplay_clock::{Clock, EventQueue, SimTime, VirtualClock};
+use coplay_telemetry::{EventKind, Telemetry};
 
 use crate::netem::{ChannelStats, NetemChannel, NetemConfig};
 use crate::transport::{PeerId, Transport, TransportError};
@@ -57,6 +58,7 @@ pub struct SimNetwork {
     link_up: HashMap<(PeerId, PeerId), bool>,
     queue: EventQueue<Flight>,
     inboxes: HashMap<PeerId, VecDeque<(PeerId, Vec<u8>)>>,
+    telemetry: Telemetry,
 }
 
 impl SimNetwork {
@@ -68,7 +70,14 @@ impl SimNetwork {
             link_up: HashMap::new(),
             queue: EventQueue::new(),
             inboxes: HashMap::new(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches an observability sink: packet drops (loss, overflow, downed
+    /// link) and duplications are recorded, stamped with virtual time.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Creates a network already wrapped for sharing with [`SimSocket`]s.
@@ -142,9 +151,35 @@ impl SimNetwork {
         };
         if !self.link_up.get(&(from, to)).copied().unwrap_or(true) {
             // Downed link: silently eat the packet, exactly like a dead wire.
+            self.telemetry.record(
+                now,
+                EventKind::PacketDropped {
+                    from: from.0,
+                    to: to.0,
+                    overflow: false,
+                },
+            );
             return Ok(());
         }
         let fate = channel.process(now, payload.len());
+        if fate.deliveries.is_empty() {
+            self.telemetry.record(
+                now,
+                EventKind::PacketDropped {
+                    from: from.0,
+                    to: to.0,
+                    overflow: fate.overflowed,
+                },
+            );
+        } else if fate.deliveries.len() > 1 {
+            self.telemetry.record(
+                now,
+                EventKind::PacketDuplicated {
+                    from: from.0,
+                    to: to.0,
+                },
+            );
+        }
         for at in fate.deliveries {
             self.queue.schedule(
                 at,

@@ -61,10 +61,9 @@ impl UdpTransport {
     ///
     /// Returns an error if `addr` does not resolve to any address.
     pub fn add_peer<A: ToSocketAddrs>(&mut self, peer: PeerId, addr: A) -> io::Result<()> {
-        let addr = addr
-            .to_socket_addrs()?
-            .next()
-            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "address did not resolve"))?;
+        let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "address did not resolve")
+        })?;
         self.peers.insert(peer, addr);
         self.by_addr.insert(addr, peer);
         Ok(())
@@ -165,9 +164,7 @@ mod tests {
     fn datagrams_from_unknown_senders_are_dropped() {
         let (_, mut b) = pair();
         let stranger = UdpSocket::bind("127.0.0.1:0").unwrap();
-        stranger
-            .send_to(b"noise", b.local_addr().unwrap())
-            .unwrap();
+        stranger.send_to(b"noise", b.local_addr().unwrap()).unwrap();
         // Give the kernel a moment, then confirm the noise is invisible.
         std::thread::sleep(std::time::Duration::from_millis(20));
         assert!(b.try_recv().unwrap().is_none());

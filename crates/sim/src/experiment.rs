@@ -13,12 +13,11 @@ use std::rc::Rc;
 
 use coplay_clock::{Clock, EventId, EventQueue, SimDuration, SimTime, TimeServer, VirtualClock};
 use coplay_games::GameId;
-use coplay_net::{
-    JitterDistribution, NetemConfig, PeerId, SimNetwork, SimSocket, Transport,
-};
+use coplay_net::{JitterDistribution, NetemConfig, PeerId, SimNetwork, SimSocket, Transport};
 use coplay_sync::{
-    LockstepSession, Message, RandomPresser, Step, SyncConfig, SyncError,
+    LockstepSession, Message, RandomPresser, SessionStats, Step, SyncConfig, SyncError,
 };
+use coplay_telemetry::{EventKind, Telemetry};
 use coplay_vm::{Machine, Player};
 
 use crate::metrics::{abs_mean, deltas_ms, SiteStats};
@@ -75,6 +74,10 @@ pub struct ExperimentConfig {
     pub start_skew: SimDuration,
     /// Verify per-frame state-hash equality across replicas.
     pub check_convergence: bool,
+    /// Attach a recording [`Telemetry`] sink to every site and to the
+    /// network fabric. When `false` (the default), the no-op sink is used
+    /// and the run costs nothing extra.
+    pub telemetry: bool,
 }
 
 impl Default for ExperimentConfig {
@@ -100,6 +103,7 @@ impl Default for ExperimentConfig {
             latecomer_at: None,
             start_skew: SimDuration::ZERO,
             check_convergence: true,
+            telemetry: false,
         }
     }
 }
@@ -132,6 +136,13 @@ pub struct ExperimentResult {
     pub packets_offered: u64,
     /// Packets dropped by the loss process.
     pub packets_lost: u64,
+    /// In-band session counters per site (players first, then observers).
+    pub session_stats: Vec<SessionStats>,
+    /// Per-site telemetry handles (same order as `session_stats`). Disabled
+    /// no-op handles unless [`ExperimentConfig::telemetry`] was set.
+    pub telemetry: Vec<Telemetry>,
+    /// The network fabric's telemetry handle (packet drops/duplications).
+    pub net_telemetry: Telemetry,
 }
 
 impl ExperimentResult {
@@ -249,10 +260,23 @@ impl Experiment {
                     cfg.seed ^ ((a as u64) << 32) ^ (b as u64).wrapping_mul(0x9E37),
                 );
             }
-            SimNetwork::link_pair(&net, PeerId(a), PeerId::TIME_SERVER, lan.clone(), 7 + a as u64);
+            SimNetwork::link_pair(
+                &net,
+                PeerId(a),
+                PeerId::TIME_SERVER,
+                lan.clone(),
+                7 + a as u64,
+            );
         }
         let mut server_sock = SimNetwork::socket(&net, PeerId::TIME_SERVER);
         let mut time_server = TimeServer::new();
+
+        let net_telemetry = if cfg.telemetry {
+            Telemetry::recording()
+        } else {
+            Telemetry::disabled()
+        };
+        net.borrow_mut().set_telemetry(net_telemetry.clone());
 
         // Build the sites.
         let mut sites: Vec<SiteRunner> = Vec::new();
@@ -271,6 +295,9 @@ impl Experiment {
             // late (applied post-handshake so it actually manifests).
             if site_no != 0 && !is_observer {
                 sync_cfg.first_frame_delay = cfg.start_skew;
+            }
+            if cfg.telemetry {
+                sync_cfg.telemetry = Telemetry::recording();
             }
 
             let machine = cfg.game.create();
@@ -360,7 +387,7 @@ impl Experiment {
             }
         }
 
-        self.collect(sites, time_server, net, clock.now())
+        self.collect(sites, time_server, net, net_telemetry, clock.now())
     }
 
     fn tick_site(
@@ -411,9 +438,14 @@ impl Experiment {
         sites: Vec<SiteRunner>,
         time_server: TimeServer,
         net: Rc<RefCell<SimNetwork>>,
+        net_telemetry: Telemetry,
         end: SimTime,
     ) -> Result<ExperimentResult, SimError> {
         let cfg = &self.config;
+        let telemetry: Vec<Telemetry> = sites
+            .iter()
+            .map(|s| s.session.config().telemetry.clone())
+            .collect();
         // Series 1: frame times per player site, first `frames` frames.
         let mut stats = Vec::new();
         for s in sites.iter().take(cfg.num_players as usize) {
@@ -429,6 +461,11 @@ impl Experiment {
                 .filter(|(f, _)| *f < cfg.frames)
                 .map(|(_, d)| d)
                 .collect();
+            // Each |delta| also feeds the master's inter-site histogram
+            // (no-op when telemetry is disabled).
+            for d in &diffs {
+                telemetry[0].observe("inter_site_frame_delta_us", d.abs().as_micros());
+            }
             abs_mean(&deltas_ms(&diffs))
         } else {
             0.0
@@ -438,7 +475,7 @@ impl Experiment {
         let mut converged = true;
         if cfg.check_convergence {
             let reference = &sites[0];
-            for s in &sites[1..] {
+            for (si, s) in sites.iter().enumerate().skip(1) {
                 for (i, h) in s.hashes.iter().enumerate() {
                     let frame = s.first_frame + i as u64;
                     let Some(ri) = frame.checked_sub(reference.first_frame) else {
@@ -446,12 +483,16 @@ impl Experiment {
                     };
                     if let Some(rh) = reference.hashes.get(ri as usize) {
                         if rh != h {
+                            if converged {
+                                telemetry[si].record(end, EventKind::DesyncDetected { frame });
+                            }
                             converged = false;
                         }
                     }
                 }
             }
         }
+        let session_stats: Vec<SessionStats> = sites.iter().map(|s| s.session.stats()).collect();
         let net = net.borrow();
         let s01 = net.link_stats(PeerId(0), PeerId(1)).unwrap_or_default();
         let s10 = net.link_stats(PeerId(1), PeerId(0)).unwrap_or_default();
@@ -463,6 +504,9 @@ impl Experiment {
             elapsed: end.saturating_since(SimTime::ZERO),
             packets_offered: s01.offered + s10.offered,
             packets_lost: s01.lost + s10.lost,
+            session_stats,
+            telemetry,
+            net_telemetry,
         })
     }
 }
@@ -496,7 +540,11 @@ mod tests {
                 "frame time {} off 16.7ms",
                 s.mean_frame_time_ms
             );
-            assert!(s.frame_time_deviation_ms < 1.0, "deviation {}", s.frame_time_deviation_ms);
+            assert!(
+                s.frame_time_deviation_ms < 1.0,
+                "deviation {}",
+                s.frame_time_deviation_ms
+            );
         }
         // Figure 2's own envelope below the threshold is <10ms.
         assert!(r.synchrony_ms < 10.0, "synchrony {}", r.synchrony_ms);
@@ -576,7 +624,10 @@ mod tests {
         cfg.frames = 360;
         cfg.latecomer_at = Some(SimDuration::from_secs(2)); // ~frame 120
         let r = run_experiment(cfg).unwrap();
-        assert!(r.converged, "latecomer replica must match from its join point");
+        assert!(
+            r.converged,
+            "latecomer replica must match from its join point"
+        );
     }
 
     #[test]

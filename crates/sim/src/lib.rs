@@ -39,8 +39,7 @@ pub mod metrics;
 mod sweep;
 
 pub use experiment::{
-    run_experiment, Experiment, ExperimentConfig, ExperimentResult, SimError,
-    FIRST_OBSERVER_SITE,
+    run_experiment, Experiment, ExperimentConfig, ExperimentResult, SimError, FIRST_OBSERVER_SITE,
 };
 pub use metrics::SiteStats;
 pub use sweep::{

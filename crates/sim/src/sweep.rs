@@ -129,7 +129,10 @@ mod tests {
         let rows = run_sweep(&base, &points, |_, _| seen += 1).unwrap();
         assert_eq!(seen, 3);
         assert_eq!(rows.len(), 3);
-        let ft: Vec<f64> = rows.iter().map(|r| r.result.master_frame_time_ms()).collect();
+        let ft: Vec<f64> = rows
+            .iter()
+            .map(|r| r.result.master_frame_time_ms())
+            .collect();
         assert!(ft[0] <= ft[2] + 0.5, "fast link must not be slower: {ft:?}");
         assert!(
             ft[2] > ft[0] + 2.0,

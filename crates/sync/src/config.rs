@@ -1,6 +1,7 @@
 //! Configuration of a lockstep session.
 
 use coplay_clock::SimDuration;
+use coplay_telemetry::Telemetry;
 use coplay_vm::PortMap;
 
 /// Parameters of the synchronization algorithm (§3 of the paper).
@@ -61,6 +62,12 @@ pub struct SyncConfig {
     /// exactly the same time" initialization deviation (used by the pacing
     /// ablation; zero in normal sessions).
     pub first_frame_delay: SimDuration,
+    /// Observability sink for this session: the driver, input synchronizer,
+    /// frame pacer, and RTT estimator all record into it. Defaults to the
+    /// disabled no-op handle, which costs nothing on the hot path. Note the
+    /// handle compares equal to its clones regardless of recorded contents,
+    /// so `SyncConfig` equality stays meaningful.
+    pub telemetry: Telemetry,
 }
 
 impl SyncConfig {
@@ -85,6 +92,7 @@ impl SyncConfig {
             sync_dead_zone: SimDuration::from_millis(15),
             stall_timeout: None,
             first_frame_delay: SimDuration::ZERO,
+            telemetry: Telemetry::disabled(),
         }
     }
 

@@ -25,8 +25,9 @@
 
 use std::collections::BTreeMap;
 
-use coplay_clock::{SimDuration, SimTime};
+use coplay_clock::{SimDelta, SimDuration, SimTime};
 use coplay_net::{PeerId, Transport};
+use coplay_telemetry::EventKind;
 use coplay_vm::{InputWord, Machine};
 
 use crate::config::SyncConfig;
@@ -139,7 +140,9 @@ impl<M: Machine, T: Transport, S: InputSource> LockstepSession<M, T, S> {
         // spans many frames).
         let dead_zone = cfg.sync_dead_zone.min(cfg.local_lag() / 4);
         let timer = FrameTimer::new(tpf, cfg.is_master(), cfg.rate_sync, cfg.buf_frames)
-            .with_dead_zone(dead_zone);
+            .with_dead_zone(dead_zone)
+            .with_telemetry(cfg.telemetry.clone());
+        let rtt = RttEstimator::default().with_telemetry(cfg.telemetry.clone());
         let phase = if cfg.is_master() {
             Phase::MasterWait
         } else {
@@ -151,7 +154,7 @@ impl<M: Machine, T: Transport, S: InputSource> LockstepSession<M, T, S> {
         LockstepSession {
             sync: InputSync::new(cfg.clone()),
             timer,
-            rtt: RttEstimator::default(),
+            rtt,
             phase,
             frame: 0,
             frame_start: SimTime::ZERO,
@@ -251,8 +254,9 @@ impl<M: Machine, T: Transport, S: InputSource> LockstepSession<M, T, S> {
                     return Ok(Step::Wait(now + JOIN_RETRY));
                 }
                 Phase::Connecting { next_hello, acks } => {
-                    let player_peers: Vec<u8> =
-                        (0..self.cfg.num_sites).filter(|&s| s != self.cfg.my_site).collect();
+                    let player_peers: Vec<u8> = (0..self.cfg.num_sites)
+                        .filter(|&s| s != self.cfg.my_site)
+                        .collect();
                     if player_peers.iter().all(|p| acks.contains_key(p)) {
                         let start = acks.values().copied().max().unwrap_or(0);
                         if start == 0 {
@@ -301,6 +305,13 @@ impl<M: Machine, T: Transport, S: InputSource> LockstepSession<M, T, S> {
                     if complete {
                         let frame = *frame;
                         let bytes = std::mem::take(buf);
+                        self.cfg.telemetry.record(
+                            now,
+                            EventKind::SnapshotLoaded {
+                                frame,
+                                bytes: bytes.len() as u64,
+                            },
+                        );
                         self.machine
                             .load_state(&bytes)
                             .map_err(|e| SyncError::Snapshot(e.to_string()))?;
@@ -330,9 +341,15 @@ impl<M: Machine, T: Transport, S: InputSource> LockstepSession<M, T, S> {
                     }
                     RunState::Begin => {
                         self.frame_start = now;
+                        self.cfg
+                            .telemetry
+                            .record(now, EventKind::FrameBegun { frame: self.frame });
                         let obs = self.sync.master_observation();
                         self.timer
                             .begin_frame(now, self.frame, obs.as_ref(), self.rtt.rtt());
+                        if self.timer.last_sync_adjust() != SimDelta::ZERO {
+                            self.stats.pace_adjustments += 1;
+                        }
                         let local = self.source.sample(self.frame);
                         self.sync.begin_frame(self.frame, local, now);
                         if let Some(server) = self.time_server {
@@ -362,9 +379,23 @@ impl<M: Machine, T: Transport, S: InputSource> LockstepSession<M, T, S> {
                         if self.sync.ready() {
                             if let Some(began) = self.blocked_at.take() {
                                 self.stats.note_stall(began, now);
+                                self.cfg.telemetry.record(
+                                    now,
+                                    EventKind::StallEnd {
+                                        frame: self.frame,
+                                        duration: now.saturating_since(began),
+                                    },
+                                );
                             }
                             let input = self.sync.take();
                             self.machine.step_frame(input);
+                            self.cfg.telemetry.record(
+                                now,
+                                EventKind::FrameExecuted {
+                                    frame: self.frame,
+                                    frame_time: now.saturating_since(self.frame_start),
+                                },
+                            );
                             let report = FrameReport {
                                 frame: self.frame,
                                 input,
@@ -384,6 +415,9 @@ impl<M: Machine, T: Transport, S: InputSource> LockstepSession<M, T, S> {
                         }
                         if self.blocked_at.is_none() {
                             self.blocked_at = Some(now);
+                            self.cfg
+                                .telemetry
+                                .record(now, EventKind::StallBegin { frame: self.frame });
                         }
                         if let (Some(limit), Some(stalled)) =
                             (self.cfg.stall_timeout, self.sync.stalled_for(now))
@@ -407,6 +441,33 @@ impl<M: Machine, T: Transport, S: InputSource> LockstepSession<M, T, S> {
         }
     }
 
+    /// Services the network without advancing the game: drains incoming
+    /// datagrams (acks, pings, duplicate hellos, snapshot requests) and
+    /// flushes any input frames still owed to peers — paced sends and
+    /// retransmissions alike.
+    ///
+    /// [`run_realtime`](crate::run_realtime) calls this while lingering
+    /// after its frame budget: the final local inputs must still reach
+    /// peers that are a few frames behind, but executing frames past the
+    /// budget would let replicas end at different frames (and therefore
+    /// different state hashes).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures, like [`tick`](Self::tick).
+    pub fn pump(&mut self, now: SimTime) -> Result<(), SyncError> {
+        self.drain_transport(now)?;
+        if matches!(self.phase, Phase::Run(_)) {
+            for (dst, msg) in self.sync.outgoing(now) {
+                self.stats.input_messages_sent += 1;
+                self.stats.input_frames_sent += msg.inputs.len() as u64;
+                self.transport
+                    .send(PeerId(dst), &Message::Input(msg).encode())?;
+            }
+        }
+        Ok(())
+    }
+
     fn drain_transport(&mut self, now: SimTime) -> Result<(), SyncError> {
         while let Some((from, data)) = self.transport.try_recv()? {
             let Ok(msg) = Message::decode(&data) else {
@@ -417,14 +478,26 @@ impl<M: Machine, T: Transport, S: InputSource> LockstepSession<M, T, S> {
         Ok(())
     }
 
-    fn handle_message(&mut self, from: PeerId, msg: Message, now: SimTime) -> Result<(), SyncError> {
+    fn handle_message(
+        &mut self,
+        from: PeerId,
+        msg: Message,
+        now: SimTime,
+    ) -> Result<(), SyncError> {
         match msg {
             Message::Input(m) => {
                 self.stats.input_messages_received += 1;
-                self.sync.on_message(&m, now);
+                let outcome = self.sync.on_message(&m, now);
+                if outcome.duplicate {
+                    self.stats.duplicate_messages_received += 1;
+                }
+                // Frames the message carried that we already had buffered.
+                self.stats.retransmitted_frames_received +=
+                    (outcome.carried - outcome.fresh) as u64;
             }
             Message::Ping { nonce } => {
-                self.transport.send(from, &Message::Pong { nonce }.encode())?;
+                self.transport
+                    .send(from, &Message::Pong { nonce }.encode())?;
             }
             Message::Pong { nonce } => self.rtt.on_pong(nonce, now),
             Message::Hello {
@@ -442,6 +515,9 @@ impl<M: Machine, T: Transport, S: InputSource> LockstepSession<M, T, S> {
                 // a margin of history to cover pointer divergence.
                 let joined_at = self.sync.pointer().saturating_sub(JOIN_MARGIN_FRAMES);
                 self.sync.add_peer(site, joined_at);
+                self.cfg
+                    .telemetry
+                    .record(now, EventKind::PeerJoined { site });
                 if !observer && !self.joined.contains(&site) {
                     self.joined.push(site);
                 }
@@ -474,12 +550,19 @@ impl<M: Machine, T: Transport, S: InputSource> LockstepSession<M, T, S> {
                 let state = self.machine.save_state();
                 let frame = self.machine.frame();
                 let total = state.len();
+                self.cfg.telemetry.record(
+                    now,
+                    EventKind::SnapshotServed {
+                        frame,
+                        bytes: total as u64,
+                    },
+                );
                 for (i, chunk) in state.chunks(MAX_CHUNK_BYTES).enumerate() {
                     let m = Message::SnapshotChunk {
                         frame,
                         offset: (i * MAX_CHUNK_BYTES) as u32,
                         total: total as u32,
-                        bytes: bytes::Bytes::copy_from_slice(chunk),
+                        bytes: coplay_net::bytes::Bytes::copy_from_slice(chunk),
                     };
                     self.transport.send(from, &m.encode())?;
                 }
@@ -616,12 +699,7 @@ mod tests {
         let (ta, tb) = loopback(PeerId(0), PeerId(1));
         let mut modified = NullMachine::new();
         modified.step_frame(InputWord(1)); // different "image"
-        let mut a = LockstepSession::new(
-            SyncConfig::two_player(0),
-            NullMachine::new(),
-            ta,
-            Idle,
-        );
+        let mut a = LockstepSession::new(SyncConfig::two_player(0), NullMachine::new(), ta, Idle);
         let mut b = LockstepSession::new(SyncConfig::two_player(1), modified, tb, Idle);
         let now = SimTime::ZERO;
         let _ = b.tick(now).unwrap(); // b sends Hello with the wrong hash
@@ -668,12 +746,7 @@ mod tests {
         let mut cfg0 = SyncConfig::two_player(0);
         cfg0.stall_timeout = Some(SimDuration::from_millis(500));
         let mut a = LockstepSession::new(cfg0, NullMachine::new(), ta, Idle);
-        let mut b = LockstepSession::new(
-            SyncConfig::two_player(1),
-            NullMachine::new(),
-            tb,
-            Idle,
-        );
+        let mut b = LockstepSession::new(SyncConfig::two_player(1), NullMachine::new(), tb, Idle);
         let _ = run_pair(&mut a, &mut b, 10);
         let _b_alive_but_silent = b;
         // Keep ticking: a blocks in SyncInput, then errors out.

@@ -80,8 +80,8 @@ pub use input_buffer::InputBuffer;
 pub use input_source::{Idle, InputSource, RandomPresser, Scripted};
 pub use realtime::{run_realtime, RunOutcome};
 pub use replay::{Recording, ReplayError, CHECKPOINT_INTERVAL};
-pub use stats::SessionStats;
 pub use rtt::{RttEstimator, DEFAULT_PING_INTERVAL};
-pub use sync_input::{InputSync, MasterObservation, OBSERVER_SITE, RETAIN_FRAMES};
+pub use stats::SessionStats;
+pub use sync_input::{InputSync, MasterObservation, RecvOutcome, OBSERVER_SITE, RETAIN_FRAMES};
 pub use timing::{FrameEnd, FrameTimer};
 pub use wire::{InputMsg, Message, WireError, MAX_CHUNK_BYTES, MAX_INPUTS_PER_MSG};

@@ -30,6 +30,15 @@ pub enum RunOutcome {
 /// The loop sleeps in sub-millisecond slices while waiting so arriving
 /// datagrams are noticed promptly — the spirit of Algorithm 2's poll loop.
 ///
+/// After the frame budget is reached the session **lingers** briefly
+/// (several send intervals) before returning: the local inputs for the
+/// final frames may still be queued behind the outbound send pacing, and a
+/// peer that is a few frames behind needs them — and possibly
+/// retransmissions — to reach its own budget. Returning immediately would
+/// drop the session mid-protocol and leave that peer blocked forever
+/// (observable as an endless run of `input_sent` retransmission events in
+/// its flight recorder).
+///
 /// # Errors
 ///
 /// Propagates any [`SyncError`] from the session (transport failure, game
@@ -58,6 +67,7 @@ where
                 on_frame(&report, session.machine());
                 frames += 1;
                 if frames >= max_frames {
+                    linger(&mut session, &clock);
                     return Ok((RunOutcome::FrameLimit, session));
                 }
             }
@@ -66,6 +76,28 @@ where
             }
             Step::Stopped(reason) => return Ok((RunOutcome::Stopped(reason), session)),
         }
+    }
+}
+
+/// Keeps a finished session's *network* alive for a bounded grace period so
+/// its final input frames clear the send pacing and lagging peers can catch
+/// up. Uses [`LockstepSession::pump`], never `tick`: executing frames past
+/// the budget would leave replicas at different frames with different final
+/// state hashes.
+fn linger<M, T, S>(session: &mut LockstepSession<M, T, S>, clock: &SystemClock)
+where
+    M: Machine,
+    T: Transport,
+    S: InputSource,
+{
+    let grace = (session.config().send_interval * 8).max(SimDuration::from_millis(150));
+    let until = clock.now() + grace;
+    loop {
+        let now = clock.now();
+        if now >= until || session.pump(now).is_err() {
+            return;
+        }
+        sleep_until(clock, (now + SimDuration::from_millis(2)).min(until));
     }
 }
 

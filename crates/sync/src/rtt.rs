@@ -8,6 +8,7 @@
 use std::collections::HashMap;
 
 use coplay_clock::{SimDuration, SimTime};
+use coplay_telemetry::{EventKind, Telemetry};
 
 /// Default interval between probes.
 pub const DEFAULT_PING_INTERVAL: SimDuration = SimDuration::from_millis(500);
@@ -36,6 +37,8 @@ pub struct RttEstimator {
     outstanding: HashMap<u32, SimTime>,
     next_nonce: u32,
     next_ping: SimTime,
+    /// Observability sink; records one event per matched (raw) RTT sample.
+    telemetry: Telemetry,
 }
 
 impl RttEstimator {
@@ -47,7 +50,15 @@ impl RttEstimator {
             outstanding: HashMap::new(),
             next_nonce: 1,
             next_ping: SimTime::ZERO,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches an observability sink: every matched pong records its *raw*
+    /// sample (not the smoothed estimate) as a [`EventKind::RttSample`].
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> RttEstimator {
+        self.telemetry = telemetry;
+        self
     }
 
     /// The smoothed round-trip estimate; zero until the first pong.
@@ -84,6 +95,8 @@ impl RttEstimator {
             return;
         };
         let sample = now.saturating_since(sent);
+        self.telemetry
+            .record(now, EventKind::RttSample { rtt: sample });
         self.srtt = Some(match self.srtt {
             None => sample,
             // srtt += (sample - srtt) / 8, in integer microseconds.

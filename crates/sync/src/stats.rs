@@ -16,6 +16,14 @@ pub struct SessionStats {
     pub input_messages_sent: u64,
     /// Input messages received (including duplicates).
     pub input_messages_received: u64,
+    /// Received input messages that carried payload but not a single new
+    /// frame — pure duplicates from retransmission overlap or network
+    /// duplication.
+    pub duplicate_messages_received: u64,
+    /// Received payload frames this site had already buffered (the inbound
+    /// half of the retransmission picture; `input_frames_sent` only shows
+    /// the outbound half).
+    pub retransmitted_frames_received: u64,
     /// Input-frame payload words sent (≥ frames when retransmitting).
     pub input_frames_sent: u64,
     /// Frames on which `SyncInput` blocked at least one poll interval.
@@ -26,6 +34,9 @@ pub struct SessionStats {
     pub stall_max: SimDuration,
     /// Frames that finished late (Algorithm 3 took the `Behind` branch).
     pub late_frames: u64,
+    /// Frames on which Algorithm 4 applied a non-zero pace adjustment
+    /// (outside the dead zone). Always zero on the master.
+    pub pace_adjustments: u64,
 }
 
 impl SessionStats {

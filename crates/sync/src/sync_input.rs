@@ -23,6 +23,7 @@
 use std::collections::BTreeMap;
 
 use coplay_clock::{SimDuration, SimTime};
+use coplay_telemetry::EventKind;
 use coplay_vm::InputWord;
 
 use crate::config::SyncConfig;
@@ -55,8 +56,25 @@ struct PeerState {
     last_rcv: u64,
     /// `LastAckFrame[p]`: the last of *our* partials `p` has acknowledged.
     last_ack: u64,
+    /// Highest local frame ever transmitted to `p` (telemetry only: frames
+    /// at or below this in a later message are retransmissions).
+    last_sent: u64,
     /// We owe `p` a fresh ack (we received something since our last send).
     need_ack: bool,
+}
+
+/// What [`InputSync::on_message`] learned from one incoming message
+/// (telemetry/statistics; callers that only care about protocol state can
+/// ignore it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecvOutcome {
+    /// Payload frames the message carried.
+    pub carried: u32,
+    /// How many of those frames were new to this site.
+    pub fresh: u32,
+    /// `true` if the message carried payload but not a single new frame —
+    /// a pure duplicate (retransmission overlap or network duplication).
+    pub duplicate: bool,
 }
 
 /// The logical-consistency engine (Algorithm 2), generalized to N sites
@@ -121,6 +139,7 @@ impl InputSync {
                     PeerState {
                         last_rcv: init,
                         last_ack: init,
+                        last_sent: init,
                         need_ack: false,
                     },
                 )
@@ -148,6 +167,7 @@ impl InputSync {
         self.peers.entry(site).or_insert(PeerState {
             last_rcv: init,
             last_ack: init,
+            last_sent: init,
             need_ack: false,
         });
     }
@@ -268,6 +288,7 @@ impl InputSync {
             } else {
                 Vec::new()
             };
+            let count = inputs.len() as u32;
             out.push((
                 site,
                 InputMsg {
@@ -277,9 +298,25 @@ impl InputSync {
                     inputs,
                 },
             ));
+            let mut retransmitted = 0u32;
             if let Some(p) = self.peers.get_mut(&site) {
                 p.need_ack = false;
+                if last >= first {
+                    if p.last_sent >= first {
+                        retransmitted = (p.last_sent.min(last) - first + 1) as u32;
+                    }
+                    p.last_sent = p.last_sent.max(last);
+                }
             }
+            self.cfg.telemetry.record(
+                now,
+                EventKind::InputSent {
+                    to: site,
+                    first,
+                    count,
+                    retransmitted,
+                },
+            );
         }
         if !out.is_empty() {
             self.next_send = now + self.cfg.send_interval;
@@ -288,14 +325,19 @@ impl InputSync {
     }
 
     /// Lines 12–20: integrate a received message.
-    pub fn on_message(&mut self, msg: &InputMsg, now: SimTime) {
+    ///
+    /// The returned [`RecvOutcome`] summarizes what the message contributed
+    /// (for telemetry/statistics); it is all-zero for messages from unknown
+    /// senders or from this site itself.
+    pub fn on_message(&mut self, msg: &InputMsg, now: SimTime) -> RecvOutcome {
         let from = msg.from;
         if from == self.cfg.my_site {
-            return;
+            return RecvOutcome::default();
         }
         let Some(peer) = self.peers.get_mut(&from) else {
-            return; // unknown sender: drop, as with any open UDP port
+            return RecvOutcome::default(); // unknown sender: drop, as with any open UDP port
         };
+        let carried = msg.inputs.len() as u32;
         // Owe an ack only for messages that carried inputs: duplicates still
         // refresh the ack (the previous one may have been lost), while pure
         // acks never trigger responses (no ack ping-pong).
@@ -305,6 +347,7 @@ impl InputSync {
 
         // Line 13: fill IBuf with the received remote partials (duplicates
         // are ignored inside the buffer).
+        let mut fresh = 0u32;
         if from < self.cfg.num_sites {
             for (i, &w) in msg.inputs.iter().enumerate() {
                 self.buf.set_partial(msg.first + i as u64, from, w);
@@ -312,6 +355,7 @@ impl InputSync {
             // Lines 14–16: advance LastRcvFrame[from]. Contiguity holds
             // because msg.first = (our ack they saw) + 1 <= last_rcv + 1.
             if !msg.inputs.is_empty() && msg.last() > peer.last_rcv {
+                fresh = (msg.last() - peer.last_rcv).min(carried as u64) as u32;
                 peer.last_rcv = msg.last();
                 if from == 0 && self.cfg.my_site != 0 {
                     self.master_rcv_time = Some(now);
@@ -322,6 +366,23 @@ impl InputSync {
         // Lines 17–19: advance LastAckFrame[from].
         if msg.ack > peer.last_ack {
             peer.last_ack = msg.ack;
+        }
+
+        let duplicate = carried > 0 && fresh == 0;
+        self.cfg.telemetry.record(
+            now,
+            EventKind::InputReceived {
+                from,
+                first: msg.first,
+                count: carried,
+                fresh,
+                duplicate,
+            },
+        );
+        RecvOutcome {
+            carried,
+            fresh,
+            duplicate,
         }
     }
 
@@ -366,7 +427,13 @@ mod tests {
     }
 
     /// Drives both engines one frame with instant, lossless delivery.
-    fn lockstep_frame(a: &mut InputSync, b: &mut InputSync, f: u64, ia: InputWord, ib: InputWord) -> (InputWord, InputWord) {
+    fn lockstep_frame(
+        a: &mut InputSync,
+        b: &mut InputSync,
+        f: u64,
+        ia: InputWord,
+        ib: InputWord,
+    ) -> (InputWord, InputWord) {
         let t = SimTime::from_millis(f * 25); // > send_interval so pacing never blocks
         a.begin_frame(f, ia, t);
         b.begin_frame(f, ib, t);
@@ -384,13 +451,7 @@ mod tests {
     fn first_buf_frames_deliver_empty_inputs() {
         let (mut a, mut b) = pair();
         for f in 0..6 {
-            let (wa, wb) = lockstep_frame(
-                &mut a,
-                &mut b,
-                f,
-                InputWord(0xFF),
-                InputWord(0xFF00),
-            );
+            let (wa, wb) = lockstep_frame(&mut a, &mut b, f, InputWord(0xFF), InputWord(0xFF00));
             assert_eq!(wa, InputWord::NONE, "frame {f} must be empty (local lag)");
             assert_eq!(wb, InputWord::NONE);
         }
@@ -563,7 +624,7 @@ mod tests {
         a.begin_frame(0, InputWord(1), t0);
         assert!(!a.outgoing(t0).is_empty());
         let _ = a.take(); // frame 0 is trivially ready
-        // Within the 20ms window: silence, even with new frames buffered.
+                          // Within the 20ms window: silence, even with new frames buffered.
         let t1 = t0 + SimDuration::from_millis(10);
         a.begin_frame(1, InputWord(1), t1);
         assert!(a.outgoing(t1).is_empty(), "paced out");
@@ -675,15 +736,18 @@ mod tests {
             a.begin_frame(f, InputWord(0x11), t);
             b.begin_frame(f, InputWord(0x2200), t);
             o.begin_frame(f, InputWord(0xFFFF_FFFF), t); // ignored
-            let deliver = |msgs: Vec<(u8, InputMsg)>, t: SimTime,
-                               a: &mut InputSync, b: &mut InputSync, o: &mut InputSync| {
+            let deliver = |msgs: Vec<(u8, InputMsg)>,
+                           t: SimTime,
+                           a: &mut InputSync,
+                           b: &mut InputSync,
+                           o: &mut InputSync| {
                 for (dst, m) in msgs {
                     match dst {
                         0 => a.on_message(&m, t),
                         1 => b.on_message(&m, t),
                         OBSERVER_SITE => o.on_message(&m, t),
                         _ => unreachable!(),
-                    }
+                    };
                 }
             };
             let ma = a.outgoing(t);
@@ -718,6 +782,66 @@ mod tests {
             a.buf.len()
         );
         assert!(a.buf.len() as u64 >= RETAIN_FRAMES, "retention kept");
+    }
+
+    #[test]
+    fn recv_outcome_reports_fresh_and_duplicate_frames() {
+        let (mut a, mut b) = pair();
+        warmup_isolated(&mut a, &mut b);
+        let t = SimTime::from_secs(2);
+        a.begin_frame(6, InputWord(1), t);
+        b.begin_frame(6, InputWord(0x0100), t);
+        for (_, m) in b.outgoing(t) {
+            // b buffered lag frames 6..=12: seven frames, all new to a.
+            let first = a.on_message(&m, t);
+            assert_eq!(first.carried, 7);
+            assert_eq!(first.fresh, 7);
+            assert!(!first.duplicate);
+            // The identical message again contributes nothing.
+            let dup = a.on_message(&m, t);
+            assert_eq!(dup.carried, 7);
+            assert_eq!(dup.fresh, 0);
+            assert!(dup.duplicate);
+        }
+        // A pure ack is neither fresh nor a duplicate.
+        let outcome = a.on_message(
+            &InputMsg {
+                from: 1,
+                ack: 6,
+                first: 13,
+                inputs: Vec::new(),
+            },
+            t,
+        );
+        assert_eq!(outcome, RecvOutcome::default());
+    }
+
+    #[test]
+    fn telemetry_counts_retransmitted_frames_on_resend() {
+        let mut cfg = SyncConfig::two_player(0);
+        cfg.telemetry = coplay_telemetry::Telemetry::recording();
+        let tel = cfg.telemetry.clone();
+        let mut a = InputSync::new(cfg);
+        let t1 = SimTime::from_secs(1);
+        a.begin_frame(0, InputWord(1), t1);
+        let _lost = a.outgoing(t1); // frame 6 (= 0 + lag) sent, never acked
+        let t2 = t1 + SimDuration::from_millis(25);
+        assert!(!a.outgoing(t2).is_empty(), "unacked frame retransmitted");
+        let sent: Vec<(u32, u32)> = tel
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::InputSent {
+                    count,
+                    retransmitted,
+                    ..
+                } => Some((count, retransmitted)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(sent, vec![(1, 0), (1, 1)]);
+        assert_eq!(tel.counter("input_messages_sent_total"), 2);
+        assert_eq!(tel.counter("retransmitted_frames_sent_total"), 1);
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! master *is* the reference pace.
 
 use coplay_clock::{SimDelta, SimDuration, SimTime};
+use coplay_telemetry::{EventKind, Telemetry};
 
 use crate::sync_input::MasterObservation;
 
@@ -63,6 +64,8 @@ pub struct FrameTimer {
     buf_frames: u64,
     /// Most recent `SyncAdjustTimeDelta`, exposed for experiments.
     last_sync_adjust: SimDelta,
+    /// Observability sink; records one event per applied pace adjustment.
+    telemetry: Telemetry,
 }
 
 impl FrameTimer {
@@ -95,7 +98,15 @@ impl FrameTimer {
             dead_zone: SimDuration::ZERO,
             buf_frames,
             last_sync_adjust: SimDelta::ZERO,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches an observability sink: every applied (non-dead-zone) pace
+    /// adjustment is recorded as a [`EventKind::PaceAdjustment`] event.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> FrameTimer {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Ignores corrections smaller than `dead_zone` (noise filtering; see
@@ -161,6 +172,8 @@ impl FrameTimer {
             sync = sync.clamp_abs(limit);
         }
         self.last_sync_adjust = sync;
+        self.telemetry
+            .record(now, EventKind::PaceAdjustment { delta: sync });
         // Line 9: AdjustTimeDelta += SyncAdjustTimeDelta.
         self.adjust += sync;
     }

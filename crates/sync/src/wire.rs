@@ -19,7 +19,7 @@
 use std::error::Error;
 use std::fmt;
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use coplay_net::bytes::{Buf, Bytes, BytesMut};
 use coplay_vm::InputWord;
 
 /// Protocol magic (1 byte) and version (1 byte).
@@ -403,7 +403,10 @@ mod tests {
     fn decode_rejects_garbage() {
         assert_eq!(Message::decode(&[]), Err(WireError::Truncated));
         assert_eq!(Message::decode(&[1, 2]), Err(WireError::Truncated));
-        assert_eq!(Message::decode(&[0x00, VERSION, 1]), Err(WireError::BadMagic));
+        assert_eq!(
+            Message::decode(&[0x00, VERSION, 1]),
+            Err(WireError::BadMagic)
+        );
         assert_eq!(
             Message::decode(&[MAGIC, 99, 1]),
             Err(WireError::BadVersion(99))

@@ -1,0 +1,377 @@
+//! The cloneable `Telemetry` handle threaded through the stack.
+
+use crate::event::{Event, EventKind};
+use crate::metrics::MetricsRegistry;
+use crate::recorder::FlightRecorder;
+use coplay_clock::SimTime;
+use std::fmt;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Default flight-recorder capacity for [`Telemetry::recording`].
+const DEFAULT_CAPACITY: usize = 16_384;
+
+/// The shared sink behind an enabled handle.
+#[derive(Debug)]
+struct Sink {
+    recorder: FlightRecorder,
+    metrics: MetricsRegistry,
+}
+
+/// A cheap, cloneable handle to a flight recorder plus metrics registry.
+///
+/// The default handle ([`Telemetry::disabled`]) is a **no-op sink**: every
+/// recording method is a single `Option` check that performs no work and
+/// no allocation, so instrumentation can stay in place unconditionally on
+/// hot paths. An enabled handle ([`Telemetry::recording`]) shares one sink
+/// among all its clones, which is what lets a session hand the same trace
+/// to its pacer, input synchronizer, and RTT estimator.
+///
+/// Recording an event also derives the obvious metrics from it (frame-time
+/// and stall histograms, message counters, ...), so call sites make exactly
+/// one telemetry call per occurrence.
+///
+/// Cloning is `O(1)`. The handle is `Send + Sync`; concurrent recorders
+/// serialize on an internal mutex (uncontended in the deterministic
+/// simulator, negligible next to a frame step elsewhere).
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Mutex<Sink>>>,
+}
+
+impl fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            None => f.write_str("Telemetry(disabled)"),
+            Some(_) => write!(f, "Telemetry(enabled, {} events)", self.event_count()),
+        }
+    }
+}
+
+/// Two handles are equal when they are the *same* sink (or both disabled).
+///
+/// This intentionally ignores recorded contents so that configuration
+/// structs carrying a handle can keep deriving `PartialEq`: a config clone
+/// compares equal to its original even after more events arrive.
+impl PartialEq for Telemetry {
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.inner, &other.inner) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+impl Telemetry {
+    /// A disabled handle: every recording call is a no-op.
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// An enabled handle with the default flight-recorder capacity
+    /// (16 384 events).
+    pub fn recording() -> Self {
+        Telemetry::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// An enabled handle retaining at most `events` flight-recorder events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `events` is zero.
+    pub fn with_capacity(events: usize) -> Self {
+        Telemetry {
+            inner: Some(Arc::new(Mutex::new(Sink {
+                recorder: FlightRecorder::new(events),
+                metrics: MetricsRegistry::new(),
+            }))),
+        }
+    }
+
+    /// `true` if this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn lock(&self) -> Option<MutexGuard<'_, Sink>> {
+        self.inner
+            .as_ref()
+            .map(|m| m.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Records an event into the flight recorder and derives its metrics.
+    ///
+    /// No-op (and allocation-free) when disabled.
+    pub fn record(&self, at: SimTime, kind: EventKind) {
+        let Some(mut sink) = self.lock() else { return };
+        sink.recorder.record(at, kind);
+        derive_metrics(&mut sink.metrics, &kind);
+    }
+
+    /// Adds `v` to a named counter. No-op when disabled.
+    pub fn counter_add(&self, name: &'static str, v: u64) {
+        if let Some(mut sink) = self.lock() {
+            sink.metrics.counter_add(name, v);
+        }
+    }
+
+    /// Sets a named gauge. No-op when disabled.
+    pub fn gauge_set(&self, name: &'static str, v: i64) {
+        if let Some(mut sink) = self.lock() {
+            sink.metrics.gauge_set(name, v);
+        }
+    }
+
+    /// Records a sample into a named histogram. No-op when disabled.
+    pub fn observe(&self, name: &'static str, v: u64) {
+        if let Some(mut sink) = self.lock() {
+            sink.metrics.observe(name, v);
+        }
+    }
+
+    /// Number of events currently retained (0 when disabled).
+    pub fn event_count(&self) -> usize {
+        self.lock().map_or(0, |s| s.recorder.len())
+    }
+
+    /// Number of events evicted by ring-buffer wraparound.
+    pub fn dropped_events(&self) -> u64 {
+        self.lock().map_or(0, |s| s.recorder.dropped())
+    }
+
+    /// Copies the retained events out, oldest first (empty when disabled).
+    pub fn events(&self) -> Vec<Event> {
+        self.lock().map_or_else(Vec::new, |s| s.recorder.to_vec())
+    }
+
+    /// The current value of a named counter (0 when disabled or untouched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.lock().map_or(0, |s| s.metrics.counter(name))
+    }
+
+    /// The current value of a named gauge.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.lock().and_then(|s| s.metrics.gauge(name))
+    }
+
+    /// The `p`-quantile of a named histogram, or `None` if it has no
+    /// samples (or the handle is disabled).
+    pub fn percentile(&self, name: &str, p: f64) -> Option<u64> {
+        self.lock()
+            .and_then(|s| s.metrics.histogram(name).map(|h| h.percentile(p)))
+    }
+
+    /// Dumps the flight recorder as JSON Lines (empty when disabled).
+    pub fn dump_jsonl(&self) -> String {
+        self.lock()
+            .map_or_else(String::new, |s| s.recorder.to_jsonl())
+    }
+
+    /// Snapshots all metrics as one JSON object (`"{}"`-ish when disabled).
+    pub fn metrics_json(&self) -> String {
+        self.lock()
+            .map_or_else(|| MetricsRegistry::new().to_json(), |s| s.metrics.to_json())
+    }
+
+    /// Renders all metrics in Prometheus text exposition format with the
+    /// standard `coplay` prefix (empty string when disabled).
+    pub fn prometheus(&self) -> String {
+        self.prometheus_with_prefix("coplay")
+    }
+
+    /// Renders all metrics in Prometheus text exposition format with a
+    /// caller-chosen metric name prefix.
+    pub fn prometheus_with_prefix(&self, prefix: &str) -> String {
+        self.lock()
+            .map_or_else(String::new, |s| s.metrics.prometheus(prefix))
+    }
+
+    /// Discards all recorded events and metrics (keeps the handle enabled).
+    pub fn clear(&self) {
+        if let Some(mut sink) = self.lock() {
+            sink.recorder.clear();
+            sink.metrics = MetricsRegistry::new();
+        }
+    }
+}
+
+/// Maps an event to the metrics it implies, so instrumentation points make
+/// a single `record` call.
+fn derive_metrics(m: &mut MetricsRegistry, kind: &EventKind) {
+    match *kind {
+        EventKind::FrameBegun { .. } => {}
+        EventKind::FrameExecuted { frame_time, .. } => {
+            m.counter_add("frames_total", 1);
+            m.observe("frame_time_us", frame_time.as_micros());
+        }
+        EventKind::StallBegin { .. } => {
+            m.counter_add("stalls_total", 1);
+        }
+        EventKind::StallEnd { duration, .. } => {
+            m.observe("stall_us", duration.as_micros());
+        }
+        EventKind::InputSent {
+            count,
+            retransmitted,
+            ..
+        } => {
+            m.counter_add("input_messages_sent_total", 1);
+            m.counter_add("input_frames_sent_total", count as u64);
+            m.counter_add("retransmitted_frames_sent_total", retransmitted as u64);
+        }
+        EventKind::InputReceived {
+            count,
+            fresh,
+            duplicate,
+            ..
+        } => {
+            m.counter_add("input_messages_received_total", 1);
+            m.counter_add("input_frames_received_total", count as u64);
+            m.counter_add(
+                "retransmitted_frames_received_total",
+                (count - fresh) as u64,
+            );
+            if duplicate {
+                m.counter_add("duplicate_messages_received_total", 1);
+            }
+        }
+        EventKind::PaceAdjustment { delta } => {
+            m.counter_add("pace_adjustments_total", 1);
+            m.observe("pace_adjust_us", delta.abs().as_micros());
+        }
+        EventKind::RttSample { rtt } => {
+            m.observe("rtt_us", rtt.as_micros());
+        }
+        EventKind::PeerJoined { .. } => {
+            m.counter_add("peers_joined_total", 1);
+        }
+        EventKind::SnapshotServed { bytes, .. } => {
+            m.counter_add("snapshots_served_total", 1);
+            m.counter_add("snapshot_bytes_sent_total", bytes);
+        }
+        EventKind::SnapshotLoaded { .. } => {
+            m.counter_add("snapshots_loaded_total", 1);
+        }
+        EventKind::PacketDropped { overflow, .. } => {
+            m.counter_add("packets_dropped_total", 1);
+            if overflow {
+                m.counter_add("packets_overflowed_total", 1);
+            }
+        }
+        EventKind::PacketDuplicated { .. } => {
+            m.counter_add("packets_duplicated_total", 1);
+        }
+        EventKind::DesyncDetected { .. } => {
+            m.counter_add("desyncs_total", 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coplay_clock::SimDuration;
+
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let t = Telemetry::disabled();
+        t.record(SimTime::ZERO, EventKind::FrameBegun { frame: 0 });
+        t.counter_add("x", 1);
+        t.observe("y", 1);
+        t.gauge_set("z", 1);
+        assert!(!t.is_enabled());
+        assert_eq!(t.event_count(), 0);
+        assert_eq!(t.counter("x"), 0);
+        assert_eq!(t.percentile("y", 0.5), None);
+        assert!(t.dump_jsonl().is_empty());
+        assert!(t.prometheus().is_empty());
+    }
+
+    #[test]
+    fn default_is_disabled() {
+        assert!(!Telemetry::default().is_enabled());
+        assert_eq!(Telemetry::default(), Telemetry::disabled());
+    }
+
+    #[test]
+    fn clones_share_one_sink() {
+        let a = Telemetry::recording();
+        let b = a.clone();
+        b.record(SimTime::from_micros(5), EventKind::FrameBegun { frame: 1 });
+        assert_eq!(a.event_count(), 1);
+        assert_eq!(a, b);
+        assert_ne!(a, Telemetry::recording(), "distinct sinks are not equal");
+    }
+
+    #[test]
+    fn record_derives_metrics() {
+        let t = Telemetry::recording();
+        t.record(
+            SimTime::from_millis(1),
+            EventKind::FrameExecuted {
+                frame: 0,
+                frame_time: SimDuration::from_micros(16_667),
+            },
+        );
+        t.record(
+            SimTime::from_millis(2),
+            EventKind::InputReceived {
+                from: 1,
+                first: 0,
+                count: 4,
+                fresh: 1,
+                duplicate: false,
+            },
+        );
+        t.record(
+            SimTime::from_millis(3),
+            EventKind::InputReceived {
+                from: 1,
+                first: 0,
+                count: 4,
+                fresh: 0,
+                duplicate: true,
+            },
+        );
+        assert_eq!(t.counter("frames_total"), 1);
+        assert_eq!(t.counter("input_messages_received_total"), 2);
+        assert_eq!(t.counter("retransmitted_frames_received_total"), 3 + 4);
+        assert_eq!(t.counter("duplicate_messages_received_total"), 1);
+        assert!(t.percentile("frame_time_us", 0.5).unwrap() >= 16_667);
+    }
+
+    #[test]
+    fn dump_is_chronological_jsonl() {
+        let t = Telemetry::with_capacity(4);
+        for n in 0..6u64 {
+            t.record(
+                SimTime::from_micros(n * 10),
+                EventKind::FrameBegun { frame: n },
+            );
+        }
+        let dump = t.dump_jsonl();
+        assert_eq!(dump.lines().count(), 4);
+        assert_eq!(t.dropped_events(), 2);
+        let times: Vec<u64> = t.events().iter().map(|e| e.at.as_micros()).collect();
+        assert_eq!(times, vec![20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn clear_keeps_handle_enabled() {
+        let t = Telemetry::recording();
+        t.record(SimTime::ZERO, EventKind::FrameBegun { frame: 0 });
+        t.clear();
+        assert!(t.is_enabled());
+        assert_eq!(t.event_count(), 0);
+        assert_eq!(t.counter("frames_total"), 0);
+    }
+
+    #[test]
+    fn debug_does_not_leak_contents() {
+        assert_eq!(
+            format!("{:?}", Telemetry::disabled()),
+            "Telemetry(disabled)"
+        );
+        assert!(format!("{:?}", Telemetry::recording()).starts_with("Telemetry(enabled"));
+    }
+}

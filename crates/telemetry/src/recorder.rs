@@ -1,0 +1,169 @@
+//! Fixed-capacity ring buffer of session events.
+
+use crate::event::{Event, EventKind};
+use coplay_clock::SimTime;
+use std::collections::VecDeque;
+
+/// A bounded in-memory trace of the most recent session events.
+///
+/// When the buffer is full the *oldest* event is discarded, so a dump
+/// after an incident always shows the events leading up to it. The number
+/// of discarded events is tracked so a reader can tell whether the trace
+/// is complete.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    capacity: usize,
+    dropped: u64,
+    events: VecDeque<Event>,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "flight recorder capacity must be non-zero");
+        FlightRecorder {
+            capacity,
+            dropped: 0,
+            events: VecDeque::with_capacity(capacity),
+        }
+    }
+
+    /// The maximum number of events retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` if no events have been retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// How many events have been discarded to make room for newer ones.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Appends an event, evicting the oldest if the buffer is full.
+    pub fn record(&mut self, at: SimTime, kind: EventKind) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(Event { at, kind });
+    }
+
+    /// The retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// Copies the retained events out, oldest first.
+    pub fn to_vec(&self) -> Vec<Event> {
+        self.events.iter().copied().collect()
+    }
+
+    /// Dumps the retained events as JSON Lines (one object per line),
+    /// oldest first, with a trailing newline after each line.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(self.events.len() * 64);
+        for e in &self.events {
+            e.write_json(&mut out);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Discards all retained events and resets the drop counter.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame_event(n: u64) -> EventKind {
+        EventKind::FrameBegun { frame: n }
+    }
+
+    #[test]
+    fn records_in_order_below_capacity() {
+        let mut r = FlightRecorder::new(8);
+        for n in 0..5 {
+            r.record(SimTime::from_micros(n), frame_event(n));
+        }
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.dropped(), 0);
+        let times: Vec<u64> = r.iter().map(|e| e.at.as_micros()).collect();
+        assert_eq!(times, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn wraparound_keeps_the_newest_events() {
+        let mut r = FlightRecorder::new(4);
+        for n in 0..10 {
+            r.record(SimTime::from_micros(n), frame_event(n));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 6);
+        let frames: Vec<u64> = r
+            .iter()
+            .map(|e| match e.kind {
+                EventKind::FrameBegun { frame } => frame,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(frames, vec![6, 7, 8, 9], "oldest events are evicted first");
+    }
+
+    #[test]
+    fn capacity_one_keeps_only_the_latest() {
+        let mut r = FlightRecorder::new(1);
+        r.record(SimTime::from_micros(1), frame_event(1));
+        r.record(SimTime::from_micros(2), frame_event(2));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.to_vec()[0].at.as_micros(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_is_rejected() {
+        let _ = FlightRecorder::new(0);
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_line() {
+        let mut r = FlightRecorder::new(8);
+        r.record(SimTime::from_micros(1), frame_event(1));
+        r.record(SimTime::from_micros(2), frame_event(2));
+        let dump = r.to_jsonl();
+        let lines: Vec<&str> = dump.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut r = FlightRecorder::new(2);
+        for n in 0..5 {
+            r.record(SimTime::from_micros(n), frame_event(n));
+        }
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 0);
+        assert!(r.to_jsonl().is_empty());
+    }
+}

@@ -267,7 +267,12 @@ impl Assembler {
         Ok((self.register(reg, lineno)?, off))
     }
 
-    fn instruction(&self, mnemonic: &str, rest: &str, lineno: usize) -> Result<Instruction, AsmError> {
+    fn instruction(
+        &self,
+        mnemonic: &str,
+        rest: &str,
+        lineno: usize,
+    ) -> Result<Instruction, AsmError> {
         use Instruction as I;
         let ops: Vec<&str> = if rest.is_empty() {
             Vec::new()
@@ -415,7 +420,10 @@ fn parse_number(s: &str) -> Option<u16> {
         return u16::from_str_radix(hex, 16).ok();
     }
     if let Some(neg) = s.strip_prefix('-') {
-        return neg.parse::<u16>().ok().map(|v| (v as i32).wrapping_neg() as u16);
+        return neg
+            .parse::<u16>()
+            .ok()
+            .map(|v| (v as i32).wrapping_neg() as u16);
     }
     s.parse::<u16>().ok()
 }
@@ -515,14 +523,20 @@ mod tests {
         let img = rom.image();
         assert_eq!(&img[0..4], &Instruction::Ldw(Reg(1), Reg(2), 4).encode());
         assert_eq!(&img[4..8], &Instruction::Stw(Reg(3), Reg(4), 0).encode());
-        assert_eq!(&img[8..12], &Instruction::Ldb(Reg(5), Reg(6), 0x10).encode());
+        assert_eq!(
+            &img[8..12],
+            &Instruction::Ldb(Reg(5), Reg(6), 0x10).encode()
+        );
         assert_eq!(&img[12..16], &Instruction::Stb(Reg(7), Reg(8), 1).encode());
     }
 
     #[test]
     fn negative_literals_wrap() {
         let rom = assemble("ldi r0, -1").unwrap();
-        assert_eq!(&rom.image()[0..4], &Instruction::Ldi(Reg(0), 0xFFFF).encode());
+        assert_eq!(
+            &rom.image()[0..4],
+            &Instruction::Ldi(Reg(0), 0xFFFF).encode()
+        );
     }
 
     #[test]
@@ -579,7 +593,10 @@ mod tests {
     fn sys_mnemonics() {
         let rom = assemble("sys 0\nsys 2").unwrap();
         assert_eq!(&rom.image()[0..4], &Instruction::Sys(Syscall::Cls).encode());
-        assert_eq!(&rom.image()[4..8], &Instruction::Sys(Syscall::Rect).encode());
+        assert_eq!(
+            &rom.image()[4..8],
+            &Instruction::Sys(Syscall::Rect).encode()
+        );
         let e = assemble("sys 9").unwrap_err();
         assert!(e.message.contains("unknown syscall"));
     }

@@ -70,7 +70,8 @@ impl AudioChannel {
             for _ in 0..n {
                 self.phase = self.phase.wrapping_add(step as u32);
                 let high = self.phase & 0x8000 != 0;
-                self.buffer.push(if high { self.volume } else { -self.volume });
+                self.buffer
+                    .push(if high { self.volume } else { -self.volume });
             }
             self.frames_left -= 1;
         } else {

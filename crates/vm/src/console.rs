@@ -116,7 +116,9 @@ impl Devices for Bus<'_> {
         let s = |v: u16| v as i16 as i32;
         match call {
             Syscall::Cls => self.fb.clear(Color(regs[1] as u8)),
-            Syscall::Pix => self.fb.set_pixel(s(regs[1]), s(regs[2]), Color(regs[3] as u8)),
+            Syscall::Pix => self
+                .fb
+                .set_pixel(s(regs[1]), s(regs[2]), Color(regs[3] as u8)),
             Syscall::Rect => self.fb.fill_rect(
                 s(regs[1]),
                 s(regs[2]),
@@ -124,7 +126,9 @@ impl Devices for Bus<'_> {
                 s(regs[4]),
                 Color(regs[5] as u8),
             ),
-            Syscall::Tone => self.audio.tone(regs[1] as u32, regs[2] as u32, regs[3] as i16),
+            Syscall::Tone => self
+                .audio
+                .tone(regs[1] as u32, regs[2] as u32, regs[3] as i16),
             Syscall::Num => {
                 self.fb
                     .draw_number(s(regs[1]), s(regs[2]), regs[3] as u32, Color(regs[4] as u8))
@@ -219,11 +223,7 @@ impl Machine for Console {
         pos += 14;
         let mut fb = FrameBuffer::standard();
         for (i, &px) in bytes[pos..pos + fb_len].iter().enumerate() {
-            fb.set_pixel(
-                (i % fb.width()) as i32,
-                (i / fb.width()) as i32,
-                Color(px),
-            );
+            fb.set_pixel((i % fb.width()) as i32, (i / fb.width()) as i32, Color(px));
         }
         self.fb = fb;
         Ok(())
@@ -386,10 +386,7 @@ mod tests {
         let a = Console::new(counter_rom());
         let snap = a.save_state();
         let mut b = Console::new(paddle_rom());
-        assert!(matches!(
-            b.load_state(&snap),
-            Err(StateError::WrongMachine)
-        ));
+        assert!(matches!(b.load_state(&snap), Err(StateError::WrongMachine)));
     }
 
     #[test]

@@ -78,7 +78,10 @@ impl Cpu {
             lcg: seed,
             halted: false,
             faulted: false,
-            mem: vec![0u8; MEM_SIZE].into_boxed_slice().try_into().expect("len"),
+            mem: vec![0u8; MEM_SIZE]
+                .into_boxed_slice()
+                .try_into()
+                .expect("len"),
         }
     }
 
@@ -203,8 +206,7 @@ impl Cpu {
             }
             Modu(d, s) => {
                 let den = self.regs[s.0 as usize];
-                self.regs[d.0 as usize] =
-                    self.regs[d.0 as usize].checked_rem(den).unwrap_or(0);
+                self.regs[d.0 as usize] = self.regs[d.0 as usize].checked_rem(den).unwrap_or(0);
             }
             And(d, s) => self.regs[d.0 as usize] &= self.regs[s.0 as usize],
             Or(d, s) => self.regs[d.0 as usize] |= self.regs[s.0 as usize],
@@ -213,7 +215,9 @@ impl Cpu {
             Shri(d, imm) => self.regs[d.0 as usize] >>= imm & 15,
             Addi(d, imm) => self.regs[d.0 as usize] = self.regs[d.0 as usize].wrapping_add(imm),
             Subi(d, imm) => self.regs[d.0 as usize] = self.regs[d.0 as usize].wrapping_sub(imm),
-            Neg(d) => self.regs[d.0 as usize] = (self.regs[d.0 as usize] as i16).wrapping_neg() as u16,
+            Neg(d) => {
+                self.regs[d.0 as usize] = (self.regs[d.0 as usize] as i16).wrapping_neg() as u16
+            }
             Cmp(d, s) => self.set_flags(self.regs[d.0 as usize], self.regs[s.0 as usize]),
             Cmpi(d, imm) => self.set_flags(self.regs[d.0 as usize], imm),
             Jmp(a) => self.pc = a,
@@ -379,9 +383,9 @@ mod tests {
         let (cpu, _, stop) = run(&[
             I::Ldi(Reg(0), 7),
             I::Ldi(Reg(1), 5),
-            I::Add(Reg(0), Reg(1)),   // 12
-            I::Subi(Reg(0), 2),       // 10
-            I::Mul(Reg(0), Reg(1)),   // 50
+            I::Add(Reg(0), Reg(1)), // 12
+            I::Subi(Reg(0), 2),     // 10
+            I::Mul(Reg(0), Reg(1)), // 50
             I::Halt,
         ]);
         assert_eq!(stop, Stop::Halted);
@@ -390,11 +394,7 @@ mod tests {
 
     #[test]
     fn wrapping_arithmetic() {
-        let (cpu, _, _) = run(&[
-            I::Ldi(Reg(0), 0xFFFF),
-            I::Addi(Reg(0), 2),
-            I::Halt,
-        ]);
+        let (cpu, _, _) = run(&[I::Ldi(Reg(0), 0xFFFF), I::Addi(Reg(0), 2), I::Halt]);
         assert_eq!(cpu.reg(Reg(0)), 1);
     }
 
@@ -455,11 +455,11 @@ mod tests {
             I::Ldi(Reg(0), 5),
             I::Cmpi(Reg(0), 5),
             I::Jz(4 * 4),
-            I::Halt,            // skipped
+            I::Halt, // skipped
             I::Ldi(Reg(1), 1),
             I::Cmpi(Reg(0), 6),
             I::Jnz(8 * 4),
-            I::Halt,            // skipped
+            I::Halt, // skipped
             I::Ldi(Reg(2), 2),
             I::Halt,
         ]);
@@ -518,11 +518,7 @@ mod tests {
     #[test]
     fn input_ports_via_devices() {
         let mut cpu = Cpu::new(0, 0);
-        cpu.load_image(&assemble(&[
-            I::In(Reg(0), 0),
-            I::In(Reg(1), 1),
-            I::Halt,
-        ]));
+        cpu.load_image(&assemble(&[I::In(Reg(0), 0), I::In(Reg(1), 1), I::Halt]));
         let mut dev = TestDev {
             inputs: [0x1234, 0x5678, 0, 0],
             calls: vec![],
@@ -571,11 +567,7 @@ mod tests {
     #[test]
     fn yield_stops_frame_but_not_machine() {
         let mut cpu = Cpu::new(0, 0);
-        cpu.load_image(&assemble(&[
-            I::Addi(Reg(0), 1),
-            I::Yield,
-            I::Jmp(0),
-        ]));
+        cpu.load_image(&assemble(&[I::Addi(Reg(0), 1), I::Yield, I::Jmp(0)]));
         let mut dev = TestDev::default();
         let (stop, _) = cpu.run_frame(100, &mut dev);
         assert_eq!(stop, Stop::Yielded);
@@ -611,12 +603,7 @@ mod tests {
 
     #[test]
     fn serialize_roundtrip_preserves_execution() {
-        let prog = assemble(&[
-            I::Rnd(Reg(0)),
-            I::Addi(Reg(1), 3),
-            I::Yield,
-            I::Jmp(0),
-        ]);
+        let prog = assemble(&[I::Rnd(Reg(0)), I::Addi(Reg(1), 3), I::Yield, I::Jmp(0)]);
         let mut a = Cpu::new(0, 99);
         a.load_image(&prog);
         let mut dev = TestDev::default();

@@ -62,7 +62,10 @@ impl fmt::Display for StateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StateError::Truncated { expected, actual } => {
-                write!(f, "state snapshot truncated: need {expected} bytes, got {actual}")
+                write!(
+                    f,
+                    "state snapshot truncated: need {expected} bytes, got {actual}"
+                )
             }
             StateError::BadMagic => write!(f, "state snapshot has an unrecognized header"),
             StateError::WrongMachine => write!(f, "state snapshot is for a different machine"),
@@ -188,7 +191,9 @@ impl NullMachine {
 
     fn fb(&self) -> &FrameBuffer {
         // Lazily materialized 8x8 buffer; NullMachine never draws.
-        self.fb.as_ref().expect("framebuffer initialized on first step")
+        self.fb
+            .as_ref()
+            .expect("framebuffer initialized on first step")
     }
 }
 

@@ -129,8 +129,8 @@ impl Rom {
         let seed = r.u32()?;
         let entry = r.u16()?;
         let title_len = r.u16()? as usize;
-        let title = String::from_utf8(r.take(title_len)?.to_vec())
-            .map_err(|_| RomError::BadTitle)?;
+        let title =
+            String::from_utf8(r.take(title_len)?.to_vec()).map_err(|_| RomError::BadTitle)?;
         let image_len = r.u32()? as usize;
         if image_len > crate::cpu::MEM_SIZE {
             return Err(RomError::ImageTooLarge(image_len));

@@ -74,5 +74,8 @@ fn main() {
         game.rounds(),
         game.clock()
     );
-    println!("\nfinal frame (site 0's screen):\n{}", game.framebuffer().to_ascii(2));
+    println!(
+        "\nfinal frame (site 0's screen):\n{}",
+        game.framebuffer().to_ascii(2)
+    );
 }

@@ -15,9 +15,7 @@
 
 use coplay::clock::{SimDuration, SystemClock};
 use coplay::games::Shooter;
-use coplay::lobby::{
-    join_session, list_sessions, register_session, LobbyMessage, LobbyServer,
-};
+use coplay::lobby::{join_session, list_sessions, register_session, LobbyMessage, LobbyServer};
 use coplay::net::{PeerId, Transport, UdpTransport};
 use coplay::sync::{run_realtime, LockstepSession, RandomPresser, Recording, SyncConfig};
 use coplay::vm::{Machine, Player};
@@ -83,8 +81,7 @@ fn main() {
         listing.len(),
         listing.iter().map(|s| s.name.as_str()).collect::<Vec<_>>()
     );
-    let slot = join_session(&mut join_sock, &clock, LOBBY, listing[0].id, deadline)
-        .expect("join");
+    let slot = join_session(&mut join_sock, &clock, LOBBY, listing[0].id, deadline).expect("join");
     assert_eq!(slot.rom_hash, rom_hash, "lobby-advertised game must match");
     println!("joiner granted site {} at host {}", slot.site, slot.host);
 
@@ -136,7 +133,11 @@ fn main() {
     // --- replay the recorded match locally --------------------------------
     let mut replica = Shooter::new();
     recording.replay(&mut replica).expect("replay");
-    assert_eq!(replica.state_hash(), host_final, "replay must reproduce the match");
+    assert_eq!(
+        replica.state_hash(),
+        host_final,
+        "replay must reproduce the match"
+    );
     println!(
         "recorded {} frames; local replay reproduced the exact final state ✓",
         recording.len()

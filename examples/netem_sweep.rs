@@ -21,13 +21,15 @@ fn main() {
         ..ExperimentConfig::default()
     };
 
-    let points: Vec<SimDuration> =
-        [0u64, 40, 80, 120, 160, 200, 280, 400]
-            .into_iter()
-            .map(SimDuration::from_millis)
-            .collect();
+    let points: Vec<SimDuration> = [0u64, 40, 80, 120, 160, 200, 280, 400]
+        .into_iter()
+        .map(SimDuration::from_millis)
+        .collect();
 
-    println!("ROM Pong on the emulated console, {} frames per point\n", base.frames);
+    println!(
+        "ROM Pong on the emulated console, {} frames per point\n",
+        base.frames
+    );
     println!("RTT(ms)  frame(ms)    FPS  smoothness(ms)  synchrony(ms)  converged");
     let rows = run_sweep(&base, &points, |_, _| {}).expect("sweep failed");
     for row in &rows {

@@ -1,0 +1,56 @@
+//! Flight-recorder tour: run a deliberately bad network (200 ms RTT, 5%
+//! loss — past the paper's full-speed threshold) and read the telemetry a
+//! netplay operator would: the JSONL event trail, the metrics document,
+//! and the Prometheus exposition.
+//!
+//! ```text
+//! cargo run --release --example telemetry_dump
+//! ```
+
+use coplay::clock::SimDuration;
+use coplay::games::GameId;
+use coplay::sim::{run_experiment, ExperimentConfig};
+
+fn main() {
+    let mut cfg = ExperimentConfig::with_rtt(SimDuration::from_millis(200));
+    cfg.game = GameId::Pong;
+    cfg.frames = 360;
+    cfg.loss = 0.05;
+    cfg.telemetry = true;
+
+    println!(
+        "two-site Pong, 200 ms RTT, 5% loss, {} frames\n",
+        cfg.frames
+    );
+    let r = run_experiment(cfg).expect("experiment");
+    println!(
+        "converged: {}   stalls at master: {}   packets dropped: {}\n",
+        r.converged,
+        r.telemetry[0].counter("stalls_total"),
+        r.net_telemetry.counter("packets_dropped_total"),
+    );
+
+    let master = &r.telemetry[0];
+    let dump = master.dump_jsonl();
+    println!(
+        "--- master flight recorder: {} events; first stall and its recovery ---",
+        master.event_count()
+    );
+    let mut shown = 0;
+    for line in dump.lines() {
+        if shown > 0 || line.contains("\"stall_begin\"") {
+            println!("{line}");
+            shown += 1;
+            if shown == 8 {
+                break;
+            }
+        }
+    }
+
+    println!("\n--- Prometheus exposition (what a lobby MetricsRequest returns) ---");
+    for line in master.prometheus().lines() {
+        if line.contains("frame_time_us") || line.contains("stalls_total") {
+            println!("{line}");
+        }
+    }
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Local CI: everything a change must pass before merging.
+# Uses only the local toolchain — the workspace has no external deps and
+# builds fully offline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI OK"

@@ -20,6 +20,8 @@
 //! * [`sim`] — the deterministic experiment harness behind the paper's
 //!   Figures 1 and 2.
 //! * [`lobby`] — the rendezvous service §2 of the paper assumes exists.
+//! * [`telemetry`] — in-band observability: flight recorder, metrics
+//!   registry with log-bucketed histograms, JSONL/Prometheus exporters.
 //!
 //! # Quickstart
 //!
@@ -61,4 +63,5 @@ pub use coplay_lobby as lobby;
 pub use coplay_net as net;
 pub use coplay_sim as sim;
 pub use coplay_sync as sync;
+pub use coplay_telemetry as telemetry;
 pub use coplay_vm as vm;

@@ -62,7 +62,10 @@ fn beyond_threshold_rtt_is_slow_but_never_inconsistent() {
     cfg.rtt = SimDuration::from_millis(400);
     let r = run_experiment(cfg).expect("run");
     assert!(r.converged);
-    assert!(r.master_frame_time_ms() > 20.0, "400ms RTT must slow the game");
+    assert!(
+        r.master_frame_time_ms() > 20.0,
+        "400ms RTT must slow the game"
+    );
 }
 
 #[test]
@@ -100,7 +103,10 @@ fn results_are_reproducible_across_runs() {
     let a = run_experiment(cfg()).expect("run a");
     let b = run_experiment(cfg()).expect("run b");
     assert_eq!(a.sites[0].mean_frame_time_ms, b.sites[0].mean_frame_time_ms);
-    assert_eq!(a.sites[1].frame_time_deviation_ms, b.sites[1].frame_time_deviation_ms);
+    assert_eq!(
+        a.sites[1].frame_time_deviation_ms,
+        b.sites[1].frame_time_deviation_ms
+    );
     assert_eq!(a.synchrony_ms, b.synchrony_ms);
     assert_eq!(a.packets_lost, b.packets_lost);
 }

@@ -18,9 +18,7 @@ struct Harness {
     clock: VirtualClock,
     net: std::rc::Rc<std::cell::RefCell<SimNetwork>>,
     wakes: EventQueue<usize>,
-    sessions: Vec<
-        LockstepSession<Pong, coplay::net::SimSocket, RandomPresser>,
-    >,
+    sessions: Vec<LockstepSession<Pong, coplay::net::SimSocket, RandomPresser>>,
     hashes: Vec<Vec<u64>>,
 }
 
@@ -119,7 +117,10 @@ fn network_outage_freezes_and_recovery_resumes() {
     // Phase 1: two seconds of healthy play.
     h.run_until(SimTime::from_secs(2));
     let healthy_frames = h.frames(0);
-    assert!(healthy_frames > 100, "game should be running ({healthy_frames})");
+    assert!(
+        healthy_frames > 100,
+        "game should be running ({healthy_frames})"
+    );
 
     // Phase 2: the network dies for two seconds.
     h.set_link(false);

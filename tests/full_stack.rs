@@ -94,13 +94,7 @@ fn real_udp_sockets_carry_a_session() {
     let a1 = t1.local_addr().expect("addr");
     t0.add_peer(PeerId(1), a1).expect("peer");
     t1.add_peer(PeerId(0), a0).expect("peer");
-    let (ha, hb) = duel(
-        coplay::games::Pong::new,
-        (t0, t1),
-        48,
-        true,
-    )
-    .expect("session");
+    let (ha, hb) = duel(coplay::games::Pong::new, (t0, t1), 48, true).expect("session");
     assert_eq!(ha, hb, "replicas diverged over real UDP");
 }
 
@@ -151,8 +145,18 @@ fn scripted_traces_replay_identically_across_the_network() {
         cfg.cfps = 480;
         cfg
     };
-    let a = LockstepSession::new(mk_cfg(0), coplay::games::Pong::new(), ta, Scripted::new(trace_p1));
-    let b = LockstepSession::new(mk_cfg(1), coplay::games::Pong::new(), tb, Scripted::new(trace_p2));
+    let a = LockstepSession::new(
+        mk_cfg(0),
+        coplay::games::Pong::new(),
+        ta,
+        Scripted::new(trace_p1),
+    );
+    let b = LockstepSession::new(
+        mk_cfg(1),
+        coplay::games::Pong::new(),
+        tb,
+        Scripted::new(trace_p2),
+    );
     let ja = std::thread::spawn(move || {
         let mut h = Vec::new();
         run_realtime(a, 48, |r, _| h.push(r.state_hash.unwrap())).map(|_| h)
@@ -168,6 +172,125 @@ fn scripted_traces_replay_identically_across_the_network() {
 }
 
 #[test]
+fn lossy_experiment_records_stalls_and_retransmissions() {
+    use coplay::clock::SimDuration;
+    use coplay::sim::{run_experiment, ExperimentConfig};
+    use coplay::telemetry::EventKind;
+
+    // The paper's past-the-threshold regime: 200 ms RTT with 5% loss. The
+    // local lag (6 frames ≈ 100 ms) cannot hide a 100 ms one-way delay, so
+    // the session must stall, and loss must force retransmissions.
+    let mut cfg = ExperimentConfig::with_rtt(SimDuration::from_millis(200));
+    cfg.game = coplay::games::GameId::Pong;
+    cfg.frames = 360;
+    cfg.loss = 0.05;
+    cfg.telemetry = true;
+    let r = run_experiment(cfg).expect("lossy run completes");
+    assert!(r.converged, "loss must not break logical consistency");
+
+    let master = &r.telemetry[0];
+    let events = master.events();
+    assert!(!events.is_empty(), "recording sink captured nothing");
+
+    // The dump is non-empty JSONL with monotonically non-decreasing stamps.
+    let dump = master.dump_jsonl();
+    assert!(!dump.is_empty());
+    let mut last_t = 0u64;
+    for line in dump.lines() {
+        assert!(
+            line.starts_with("{\"t_us\":") && line.ends_with('}'),
+            "{line}"
+        );
+        let t: u64 = line["{\"t_us\":".len()..]
+            .split(',')
+            .next()
+            .and_then(|s| s.parse().ok())
+            .expect("timestamp parses");
+        assert!(
+            t >= last_t,
+            "timestamps must be non-decreasing: {t} < {last_t}"
+        );
+        last_t = t;
+    }
+
+    // Stalls were recorded (begin and end), and messages carried resent
+    // frames in both directions of the protocol.
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::StallBegin { .. })),
+        "200ms RTT must stall a 100ms local lag"
+    );
+    assert!(events
+        .iter()
+        .any(|e| matches!(e.kind, EventKind::StallEnd { .. })));
+    assert!(
+        events.iter().any(
+            |e| matches!(e.kind, EventKind::InputSent { retransmitted, .. } if retransmitted > 0)
+        ),
+        "5% loss must force retransmissions"
+    );
+    assert!(master.counter("retransmitted_frames_sent_total") > 0);
+    assert!(master.counter("stalls_total") > 0);
+
+    // The Prometheus exposition reports the frame-time quantiles.
+    let prom = master.prometheus();
+    assert!(
+        prom.contains("coplay_frame_time_us{quantile=\"0.5\"}"),
+        "{prom}"
+    );
+    assert!(
+        prom.contains("coplay_frame_time_us{quantile=\"0.95\"}"),
+        "{prom}"
+    );
+    assert!(
+        prom.contains("coplay_frame_time_us{quantile=\"0.99\"}"),
+        "{prom}"
+    );
+    // Quantiles are answerable (0 is legitimate: in virtual time a frame
+    // whose inputs are already buffered begins and executes at one instant).
+    let p50 = master
+        .percentile("frame_time_us", 0.5)
+        .expect("samples exist");
+    let p99 = master
+        .percentile("frame_time_us", 0.99)
+        .expect("samples exist");
+    assert!(p99 >= p50);
+    assert!(master.counter("frames_total") > 0);
+
+    // The network fabric saw the loss process.
+    assert!(r.net_telemetry.counter("packets_dropped_total") > 0);
+}
+
+#[test]
+fn clean_experiment_records_no_stalls() {
+    use coplay::clock::SimDuration;
+    use coplay::sim::{run_experiment, ExperimentConfig};
+    use coplay::telemetry::EventKind;
+
+    // 40 ms RTT is well inside the local lag: every remote input arrives
+    // early, so the flight recorders must contain no stall events at all.
+    let mut cfg = ExperimentConfig::with_rtt(SimDuration::from_millis(40));
+    cfg.game = coplay::games::GameId::Pong;
+    cfg.frames = 240;
+    cfg.telemetry = true;
+    let r = run_experiment(cfg).expect("clean run completes");
+    assert!(r.converged);
+    for (i, t) in r.telemetry.iter().enumerate() {
+        assert!(t.event_count() > 0, "site {i} recorded nothing");
+        assert!(
+            !t.events().iter().any(|e| matches!(
+                e.kind,
+                EventKind::StallBegin { .. } | EventKind::StallEnd { .. }
+            )),
+            "site {i} stalled on a clean link"
+        );
+        assert_eq!(t.counter("stalls_total"), 0, "site {i}");
+    }
+    assert_eq!(r.net_telemetry.counter("packets_dropped_total"), 0);
+}
+
+#[test]
 fn stopping_a_session_notifies_the_peer() {
     let (ta, tb) = loopback(PeerId(0), PeerId(1));
     let mut cfg0 = SyncConfig::two_player(0);
@@ -178,11 +301,9 @@ fn stopping_a_session_notifies_the_peer() {
     let b = LockstepSession::new(cfg1, coplay::games::Pong::new(), tb, Idle);
 
     // Run b on a thread until it reports the peer left.
-    let jb = std::thread::spawn(move || {
-        match run_realtime(b, u64::MAX, |_, _| {}) {
-            Ok((outcome, _)) => outcome,
-            Err(e) => panic!("b failed: {e}"),
-        }
+    let jb = std::thread::spawn(move || match run_realtime(b, u64::MAX, |_, _| {}) {
+        Ok((outcome, _)) => outcome,
+        Err(e) => panic!("b failed: {e}"),
     });
     // Let the session establish and run a moment, then quit site a.
     std::thread::sleep(std::time::Duration::from_millis(100));

@@ -54,7 +54,10 @@ fn figure_1_shape_holds() {
 
     // (c) Graceful degradation: frame time grows monotonically (within
     //     noise) past the threshold, and the game still converges.
-    let ft: Vec<f64> = rows.iter().map(|r| r.result.master_frame_time_ms()).collect();
+    let ft: Vec<f64> = rows
+        .iter()
+        .map(|r| r.result.master_frame_time_ms())
+        .collect();
     assert!(
         ft[6] > ft[4] && ft[6] > ft[0] + 5.0,
         "400ms RTT must be clearly slower: {ft:?}"
