@@ -18,6 +18,7 @@ use coplay_vm::{Console, InputWord, Machine};
 
 /// Times `f` over `iters` iterations (after a warmup tenth) and prints
 /// a `name: X ns/iter` line.
+#[allow(clippy::disallowed_methods)] // the bench harness must time itself
 fn bench(name: &str, iters: u64, mut f: impl FnMut()) {
     for _ in 0..iters / 10 {
         f();

@@ -87,6 +87,9 @@ pub struct SystemClock {
 
 impl SystemClock {
     /// Creates a clock whose origin is "now".
+    // The one sanctioned wall-clock read: everything downstream sees only
+    // SimTime offsets from this origin.
+    #[allow(clippy::disallowed_methods)]
     pub fn new() -> Self {
         SystemClock {
             origin: Instant::now(),

@@ -1,0 +1,76 @@
+//! CLI entry point: scan the workspace, print diagnostics, write the JSON
+//! report, exit non-zero on any violation.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use detlint::lint_workspace;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => root = args.next().map(PathBuf::from),
+            "--json" => json_path = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                println!(
+                    "detlint — determinism auditor\n\n\
+                     USAGE: detlint [--root <workspace>] [--json <report path>]\n\n\
+                     Scans workspace .rs sources for determinism hazards\n\
+                     (wall clocks, unordered containers, floats, entropy,\n\
+                     mutable statics) per the policy in src/policy.rs.\n\
+                     Writes a JSON report (default results/detlint.json)\n\
+                     and exits 1 if any violation is found."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("detlint: unknown argument `{other}` (try --help)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    // When run via `cargo run -p detlint`, the workspace root is two levels
+    // above this crate's manifest.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .unwrap_or_else(|_| PathBuf::from("."))
+    });
+
+    let report = match lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("detlint: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for d in &report.diagnostics {
+        println!("{d}");
+    }
+
+    let json_path = json_path.unwrap_or_else(|| root.join("results/detlint.json"));
+    if let Some(parent) = json_path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    if let Err(e) = std::fs::write(&json_path, report.to_json()) {
+        eprintln!("detlint: could not write {}: {e}", json_path.display());
+    }
+
+    println!(
+        "detlint: {} file(s) scanned, {} violation(s), {} suppression(s) honoured",
+        report.files_scanned,
+        report.diagnostics.len(),
+        report.suppressions
+    );
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

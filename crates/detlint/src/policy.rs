@@ -1,0 +1,128 @@
+//! The per-path policy table: which rules apply to which workspace files.
+//!
+//! Paths are workspace-relative with forward slashes. The table mirrors the
+//! architecture's determinism boundary:
+//!
+//! | area | wall_clock | unordered | float | entropy | static_state |
+//! |------|-----------|-----------|-------|---------|--------------|
+//! | `crates/vm`, `crates/games` | ✓ | ✓ | ✓ | ✓ | ✓ |
+//! | `crates/sync` (state paths) | ✓ | ✓ | ✓ | ✓ | ✓ |
+//! | `crates/sync/src/{rtt,stats}.rs` | ✓ | – | – | ✓ | ✓ |
+//! | `crates/clock`, `crates/net` | – | – | – | ✓* | – |
+//! | everything else scanned | ✓† | – | – | ✓ | – |
+//!
+//! \* `crates/net/src/rng.rs` itself is exempt from `entropy` (it is the
+//! sanctioned randomness source). † tests, examples, and benches may read
+//! real clocks — they drive the system, they are not inside it.
+
+use crate::rules::Rule;
+
+/// Returns the rules to enforce on `rel`, a workspace-relative path using
+/// forward slashes. An empty vector means the file is not audited.
+pub fn rules_for(rel: &str) -> Vec<Rule> {
+    // The auditor does not audit itself: its fixtures and trigger tables
+    // are violations by design.
+    if rel.starts_with("crates/detlint/") {
+        return Vec::new();
+    }
+
+    let mut rules = Vec::new();
+
+    // Entropy is banned everywhere except the one sanctioned source.
+    if rel != "crates/net/src/rng.rs" {
+        rules.push(Rule::Entropy);
+    }
+
+    let deterministic_core = rel.starts_with("crates/vm/") || rel.starts_with("crates/games/");
+    let sync_crate = rel.starts_with("crates/sync/");
+    // Pacing and measurement modules feed send scheduling and reporting,
+    // never simulation state; floats and unordered maps are fine there.
+    let sync_measurement = rel == "crates/sync/src/rtt.rs" || rel == "crates/sync/src/stats.rs";
+
+    if deterministic_core || sync_crate {
+        rules.push(Rule::WallClock);
+        rules.push(Rule::StaticState);
+        if !sync_measurement {
+            rules.push(Rule::UnorderedCollections);
+            rules.push(Rule::Float);
+        }
+        rules.sort();
+        return rules;
+    }
+
+    // Clock and net own the real-time boundary; benches time themselves.
+    let clock_exempt = rel.starts_with("crates/clock/")
+        || rel.starts_with("crates/net/")
+        || rel.starts_with("crates/bench/benches/")
+        || rel.starts_with("tests/")
+        || rel.starts_with("examples/");
+    if !clock_exempt {
+        rules.push(Rule::WallClock);
+    }
+
+    rules.sort();
+    rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn has(rel: &str, rule: Rule) -> bool {
+        rules_for(rel).contains(&rule)
+    }
+
+    #[test]
+    fn core_gets_everything() {
+        for rel in ["crates/vm/src/machine.rs", "crates/games/src/pong.rs"] {
+            let rules = rules_for(rel);
+            for r in Rule::ALL {
+                assert!(rules.contains(&r), "{rel} missing {r:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sync_measurement_modules_may_use_floats_and_maps() {
+        for rel in ["crates/sync/src/rtt.rs", "crates/sync/src/stats.rs"] {
+            assert!(!has(rel, Rule::Float), "{rel}");
+            assert!(!has(rel, Rule::UnorderedCollections), "{rel}");
+            assert!(has(rel, Rule::WallClock), "{rel}");
+            assert!(has(rel, Rule::Entropy), "{rel}");
+        }
+        // But the sync engine itself is fully fenced.
+        assert!(has("crates/sync/src/sync.rs", Rule::Float));
+        assert!(has("crates/sync/src/sync.rs", Rule::UnorderedCollections));
+    }
+
+    #[test]
+    fn clock_and_net_may_read_clocks() {
+        assert!(!has("crates/clock/src/clock.rs", Rule::WallClock));
+        assert!(!has("crates/net/src/udp.rs", Rule::WallClock));
+        // But the lobby and telemetry may not.
+        assert!(has("crates/lobby/src/client.rs", Rule::WallClock));
+        assert!(has("crates/telemetry/src/recorder.rs", Rule::WallClock));
+    }
+
+    #[test]
+    fn rng_module_is_the_entropy_exemption() {
+        assert!(!has("crates/net/src/rng.rs", Rule::Entropy));
+        assert!(has("crates/net/src/netem.rs", Rule::Entropy));
+        assert!(has("tests/properties.rs", Rule::Entropy));
+    }
+
+    #[test]
+    fn harness_code_may_time_itself() {
+        assert!(!has("tests/convergence.rs", Rule::WallClock));
+        assert!(!has("examples/headless.rs", Rule::WallClock));
+        assert!(!has("crates/bench/benches/micro.rs", Rule::WallClock));
+        // The bench library proper still may not.
+        assert!(has("crates/bench/src/lib.rs", Rule::WallClock));
+    }
+
+    #[test]
+    fn detlint_is_not_audited() {
+        assert!(rules_for("crates/detlint/src/rules.rs").is_empty());
+        assert!(rules_for("crates/detlint/tests/fixtures/float.rs").is_empty());
+    }
+}

@@ -1,0 +1,104 @@
+//! Machine-readable report: hand-rolled JSON, keeping the crate dependency-free.
+
+use crate::rules::Diagnostic;
+
+/// The result of a workspace scan.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// All surviving diagnostics, sorted by file then line.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Count of well-formed `allow` directives honoured during the scan.
+    pub suppressions: usize,
+}
+
+impl Report {
+    /// True when the scan produced no diagnostics.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Serializes the report as a JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.diagnostics.len() * 128);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        out.push_str(&format!("  \"suppressions\": {},\n", self.suppressions));
+        out.push_str(&format!("  \"violations\": {},\n", self.diagnostics.len()));
+        out.push_str("  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            out.push_str(&format!("\"file\": {}, ", json_string(&d.file)));
+            out.push_str(&format!("\"line\": {}, ", d.line));
+            out.push_str(&format!("\"rule\": {}, ", json_string(d.rule)));
+            out.push_str(&format!("\"message\": {}", json_string(&d.message)));
+            out.push('}');
+        }
+        if !self.diagnostics.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Escapes `s` as a JSON string literal, quotes included.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_report_is_clean_and_valid_json() {
+        let r = Report {
+            files_scanned: 3,
+            ..Report::default()
+        };
+        assert!(r.is_clean());
+        let json = r.to_json();
+        assert!(json.contains("\"files_scanned\": 3"));
+        assert!(json.contains("\"violations\": 0"));
+        assert!(json.contains("\"diagnostics\": []"));
+    }
+
+    #[test]
+    fn diagnostics_are_escaped() {
+        let r = Report {
+            files_scanned: 1,
+            diagnostics: vec![Diagnostic {
+                file: "a \"b\"\\c.rs".to_string(),
+                line: 7,
+                rule: "float",
+                message: "tab\there".to_string(),
+            }],
+            suppressions: 2,
+        };
+        let json = r.to_json();
+        assert!(json.contains(r#""a \"b\"\\c.rs""#));
+        assert!(json.contains(r#""tab\there""#));
+        assert!(json.contains("\"line\": 7"));
+        assert!(json.contains("\"suppressions\": 2"));
+        assert!(json.contains("\"violations\": 1"));
+    }
+}

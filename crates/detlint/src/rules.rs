@@ -1,0 +1,410 @@
+//! The determinism rules and the engine that applies them to a token stream.
+
+use crate::lexer::{scan, AllowDirective, Token, TokenKind};
+
+/// One determinism rule the auditor can enforce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// No wall-clock reads (`Instant`, `SystemTime`, `UNIX_EPOCH`) — time
+    /// must flow through `crates/clock`'s `Clock` abstraction.
+    WallClock,
+    /// No `HashMap`/`HashSet`/`RandomState` — iteration order is seeded per
+    /// process and leaks into state; the deterministic core uses `BTreeMap`.
+    UnorderedCollections,
+    /// No `f32`/`f64` types or float literals — rounding is not guaranteed
+    /// bit-identical across targets; simulation state is integer-only.
+    Float,
+    /// No OS entropy (`rand`, `thread_rng`, `OsRng`, `getrandom`) —
+    /// randomness must come from the seeded `coplay_net::DetRng`.
+    Entropy,
+    /// No `static mut` and no interior-mutable statics (`OnceLock`,
+    /// atomics, `Mutex`, …) — hidden global state diverges replicas.
+    StaticState,
+}
+
+/// Rule id used by `bad_suppression` diagnostics (not a suppressible rule).
+pub const BAD_SUPPRESSION: &str = "bad_suppression";
+
+impl Rule {
+    /// Every rule, in reporting order.
+    pub const ALL: [Rule; 5] = [
+        Rule::WallClock,
+        Rule::UnorderedCollections,
+        Rule::Float,
+        Rule::Entropy,
+        Rule::StaticState,
+    ];
+
+    /// The rule's stable identifier, as used in `allow(...)` directives.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::WallClock => "wall_clock",
+            Rule::UnorderedCollections => "unordered_collections",
+            Rule::Float => "float",
+            Rule::Entropy => "entropy",
+            Rule::StaticState => "static_state",
+        }
+    }
+
+    /// Parses a rule identifier.
+    pub fn parse(s: &str) -> Option<Rule> {
+        Rule::ALL.iter().copied().find(|r| r.id() == s)
+    }
+}
+
+/// One violation, pinned to `file:line`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path of the offending file.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Rule identifier (`wall_clock`, …, or `bad_suppression`).
+    pub rule: &'static str,
+    /// Human-readable explanation naming the offending construct.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Identifiers that read wall clocks.
+const CLOCK_IDENTS: [&str; 3] = ["Instant", "SystemTime", "UNIX_EPOCH"];
+
+/// Identifiers naming randomized-order containers.
+const UNORDERED_IDENTS: [&str; 3] = ["HashMap", "HashSet", "RandomState"];
+
+/// Identifiers that tap OS entropy.
+const ENTROPY_IDENTS: [&str; 4] = ["thread_rng", "OsRng", "getrandom", "from_entropy"];
+
+/// Interior-mutability wrappers that make a `static` mutable global state.
+const INTERIOR_MUTABLE: [&str; 19] = [
+    "AtomicBool",
+    "AtomicI8",
+    "AtomicI16",
+    "AtomicI32",
+    "AtomicI64",
+    "AtomicIsize",
+    "AtomicPtr",
+    "AtomicU8",
+    "AtomicU16",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicUsize",
+    "Cell",
+    "LazyCell",
+    "LazyLock",
+    "Mutex",
+    "OnceCell",
+    "OnceLock",
+    "RwLock",
+];
+
+/// Applies `rules` to `source`, honouring `// detlint: allow(...)` comments.
+///
+/// A well-formed allow directive (known rules *and* a `-- <reason>` trailer)
+/// suppresses matching diagnostics on its own line and the next line.
+/// Malformed directives suppress nothing and are themselves reported as
+/// [`BAD_SUPPRESSION`] — an audit fence with silent escape hatches is no
+/// fence at all.
+pub fn lint_source(file: &str, source: &str, rules: &[Rule]) -> Vec<Diagnostic> {
+    lint_source_counted(file, source, rules).0
+}
+
+/// As [`lint_source`], also returning the number of well-formed allow
+/// directives honoured (whether or not they suppressed anything).
+pub fn lint_source_counted(file: &str, source: &str, rules: &[Rule]) -> (Vec<Diagnostic>, usize) {
+    let scanned = scan(source);
+    let mut diags = Vec::new();
+    for rule in rules {
+        check_rule(*rule, &scanned.tokens, file, &mut diags);
+    }
+
+    // Partition directives: usable suppressions vs. reportable mistakes.
+    let mut valid: Vec<&AllowDirective> = Vec::new();
+    for d in &scanned.allows {
+        let known = d.rules.iter().all(|r| Rule::parse(r).is_some());
+        if d.well_formed && d.has_reason && known {
+            valid.push(d);
+        } else {
+            let why = if !d.well_formed {
+                "directive is not `detlint: allow(<rule>) -- <reason>`".to_string()
+            } else if !known {
+                let unknown: Vec<&str> = d
+                    .rules
+                    .iter()
+                    .filter(|r| Rule::parse(r).is_none())
+                    .map(String::as_str)
+                    .collect();
+                format!("unknown rule(s) {}", unknown.join(", "))
+            } else {
+                "missing `-- <reason>` justification".to_string()
+            };
+            diags.push(Diagnostic {
+                file: file.to_string(),
+                line: d.line,
+                rule: BAD_SUPPRESSION,
+                message: why,
+            });
+        }
+    }
+
+    diags.retain(|d| {
+        d.rule == BAD_SUPPRESSION
+            || !valid.iter().any(|a| {
+                (a.line == d.line || a.line + 1 == d.line) && a.rules.iter().any(|r| r == d.rule)
+            })
+    });
+    diags.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    (diags, valid.len())
+}
+
+fn push(diags: &mut Vec<Diagnostic>, file: &str, line: u32, rule: Rule, message: String) {
+    diags.push(Diagnostic {
+        file: file.to_string(),
+        line,
+        rule: rule.id(),
+        message,
+    });
+}
+
+fn check_rule(rule: Rule, tokens: &[Token], file: &str, diags: &mut Vec<Diagnostic>) {
+    match rule {
+        Rule::WallClock => {
+            for t in tokens.iter().filter(|t| t.kind == TokenKind::Ident) {
+                if CLOCK_IDENTS.contains(&t.text.as_str()) {
+                    push(
+                        diags,
+                        file,
+                        t.line,
+                        rule,
+                        format!("wall-clock read `{}`; use the Clock trait", t.text),
+                    );
+                }
+            }
+        }
+        Rule::UnorderedCollections => {
+            for t in tokens.iter().filter(|t| t.kind == TokenKind::Ident) {
+                if UNORDERED_IDENTS.contains(&t.text.as_str()) {
+                    push(
+                        diags,
+                        file,
+                        t.line,
+                        rule,
+                        format!(
+                            "randomized-order container `{}`; use BTreeMap/BTreeSet",
+                            t.text
+                        ),
+                    );
+                }
+            }
+        }
+        Rule::Float => {
+            for t in tokens {
+                match t.kind {
+                    TokenKind::Ident if t.text == "f32" || t.text == "f64" => {
+                        push(
+                            diags,
+                            file,
+                            t.line,
+                            rule,
+                            format!("floating-point type `{}` in a deterministic path", t.text),
+                        );
+                    }
+                    TokenKind::FloatLit => {
+                        push(
+                            diags,
+                            file,
+                            t.line,
+                            rule,
+                            format!(
+                                "floating-point literal `{}` in a deterministic path",
+                                t.text
+                            ),
+                        );
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Rule::Entropy => {
+            for (i, t) in tokens.iter().enumerate() {
+                if t.kind != TokenKind::Ident {
+                    continue;
+                }
+                let hit = ENTROPY_IDENTS.contains(&t.text.as_str())
+                    || (t.text == "rand"
+                        && tokens
+                            .get(i + 1)
+                            .is_some_and(|n| n.kind == TokenKind::Punct && n.text == "::"));
+                if hit {
+                    push(
+                        diags,
+                        file,
+                        t.line,
+                        rule,
+                        format!(
+                            "OS entropy via `{}`; seed coplay_net::DetRng instead",
+                            t.text
+                        ),
+                    );
+                }
+            }
+        }
+        Rule::StaticState => {
+            for (i, t) in tokens.iter().enumerate() {
+                if t.kind != TokenKind::Ident || t.text != "static" {
+                    continue;
+                }
+                if tokens
+                    .get(i + 1)
+                    .is_some_and(|n| n.kind == TokenKind::Ident && n.text == "mut")
+                {
+                    push(
+                        diags,
+                        file,
+                        t.line,
+                        rule,
+                        "`static mut` global state".to_string(),
+                    );
+                    continue;
+                }
+                // Scan the static's type (up to `=` or `;`) for interior
+                // mutability.
+                for n in tokens.iter().skip(i + 1).take(48) {
+                    if n.kind == TokenKind::Punct && (n.text == "=" || n.text == ";") {
+                        break;
+                    }
+                    if n.kind == TokenKind::Ident && INTERIOR_MUTABLE.contains(&n.text.as_str()) {
+                        push(
+                            diags,
+                            file,
+                            t.line,
+                            rule,
+                            format!("interior-mutable static (`{}`)", n.text),
+                        );
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all(src: &str) -> Vec<Diagnostic> {
+        lint_source("test.rs", src, &Rule::ALL)
+    }
+
+    fn rules_hit(src: &str) -> Vec<&'static str> {
+        all(src).into_iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn clean_source_passes() {
+        assert!(all("use std::collections::BTreeMap;\nfn f(x: u64) -> u64 { x + 1 }\n").is_empty());
+    }
+
+    #[test]
+    fn each_rule_fires() {
+        assert_eq!(rules_hit("let t = Instant::now();"), vec!["wall_clock"]);
+        assert_eq!(
+            rules_hit("use std::collections::HashMap;"),
+            vec!["unordered_collections"]
+        );
+        assert_eq!(rules_hit("fn f(x: f32) {}"), vec!["float"]);
+        assert_eq!(rules_hit("let v = 0.5;"), vec!["float"]);
+        assert_eq!(
+            rules_hit("let r = rand::thread_rng();"),
+            vec!["entropy", "entropy"]
+        );
+        assert_eq!(rules_hit("static mut X: u64 = 0;"), vec!["static_state"]);
+        assert_eq!(
+            rules_hit("static C: OnceLock<u64> = OnceLock::new();"),
+            vec!["static_state"]
+        );
+    }
+
+    #[test]
+    fn rand_as_plain_identifier_is_fine() {
+        // A local variable named `rand` is not the rand crate.
+        assert!(all("let rand = 4u32; let x = rand + 1;").is_empty());
+    }
+
+    #[test]
+    fn immutable_static_is_fine() {
+        assert!(all("static TABLE: [u8; 4] = [1, 2, 3, 4];").is_empty());
+    }
+
+    #[test]
+    fn initializer_after_equals_is_not_searched() {
+        // `Mutex` appearing only in the initializer expression of a plain
+        // const-like static type would be a different construct; the type
+        // window stops at `=`.
+        assert!(all("static N: usize = MUTEX_COUNT;").is_empty());
+    }
+
+    #[test]
+    fn allow_on_same_or_previous_line_suppresses() {
+        let same = "let t = Instant::now(); // detlint: allow(wall_clock) -- test shim\n";
+        assert!(all(same).is_empty());
+        let prev = "// detlint: allow(wall_clock) -- test shim\nlet t = Instant::now();\n";
+        assert!(all(prev).is_empty());
+    }
+
+    #[test]
+    fn allow_does_not_leak_to_later_lines() {
+        let src =
+            "// detlint: allow(wall_clock) -- one line only\nlet a = 1;\nlet t = Instant::now();\n";
+        assert_eq!(rules_hit(src), vec!["wall_clock"]);
+    }
+
+    #[test]
+    fn allow_for_wrong_rule_does_not_suppress() {
+        let src = "// detlint: allow(float) -- wrong rule\nlet t = Instant::now();\n";
+        assert_eq!(rules_hit(src), vec!["wall_clock"]);
+    }
+
+    #[test]
+    fn reasonless_allow_is_reported_and_suppresses_nothing() {
+        let src = "// detlint: allow(wall_clock)\nlet t = Instant::now();\n";
+        let hits = rules_hit(src);
+        assert!(hits.contains(&"bad_suppression"));
+        assert!(hits.contains(&"wall_clock"));
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_is_reported() {
+        let src = "// detlint: allow(no_such_rule) -- reason\n";
+        let d = all(src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "bad_suppression");
+        assert!(d[0].message.contains("no_such_rule"));
+    }
+
+    #[test]
+    fn diagnostics_carry_file_and_line() {
+        let d = all("let a = 1;\nlet t = SystemTime::now();\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!((d[0].file.as_str(), d[0].line), ("test.rs", 2));
+        assert!(d[0].to_string().contains("test.rs:2"));
+    }
+
+    #[test]
+    fn selected_rules_only() {
+        let src = "let t = Instant::now(); let x = 0.5;";
+        let d = lint_source("t.rs", src, &[Rule::Float]);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "float");
+    }
+}

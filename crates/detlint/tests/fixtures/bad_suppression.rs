@@ -1,0 +1,17 @@
+// Fixture: malformed allow directives — each is reported as
+// `bad_suppression` and suppresses nothing.
+
+fn reasonless() -> std::time::Instant {
+    // detlint: allow(wall_clock)
+    std::time::Instant::now()
+}
+
+fn unknown_rule() -> f64 {
+    // detlint: allow(no_such_rule) -- confidently wrong
+    0.5
+}
+
+fn mangled() -> u64 {
+    // detlint: allow wall_clock -- missing parentheses
+    7
+}

@@ -1,0 +1,18 @@
+// Fixture: OS entropy, caught by `entropy`.
+
+fn bad_thread_rng() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+fn bad_os_rng() -> [u8; 16] {
+    let mut buf = [0u8; 16];
+    OsRng.fill_bytes(&mut buf);
+    buf
+}
+
+// A local variable that happens to be named `rand` must NOT be flagged.
+fn fine_local_named_rand() -> u32 {
+    let rand = 4;
+    rand + 1
+}

@@ -1,0 +1,20 @@
+// Fixture: floating point in a deterministic path, caught by `float`.
+
+fn bad_type(x: f32) -> f64 {
+    x as f64
+}
+
+fn bad_literal() -> u64 {
+    let half = 0.5;
+    (half * 2.0) as u64
+}
+
+// Integer arithmetic that merely looks floaty must NOT be flagged:
+// ranges, method calls on integer literals, hex with an `e` digit.
+fn fine_integers() -> u64 {
+    let mut acc = 0u64;
+    for i in 0..10 {
+        acc += i.max(3);
+    }
+    acc + 0x1e9
+}

@@ -1,0 +1,14 @@
+// Fixture: hidden global state, caught by `static_state`.
+
+static mut FRAME_COUNT: u64 = 0;
+
+static CACHE: std::sync::OnceLock<Vec<u8>> = std::sync::OnceLock::new();
+
+static GENERATION: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+// Immutable statics and 'static lifetimes must NOT be flagged.
+static TABLE: [u8; 4] = [1, 2, 3, 4];
+
+fn fine_lifetime(s: &'static str) -> &'static str {
+    s
+}

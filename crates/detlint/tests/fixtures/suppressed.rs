@@ -1,0 +1,18 @@
+// Fixture: violations waived by well-formed allow directives — the scan
+// must report nothing here.
+
+fn timed_shim() -> u128 {
+    // detlint: allow(wall_clock) -- fixture exercising a justified waiver
+    std::time::Instant::now().elapsed().as_nanos()
+}
+
+// detlint: allow(unordered_collections) -- iteration order never observed
+fn scratch_set(set: &std::collections::HashSet<u32>) -> usize {
+    set.len()
+}
+
+// detlint: allow(float) -- reporting-only ratio, never fed back into state
+fn scratch_ratio(num: u64, den: u64) -> f64 {
+    // detlint: allow(float) -- reporting-only ratio, never fed back into state
+    num as f64 / den as f64
+}

@@ -1,0 +1,15 @@
+// Fixture: randomized-order containers that must be caught by
+// `unordered_collections`.
+
+use std::collections::HashMap;
+
+struct State {
+    scores: HashMap<u32, u64>,
+    seen: std::collections::HashSet<u32>,
+}
+
+// Ordered containers must NOT be flagged.
+struct Fine {
+    scores: std::collections::BTreeMap<u32, u64>,
+    seen: std::collections::BTreeSet<u32>,
+}

@@ -1,0 +1,18 @@
+// Fixture: wall-clock reads that must be caught by `wall_clock`.
+
+fn bad_instant() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+fn bad_system_time() -> u64 {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap()
+        .as_secs()
+}
+
+// Duration is a value type, not a clock read — must NOT be flagged.
+fn fine_duration() -> std::time::Duration {
+    std::time::Duration::from_millis(20)
+}

@@ -7,7 +7,7 @@
 //! a [`Transport`] view of the shared network.
 
 use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
 
 use coplay_clock::{Clock, EventQueue, SimTime, VirtualClock};
@@ -54,10 +54,10 @@ struct Flight {
 #[derive(Debug)]
 pub struct SimNetwork {
     clock: VirtualClock,
-    channels: HashMap<(PeerId, PeerId), NetemChannel>,
-    link_up: HashMap<(PeerId, PeerId), bool>,
+    channels: BTreeMap<(PeerId, PeerId), NetemChannel>,
+    link_up: BTreeMap<(PeerId, PeerId), bool>,
     queue: EventQueue<Flight>,
-    inboxes: HashMap<PeerId, VecDeque<(PeerId, Vec<u8>)>>,
+    inboxes: BTreeMap<PeerId, VecDeque<(PeerId, Vec<u8>)>>,
     telemetry: Telemetry,
 }
 
@@ -66,10 +66,10 @@ impl SimNetwork {
     pub fn new(clock: VirtualClock) -> Self {
         SimNetwork {
             clock,
-            channels: HashMap::new(),
-            link_up: HashMap::new(),
+            channels: BTreeMap::new(),
+            link_up: BTreeMap::new(),
             queue: EventQueue::new(),
-            inboxes: HashMap::new(),
+            inboxes: BTreeMap::new(),
             telemetry: Telemetry::disabled(),
         }
     }

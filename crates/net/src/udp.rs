@@ -6,7 +6,7 @@
 //! socket is non-blocking so the frame loop's `SyncInput` poll never stalls
 //! in the kernel.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io;
 use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
 
@@ -32,8 +32,8 @@ const MAX_DATAGRAM: usize = 65_536;
 pub struct UdpTransport {
     id: PeerId,
     socket: UdpSocket,
-    peers: HashMap<PeerId, SocketAddr>,
-    by_addr: HashMap<SocketAddr, PeerId>,
+    peers: BTreeMap<PeerId, SocketAddr>,
+    by_addr: BTreeMap<SocketAddr, PeerId>,
     buf: Vec<u8>,
 }
 
@@ -49,8 +49,8 @@ impl UdpTransport {
         Ok(UdpTransport {
             id,
             socket,
-            peers: HashMap::new(),
-            by_addr: HashMap::new(),
+            peers: BTreeMap::new(),
+            by_addr: BTreeMap::new(),
             buf: vec![0; MAX_DATAGRAM],
         })
     }

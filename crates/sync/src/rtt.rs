@@ -5,7 +5,7 @@
 //! ping/pong exchange and keeps a TCP-style exponentially weighted moving
 //! average (gain 1/8).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use coplay_clock::{SimDuration, SimTime};
 use coplay_telemetry::{EventKind, Telemetry};
@@ -34,7 +34,7 @@ const MAX_OUTSTANDING: usize = 32;
 pub struct RttEstimator {
     interval: SimDuration,
     srtt: Option<SimDuration>,
-    outstanding: HashMap<u32, SimTime>,
+    outstanding: BTreeMap<u32, SimTime>,
     next_nonce: u32,
     next_ping: SimTime,
     /// Observability sink; records one event per matched (raw) RTT sample.
@@ -47,7 +47,7 @@ impl RttEstimator {
         RttEstimator {
             interval,
             srtt: None,
-            outstanding: HashMap::new(),
+            outstanding: BTreeMap::new(),
             next_nonce: 1,
             next_ping: SimTime::ZERO,
             telemetry: Telemetry::disabled(),

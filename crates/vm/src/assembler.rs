@@ -23,7 +23,7 @@
 //!     .byte 0x10, 255
 //! ```
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
@@ -79,8 +79,8 @@ pub fn assemble(source: &str) -> Result<Rom, AsmError> {
 
 #[derive(Default)]
 struct Assembler {
-    labels: HashMap<String, u16>,
-    equs: HashMap<String, u16>,
+    labels: BTreeMap<String, u16>,
+    equs: BTreeMap<String, u16>,
     title: String,
     players: u8,
     cfps: u32,

@@ -225,6 +225,7 @@ impl Machine for NullMachine {
     fn framebuffer(&self) -> &FrameBuffer {
         if self.fb.is_none() {
             // A reset machine that never stepped still owes a framebuffer.
+            // detlint: allow(static_state) -- write-once blank buffer, identical on every replica
             static EMPTY: std::sync::OnceLock<FrameBuffer> = std::sync::OnceLock::new();
             return EMPTY.get_or_init(|| FrameBuffer::new(8, 8));
         }

@@ -17,4 +17,7 @@ cargo fmt --all --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> detlint (determinism audit)"
+cargo run -q -p detlint --release
+
 echo "CI OK"
