@@ -140,6 +140,76 @@ pub fn figure2_json(opts: &Options, rows: &[SweepRow]) -> String {
     out
 }
 
+/// Serialises the lockstep-vs-rollback comparison sweep as a
+/// machine-readable JSON document (`results/BENCH_rollback.json`).
+///
+/// `lockstep` and `rollback` must cover the same RTT points in the same
+/// order. Each row carries both modes' pacing quality (mean frame time,
+/// footnote-10 deviation, footnote-11 synchrony, input-wait stalls) plus
+/// the rollback-only repair counters, so the trade can be read per point:
+/// lockstep stretches frames past the local-lag budget, rollback holds the
+/// nominal rate and pays in resimulated frames instead.
+pub fn rollback_json(opts: &Options, lockstep: &[SweepRow], rollback: &[SweepRow]) -> String {
+    assert_eq!(
+        lockstep.len(),
+        rollback.len(),
+        "modes must sweep the same points"
+    );
+    let mut out = String::from("{\n  \"figure\": \"rollback\",\n");
+    out.push_str(&format!(
+        "  \"frames\": {},\n  \"seed\": {},\n  \"rows\": [\n",
+        opts.frames, opts.seed
+    ));
+    for (i, (ls, rb)) in lockstep.iter().zip(rollback).enumerate() {
+        assert_eq!(ls.rtt, rb.rtt, "modes must sweep the same points");
+        let mode_common = |row: &SweepRow| {
+            let site = &row.result.sites[0];
+            let stalls: u64 = row
+                .result
+                .session_stats
+                .iter()
+                .map(|s| s.stalled_frames)
+                .sum();
+            format!(
+                "\"frame_time_ms\": {}, \"deviation_ms\": {}, \"synchrony_ms\": {}, \
+                 \"stalled_frames\": {}, \"converged\": {}",
+                json_num(site.mean_frame_time_ms),
+                json_num(row.result.worst_deviation_ms()),
+                json_num(row.result.synchrony_ms),
+                stalls,
+                row.result.converged,
+            )
+        };
+        let rollbacks: u64 = rb.result.session_stats.iter().map(|s| s.rollbacks).sum();
+        let resim: u64 = rb
+            .result
+            .session_stats
+            .iter()
+            .map(|s| s.resimulated_frames)
+            .sum();
+        let depth = rb
+            .result
+            .session_stats
+            .iter()
+            .map(|s| s.max_rollback_depth)
+            .max()
+            .unwrap_or(0);
+        out.push_str(&format!(
+            "    {{\"rtt_ms\": {}, \"lockstep\": {{{}}}, \"rollback\": {{{}, \
+             \"rollbacks\": {}, \"resimulated_frames\": {}, \"max_rollback_depth\": {}}}}}{}\n",
+            ls.rtt.as_millis(),
+            mode_common(ls),
+            mode_common(rb),
+            rollbacks,
+            resim,
+            depth,
+            if i + 1 < lockstep.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// Writes `json` to `results/<file_name>`, creating the directory as
 /// needed, and returns the written path.
 ///
@@ -235,6 +305,34 @@ mod tests {
         assert!(json.contains("\"synchrony_ms\": "));
         assert!(json.contains("\"converged\": true"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn rollback_json_pairs_both_modes() {
+        let opts = Options {
+            frames: 120,
+            seed: 7,
+        };
+        let lockstep = mini_rows(&opts);
+        let base = opts.apply(ExperimentConfig {
+            game: coplay_games::GameId::Pong,
+            consistency: coplay_sync::ConsistencyMode::rollback(),
+            ..ExperimentConfig::default()
+        });
+        let points = [
+            coplay_clock::SimDuration::ZERO,
+            coplay_clock::SimDuration::from_millis(40),
+        ];
+        let rollback = coplay_sim::run_sweep(&base, &points, |_, _| {}).unwrap();
+        let json = rollback_json(&opts, &lockstep, &rollback);
+        assert!(json.contains("\"figure\": \"rollback\""));
+        assert!(json.contains("\"lockstep\": {"));
+        assert!(json.contains("\"rollback\": {"));
+        assert!(json.contains("\"rollbacks\": "));
+        assert!(json.contains("\"max_rollback_depth\": "));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // Two rows, each with two mode objects.
+        assert_eq!(json.matches("\"rtt_ms\": ").count(), 2);
     }
 
     #[test]

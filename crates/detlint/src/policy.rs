@@ -7,6 +7,7 @@
 //! |------|-----------|-----------|-------|---------|--------------|
 //! | `crates/vm`, `crates/games` | ✓ | ✓ | ✓ | ✓ | ✓ |
 //! | `crates/sync` (state paths) | ✓ | ✓ | ✓ | ✓ | ✓ |
+//! | `crates/rollback` | ✓ | ✓ | ✓ | ✓ | ✓ |
 //! | `crates/sync/src/{rtt,stats}.rs` | ✓ | – | – | ✓ | ✓ |
 //! | `crates/clock`, `crates/net` | – | – | – | ✓* | – |
 //! | everything else scanned | ✓† | – | – | ✓ | – |
@@ -33,7 +34,12 @@ pub fn rules_for(rel: &str) -> Vec<Rule> {
         rules.push(Rule::Entropy);
     }
 
-    let deterministic_core = rel.starts_with("crates/vm/") || rel.starts_with("crates/games/");
+    // Rollback resimulates state, so it sits inside the same fence as the
+    // machines it replays: any nondeterminism there silently corrupts the
+    // repaired timeline.
+    let deterministic_core = rel.starts_with("crates/vm/")
+        || rel.starts_with("crates/games/")
+        || rel.starts_with("crates/rollback/");
     let sync_crate = rel.starts_with("crates/sync/");
     // Pacing and measurement modules feed send scheduling and reporting,
     // never simulation state; floats and unordered maps are fine there.
@@ -74,7 +80,12 @@ mod tests {
 
     #[test]
     fn core_gets_everything() {
-        for rel in ["crates/vm/src/machine.rs", "crates/games/src/pong.rs"] {
+        for rel in [
+            "crates/vm/src/machine.rs",
+            "crates/games/src/pong.rs",
+            "crates/rollback/src/session.rs",
+            "crates/rollback/src/snapshot.rs",
+        ] {
             let rules = rules_for(rel);
             for r in Rule::ALL {
                 assert!(rules.contains(&r), "{rel} missing {r:?}");

@@ -704,25 +704,8 @@ mod tests {
         assert_eq!(run(), run());
     }
 
-    #[test]
-    fn save_load_roundtrip_mid_fight() {
-        let mut a = Brawler::new();
-        let script: Vec<InputWord> = (0..400u32)
-            .map(|i| InputWord((i.wrapping_mul(0x9E37_79B9) >> 11) & 0x3F3F))
-            .collect();
-        for &w in &script {
-            a.step_frame(w);
-        }
-        let snap = a.save_state();
-        let mut b = Brawler::new();
-        b.load_state(&snap).unwrap();
-        assert_eq!(a.state_hash(), b.state_hash());
-        for &w in script.iter().rev() {
-            a.step_frame(w);
-            b.step_frame(w);
-        }
-        assert_eq!(a.state_hash(), b.state_hash());
-    }
+    // Snapshot roundtrip coverage lives in the generic conformance harness
+    // (tests/properties.rs, every_machine_snapshot_roundtrips_mid_game).
 
     #[test]
     fn load_rejects_garbage() {

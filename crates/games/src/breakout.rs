@@ -531,22 +531,8 @@ mod tests {
         assert_eq!(run(), run());
     }
 
-    #[test]
-    fn save_load_roundtrip_mid_volley() {
-        let mut a = Breakout::new();
-        for i in 0..400u32 {
-            a.step_frame(InputWord(i & 0x0C0C));
-        }
-        let snap = a.save_state();
-        let mut b = Breakout::new();
-        b.load_state(&snap).unwrap();
-        assert_eq!(a.state_hash(), b.state_hash());
-        for i in 0..400u32 {
-            a.step_frame(InputWord(i & 0x0505));
-            b.step_frame(InputWord(i & 0x0505));
-        }
-        assert_eq!(a.state_hash(), b.state_hash());
-    }
+    // Snapshot roundtrip coverage lives in the generic conformance harness
+    // (tests/properties.rs, every_machine_snapshot_roundtrips_mid_game).
 
     #[test]
     fn load_rejects_garbage() {

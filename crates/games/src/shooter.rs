@@ -518,24 +518,8 @@ mod tests {
         assert_eq!(run(), run());
     }
 
-    #[test]
-    fn save_load_roundtrip_with_entities_in_flight() {
-        let mut a = Shooter::new();
-        let fire = hold(Player::ONE, &[Button::A]);
-        for _ in 0..300 {
-            a.step_frame(fire);
-        }
-        assert!(!a.bullets.is_empty() || !a.enemies.is_empty());
-        let snap = a.save_state();
-        let mut b = Shooter::new();
-        b.load_state(&snap).unwrap();
-        assert_eq!(a.state_hash(), b.state_hash());
-        for _ in 0..300 {
-            a.step_frame(fire);
-            b.step_frame(fire);
-        }
-        assert_eq!(a.state_hash(), b.state_hash());
-    }
+    // Snapshot roundtrip coverage lives in the generic conformance harness
+    // (tests/properties.rs, every_machine_snapshot_roundtrips_mid_game).
 
     #[test]
     fn load_rejects_truncated_entity_lists() {

@@ -26,6 +26,11 @@ struct Registration {
     /// Peers granted slots, in join order (index+1 = site number).
     members: Vec<PeerId>,
     last_seen: SimTime,
+    /// Cumulative health counters from the host's latest heartbeat
+    /// (zero until one arrives, and always zero for lockstep sessions).
+    rollbacks: u64,
+    resimulated_frames: u64,
+    max_rollback_depth: u64,
 }
 
 /// The lobby registry. Feed it decoded requests; it answers with replies to
@@ -74,6 +79,19 @@ impl LobbyServer {
     pub fn metrics_text(&mut self) -> String {
         self.metrics
             .gauge_set("sessions", self.sessions.len() as i64);
+        // Aggregate the heartbeat-reported rollback health so an operator
+        // sees at a glance whether any session is repairing heavily.
+        let (mut rb, mut resim, mut depth) = (0u64, 0u64, 0u64);
+        for s in self.sessions.values() {
+            rb += s.rollbacks;
+            resim += s.resimulated_frames;
+            depth = depth.max(s.max_rollback_depth);
+        }
+        self.metrics.gauge_set("session_rollbacks", rb as i64);
+        self.metrics
+            .gauge_set("session_resimulated_frames", resim as i64);
+        self.metrics
+            .gauge_set("session_max_rollback_depth", depth as i64);
         self.metrics.prometheus("coplay_lobby")
     }
 
@@ -125,6 +143,9 @@ impl LobbyServer {
                         host: from,
                         members: Vec::new(),
                         last_seen: now,
+                        rollbacks: 0,
+                        resimulated_frames: 0,
+                        max_rollback_depth: 0,
                     },
                 );
                 vec![(from, LobbyMessage::Registered { id })]
@@ -135,10 +156,18 @@ impl LobbyServer {
                 }
                 Vec::new()
             }
-            LobbyMessage::Heartbeat { id } => {
+            LobbyMessage::Heartbeat {
+                id,
+                rollbacks,
+                resimulated_frames,
+                max_rollback_depth,
+            } => {
                 if let Some(s) = self.sessions.get_mut(id) {
                     if s.host == from {
                         s.last_seen = now;
+                        s.rollbacks = *rollbacks;
+                        s.resimulated_frames = *resimulated_frames;
+                        s.max_rollback_depth = *max_rollback_depth;
                     }
                 }
                 Vec::new()
@@ -216,6 +245,15 @@ mod tests {
 
     fn t(secs: u64) -> SimTime {
         SimTime::from_secs(secs)
+    }
+
+    fn heartbeat(id: SessionId, rollbacks: u64, resim: u64, depth: u64) -> LobbyMessage {
+        LobbyMessage::Heartbeat {
+            id,
+            rollbacks,
+            resimulated_frames: resim,
+            max_rollback_depth: depth,
+        }
     }
 
     fn register(server: &mut LobbyServer, host: PeerId, name: &str, slots: u8) -> SessionId {
@@ -304,7 +342,7 @@ mod tests {
         let id = register(&mut server, PeerId(0), "stale", 2);
         server.expire(t(29));
         assert_eq!(server.session_count(), 1);
-        server.handle(PeerId(0), &LobbyMessage::Heartbeat { id }, t(29));
+        server.handle(PeerId(0), &heartbeat(id, 0, 0, 0), t(29));
         server.expire(t(58));
         assert_eq!(server.session_count(), 1, "heartbeat extended the TTL");
         server.expire(t(60));
@@ -345,6 +383,33 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn heartbeat_health_surfaces_in_metrics() {
+        let mut server = LobbyServer::new();
+        let a = register(&mut server, PeerId(0), "rollback room", 2);
+        let b = register(&mut server, PeerId(1), "lockstep room", 2);
+
+        // Before any heartbeat the health gauges read zero.
+        let text = server.metrics_text();
+        assert!(text.contains("coplay_lobby_session_rollbacks 0"), "{text}");
+
+        server.handle(PeerId(0), &heartbeat(a, 5, 20, 7), t(1));
+        server.handle(PeerId(1), &heartbeat(b, 3, 9, 4), t(1));
+        // A stranger's heartbeat must not overwrite the host's report.
+        server.handle(PeerId(9), &heartbeat(a, 999, 999, 999), t(2));
+
+        let text = server.metrics_text();
+        assert!(text.contains("coplay_lobby_session_rollbacks 8"), "{text}");
+        assert!(
+            text.contains("coplay_lobby_session_resimulated_frames 29"),
+            "{text}"
+        );
+        assert!(
+            text.contains("coplay_lobby_session_max_rollback_depth 7"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -81,10 +81,19 @@ pub enum LobbyMessage {
         /// Which session.
         id: SessionId,
     },
-    /// Host: keep the session alive.
+    /// Host: keep the session alive, piggybacking session health.
+    ///
+    /// The counters are cumulative since session start, taken from the
+    /// host's `SessionStats`; all three are zero for lockstep sessions.
     Heartbeat {
         /// Which session.
         id: SessionId,
+        /// Rollback repairs executed by the host so far.
+        rollbacks: u64,
+        /// Frames re-executed across those repairs.
+        resimulated_frames: u64,
+        /// Deepest single rollback, in frames.
+        max_rollback_depth: u64,
     },
     /// Client: list open sessions.
     List,
@@ -213,9 +222,17 @@ impl LobbyMessage {
                 b.put_u8(ty::UNREGISTER);
                 b.put_u32_le(id.0);
             }
-            LobbyMessage::Heartbeat { id } => {
+            LobbyMessage::Heartbeat {
+                id,
+                rollbacks,
+                resimulated_frames,
+                max_rollback_depth,
+            } => {
                 b.put_u8(ty::HEARTBEAT);
                 b.put_u32_le(id.0);
+                b.put_u64_le(*rollbacks);
+                b.put_u64_le(*resimulated_frames);
+                b.put_u64_le(*max_rollback_depth);
             }
             LobbyMessage::List => b.put_u8(ty::LIST),
             LobbyMessage::Listing { sessions } => {
@@ -330,9 +347,12 @@ impl LobbyMessage {
                 }
             }
             ty::HEARTBEAT => {
-                need!(4);
+                need!(4 + 8 + 8 + 8);
                 LobbyMessage::Heartbeat {
                     id: SessionId(b.get_u32_le()),
+                    rollbacks: b.get_u64_le(),
+                    resimulated_frames: b.get_u64_le(),
+                    max_rollback_depth: b.get_u64_le(),
                 }
             }
             ty::LIST => LobbyMessage::List,
@@ -416,7 +436,12 @@ mod tests {
             },
             LobbyMessage::Registered { id: SessionId(7) },
             LobbyMessage::Unregister { id: SessionId(7) },
-            LobbyMessage::Heartbeat { id: SessionId(7) },
+            LobbyMessage::Heartbeat {
+                id: SessionId(7),
+                rollbacks: 12,
+                resimulated_frames: 48,
+                max_rollback_depth: 9,
+            },
             LobbyMessage::List,
             LobbyMessage::Listing {
                 sessions: vec![

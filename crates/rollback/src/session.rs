@@ -1,0 +1,899 @@
+//! The speculative session driver: predict, execute, repair.
+//!
+//! [`RollbackSession`] mirrors the lockstep driver's shape — same wire
+//! protocol, same handshake, same [`Step`]/[`FrameReport`] surface — but
+//! replaces Algorithm 2's *wait for every input* exit condition with
+//! speculation: a frame whose remote inputs are missing executes anyway
+//! under predicted inputs, and a later authoritative input that contradicts
+//! a prediction triggers a checkpoint restore plus resimulation. The
+//! session only blocks when execution would run more than
+//! `max_rollback_frames` past the confirmed-input frontier, so RTT spikes
+//! shallower than the speculation window never freeze the frame loop.
+//!
+//! Because both drivers speak the identical protocol, a rollback site can
+//! play against a lockstep site — each maintains logical consistency its
+//! own way while the merged authoritative input sequence stays the same.
+
+use std::collections::BTreeMap;
+
+use coplay_clock::{SimDelta, SimDuration, SimTime};
+use coplay_net::{PeerId, Transport};
+use coplay_sync::{
+    ConsistencyMode, FrameEnd, FrameReport, FrameTimer, InputSource, InputSync, Message,
+    RttEstimator, SessionDriver, SessionStats, Step, StopReason, SyncConfig, SyncError,
+};
+use coplay_telemetry::EventKind;
+use coplay_vm::{InputWord, Machine};
+
+use crate::predict::{InputPredictor, RepeatLast};
+use crate::snapshot::SnapshotRing;
+
+/// Hello retransmission interval during the session handshake.
+const JOIN_RETRY: SimDuration = SimDuration::from_millis(200);
+
+/// Cap on confirmed-hash entries retained when the caller never drains
+/// [`RollbackSession::take_confirmed`].
+const MAX_RETAINED_HASHES: usize = 4096;
+
+#[derive(Debug)]
+enum Phase {
+    /// Master: waiting for every player's Hello.
+    MasterWait,
+    /// Non-master: helloing until every player acknowledged.
+    Connecting {
+        next_hello: SimTime,
+        acks: BTreeMap<u8, u64>,
+    },
+    Run(RunState),
+    Done(StopReason),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RunState {
+    StartAt(SimTime),
+    Begin,
+    Executing,
+    EndWait(SimTime),
+}
+
+/// One site of a distributed game session under rollback consistency.
+///
+/// Construction mirrors [`LockstepSession`](coplay_sync::LockstepSession):
+/// the speculation window and checkpoint cadence come from
+/// [`SyncConfig::consistency`] (defaults applied when it is `Lockstep`).
+pub struct RollbackSession<M, T, S, P = RepeatLast> {
+    cfg: SyncConfig,
+    max_rollback_frames: u64,
+    checkpoint_interval: u64,
+    machine: M,
+    transport: T,
+    source: S,
+    predictor: P,
+    sync: InputSync,
+    timer: FrameTimer,
+    rtt: RttEstimator,
+    phase: Phase,
+    frame: u64,
+    frame_start: SimTime,
+    rom_hash: u64,
+    joined: Vec<u8>,
+    time_server: Option<PeerId>,
+    hash_frames: bool,
+    stats: SessionStats,
+    blocked_at: Option<SimTime>,
+    ring: SnapshotRing,
+    /// Predicted partials actually fed to the machine, per speculated frame
+    /// per remote site — the comparison base for misprediction detection.
+    used: BTreeMap<u64, BTreeMap<u8, InputWord>>,
+    /// State hash after each executed frame, kept until confirmed and
+    /// drained via [`RollbackSession::take_confirmed`].
+    recent_hashes: BTreeMap<u64, u64>,
+    /// First mispredicted frame discovered while draining the transport;
+    /// repaired by the next `perform_rollback`.
+    pending_rollback: Option<u64>,
+    /// Next frame eligible for confirmation: frames below were already
+    /// drained via `take_confirmed` and must not be re-reported when a
+    /// rollback resimulates through them.
+    confirm_next: u64,
+}
+
+impl<M: Machine, T: Transport, S: InputSource> RollbackSession<M, T, S, RepeatLast> {
+    /// Creates a session site with the default repeat-last predictor.
+    /// `machine` must be in its initial state — its state hash doubles as
+    /// the game-image identity the handshake compares.
+    pub fn new(cfg: SyncConfig, machine: M, transport: T, source: S) -> Self {
+        RollbackSession::with_predictor(cfg, machine, transport, source, RepeatLast)
+    }
+}
+
+impl<M: Machine, T: Transport, S: InputSource, P: InputPredictor> RollbackSession<M, T, S, P> {
+    /// Creates a session site with a custom prediction policy.
+    pub fn with_predictor(
+        cfg: SyncConfig,
+        machine: M,
+        transport: T,
+        source: S,
+        predictor: P,
+    ) -> Self {
+        let (max_rollback_frames, checkpoint_interval) = match cfg.consistency {
+            ConsistencyMode::Rollback {
+                max_rollback_frames,
+                checkpoint_interval,
+            } => (max_rollback_frames, checkpoint_interval.max(1)),
+            // Constructed without explicit tuning: apply the defaults.
+            ConsistencyMode::Lockstep => match ConsistencyMode::rollback() {
+                ConsistencyMode::Rollback {
+                    max_rollback_frames,
+                    checkpoint_interval,
+                } => (max_rollback_frames, checkpoint_interval),
+                ConsistencyMode::Lockstep => unreachable!(),
+            },
+        };
+        let rom_hash = machine.state_hash();
+        let tpf = cfg.time_per_frame();
+        let dead_zone = cfg.sync_dead_zone.min(cfg.local_lag() / 4);
+        let timer = FrameTimer::new(tpf, cfg.is_master(), cfg.rate_sync, cfg.buf_frames)
+            .with_dead_zone(dead_zone)
+            .with_telemetry(cfg.telemetry.clone());
+        let rtt = RttEstimator::default().with_telemetry(cfg.telemetry.clone());
+        let phase = if cfg.is_master() {
+            Phase::MasterWait
+        } else {
+            Phase::Connecting {
+                next_hello: SimTime::ZERO,
+                acks: BTreeMap::new(),
+            }
+        };
+        RollbackSession {
+            sync: InputSync::new(cfg.clone()),
+            max_rollback_frames,
+            checkpoint_interval,
+            timer,
+            rtt,
+            phase,
+            frame: 0,
+            frame_start: SimTime::ZERO,
+            rom_hash,
+            joined: Vec::new(),
+            time_server: None,
+            hash_frames: true,
+            stats: SessionStats::default(),
+            blocked_at: None,
+            ring: SnapshotRing::new(SnapshotRing::capacity_for(
+                max_rollback_frames,
+                checkpoint_interval,
+            )),
+            used: BTreeMap::new(),
+            recent_hashes: BTreeMap::new(),
+            pending_rollback: None,
+            confirm_next: 0,
+            cfg,
+            machine,
+            transport,
+            source,
+            predictor,
+        }
+    }
+
+    /// Also stamp every frame begin to the measurement time server at
+    /// `peer` (§4's experimental setup).
+    pub fn with_time_server(mut self, peer: PeerId) -> Self {
+        self.time_server = Some(peer);
+        self
+    }
+
+    /// Disables per-frame state hashing (checkpoints still hash at the
+    /// checkpoint cadence). [`RollbackSession::take_confirmed`] returns
+    /// nothing in this mode.
+    pub fn without_frame_hashes(mut self) -> Self {
+        self.hash_frames = false;
+        self
+    }
+
+    /// The local machine replica. Its state is *speculative*: frames past
+    /// the confirmed-input frontier may still be rolled back.
+    pub fn machine(&self) -> &M {
+        &self.machine
+    }
+
+    /// The site's current frame.
+    pub fn frame(&self) -> u64 {
+        self.frame
+    }
+
+    /// The site configuration.
+    pub fn config(&self) -> &SyncConfig {
+        &self.cfg
+    }
+
+    /// The current smoothed RTT estimate.
+    pub fn rtt(&self) -> SimDuration {
+        self.rtt.rtt()
+    }
+
+    /// The sync engine (metrics/test hook).
+    pub fn sync(&self) -> &InputSync {
+        &self.sync
+    }
+
+    /// In-band session counters, including the rollback triple
+    /// (`rollbacks`, `resimulated_frames`, `max_rollback_depth`).
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Total bytes currently held by the checkpoint ring.
+    pub fn checkpoint_bytes(&self) -> usize {
+        self.ring.bytes()
+    }
+
+    /// Drains the per-frame state hashes that have become *authoritative*:
+    /// every site's input for them arrived, any misprediction was repaired,
+    /// and no future rollback can revisit them. Returns `(frame, hash)`
+    /// pairs in frame order — directly comparable against a lockstep
+    /// replica's per-frame hashes.
+    pub fn take_confirmed(&mut self) -> Vec<(u64, u64)> {
+        let pointer = self.sync.pointer();
+        if pointer == 0 {
+            return Vec::new();
+        }
+        let limit = self.sync.authoritative_frontier().min(pointer - 1);
+        let mut out = Vec::new();
+        while let Some(entry) = self.recent_hashes.first_entry() {
+            if *entry.key() > limit {
+                break;
+            }
+            let (frame, hash) = entry.remove_entry();
+            // A rollback may resimulate through already-confirmed frames
+            // and re-insert their (identical) hashes; report each once.
+            if frame >= self.confirm_next {
+                out.push((frame, hash));
+            }
+        }
+        if let Some(&(last, _)) = out.last() {
+            self.confirm_next = last + 1;
+        }
+        out
+    }
+
+    /// Sends an orderly goodbye and stops the session.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures while sending the goodbye.
+    pub fn stop(&mut self) -> Result<(), SyncError> {
+        let bye = Message::Bye.encode();
+        for p in self.cfg.peers().map(PeerId).collect::<Vec<_>>() {
+            self.transport.send(p, &bye)?;
+        }
+        self.phase = Phase::Done(StopReason::LocalQuit);
+        Ok(())
+    }
+
+    /// Drives the session. Call whenever the previous [`Step::Wait`]
+    /// deadline passes **or** a datagram may have arrived.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SyncError`] on transport failure, game-image mismatch, a
+    /// missing rollback checkpoint, or a stall exceeding the configured
+    /// timeout while blocked at the speculation-window edge.
+    pub fn tick(&mut self, now: SimTime) -> Result<Step, SyncError> {
+        self.drain_transport(now)?;
+        self.perform_rollback(now)?;
+        loop {
+            match &mut self.phase {
+                Phase::Done(reason) => return Ok(Step::Stopped(reason.clone())),
+                Phase::MasterWait => {
+                    let players_expected = self.cfg.num_sites as usize - 1;
+                    if self.joined.len() >= players_expected {
+                        self.phase =
+                            Phase::Run(RunState::StartAt(now + self.cfg.first_frame_delay));
+                        continue;
+                    }
+                    return Ok(Step::Wait(now + JOIN_RETRY));
+                }
+                Phase::Connecting { next_hello, acks } => {
+                    let player_peers: Vec<u8> = (0..self.cfg.num_sites)
+                        .filter(|&s| s != self.cfg.my_site)
+                        .collect();
+                    if player_peers.iter().all(|p| acks.contains_key(p)) {
+                        let start = acks.values().copied().max().unwrap_or(0);
+                        if start != 0 {
+                            // A speculative replica cannot serve (or join
+                            // from) a mid-game snapshot: the state is not
+                            // authoritative until the frontier passes it.
+                            return Err(SyncError::Snapshot(
+                                "rollback sessions do not support latecomer joins".into(),
+                            ));
+                        }
+                        self.phase =
+                            Phase::Run(RunState::StartAt(now + self.cfg.first_frame_delay));
+                        continue;
+                    }
+                    if now >= *next_hello {
+                        *next_hello = now + JOIN_RETRY;
+                        let hello = Message::Hello {
+                            site: self.cfg.my_site,
+                            rom_hash: self.rom_hash,
+                            observer: !self.sync.is_player(),
+                        }
+                        .encode();
+                        for &p in &player_peers {
+                            if !acks.contains_key(&p) {
+                                self.transport.send(PeerId(p), &hello)?;
+                            }
+                        }
+                    }
+                    let deadline = match &self.phase {
+                        Phase::Connecting { next_hello, .. } => *next_hello,
+                        _ => unreachable!(),
+                    };
+                    return Ok(Step::Wait(deadline));
+                }
+                Phase::Run(state) => match *state {
+                    RunState::StartAt(t) => {
+                        if now >= t {
+                            self.phase = Phase::Run(RunState::Begin);
+                            continue;
+                        }
+                        return Ok(Step::Wait(t));
+                    }
+                    RunState::Begin => {
+                        self.frame_start = now;
+                        self.cfg
+                            .telemetry
+                            .record(now, EventKind::FrameBegun { frame: self.frame });
+                        let obs = self.sync.master_observation();
+                        self.timer
+                            .begin_frame(now, self.frame, obs.as_ref(), self.rtt.rtt());
+                        if self.timer.last_sync_adjust() != SimDelta::ZERO {
+                            self.stats.pace_adjustments += 1;
+                        }
+                        let local = self.source.sample(self.frame);
+                        self.sync.begin_frame(self.frame, local, now);
+                        if let Some(server) = self.time_server {
+                            let stamp = Message::TimeStamp {
+                                site: self.cfg.my_site,
+                                frame: self.frame,
+                            };
+                            self.transport.send(server, &stamp.encode())?;
+                        }
+                        self.phase = Phase::Run(RunState::Executing);
+                    }
+                    RunState::Executing => {
+                        if !self.cfg.is_master() {
+                            if let Some(nonce) = self.rtt.maybe_ping(now) {
+                                self.transport
+                                    .send(PeerId(0), &Message::Ping { nonce }.encode())?;
+                            }
+                        }
+                        for (dst, msg) in self.sync.outgoing(now) {
+                            self.stats.input_messages_sent += 1;
+                            self.stats.input_frames_sent += msg.inputs.len() as u64;
+                            self.transport
+                                .send(PeerId(dst), &Message::Input(msg).encode())?;
+                        }
+                        let pointer = self.sync.pointer();
+                        let frontier = self.sync.authoritative_frontier();
+                        // The speculation window: execute unless this frame
+                        // would run more than `max_rollback_frames` past the
+                        // confirmed frontier (degrading to lockstep-style
+                        // blocking keeps rollback depth — and the checkpoint
+                        // ring — bounded).
+                        let within_window =
+                            pointer <= frontier.saturating_add(self.max_rollback_frames);
+                        if within_window {
+                            let mut stall = SimDuration::ZERO;
+                            if let Some(began) = self.blocked_at.take() {
+                                stall = now.saturating_since(began);
+                                self.stats.note_stall(began, now);
+                                self.cfg.telemetry.record(
+                                    now,
+                                    EventKind::StallEnd {
+                                        frame: self.frame,
+                                        duration: stall,
+                                    },
+                                );
+                            }
+                            let input = self.step_frame_at(pointer, now, true);
+                            self.sync.advance();
+                            self.cfg.telemetry.record(
+                                now,
+                                EventKind::FrameExecuted {
+                                    frame: self.frame,
+                                    frame_time: now.saturating_since(self.frame_start),
+                                },
+                            );
+                            let report = FrameReport {
+                                frame: self.frame,
+                                input,
+                                state_hash: self.hash_frames.then(|| self.machine.state_hash()),
+                                began_at: self.frame_start,
+                                stall,
+                            };
+                            self.stats.frames += 1;
+                            let next_wake = match self.timer.end_frame(now) {
+                                FrameEnd::WaitUntil(t) => t,
+                                FrameEnd::Behind => {
+                                    self.stats.late_frames += 1;
+                                    now
+                                }
+                            };
+                            self.phase = Phase::Run(RunState::EndWait(next_wake));
+                            return Ok(Step::FrameDone { report, next_wake });
+                        }
+                        if self.blocked_at.is_none() {
+                            self.blocked_at = Some(now);
+                            self.cfg
+                                .telemetry
+                                .record(now, EventKind::StallBegin { frame: self.frame });
+                        }
+                        if let (Some(limit), Some(began)) =
+                            (self.cfg.stall_timeout, self.blocked_at)
+                        {
+                            let stalled = now.saturating_since(began);
+                            if stalled >= limit {
+                                return Err(SyncError::Stalled(stalled));
+                            }
+                        }
+                        return Ok(Step::Wait(now + self.cfg.poll_interval));
+                    }
+                    RunState::EndWait(until) => {
+                        if now >= until {
+                            self.frame += 1;
+                            self.phase = Phase::Run(RunState::Begin);
+                            continue;
+                        }
+                        return Ok(Step::Wait(until));
+                    }
+                },
+            }
+        }
+    }
+
+    /// Services the network without advancing the game: drains incoming
+    /// datagrams, repairs any misprediction they revealed, and flushes
+    /// input frames still owed to peers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures, like [`tick`](Self::tick).
+    pub fn pump(&mut self, now: SimTime) -> Result<(), SyncError> {
+        self.drain_transport(now)?;
+        self.perform_rollback(now)?;
+        if matches!(self.phase, Phase::Run(_)) {
+            for (dst, msg) in self.sync.outgoing(now) {
+                self.stats.input_messages_sent += 1;
+                self.stats.input_frames_sent += msg.inputs.len() as u64;
+                self.transport
+                    .send(PeerId(dst), &Message::Input(msg).encode())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Saves a checkpoint before executing `frame` when the cadence (or an
+    /// empty ring) calls for one, then executes it: authoritative partials
+    /// where the frontier covers them, predictions elsewhere.
+    fn step_frame_at(&mut self, frame: u64, now: SimTime, count_predictions: bool) -> InputWord {
+        let due = frame.is_multiple_of(self.checkpoint_interval) || self.ring.is_empty();
+        if due && self.ring.newest_frame().is_none_or(|n| n < frame) {
+            let state = self.machine.save_state();
+            let bytes = state.len() as u64;
+            self.ring.push(frame, state, self.machine.state_hash());
+            self.cfg
+                .telemetry
+                .record(now, EventKind::CheckpointSaved { frame, bytes });
+        }
+        let mut word = self.sync.merged_input(frame);
+        self.used.remove(&frame);
+        for s in 0..self.cfg.num_sites {
+            if s == self.cfg.my_site {
+                continue;
+            }
+            let last_rcv = self.sync.last_rcv(s).unwrap_or(0);
+            if frame <= last_rcv {
+                // Covered by the contiguous frontier: the buffered partial
+                // (or its absence, meaning no input) is authoritative.
+                continue;
+            }
+            let last = self
+                .sync
+                .has_authoritative(last_rcv, s)
+                .then(|| self.sync.authoritative_partial(last_rcv, s));
+            let guess = self.predictor.predict(s, frame, last);
+            let masked = self.cfg.port_map.partial_input(s, guess);
+            self.used.entry(frame).or_default().insert(s, masked);
+            if count_predictions {
+                self.cfg.telemetry.counter_add("predicted_frames_total", 1);
+            }
+            word = word.merged(masked);
+        }
+        self.machine.step_frame(word);
+        if self.hash_frames {
+            self.recent_hashes.insert(frame, self.machine.state_hash());
+            while self.recent_hashes.len() > MAX_RETAINED_HASHES {
+                self.recent_hashes.pop_first();
+            }
+        }
+        word
+    }
+
+    /// Restores the newest checkpoint at or before the first mispredicted
+    /// frame and resimulates to the present, re-predicting inputs that are
+    /// still missing.
+    fn perform_rollback(&mut self, now: SimTime) -> Result<(), SyncError> {
+        let Some(target) = self.pending_rollback.take() else {
+            return Ok(());
+        };
+        let pointer = self.sync.pointer();
+        if target >= pointer {
+            return Ok(());
+        }
+        // Checkpoints past the target were computed from a mispredicted
+        // state; they must not serve as restore points again.
+        self.ring.discard_after(target);
+        let (cp_frame, state) = match self.ring.latest_at_or_before(target) {
+            Some(cp) => (cp.frame, cp.state.clone()),
+            None => {
+                return Err(SyncError::Snapshot(format!(
+                    "no rollback checkpoint at or before frame {target}"
+                )))
+            }
+        };
+        self.machine
+            .load_state(&state)
+            .map_err(|e| SyncError::Snapshot(e.to_string()))?;
+        let depth = pointer - target;
+        let resimulated = pointer - cp_frame;
+        for g in cp_frame..pointer {
+            let _ = self.step_frame_at(g, now, false);
+        }
+        self.stats.note_rollback(depth, resimulated);
+        self.cfg.telemetry.record(
+            now,
+            EventKind::RollbackExecuted {
+                to_frame: target,
+                depth,
+                resimulated,
+            },
+        );
+        Ok(())
+    }
+
+    fn drain_transport(&mut self, now: SimTime) -> Result<(), SyncError> {
+        while let Some((from, data)) = self.transport.try_recv()? {
+            let Ok(msg) = Message::decode(&data) else {
+                continue; // UDP noise
+            };
+            self.handle_message(from, msg, now)?;
+        }
+        Ok(())
+    }
+
+    fn handle_message(
+        &mut self,
+        from: PeerId,
+        msg: Message,
+        now: SimTime,
+    ) -> Result<(), SyncError> {
+        match msg {
+            Message::Input(m) => {
+                self.stats.input_messages_received += 1;
+                let sender = m.from;
+                let before = self.sync.last_rcv(sender);
+                let outcome = self.sync.on_message(&m, now);
+                if outcome.duplicate {
+                    self.stats.duplicate_messages_received += 1;
+                }
+                self.stats.retransmitted_frames_received +=
+                    (outcome.carried - outcome.fresh) as u64;
+                if let Some(before) = before {
+                    self.check_predictions(sender, before, now);
+                }
+            }
+            Message::Ping { nonce } => {
+                self.transport
+                    .send(from, &Message::Pong { nonce }.encode())?;
+            }
+            Message::Pong { nonce } => self.rtt.on_pong(nonce, now),
+            Message::Hello {
+                site,
+                rom_hash,
+                observer,
+            } => {
+                if rom_hash != self.rom_hash {
+                    return Err(SyncError::RomMismatch {
+                        ours: self.rom_hash,
+                        theirs: rom_hash,
+                    });
+                }
+                self.sync.add_peer(site, self.sync.pointer());
+                self.cfg
+                    .telemetry
+                    .record(now, EventKind::PeerJoined { site });
+                if !observer && !self.joined.contains(&site) {
+                    self.joined.push(site);
+                }
+                // Unlike lockstep, a speculative site cannot serve a
+                // latecomer snapshot, so it always advertises a fresh start.
+                let ack = Message::HelloAck {
+                    rom_hash: self.rom_hash,
+                    start_frame: 0,
+                };
+                self.transport.send(from, &ack.encode())?;
+            }
+            Message::HelloAck {
+                rom_hash,
+                start_frame,
+            } => {
+                if rom_hash != self.rom_hash {
+                    return Err(SyncError::RomMismatch {
+                        ours: self.rom_hash,
+                        theirs: rom_hash,
+                    });
+                }
+                if let Phase::Connecting { acks, .. } = &mut self.phase {
+                    acks.insert(from.0, start_frame);
+                }
+            }
+            Message::Bye => {
+                self.phase = Phase::Done(StopReason::PeerLeft);
+            }
+            // Snapshot transfer belongs to lockstep latecomer joins; a
+            // rollback site neither serves nor consumes it. Time stamps are
+            // for the measurement server only.
+            Message::SnapshotRequest
+            | Message::SnapshotChunk { .. }
+            | Message::TimeStamp { .. } => {}
+        }
+        Ok(())
+    }
+
+    /// Compares the predictions used for frames newly covered by `sender`'s
+    /// advancing frontier against the authoritative partials, queueing a
+    /// rollback at the earliest mismatch.
+    fn check_predictions(&mut self, sender: u8, before: u64, now: SimTime) {
+        let after = self.sync.last_rcv(sender).unwrap_or(before);
+        let pointer = self.sync.pointer();
+        for g in (before + 1)..=after {
+            if g >= pointer {
+                break; // not executed yet: nothing was predicted
+            }
+            let mut emptied = false;
+            let mut mispredicted = false;
+            if let Some(per_site) = self.used.get_mut(&g) {
+                if let Some(predicted) = per_site.remove(&sender) {
+                    let authoritative = self.sync.authoritative_partial(g, sender);
+                    mispredicted = predicted != authoritative;
+                }
+                emptied = per_site.is_empty();
+            }
+            if emptied {
+                self.used.remove(&g);
+            }
+            if mispredicted {
+                self.cfg.telemetry.record(
+                    now,
+                    EventKind::InputMispredicted {
+                        frame: g,
+                        site: sender,
+                    },
+                );
+                self.pending_rollback = Some(self.pending_rollback.map_or(g, |p| p.min(g)));
+            }
+        }
+    }
+}
+
+impl<M: Machine, T: Transport, S: InputSource, P: InputPredictor> SessionDriver
+    for RollbackSession<M, T, S, P>
+{
+    type Machine = M;
+
+    fn tick(&mut self, now: SimTime) -> Result<Step, SyncError> {
+        RollbackSession::tick(self, now)
+    }
+
+    fn pump(&mut self, now: SimTime) -> Result<(), SyncError> {
+        RollbackSession::pump(self, now)
+    }
+
+    fn machine(&self) -> &M {
+        RollbackSession::machine(self)
+    }
+
+    fn config(&self) -> &SyncConfig {
+        RollbackSession::config(self)
+    }
+
+    fn stats(&self) -> SessionStats {
+        RollbackSession::stats(self)
+    }
+
+    fn frame(&self) -> u64 {
+        RollbackSession::frame(self)
+    }
+}
+
+impl<M, T, S, P> std::fmt::Debug for RollbackSession<M, T, S, P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RollbackSession")
+            .field("site", &self.cfg.my_site)
+            .field("frame", &self.frame)
+            .field("phase", &self.phase)
+            .field("checkpoints", &self.ring.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coplay_net::{loopback, LoopbackTransport};
+    use coplay_sync::RandomPresser;
+    use coplay_vm::{NullMachine, Player};
+
+    type Sess = RollbackSession<NullMachine, LoopbackTransport, RandomPresser>;
+
+    fn rollback_cfg(site: u8) -> SyncConfig {
+        let mut cfg = SyncConfig::two_player(site);
+        cfg.consistency = ConsistencyMode::rollback();
+        cfg
+    }
+
+    fn sessions() -> (Sess, Sess) {
+        let (ta, tb) = loopback(PeerId(0), PeerId(1));
+        let a = RollbackSession::new(
+            rollback_cfg(0),
+            NullMachine::new(),
+            ta,
+            RandomPresser::new(Player::ONE, 1),
+        );
+        let b = RollbackSession::new(
+            rollback_cfg(1),
+            NullMachine::new(),
+            tb,
+            RandomPresser::new(Player::TWO, 2),
+        );
+        (a, b)
+    }
+
+    /// Confirmed `(frame, state_hash)` pairs drained from one session.
+    type Confirmed = Vec<(u64, u64)>;
+
+    /// Ticks both sessions in virtual time until each executed `frames`.
+    fn run_pair(a: &mut Sess, b: &mut Sess, frames: u64) -> (Confirmed, Confirmed) {
+        let mut now = SimTime::ZERO;
+        let (mut ca, mut cb) = (Vec::new(), Vec::new());
+        let mut guard = 0;
+        while a.stats().frames < frames || b.stats().frames < frames {
+            guard += 1;
+            assert!(guard < 1_000_000, "no progress after 1M ticks");
+            let mut next = now + SimDuration::from_millis(1);
+            for (sess, confirmed) in [(&mut *a, &mut ca), (&mut *b, &mut cb)] {
+                match sess.tick(now).unwrap() {
+                    Step::Wait(t) => next = next.min(t),
+                    Step::FrameDone { next_wake, .. } => next = next.min(next_wake),
+                    Step::Stopped(r) => panic!("unexpected stop: {r}"),
+                }
+                confirmed.extend(sess.take_confirmed());
+            }
+            now = next.max(now + SimDuration::from_micros(100));
+        }
+        (ca, cb)
+    }
+
+    #[test]
+    fn clean_loopback_converges_without_rollbacks() {
+        let (mut a, mut b) = sessions();
+        let (ca, cb) = run_pair(&mut a, &mut b, 120);
+        // The local lag (6 frames ≈ 100 ms) dwarfs loopback delivery: every
+        // input arrives before its frame executes, so nothing is predicted.
+        assert_eq!(a.stats().rollbacks, 0, "clean link must not roll back");
+        assert_eq!(b.stats().rollbacks, 0);
+        let common = ca.len().min(cb.len());
+        assert!(common >= 100, "confirmed hashes drained: {common}");
+        assert_eq!(ca[..common], cb[..common], "replicas diverged");
+    }
+
+    #[test]
+    fn silent_peer_speculates_then_blocks_at_the_window() {
+        let (mut a, mut b) = sessions();
+        // Handshake: both must exchange hellos first.
+        let mut now = SimTime::ZERO;
+        for _ in 0..10 {
+            let _ = a.tick(now).unwrap();
+            let _ = b.tick(now).unwrap();
+            now += SimDuration::from_millis(5);
+        }
+        // b falls silent; a keeps ticking. The frontier freezes at whatever
+        // b already covered; a speculates 30 frames past it, then blocks.
+        let mut waits_at_limit = 0;
+        for _ in 0..5_000 {
+            now += SimDuration::from_millis(2);
+            match a.tick(now).unwrap() {
+                Step::Wait(_) if a.stats().frames > 30 => waits_at_limit += 1,
+                _ => {}
+            }
+        }
+        let frontier = a.sync().authoritative_frontier();
+        assert_eq!(
+            a.sync().pointer(),
+            frontier + 31,
+            "speculated to the window edge, then blocked"
+        );
+        assert!(waits_at_limit > 100, "blocked ticks observed");
+        assert_eq!(
+            a.stats().rollbacks,
+            0,
+            "no authoritative input, no rollback"
+        );
+        // The late peer finally speaks: its real inputs contradict the
+        // repeat-last guess (b's presser holds real buttons, a predicted
+        // empty), so a rolls back and both replicas converge.
+        let (ca, cb) = run_pair(&mut a, &mut b, 120);
+        assert!(a.stats().rollbacks > 0, "late inputs must trigger repair");
+        assert!(a.stats().resimulated_frames >= a.stats().rollbacks);
+        assert!(a.stats().max_rollback_depth > 0);
+        assert!(a.stats().max_rollback_depth <= 31, "window bounds depth");
+        let common = ca.len().min(cb.len());
+        assert!(common >= 100);
+        assert_eq!(ca[..common], cb[..common], "post-rollback hashes agree");
+    }
+
+    #[test]
+    fn stall_timeout_fires_at_the_window_edge() {
+        let (ta, _tb_keepalive) = loopback(PeerId(0), PeerId(1));
+        let mut cfg = rollback_cfg(0);
+        cfg.stall_timeout = Some(SimDuration::from_millis(400));
+        let mut a = RollbackSession::new(
+            cfg,
+            NullMachine::new(),
+            ta,
+            RandomPresser::new(Player::ONE, 3),
+        );
+        // Fake the handshake: pretend site 1 joined so the run starts.
+        a.joined.push(1);
+        let mut now = SimTime::ZERO;
+        let err = loop {
+            match a.tick(now) {
+                Ok(_) => now += SimDuration::from_millis(10),
+                Err(e) => break e,
+            }
+            assert!(now < SimTime::from_secs(30), "never stalled out");
+        };
+        assert!(matches!(err, SyncError::Stalled(_)));
+    }
+
+    #[test]
+    fn checkpoints_follow_the_cadence() {
+        let (mut a, mut b) = sessions();
+        let _ = run_pair(&mut a, &mut b, 60);
+        assert!(a.checkpoint_bytes() > 0);
+        // Cadence 5 over 60 frames: the ring (capacity 8) holds the newest
+        // eight of frames {0, 5, 10, ...}.
+        assert_eq!(a.ring.len(), 8);
+        let newest = a.ring.newest_frame().unwrap();
+        assert_eq!(newest % 5, 0);
+    }
+
+    #[test]
+    fn report_carries_speculative_hash_and_stall() {
+        let (mut a, mut b) = sessions();
+        let mut now = SimTime::ZERO;
+        let mut saw_report = false;
+        for _ in 0..2_000 {
+            for s in [&mut a, &mut b] {
+                if let Step::FrameDone { report, .. } = s.tick(now).unwrap() {
+                    assert!(report.state_hash.is_some());
+                    assert_eq!(report.stall, SimDuration::ZERO, "clean link never stalls");
+                    saw_report = true;
+                }
+            }
+            now += SimDuration::from_millis(1);
+        }
+        assert!(saw_report);
+    }
+}

@@ -1,0 +1,175 @@
+//! A bounded ring of state checkpoints for rollback.
+//!
+//! The session saves a checkpoint every `checkpoint_interval` frames; on a
+//! misprediction it restores the most recent checkpoint at or before the
+//! mispredicted frame and resimulates forward. The ring's capacity is sized
+//! so that a checkpoint always exists inside the speculation window (see
+//! [`SnapshotRing::capacity_for`]).
+
+/// One saved machine state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// The frame this state precedes: restoring it positions the machine to
+    /// execute `frame` next.
+    pub frame: u64,
+    /// `Machine::save_state` bytes.
+    pub state: Vec<u8>,
+    /// `Machine::state_hash` at capture time (consistency checks).
+    pub hash: u64,
+}
+
+/// A bounded FIFO of [`Checkpoint`]s ordered by frame.
+#[derive(Debug, Default)]
+pub struct SnapshotRing {
+    slots: std::collections::VecDeque<Checkpoint>,
+    capacity: usize,
+}
+
+impl SnapshotRing {
+    /// Creates a ring retaining at most `capacity` checkpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero — a rollback session without any
+    /// checkpoint cannot repair a misprediction.
+    pub fn new(capacity: usize) -> SnapshotRing {
+        assert!(capacity > 0, "snapshot ring needs at least one slot");
+        SnapshotRing {
+            slots: std::collections::VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// The capacity that guarantees a restore point for any rollback within
+    /// `max_rollback_frames`, with checkpoints every `checkpoint_interval`
+    /// frames: the window spans at most `window / interval` checkpoints,
+    /// plus one for the partially-covered oldest edge and one in flight.
+    pub fn capacity_for(max_rollback_frames: u64, checkpoint_interval: u64) -> usize {
+        let interval = checkpoint_interval.max(1);
+        (max_rollback_frames / interval) as usize + 2
+    }
+
+    /// Appends a checkpoint, evicting the oldest when full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame` is not strictly greater than the newest retained
+    /// frame — checkpoints must arrive in execution order.
+    pub fn push(&mut self, frame: u64, state: Vec<u8>, hash: u64) {
+        if let Some(newest) = self.newest_frame() {
+            assert!(frame > newest, "checkpoints must be pushed in order");
+        }
+        if self.slots.len() == self.capacity {
+            self.slots.pop_front();
+        }
+        self.slots.push_back(Checkpoint { frame, state, hash });
+    }
+
+    /// The most recent checkpoint at or before `frame`, if any survives.
+    pub fn latest_at_or_before(&self, frame: u64) -> Option<&Checkpoint> {
+        self.slots.iter().rev().find(|c| c.frame <= frame)
+    }
+
+    /// Discards checkpoints newer than `frame` — they were computed from a
+    /// state a rollback is about to rewrite.
+    pub fn discard_after(&mut self, frame: u64) {
+        while self.slots.back().is_some_and(|c| c.frame > frame) {
+            self.slots.pop_back();
+        }
+    }
+
+    /// Number of retained checkpoints.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` if no checkpoint is retained.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Frame of the newest retained checkpoint.
+    pub fn newest_frame(&self) -> Option<u64> {
+        self.slots.back().map(|c| c.frame)
+    }
+
+    /// Frame of the oldest retained checkpoint.
+    pub fn oldest_frame(&self) -> Option<u64> {
+        self.slots.front().map(|c| c.frame)
+    }
+
+    /// Total state bytes currently retained (memory accounting).
+    pub fn bytes(&self) -> usize {
+        self.slots.iter().map(|c| c.state.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring_with(frames: &[u64]) -> SnapshotRing {
+        let mut r = SnapshotRing::new(8);
+        for &f in frames {
+            r.push(f, vec![f as u8], f * 10);
+        }
+        r
+    }
+
+    #[test]
+    fn push_evicts_oldest_at_capacity() {
+        let mut r = SnapshotRing::new(2);
+        r.push(0, vec![0], 0);
+        r.push(5, vec![5], 50);
+        r.push(10, vec![10], 100);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.oldest_frame(), Some(5));
+        assert_eq!(r.newest_frame(), Some(10));
+        assert_eq!(r.bytes(), 2);
+    }
+
+    #[test]
+    fn latest_at_or_before_picks_the_floor_checkpoint() {
+        let r = ring_with(&[0, 5, 10, 15]);
+        assert_eq!(r.latest_at_or_before(12).unwrap().frame, 10);
+        assert_eq!(r.latest_at_or_before(10).unwrap().frame, 10);
+        assert_eq!(r.latest_at_or_before(4).unwrap().frame, 0);
+        assert!(ring_with(&[5]).latest_at_or_before(4).is_none());
+    }
+
+    #[test]
+    fn discard_after_drops_invalidated_checkpoints() {
+        let mut r = ring_with(&[0, 5, 10, 15]);
+        r.discard_after(7);
+        assert_eq!(r.newest_frame(), Some(5));
+        assert_eq!(r.len(), 2);
+        // Discarding at an exact checkpoint frame keeps it.
+        let mut r = ring_with(&[0, 5, 10]);
+        r.discard_after(10);
+        assert_eq!(r.newest_frame(), Some(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "in order")]
+    fn out_of_order_push_panics() {
+        let mut r = ring_with(&[10]);
+        r.push(10, vec![], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_capacity_panics() {
+        let _ = SnapshotRing::new(0);
+    }
+
+    #[test]
+    fn capacity_covers_the_speculation_window() {
+        // 30-frame window, checkpoint every 5: worst case the rollback
+        // target is 30 frames back and the nearest checkpoint up to 4 more;
+        // 8 slots span 35+ frames of history.
+        assert_eq!(SnapshotRing::capacity_for(30, 5), 8);
+        assert_eq!(SnapshotRing::capacity_for(30, 1), 32);
+        // interval 0 is treated as 1 rather than dividing by zero
+        assert_eq!(SnapshotRing::capacity_for(10, 0), 12);
+    }
+}

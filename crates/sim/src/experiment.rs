@@ -14,8 +14,10 @@ use std::rc::Rc;
 use coplay_clock::{Clock, EventId, EventQueue, SimDuration, SimTime, TimeServer, VirtualClock};
 use coplay_games::GameId;
 use coplay_net::{JitterDistribution, NetemConfig, PeerId, SimNetwork, SimSocket, Transport};
+use coplay_rollback::RollbackSession;
 use coplay_sync::{
-    LockstepSession, Message, RandomPresser, SessionStats, Step, SyncConfig, SyncError,
+    ConsistencyMode, LockstepSession, Message, RandomPresser, SessionStats, Step, SyncConfig,
+    SyncError,
 };
 use coplay_telemetry::{EventKind, Telemetry};
 use coplay_vm::{Machine, Player};
@@ -78,6 +80,12 @@ pub struct ExperimentConfig {
     /// network fabric. When `false` (the default), the no-op sink is used
     /// and the run costs nothing extra.
     pub telemetry: bool,
+    /// Consistency maintenance for the *player* sites: the paper's lockstep
+    /// (default) or speculative rollback. Observer sites always run
+    /// lockstep — they have no local input to predict around — and
+    /// `latecomer_at` requires lockstep players (a speculative master
+    /// cannot serve an authoritative snapshot).
+    pub consistency: ConsistencyMode,
 }
 
 impl Default for ExperimentConfig {
@@ -104,6 +112,7 @@ impl Default for ExperimentConfig {
             start_skew: SimDuration::ZERO,
             check_convergence: true,
             telemetry: false,
+            consistency: ConsistencyMode::Lockstep,
         }
     }
 }
@@ -113,6 +122,15 @@ impl ExperimentConfig {
     pub fn with_rtt(rtt: SimDuration) -> ExperimentConfig {
         ExperimentConfig {
             rtt,
+            ..ExperimentConfig::default()
+        }
+    }
+
+    /// The same sweep point under rollback consistency (default tuning).
+    pub fn rollback_with_rtt(rtt: SimDuration) -> ExperimentConfig {
+        ExperimentConfig {
+            rtt,
+            consistency: ConsistencyMode::rollback(),
             ..ExperimentConfig::default()
         }
     }
@@ -198,13 +216,44 @@ impl std::fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
-type Site = LockstepSession<Box<dyn Machine>, SimSocket, RandomPresser>;
+/// One site's session under either consistency mode. Both speak the same
+/// wire protocol; the harness only needs a common driving surface.
+enum Site {
+    Lockstep(LockstepSession<Box<dyn Machine>, SimSocket, RandomPresser>),
+    Rollback(RollbackSession<Box<dyn Machine>, SimSocket, RandomPresser>),
+}
+
+impl Site {
+    fn tick(&mut self, now: SimTime) -> Result<Step, SyncError> {
+        match self {
+            Site::Lockstep(s) => s.tick(now),
+            Site::Rollback(s) => s.tick(now),
+        }
+    }
+
+    fn stats(&self) -> SessionStats {
+        match self {
+            Site::Lockstep(s) => s.stats(),
+            Site::Rollback(s) => s.stats(),
+        }
+    }
+
+    fn config(&self) -> &SyncConfig {
+        match self {
+            Site::Lockstep(s) => s.config(),
+            Site::Rollback(s) => s.config(),
+        }
+    }
+}
 
 struct SiteRunner {
     site_no: u8,
     session: Site,
     pending_wake: Option<EventId>,
     frames_done: u64,
+    /// Authoritative per-frame hashes: every executed frame's hash for a
+    /// lockstep site, the *confirmed* (post-repair) hashes for a rollback
+    /// site — speculative hashes never enter the convergence check.
     hashes: Vec<u64>,
     first_frame: u64,
     failed: bool,
@@ -299,22 +348,29 @@ impl Experiment {
             if cfg.telemetry {
                 sync_cfg.telemetry = Telemetry::recording();
             }
+            sync_cfg.consistency = cfg.consistency;
 
             let machine = cfg.game.create();
             let source = RandomPresser::new(
                 Player(site_no.min(3)),
                 cfg.seed.wrapping_add(1 + site_no as u64),
             );
-            let mut session = LockstepSession::new(
-                sync_cfg,
-                machine,
-                SimNetwork::socket(&net, PeerId(site_no)),
-                source,
-            )
-            .with_time_server(PeerId::TIME_SERVER);
-            if !cfg.check_convergence {
-                session = session.without_frame_hashes();
-            }
+            let socket = SimNetwork::socket(&net, PeerId(site_no));
+            let session = if cfg.consistency.is_rollback() && !is_observer {
+                let mut s = RollbackSession::new(sync_cfg, machine, socket, source)
+                    .with_time_server(PeerId::TIME_SERVER);
+                if !cfg.check_convergence {
+                    s = s.without_frame_hashes();
+                }
+                Site::Rollback(s)
+            } else {
+                let mut s = LockstepSession::new(sync_cfg, machine, socket, source)
+                    .with_time_server(PeerId::TIME_SERVER);
+                if !cfg.check_convergence {
+                    s = s.without_frame_hashes();
+                }
+                Site::Lockstep(s)
+            };
             // Boot times: everyone at 0 except a latecomer, which appears
             // at its join time.
             let is_latecomer =
@@ -411,11 +467,15 @@ impl Experiment {
                 s.pending_wake = Some(wakes.schedule(t.max(now), idx));
             }
             Ok(Step::FrameDone { report, next_wake }) => {
-                if s.frames_done == 0 {
-                    s.first_frame = report.frame;
-                }
-                if let Some(h) = report.state_hash {
-                    s.hashes.push(h);
+                // A rollback site's report hash is speculative; its
+                // authoritative hashes are drained separately below.
+                if let Site::Lockstep(_) = s.session {
+                    if s.frames_done == 0 {
+                        s.first_frame = report.frame;
+                    }
+                    if let Some(h) = report.state_hash {
+                        s.hashes.push(h);
+                    }
                 }
                 s.frames_done += 1;
                 s.pending_wake = Some(wakes.schedule(next_wake.max(now), idx));
@@ -428,6 +488,14 @@ impl Experiment {
                     site: s.site_no,
                     error,
                 });
+            }
+        }
+        if let Site::Rollback(rb) = &mut s.session {
+            for (f, h) in rb.take_confirmed() {
+                if s.hashes.is_empty() {
+                    s.first_frame = f;
+                }
+                s.hashes.push(h);
             }
         }
         Ok(())
@@ -628,6 +696,69 @@ mod tests {
             r.converged,
             "latecomer replica must match from its join point"
         );
+    }
+
+    #[test]
+    fn rollback_clean_network_never_rolls_back() {
+        let r = run_experiment(quick(ExperimentConfig::rollback_with_rtt(
+            SimDuration::ZERO,
+        )))
+        .unwrap();
+        assert!(r.converged, "rollback replicas must converge");
+        for st in &r.session_stats {
+            // Loopback-class delivery inside the local-lag budget: every
+            // input is authoritative before its frame, so nothing is
+            // predicted and nothing rolls back.
+            assert_eq!(st.rollbacks, 0, "clean link must not roll back");
+            assert_eq!(st.resimulated_frames, 0);
+            assert_eq!(st.stalled_frames, 0);
+        }
+    }
+
+    #[test]
+    fn rollback_absorbs_high_rtt_without_stalls() {
+        let cfg = quick(ExperimentConfig::rollback_with_rtt(
+            SimDuration::from_millis(200),
+        ));
+        let r = run_experiment(cfg).unwrap();
+        assert!(r.converged, "post-repair hashes must agree");
+        let mut total_rollbacks = 0;
+        for st in &r.session_stats {
+            // RTT (200 ms) exceeds the local-lag budget (~100 ms) but stays
+            // far inside the 30-frame speculation window: the frame loop
+            // never blocks on input.
+            assert_eq!(st.stalled_frames, 0, "speculation must absorb the RTT");
+            assert!(st.max_rollback_depth <= 31, "window bounds repair depth");
+            total_rollbacks += st.rollbacks;
+        }
+        assert!(
+            total_rollbacks > 0,
+            "random pressers must mispredict at some point"
+        );
+        // Lockstep at this RTT visibly slows the game (see
+        // extreme_rtt_slows_the_game_but_stays_consistent); rollback holds
+        // the nominal rate.
+        assert!(
+            (r.master_frame_time_ms() - 16.667).abs() < 1.0,
+            "rollback should hold 60 FPS, got {}ms",
+            r.master_frame_time_ms()
+        );
+    }
+
+    #[test]
+    fn rollback_survives_loss_and_reordering() {
+        let mut cfg = quick(ExperimentConfig::rollback_with_rtt(
+            SimDuration::from_millis(120),
+        ));
+        cfg.loss = 0.1;
+        cfg.reorder = 0.1;
+        cfg.jitter = SimDuration::from_millis(10);
+        let r = run_experiment(cfg).unwrap();
+        assert!(r.converged, "repair must mask loss-induced mispredictions");
+        let rollbacks: u64 = r.session_stats.iter().map(|s| s.rollbacks).sum();
+        let resim: u64 = r.session_stats.iter().map(|s| s.resimulated_frames).sum();
+        assert!(rollbacks > 0, "lossy link must force repairs");
+        assert!(resim >= rollbacks);
     }
 
     #[test]

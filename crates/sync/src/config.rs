@@ -4,6 +4,47 @@ use coplay_clock::SimDuration;
 use coplay_telemetry::Telemetry;
 use coplay_vm::PortMap;
 
+/// How a session maintains logical consistency across sites.
+///
+/// [`Lockstep`](ConsistencyMode::Lockstep) is the paper's Algorithm 2: a
+/// frame executes only once every site's partial input for it has arrived,
+/// so RTT spikes become input-wait stalls. `Rollback` speculatively
+/// executes frames with *predicted* remote inputs and repairs
+/// mispredictions by restoring a state checkpoint and resimulating — the
+/// session only blocks once speculation would run more than
+/// `max_rollback_frames` ahead of the confirmed input frontier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConsistencyMode {
+    /// Block until every remote partial input has arrived (Algorithm 2).
+    Lockstep,
+    /// Predict missing remote inputs and roll back on misprediction.
+    Rollback {
+        /// Maximum frames of speculation past the confirmed-input frontier
+        /// before the session degrades to lockstep-style blocking.
+        max_rollback_frames: u64,
+        /// Take a state checkpoint every this many frames (1 = every
+        /// frame). Smaller intervals cost more snapshot bytes but shorten
+        /// resimulation after a misprediction.
+        checkpoint_interval: u64,
+    },
+}
+
+impl ConsistencyMode {
+    /// The default rollback tuning: a 30-frame (500 ms at 60 FPS)
+    /// speculation window with a checkpoint every 5 frames.
+    pub fn rollback() -> ConsistencyMode {
+        ConsistencyMode::Rollback {
+            max_rollback_frames: 30,
+            checkpoint_interval: 5,
+        }
+    }
+
+    /// `true` for any `Rollback` variant.
+    pub fn is_rollback(&self) -> bool {
+        matches!(self, ConsistencyMode::Rollback { .. })
+    }
+}
+
 /// Parameters of the synchronization algorithm (§3 of the paper).
 ///
 /// The defaults reproduce the paper's deployment: 60 FPS games, a local lag
@@ -68,6 +109,11 @@ pub struct SyncConfig {
     /// handle compares equal to its clones regardless of recorded contents,
     /// so `SyncConfig` equality stays meaningful.
     pub telemetry: Telemetry,
+    /// How the session maintains logical consistency. The driver types are
+    /// separate (`LockstepSession` here, `RollbackSession` in the
+    /// `coplay-rollback` crate); harnesses read this field to decide which
+    /// to build, and `RollbackSession` reads its tuning from it.
+    pub consistency: ConsistencyMode,
 }
 
 impl SyncConfig {
@@ -93,6 +139,7 @@ impl SyncConfig {
             stall_timeout: None,
             first_frame_delay: SimDuration::ZERO,
             telemetry: Telemetry::disabled(),
+            consistency: ConsistencyMode::Lockstep,
         }
     }
 
@@ -172,6 +219,24 @@ mod tests {
             for b in (a + 1)..4 {
                 assert_eq!(cfg.port_map.site_mask(a) & cfg.port_map.site_mask(b), 0);
             }
+        }
+    }
+
+    #[test]
+    fn default_consistency_is_lockstep() {
+        let cfg = SyncConfig::two_player(0);
+        assert_eq!(cfg.consistency, ConsistencyMode::Lockstep);
+        assert!(!cfg.consistency.is_rollback());
+        assert!(ConsistencyMode::rollback().is_rollback());
+        match ConsistencyMode::rollback() {
+            ConsistencyMode::Rollback {
+                max_rollback_frames,
+                checkpoint_interval,
+            } => {
+                assert_eq!(max_rollback_frames, 30);
+                assert_eq!(checkpoint_interval, 5);
+            }
+            ConsistencyMode::Lockstep => unreachable!(),
         }
     }
 

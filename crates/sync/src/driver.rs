@@ -76,6 +76,11 @@ pub struct FrameReport {
     pub state_hash: Option<u64>,
     /// When this frame began (`CurrFrameStart`).
     pub began_at: SimTime,
+    /// How long the frame was blocked waiting for remote input (zero for a
+    /// frame that executed as soon as its pacing allowed). Lets realtime
+    /// callers distinguish an input-wait stall from an ordinary paced wait
+    /// without reaching into [`InputSync`](crate::InputSync) internals.
+    pub stall: SimDuration,
 }
 
 #[derive(Debug)]
@@ -377,13 +382,15 @@ impl<M: Machine, T: Transport, S: InputSource> LockstepSession<M, T, S> {
                                 .send(PeerId(dst), &Message::Input(msg).encode())?;
                         }
                         if self.sync.ready() {
+                            let mut stall = SimDuration::ZERO;
                             if let Some(began) = self.blocked_at.take() {
+                                stall = now.saturating_since(began);
                                 self.stats.note_stall(began, now);
                                 self.cfg.telemetry.record(
                                     now,
                                     EventKind::StallEnd {
                                         frame: self.frame,
-                                        duration: now.saturating_since(began),
+                                        duration: stall,
                                     },
                                 );
                             }
@@ -401,6 +408,7 @@ impl<M: Machine, T: Transport, S: InputSource> LockstepSession<M, T, S> {
                                 input,
                                 state_hash: self.hash_frames.then(|| self.machine.state_hash()),
                                 began_at: self.frame_start,
+                                stall,
                             };
                             self.stats.frames += 1;
                             let next_wake = match self.timer.end_frame(now) {

@@ -68,12 +68,13 @@ mod input_source;
 mod realtime;
 mod replay;
 mod rtt;
+mod session;
 mod stats;
 mod sync_input;
 mod timing;
 mod wire;
 
-pub use config::SyncConfig;
+pub use config::{ConsistencyMode, SyncConfig};
 pub use driver::{FrameReport, LockstepSession, Step, JOIN_MARGIN_FRAMES};
 pub use error::{StopReason, SyncError};
 pub use input_buffer::InputBuffer;
@@ -81,6 +82,7 @@ pub use input_source::{Idle, InputSource, RandomPresser, Scripted};
 pub use realtime::{run_realtime, RunOutcome};
 pub use replay::{Recording, ReplayError, CHECKPOINT_INTERVAL};
 pub use rtt::{RttEstimator, DEFAULT_PING_INTERVAL};
+pub use session::SessionDriver;
 pub use stats::SessionStats;
 pub use sync_input::{InputSync, MasterObservation, RecvOutcome, OBSERVER_SITE, RETAIN_FRAMES};
 pub use timing::{FrameEnd, FrameTimer};

@@ -1,19 +1,18 @@
 //! A wall-clock runner for live play.
 //!
-//! Drives a [`LockstepSession`] against real time and a real transport
-//! (UDP or loopback). This is the deployment shape of the paper's system:
-//! the same sans-io session code the simulator benchmarks, attached to the
-//! operating system's clock and sockets.
+//! Drives any [`SessionDriver`] — a [`LockstepSession`](crate::LockstepSession)
+//! or the rollback session from `coplay-rollback` — against real time and a
+//! real transport (UDP or loopback). This is the deployment shape of the
+//! paper's system: the same sans-io session code the simulator benchmarks,
+//! attached to the operating system's clock and sockets.
 
 use std::time::Duration;
 
 use coplay_clock::{Clock, SimDuration, SimTime, SystemClock};
-use coplay_net::Transport;
-use coplay_vm::Machine;
 
-use crate::driver::{FrameReport, LockstepSession, Step};
+use crate::driver::{FrameReport, Step};
 use crate::error::{StopReason, SyncError};
-use crate::input_source::InputSource;
+use crate::session::SessionDriver;
 
 /// Result of [`run_realtime`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,16 +46,14 @@ pub enum RunOutcome {
 /// # Examples
 ///
 /// See `examples/lan_duel.rs`, which runs two sessions over real UDP.
-pub fn run_realtime<M, T, S, F>(
-    mut session: LockstepSession<M, T, S>,
+pub fn run_realtime<D, F>(
+    mut session: D,
     max_frames: u64,
     mut on_frame: F,
-) -> Result<(RunOutcome, LockstepSession<M, T, S>), SyncError>
+) -> Result<(RunOutcome, D), SyncError>
 where
-    M: Machine,
-    T: Transport,
-    S: InputSource,
-    F: FnMut(&FrameReport, &M),
+    D: SessionDriver,
+    F: FnMut(&FrameReport, &D::Machine),
 {
     let clock = SystemClock::new();
     let mut frames = 0u64;
@@ -81,15 +78,10 @@ where
 
 /// Keeps a finished session's *network* alive for a bounded grace period so
 /// its final input frames clear the send pacing and lagging peers can catch
-/// up. Uses [`LockstepSession::pump`], never `tick`: executing frames past
+/// up. Uses [`SessionDriver::pump`], never `tick`: executing frames past
 /// the budget would leave replicas at different frames with different final
 /// state hashes.
-fn linger<M, T, S>(session: &mut LockstepSession<M, T, S>, clock: &SystemClock)
-where
-    M: Machine,
-    T: Transport,
-    S: InputSource,
-{
+fn linger<D: SessionDriver>(session: &mut D, clock: &SystemClock) {
     let grace = (session.config().send_interval * 8).max(SimDuration::from_millis(150));
     let until = clock.now() + grace;
     loop {
@@ -116,6 +108,7 @@ fn sleep_until(clock: &SystemClock, until: SimTime) {
 mod tests {
     use super::*;
     use crate::config::SyncConfig;
+    use crate::driver::LockstepSession;
     use crate::input_source::RandomPresser;
     use coplay_net::{loopback, PeerId};
     use coplay_vm::{NullMachine, Player};

@@ -37,6 +37,15 @@ pub struct SessionStats {
     /// Frames on which Algorithm 4 applied a non-zero pace adjustment
     /// (outside the dead zone). Always zero on the master.
     pub pace_adjustments: u64,
+    /// Rollbacks executed (checkpoint restore + resimulation). Always zero
+    /// in lockstep mode, which never speculates.
+    pub rollbacks: u64,
+    /// Frames re-executed during rollbacks (each frame counted once per
+    /// resimulation it participated in).
+    pub resimulated_frames: u64,
+    /// Deepest single rollback, in frames (pointer minus the restored
+    /// mispredicted frame).
+    pub max_rollback_depth: u64,
 }
 
 impl SessionStats {
@@ -58,7 +67,17 @@ impl SessionStats {
         self.stalled_frames as f64 / self.frames as f64
     }
 
-    pub(crate) fn note_stall(&mut self, began: SimTime, ended: SimTime) {
+    /// Folds one executed rollback into the counters. Public so drivers in
+    /// other crates (the rollback session) can share this stats type.
+    pub fn note_rollback(&mut self, depth: u64, resimulated: u64) {
+        self.rollbacks += 1;
+        self.resimulated_frames += resimulated;
+        self.max_rollback_depth = self.max_rollback_depth.max(depth);
+    }
+
+    /// Folds one resolved input-wait blockage into the counters
+    /// (zero-length blockages are not stalls).
+    pub fn note_stall(&mut self, began: SimTime, ended: SimTime) {
         let d = ended.saturating_since(began);
         if d > SimDuration::ZERO {
             self.stalled_frames += 1;
@@ -100,6 +119,16 @@ mod tests {
         // Zero-length stalls are not stalls.
         s.note_stall(SimTime::from_millis(60), SimTime::from_millis(60));
         assert_eq!(s.stalled_frames, 2);
+    }
+
+    #[test]
+    fn note_rollback_tracks_counts_and_depth() {
+        let mut s = SessionStats::default();
+        s.note_rollback(3, 7);
+        s.note_rollback(1, 2);
+        assert_eq!(s.rollbacks, 2);
+        assert_eq!(s.resimulated_frames, 9);
+        assert_eq!(s.max_rollback_depth, 3);
     }
 
     #[test]

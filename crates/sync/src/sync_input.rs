@@ -232,6 +232,17 @@ impl InputSync {
     pub fn take(&mut self) -> InputWord {
         assert!(self.ready(), "SyncInput exit condition not met");
         let word = self.buf.merged(self.pointer, &self.cfg.port_map);
+        self.advance();
+        word
+    }
+
+    /// Advances the pointer past the current frame *without* requiring the
+    /// exit condition — the speculative half of `take`, used by the
+    /// rollback driver, which merges predicted inputs itself. Prunes the
+    /// buffer exactly as `take` does (the prune floor already accounts for
+    /// unacked and unreceived frames, so speculation never drops state a
+    /// later rollback needs).
+    pub fn advance(&mut self) {
         self.pointer += 1;
         self.stalled_since = None;
         // Frames both delivered and universally acked can be dropped —
@@ -245,7 +256,37 @@ impl InputSync {
             .min(self.pointer);
         let retain_floor = self.pointer.saturating_sub(RETAIN_FRAMES);
         self.buf.prune_below(min_needed.min(retain_floor));
-        word
+    }
+
+    /// The confirmed-input frontier: the highest frame for which *every*
+    /// player peer's partial input has arrived. Frames at or below it are
+    /// authoritative; frames above it need prediction to execute.
+    pub fn authoritative_frontier(&self) -> u64 {
+        self.peers
+            .iter()
+            .filter(|(&site, _)| site < self.cfg.num_sites)
+            .map(|(_, p)| p.last_rcv)
+            .min()
+            .unwrap_or(u64::MAX)
+    }
+
+    /// `true` if `site`'s partial input for `frame` has arrived (or was
+    /// buffered locally).
+    pub fn has_authoritative(&self, frame: u64, site: u8) -> bool {
+        self.buf.has(frame, site)
+    }
+
+    /// `site`'s buffered partial input for `frame` (empty when absent —
+    /// check [`InputSync::has_authoritative`] to distinguish).
+    pub fn authoritative_partial(&self, frame: u64, site: u8) -> InputWord {
+        self.buf.partial(frame, site)
+    }
+
+    /// Merges the buffered partials for `frame` under the port map,
+    /// treating absent sites as no input (the rollback driver substitutes
+    /// predictions for those before calling).
+    pub fn merged_input(&self, frame: u64) -> InputWord {
+        self.buf.merged(frame, &self.cfg.port_map)
     }
 
     /// Lines 7–11: the messages to transmit now, if the send pacing allows
@@ -782,6 +823,52 @@ mod tests {
             a.buf.len()
         );
         assert!(a.buf.len() as u64 >= RETAIN_FRAMES, "retention kept");
+    }
+
+    #[test]
+    fn frontier_and_advance_support_speculation() {
+        let (mut a, mut b) = pair();
+        warmup_isolated(&mut a, &mut b);
+        // Nothing has arrived from b: the frontier sits at the init value.
+        assert_eq!(a.authoritative_frontier(), 5);
+        let t = SimTime::from_secs(1);
+        a.begin_frame(6, InputWord(1), t);
+        assert!(!a.ready());
+        // A speculative driver advances anyway.
+        a.advance();
+        assert_eq!(a.pointer(), 7);
+        // b's inputs arrive late and land behind the pointer.
+        b.begin_frame(6, InputWord(0x0100), t);
+        for (_, m) in b.outgoing(t) {
+            a.on_message(&m, t);
+        }
+        assert_eq!(a.authoritative_frontier(), 12, "b buffered 6..=12");
+        assert!(a.has_authoritative(6, 1));
+        assert!(!a.has_authoritative(13, 1));
+        assert_eq!(a.authoritative_partial(12, 1), InputWord(0x0100));
+        // Frame 12 now has both sites' partials: the authoritative merge.
+        assert_eq!(a.merged_input(12), InputWord(0x0101));
+    }
+
+    #[test]
+    fn frontier_is_min_over_player_peers() {
+        let mut sites: Vec<InputSync> = (0..3)
+            .map(|s| InputSync::new(SyncConfig::n_player(s, 3)))
+            .collect();
+        let t = SimTime::ZERO;
+        for (s, sync) in sites.iter_mut().enumerate() {
+            sync.begin_frame(0, InputWord(1 << (8 * s)), t);
+        }
+        // Deliver only site 1's message to site 0; site 2 stays silent.
+        let msgs = sites[1].outgoing(t);
+        for (dst, m) in msgs {
+            if dst == 0 {
+                sites[0].on_message(&m, t);
+            }
+        }
+        assert_eq!(sites[0].last_rcv(1), Some(6));
+        assert_eq!(sites[0].last_rcv(2), Some(5));
+        assert_eq!(sites[0].authoritative_frontier(), 5);
     }
 
     #[test]

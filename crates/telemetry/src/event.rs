@@ -110,6 +110,29 @@ pub enum EventKind {
         /// First frame at which the divergence was observed.
         frame: u64,
     },
+    /// A rollback session saved a state checkpoint.
+    CheckpointSaved {
+        /// Frame the checkpoint captures (taken before executing it).
+        frame: u64,
+        /// Serialized size in bytes.
+        bytes: u64,
+    },
+    /// A prediction for a remote site's input turned out wrong.
+    InputMispredicted {
+        /// The mispredicted frame.
+        frame: u64,
+        /// The remote site whose input was mispredicted.
+        site: u8,
+    },
+    /// A rollback session restored a checkpoint and resimulated.
+    RollbackExecuted {
+        /// First mispredicted frame (the rollback target).
+        to_frame: u64,
+        /// Frames the pointer was rolled back (pointer − to_frame).
+        depth: u64,
+        /// Frames re-executed to return to the present.
+        resimulated: u64,
+    },
 }
 
 impl EventKind {
@@ -131,6 +154,9 @@ impl EventKind {
             EventKind::PacketDropped { .. } => "packet_dropped",
             EventKind::PacketDuplicated { .. } => "packet_duplicated",
             EventKind::DesyncDetected { .. } => "desync_detected",
+            EventKind::CheckpointSaved { .. } => "checkpoint_saved",
+            EventKind::InputMispredicted { .. } => "input_mispredicted",
+            EventKind::RollbackExecuted { .. } => "rollback_executed",
         }
     }
 }
@@ -220,6 +246,22 @@ impl Event {
             EventKind::DesyncDetected { frame } => {
                 let _ = write!(out, ",\"frame\":{frame}");
             }
+            EventKind::CheckpointSaved { frame, bytes } => {
+                let _ = write!(out, ",\"frame\":{frame},\"bytes\":{bytes}");
+            }
+            EventKind::InputMispredicted { frame, site } => {
+                let _ = write!(out, ",\"frame\":{frame},\"site\":{site}");
+            }
+            EventKind::RollbackExecuted {
+                to_frame,
+                depth,
+                resimulated,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"to_frame\":{to_frame},\"depth\":{depth},\"resimulated\":{resimulated}"
+                );
+            }
         }
         out.push('}');
     }
@@ -299,6 +341,16 @@ mod tests {
             },
             EventKind::PacketDuplicated { from: 0, to: 1 },
             EventKind::DesyncDetected { frame: 9 },
+            EventKind::CheckpointSaved {
+                frame: 30,
+                bytes: 256,
+            },
+            EventKind::InputMispredicted { frame: 31, site: 1 },
+            EventKind::RollbackExecuted {
+                to_frame: 31,
+                depth: 4,
+                resimulated: 6,
+            },
         ];
         for kind in kinds {
             let e = Event {

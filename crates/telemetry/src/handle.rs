@@ -264,6 +264,21 @@ fn derive_metrics(m: &mut MetricsRegistry, kind: &EventKind) {
         EventKind::DesyncDetected { .. } => {
             m.counter_add("desyncs_total", 1);
         }
+        EventKind::CheckpointSaved { bytes, .. } => {
+            m.counter_add("checkpoints_saved_total", 1);
+            m.observe("snapshot_bytes", bytes);
+        }
+        EventKind::InputMispredicted { .. } => {
+            m.counter_add("mispredicted_frames_total", 1);
+        }
+        EventKind::RollbackExecuted {
+            depth, resimulated, ..
+        } => {
+            m.counter_add("rollbacks_total", 1);
+            m.counter_add("resimulated_frames_total", resimulated);
+            m.observe("rollback_depth_frames", depth);
+            m.observe("resimulated_frames", resimulated);
+        }
     }
 }
 

@@ -20,4 +20,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> detlint (determinism audit)"
 cargo run -q -p detlint --release
 
+echo "==> rollback netcode tests"
+cargo test -q -p coplay-rollback
+
+echo "==> rollback sweep smoke (writes results/BENCH_rollback.json)"
+cargo run -q --release -p coplay-bench --bin rollback_sweep -- --quick
+
 echo "CI OK"
