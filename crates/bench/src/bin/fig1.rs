@@ -12,21 +12,28 @@
 //! Run: `cargo run --release -p coplay-bench --bin fig1 [--quick]`
 
 use coplay_bench::{banner, figure1_json, write_results_json, Options};
-use coplay_sim::{format_figure1, paper_rtt_points, run_sweep, threshold_rtt, ExperimentConfig};
+use coplay_sim::{
+    format_figure1, paper_rtt_points, run_sweep_parallel, threshold_rtt, ExperimentConfig,
+};
 
 fn main() {
     let opts = Options::from_env();
     banner("Figure 1 — Frame rates and smoothness vs RTT", &opts);
     let base = opts.apply(ExperimentConfig::default());
-    let rows = run_sweep(&base, &paper_rtt_points(), |rtt, r| {
-        eprintln!(
-            "  rtt {:3}ms: frame {:6.2}ms, deviation {:5.2}ms, converged {}",
-            rtt.as_millis(),
-            r.master_frame_time_ms(),
-            r.worst_deviation_ms(),
-            r.converged
-        );
-    })
+    let rows = run_sweep_parallel(
+        &base,
+        &paper_rtt_points(),
+        opts.sweep_threads(),
+        |rtt, r| {
+            eprintln!(
+                "  rtt {:3}ms: frame {:6.2}ms, deviation {:5.2}ms, converged {}",
+                rtt.as_millis(),
+                r.master_frame_time_ms(),
+                r.worst_deviation_ms(),
+                r.converged
+            );
+        },
+    )
     .expect("sweep failed");
     println!("{}", format_figure1(&rows));
     let threshold = threshold_rtt(&rows, 1_000.0 / 60.0, 0.5);

@@ -11,20 +11,25 @@
 //! Run: `cargo run --release -p coplay-bench --bin fig2 [--quick]`
 
 use coplay_bench::{banner, figure2_json, write_results_json, Options};
-use coplay_sim::{format_figure2, paper_rtt_points, run_sweep, ExperimentConfig};
+use coplay_sim::{format_figure2, paper_rtt_points, run_sweep_parallel, ExperimentConfig};
 
 fn main() {
     let opts = Options::from_env();
     banner("Figure 2 — Synchrony between two sites vs RTT", &opts);
     let base = opts.apply(ExperimentConfig::default());
-    let rows = run_sweep(&base, &paper_rtt_points(), |rtt, r| {
-        eprintln!(
-            "  rtt {:3}ms: |Δ| {:6.2}ms, converged {}",
-            rtt.as_millis(),
-            r.synchrony_ms,
-            r.converged
-        );
-    })
+    let rows = run_sweep_parallel(
+        &base,
+        &paper_rtt_points(),
+        opts.sweep_threads(),
+        |rtt, r| {
+            eprintln!(
+                "  rtt {:3}ms: |Δ| {:6.2}ms, converged {}",
+                rtt.as_millis(),
+                r.synchrony_ms,
+                r.converged
+            );
+        },
+    )
     .expect("sweep failed");
     println!("{}", format_figure2(&rows));
     let below_10 = rows

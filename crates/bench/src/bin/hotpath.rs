@@ -1,0 +1,496 @@
+//! Microbenchmarks for the rollback hot loop.
+//!
+//! Rollback repair happens *inside* a 16.7 ms frame budget: checkpoint
+//! capture, delta encoding, checkpoint restore, and resimulation all run on
+//! the critical path, and the per-frame input send shares it. This binary
+//! times each of those operations per bundled game (plus the wire codec)
+//! and writes `results/BENCH_hotpath.json` with ns/op and bytes/op, the
+//! pooled-buffer hit rate, and the delta-vs-full compression ratio.
+//!
+//! Run: `cargo run --release -p coplay-bench --bin hotpath [--quick]`
+//!
+//! Perf-regression guard: `--check <baseline.json>` compares the fresh
+//! numbers against a previously written run and exits non-zero when any
+//! operation got more than 2x slower (with a small absolute noise floor so
+//! single-digit-nanosecond ops cannot trip the guard on scheduler jitter).
+//! The checked-in reference lives at `results/hotpath_baseline.json`.
+
+// This harness times the hot loop from outside the determinism fence, so
+// the wall-clock ban does not apply (see detlint policy for
+// crates/bench/src/bin/).
+#![allow(clippy::disallowed_methods)]
+
+use std::time::{Duration, Instant};
+
+use coplay_bench::{banner, write_results_json, Options};
+use coplay_games::catalog;
+use coplay_rollback::{delta, SnapshotRing};
+use coplay_sync::{InputMsg, Message};
+use coplay_vm::InputWord;
+
+/// Regression threshold: fail when an op is more than this many times
+/// slower than the baseline.
+const REGRESSION_FACTOR: u64 = 2;
+
+/// Absolute slack added to every threshold so fast ops (a few ns) cannot
+/// trip the guard on measurement noise alone.
+const NOISE_FLOOR_NS: u64 = 200;
+
+/// One timed operation.
+struct Measurement {
+    key: String,
+    ns_per_op: u64,
+    bytes_per_op: u64,
+}
+
+/// Per-game summary stats (not timings).
+struct GameSummary {
+    name: &'static str,
+    snapshot_bytes: u64,
+    /// Full-snapshot bytes vs delta bytes over consecutive frames, in
+    /// thousandths (4000 = deltas are 4x smaller).
+    delta_ratio_milli: u64,
+    /// Snapshot-ring buffer-pool hit rate after warmup, in thousandths.
+    pool_hit_rate_milli: u64,
+}
+
+/// Times `f` repeatedly, doubling the iteration count until one batch
+/// fills `budget`, then takes the *minimum* mean over three batches at
+/// that count — a scheduler preemption landing inside one batch inflates
+/// that batch only, and the minimum discards it.
+fn bench_ns(budget: Duration, mut f: impl FnMut()) -> u64 {
+    f(); // warmup: touch caches, fault in pages
+    let mut iters: u64 = 4;
+    let mut batch = |iters: u64| {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        start.elapsed()
+    };
+    loop {
+        let elapsed = batch(iters);
+        if elapsed >= budget {
+            let best = elapsed.min(batch(iters)).min(batch(iters));
+            return (best.as_nanos() / u128::from(iters)) as u64;
+        }
+        iters = iters.saturating_mul(2);
+    }
+}
+
+/// Deterministic pseudo-input for a frame (splitmix-style mix).
+fn input_for(frame: u64) -> InputWord {
+    let mut x = frame.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x0C05_01A1;
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 31;
+    InputWord((x & 0xFFFF_FFFF) as u32)
+}
+
+fn measure_games(budget: Duration) -> (Vec<Measurement>, Vec<GameSummary>) {
+    let mut measurements = Vec::new();
+    let mut summaries = Vec::new();
+
+    for game in catalog() {
+        let name = game.name();
+        let mut m = game.create();
+        // Warm the machine into a representative mid-game state.
+        for f in 0..120 {
+            m.step_frame(input_for(f));
+        }
+        let base = m.save_state();
+        m.step_frame(input_for(120));
+        let next = m.save_state();
+        let snapshot_bytes = next.len() as u64;
+
+        let ns = bench_ns(budget, || {
+            std::hint::black_box(m.save_state().len());
+        });
+        measurements.push(Measurement {
+            key: format!("{name}/save_state"),
+            ns_per_op: ns,
+            bytes_per_op: snapshot_bytes,
+        });
+
+        let mut cap = Vec::new();
+        let ns = bench_ns(budget, || {
+            m.save_state_into(&mut cap);
+            std::hint::black_box(cap.len());
+        });
+        measurements.push(Measurement {
+            key: format!("{name}/save_state_into"),
+            ns_per_op: ns,
+            bytes_per_op: snapshot_bytes,
+        });
+
+        let mut dbuf = Vec::new();
+        let ns = bench_ns(budget, || {
+            delta::encode_into(&base, &next, &mut dbuf);
+            std::hint::black_box(dbuf.len());
+        });
+        let delta_bytes = dbuf.len() as u64;
+        measurements.push(Measurement {
+            key: format!("{name}/delta_encode"),
+            ns_per_op: ns,
+            bytes_per_op: delta_bytes,
+        });
+
+        // Average one-frame delta size over a window of consecutive
+        // frames: this is the "delta checkpoints are Nx smaller" number.
+        let mut full_total = 0u64;
+        let mut delta_total = 0u64;
+        let mut prev = m.save_state();
+        let mut cur = Vec::new();
+        for f in 121..153 {
+            m.step_frame(input_for(f));
+            m.save_state_into(&mut cur);
+            delta::encode_into(&prev, &cur, &mut dbuf);
+            full_total += cur.len() as u64;
+            delta_total += dbuf.len() as u64;
+            std::mem::swap(&mut prev, &mut cur);
+        }
+        let delta_ratio_milli = full_total.saturating_mul(1000) / delta_total.max(1);
+
+        // Restore from the deepest point of a keyframe+delta chain.
+        let mut ring = SnapshotRing::new(8).with_keyframe_interval(4);
+        for _ in 0..8 {
+            let f = m.frame();
+            m.step_frame(input_for(f));
+            m.save_state_into(&mut cap);
+            ring.push(m.frame(), &cap, m.state_hash());
+        }
+        let newest = ring.newest_frame().expect("ring was just filled");
+        let mut rbuf = Vec::new();
+        let ns = bench_ns(budget, || {
+            ring.restore_into(newest, &mut rbuf)
+                .expect("newest checkpoint restores");
+            std::hint::black_box(rbuf.len());
+        });
+        measurements.push(Measurement {
+            key: format!("{name}/ring_restore"),
+            ns_per_op: ns,
+            bytes_per_op: rbuf.len() as u64,
+        });
+
+        let ns = bench_ns(budget, || {
+            let f = m.frame();
+            m.step_frame(input_for(f));
+        });
+        measurements.push(Measurement {
+            key: format!("{name}/resim_frame"),
+            ns_per_op: ns,
+            bytes_per_op: 0,
+        });
+
+        // A full rollback repair: restore the checkpoint, reload the
+        // machine, resimulate 8 frames.
+        let ns = bench_ns(budget, || {
+            ring.restore_into(newest, &mut rbuf)
+                .expect("newest checkpoint restores");
+            m.load_state(&rbuf).expect("checkpoint bytes reload");
+            for k in 1..=8 {
+                m.step_frame(input_for(newest + k));
+            }
+        });
+        measurements.push(Measurement {
+            key: format!("{name}/rollback_repair_8"),
+            ns_per_op: ns / 8,
+            bytes_per_op: 0,
+        });
+
+        // Steady-state pool behaviour: after the ring warms up, every
+        // eviction recycles exactly one buffer, so misses stay bounded by
+        // the warmup while hits grow with every push.
+        let mut pool_ring = SnapshotRing::new(8).with_keyframe_interval(4);
+        m.save_state_into(&mut cap);
+        let hash = m.state_hash();
+        let start = m.frame();
+        for i in 1..=1000u64 {
+            pool_ring.push(start + i, &cap, hash);
+        }
+        let pool_hit_rate_milli = pool_ring.pool_stats().hit_rate_milli();
+
+        summaries.push(GameSummary {
+            name,
+            snapshot_bytes,
+            delta_ratio_milli,
+            pool_hit_rate_milli,
+        });
+    }
+
+    (measurements, summaries)
+}
+
+fn measure_wire(budget: Duration) -> Vec<Measurement> {
+    let msg = Message::Input(InputMsg {
+        from: 1,
+        ack: 41,
+        first: 42,
+        inputs: (0..8).map(input_for).collect(),
+    });
+    let bytes = msg.encode().len() as u64;
+    let mut out = Vec::new();
+
+    let ns_alloc = bench_ns(budget, || {
+        std::hint::black_box(msg.encode().len());
+    });
+    let ns_reuse = bench_ns(budget, || {
+        msg.encode_into(&mut out);
+        std::hint::black_box(out.len());
+    });
+    vec![
+        Measurement {
+            key: "wire/encode".to_string(),
+            ns_per_op: ns_alloc,
+            bytes_per_op: bytes,
+        },
+        Measurement {
+            key: "wire/encode_into".to_string(),
+            ns_per_op: ns_reuse,
+            bytes_per_op: bytes,
+        },
+    ]
+}
+
+fn render_json(opts: &Options, games: &[GameSummary], measurements: &[Measurement]) -> String {
+    let mut out = String::from("{\n  \"figure\": \"hotpath\",\n");
+    out.push_str(&format!("  \"seed\": {},\n  \"games\": [\n", opts.seed));
+    for (i, g) in games.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"game\": \"{}\", \"snapshot_bytes\": {}, \"delta_ratio_milli\": {}, \
+             \"pool_hit_rate_milli\": {}}}{}\n",
+            g.name,
+            g.snapshot_bytes,
+            g.delta_ratio_milli,
+            g.pool_hit_rate_milli,
+            if i + 1 < games.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ],\n  \"measurements\": [\n");
+    for (i, m) in measurements.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"key\": \"{}\", \"ns_per_op\": {}, \"bytes_per_op\": {}}}{}\n",
+            m.key,
+            m.ns_per_op,
+            m.bytes_per_op,
+            if i + 1 < measurements.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Extracts `key -> ns_per_op` pairs from a hotpath results document.
+///
+/// Hand-rolled like the writers in this crate: each measurement sits on
+/// one line shaped `{"key": "...", "ns_per_op": N, ...}`.
+fn parse_measurements(json: &str) -> Vec<(String, u64)> {
+    let mut pairs = Vec::new();
+    for line in json.lines() {
+        let Some(key_at) = line.find("\"key\": \"") else {
+            continue;
+        };
+        let rest = &line[key_at + 8..];
+        let Some(key_end) = rest.find('"') else {
+            continue;
+        };
+        let key = &rest[..key_end];
+        let Some(ns_at) = line.find("\"ns_per_op\": ") else {
+            continue;
+        };
+        let digits: String = line[ns_at + 13..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect();
+        if let Ok(ns) = digits.parse() {
+            pairs.push((key.to_string(), ns));
+        }
+    }
+    pairs
+}
+
+/// Compares fresh measurements against a baseline document. Returns the
+/// number of regressions (ops slower than `REGRESSION_FACTOR`x baseline
+/// plus the noise floor).
+fn check_against(baseline_json: &str, measurements: &[Measurement]) -> usize {
+    let baseline = parse_measurements(baseline_json);
+    if baseline.is_empty() {
+        eprintln!("baseline contains no measurements; nothing to check");
+        return 0;
+    }
+    let mut regressions = 0;
+    println!(
+        "{:<28} {:>12} {:>12}  verdict",
+        "op", "baseline ns", "current ns"
+    );
+    for (key, base_ns) in &baseline {
+        let Some(cur) = measurements.iter().find(|m| &m.key == key) else {
+            println!("{key:<28} {base_ns:>12} {:>12}  missing from this run", "-");
+            continue;
+        };
+        let limit = base_ns.saturating_mul(REGRESSION_FACTOR) + NOISE_FLOOR_NS;
+        let verdict = if cur.ns_per_op > limit {
+            regressions += 1;
+            "REGRESSION"
+        } else {
+            "ok"
+        };
+        println!(
+            "{:<28} {:>12} {:>12}  {}",
+            key, base_ns, cur.ns_per_op, verdict
+        );
+    }
+    regressions
+}
+
+fn main() {
+    let opts = Options::from_env();
+    banner(
+        "Hot-path microbenchmarks — rollback repair + wire codec",
+        &opts,
+    );
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check_path = args
+        .iter()
+        .position(|a| a == "--check")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let budget = if quick {
+        Duration::from_millis(2)
+    } else {
+        Duration::from_millis(10)
+    };
+
+    let (mut measurements, games) = measure_games(budget);
+    measurements.extend(measure_wire(budget));
+
+    println!("{:<28} {:>10} {:>10}", "op", "ns/op", "bytes/op");
+    for m in &measurements {
+        println!("{:<28} {:>10} {:>10}", m.key, m.ns_per_op, m.bytes_per_op);
+    }
+    println!();
+    println!(
+        "{:<10} {:>14} {:>16} {:>18}",
+        "game", "snapshot B", "delta ratio", "pool hit rate"
+    );
+    for g in &games {
+        println!(
+            "{:<10} {:>14} {:>13}.{:01}x {:>16}.{:01}%",
+            g.name,
+            g.snapshot_bytes,
+            g.delta_ratio_milli / 1000,
+            (g.delta_ratio_milli % 1000) / 100,
+            g.pool_hit_rate_milli / 10,
+            g.pool_hit_rate_milli % 10,
+        );
+    }
+    println!();
+
+    let json = render_json(&opts, &games, &measurements);
+    match write_results_json("BENCH_hotpath.json", &json) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write results JSON: {e}"),
+    }
+
+    if let Some(path) = check_path {
+        let baseline = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read baseline {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let regressions = check_against(&baseline, &measurements);
+        if regressions > 0 {
+            eprintln!("{regressions} hot-path regression(s) vs {path}");
+            std::process::exit(1);
+        }
+        eprintln!("no hot-path regressions vs {path}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrips_render() {
+        let opts = Options::default();
+        let ms = vec![
+            Measurement {
+                key: "pong/save_state".into(),
+                ns_per_op: 123,
+                bytes_per_op: 2048,
+            },
+            Measurement {
+                key: "wire/encode_into".into(),
+                ns_per_op: 45,
+                bytes_per_op: 64,
+            },
+        ];
+        let json = render_json(&opts, &[], &ms);
+        let parsed = parse_measurements(&json);
+        assert_eq!(
+            parsed,
+            vec![
+                ("pong/save_state".to_string(), 123),
+                ("wire/encode_into".to_string(), 45),
+            ]
+        );
+    }
+
+    #[test]
+    fn check_flags_only_real_regressions() {
+        let opts = Options::default();
+        let baseline = render_json(
+            &opts,
+            &[],
+            &[
+                Measurement {
+                    key: "a".into(),
+                    ns_per_op: 1000,
+                    bytes_per_op: 0,
+                },
+                Measurement {
+                    key: "b".into(),
+                    ns_per_op: 10,
+                    bytes_per_op: 0,
+                },
+            ],
+        );
+        // 2x + noise floor: 1000 -> limit 2200; 10 -> limit 220.
+        let fine = [
+            Measurement {
+                key: "a".into(),
+                ns_per_op: 2200,
+                bytes_per_op: 0,
+            },
+            Measurement {
+                key: "b".into(),
+                ns_per_op: 200,
+                bytes_per_op: 0,
+            },
+        ];
+        assert_eq!(check_against(&baseline, &fine), 0);
+        let slow = [
+            Measurement {
+                key: "a".into(),
+                ns_per_op: 2201,
+                bytes_per_op: 0,
+            },
+            Measurement {
+                key: "b".into(),
+                ns_per_op: 200,
+                bytes_per_op: 0,
+            },
+        ];
+        assert_eq!(check_against(&baseline, &slow), 1);
+    }
+
+    #[test]
+    fn inputs_vary_by_frame() {
+        assert_ne!(input_for(1), input_for(2));
+    }
+}

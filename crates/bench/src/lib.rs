@@ -10,15 +10,19 @@ use coplay_sim::{ExperimentConfig, SweepRow};
 
 /// Command-line options shared by the experiment binaries.
 ///
-/// Usage: `<bin> [--frames N] [--seed N] [--quick]`. `--quick` cuts the
-/// per-point frame count to 600 for fast smoke runs; the paper's value is
-/// 3600 (one minute at 60 FPS).
+/// Usage: `<bin> [--frames N] [--seed N] [--threads N] [--quick]`.
+/// `--quick` cuts the per-point frame count to 600 for fast smoke runs;
+/// the paper's value is 3600 (one minute at 60 FPS). `--threads` caps the
+/// sweep worker threads (0, the default, means one per core); thread
+/// count never changes the output, only the wall-clock time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Options {
     /// Frames per experiment point.
     pub frames: u64,
     /// Master seed.
     pub seed: u64,
+    /// Sweep worker threads; 0 = one per available core.
+    pub threads: usize,
 }
 
 impl Default for Options {
@@ -26,6 +30,7 @@ impl Default for Options {
         Options {
             frames: 3600,
             seed: 0x0C05_01A1,
+            threads: 0,
         }
     }
 }
@@ -49,6 +54,11 @@ impl Options {
                         opts.seed = v;
                     }
                 }
+                "--threads" => {
+                    if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                        opts.threads = v;
+                    }
+                }
                 "--quick" => opts.frames = 600,
                 _ => {}
             }
@@ -66,6 +76,16 @@ impl Options {
         cfg.frames = self.frames;
         cfg.seed = self.seed;
         cfg
+    }
+
+    /// The worker-thread count for parallel sweeps: the `--threads`
+    /// override, or one per available core.
+    pub fn sweep_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        }
     }
 }
 
@@ -235,9 +255,13 @@ mod tests {
 
     #[test]
     fn parse_flags() {
-        let o = Options::parse(["--frames", "100", "--seed", "7"].map(String::from));
+        let o =
+            Options::parse(["--frames", "100", "--seed", "7", "--threads", "3"].map(String::from));
         assert_eq!(o.frames, 100);
         assert_eq!(o.seed, 7);
+        assert_eq!(o.threads, 3);
+        assert_eq!(o.sweep_threads(), 3);
+        assert!(Options::default().sweep_threads() >= 1);
     }
 
     #[test]
@@ -257,6 +281,7 @@ mod tests {
         let o = Options {
             frames: 42,
             seed: 9,
+            threads: 0,
         };
         let cfg = o.apply(ExperimentConfig::default());
         assert_eq!(cfg.frames, 42);
@@ -280,6 +305,7 @@ mod tests {
         let opts = Options {
             frames: 120,
             seed: 7,
+            threads: 0,
         };
         let rows = mini_rows(&opts);
         let json = figure1_json(&opts, &rows, Some(40));
@@ -298,6 +324,7 @@ mod tests {
         let opts = Options {
             frames: 120,
             seed: 7,
+            threads: 0,
         };
         let rows = mini_rows(&opts);
         let json = figure2_json(&opts, &rows);
@@ -312,6 +339,7 @@ mod tests {
         let opts = Options {
             frames: 120,
             seed: 7,
+            threads: 0,
         };
         let lockstep = mini_rows(&opts);
         let base = opts.apply(ExperimentConfig {

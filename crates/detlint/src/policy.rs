@@ -13,8 +13,9 @@
 //! | everything else scanned | ✓† | – | – | ✓ | – |
 //!
 //! \* `crates/net/src/rng.rs` itself is exempt from `entropy` (it is the
-//! sanctioned randomness source). † tests, examples, and benches may read
-//! real clocks — they drive the system, they are not inside it.
+//! sanctioned randomness source). † tests, examples, benches, and the
+//! experiment binaries in `crates/bench/src/bin/` may read real clocks —
+//! they drive and time the system, they are not inside it.
 
 use crate::rules::Rule;
 
@@ -56,10 +57,12 @@ pub fn rules_for(rel: &str) -> Vec<Rule> {
         return rules;
     }
 
-    // Clock and net own the real-time boundary; benches time themselves.
+    // Clock and net own the real-time boundary; benches and the
+    // experiment/hotpath binaries time themselves.
     let clock_exempt = rel.starts_with("crates/clock/")
         || rel.starts_with("crates/net/")
         || rel.starts_with("crates/bench/benches/")
+        || rel.starts_with("crates/bench/src/bin/")
         || rel.starts_with("tests/")
         || rel.starts_with("examples/");
     if !clock_exempt {
@@ -127,8 +130,24 @@ mod tests {
         assert!(!has("tests/convergence.rs", Rule::WallClock));
         assert!(!has("examples/headless.rs", Rule::WallClock));
         assert!(!has("crates/bench/benches/micro.rs", Rule::WallClock));
+        assert!(!has("crates/bench/src/bin/hotpath.rs", Rule::WallClock));
         // The bench library proper still may not.
         assert!(has("crates/bench/src/lib.rs", Rule::WallClock));
+    }
+
+    #[test]
+    fn snapshot_fast_path_is_deterministic_core() {
+        // The delta codec and buffer pool rebuild state bytes during
+        // rollback repair; every determinism rule applies to them.
+        for rel in [
+            "crates/rollback/src/delta.rs",
+            "crates/rollback/src/pool.rs",
+        ] {
+            let rules = rules_for(rel);
+            for r in Rule::ALL {
+                assert!(rules.contains(&r), "{rel} missing {r:?}");
+            }
+        }
     }
 
     #[test]

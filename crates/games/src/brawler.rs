@@ -465,28 +465,33 @@ impl Machine for Brawler {
 
     fn save_state(&self) -> Vec<u8> {
         let mut v = Vec::with_capacity(64);
-        v.extend_from_slice(STATE_MAGIC);
-        v.extend_from_slice(&self.frame.to_le_bytes());
+        self.save_state_into(&mut v);
+        v
+    }
+
+    fn save_state_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        out.extend_from_slice(STATE_MAGIC);
+        out.extend_from_slice(&self.frame.to_le_bytes());
         let (code, a, b) = match self.phase {
             Phase::Intro(n) => (0u8, n, 0u8),
             Phase::Fight => (1, 0, 0),
             Phase::RoundEnd { pause, winner } => (2, pause, winner),
             Phase::MatchOver { winner } => (3, 0, winner),
         };
-        v.push(code);
-        v.extend_from_slice(&a.to_le_bytes());
-        v.push(b);
+        out.push(code);
+        out.extend_from_slice(&a.to_le_bytes());
+        out.push(b);
         for f in &self.fighters {
-            v.extend_from_slice(&f.x.to_le_bytes());
-            v.extend_from_slice(&f.health.to_le_bytes());
-            v.push(f.state.code());
-            v.push(f.state.counter());
-            v.push(f.blocking as u8);
-            v.push(f.connected as u8);
+            out.extend_from_slice(&f.x.to_le_bytes());
+            out.extend_from_slice(&f.health.to_le_bytes());
+            out.push(f.state.code());
+            out.push(f.state.counter());
+            out.push(f.blocking as u8);
+            out.push(f.connected as u8);
         }
-        v.extend_from_slice(&self.timer_frames.to_le_bytes());
-        v.extend_from_slice(&self.rounds_won);
-        v
+        out.extend_from_slice(&self.timer_frames.to_le_bytes());
+        out.extend_from_slice(&self.rounds_won);
     }
 
     fn load_state(&mut self, bytes: &[u8]) -> Result<(), StateError> {

@@ -355,27 +355,32 @@ impl Machine for Breakout {
 
     fn save_state(&self) -> Vec<u8> {
         let mut v = Vec::with_capacity(64);
-        v.extend_from_slice(STATE_MAGIC);
-        v.extend_from_slice(&self.frame.to_le_bytes());
+        self.save_state_into(&mut v);
+        v
+    }
+
+    fn save_state_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        out.extend_from_slice(STATE_MAGIC);
+        out.extend_from_slice(&self.frame.to_le_bytes());
         let (code, countdown) = match self.phase {
             Phase::Serving { countdown } => (0u8, countdown),
             Phase::Play => (1, 0),
             Phase::GameOver => (2, 0),
         };
-        v.push(code);
-        v.extend_from_slice(&countdown.to_le_bytes());
+        out.push(code);
+        out.extend_from_slice(&countdown.to_le_bytes());
         for p in self.paddle_x {
-            v.extend_from_slice(&p.to_le_bytes());
+            out.extend_from_slice(&p.to_le_bytes());
         }
         for val in [self.ball_x, self.ball_y, self.vel_x, self.vel_y] {
-            v.extend_from_slice(&val.to_le_bytes());
+            out.extend_from_slice(&val.to_le_bytes());
         }
-        v.extend_from_slice(&self.bricks.to_le_bytes());
-        v.extend_from_slice(&self.score.to_le_bytes());
-        v.push(self.lives);
-        v.push(self.level);
-        v.extend_from_slice(&self.rng.to_le_bytes());
-        v
+        out.extend_from_slice(&self.bricks.to_le_bytes());
+        out.extend_from_slice(&self.score.to_le_bytes());
+        out.push(self.lives);
+        out.push(self.level);
+        out.extend_from_slice(&self.rng.to_le_bytes());
     }
 
     fn load_state(&mut self, bytes: &[u8]) -> Result<(), StateError> {

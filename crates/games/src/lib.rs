@@ -170,6 +170,21 @@ mod tests {
     }
 
     #[test]
+    fn every_game_save_state_into_matches_save_state() {
+        for id in catalog() {
+            let mut m = id.create();
+            let mut buf = Vec::new();
+            for i in 0..90u32 {
+                m.step_frame(InputWord((i.wrapping_mul(0x9E37_79B9) >> 11) & 0x3F3F));
+                // The buffer is reused across frames; every capture must
+                // still be byte-identical to a fresh `save_state`.
+                m.save_state_into(&mut buf);
+                assert_eq!(buf, m.save_state(), "{id} frame {i}");
+            }
+        }
+    }
+
+    #[test]
     fn name_roundtrip() {
         for id in catalog() {
             assert_eq!(GameId::from_name(id.name()), Some(id), "{id}");

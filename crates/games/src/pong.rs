@@ -328,26 +328,31 @@ impl Machine for Pong {
 
     fn save_state(&self) -> Vec<u8> {
         let mut v = Vec::with_capacity(64);
-        v.extend_from_slice(STATE_MAGIC);
-        v.extend_from_slice(&self.frame.to_le_bytes());
-        v.extend_from_slice(&self.phase_code().to_le_bytes());
+        self.save_state_into(&mut v);
+        v
+    }
+
+    fn save_state_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        out.extend_from_slice(STATE_MAGIC);
+        out.extend_from_slice(&self.frame.to_le_bytes());
+        out.extend_from_slice(&self.phase_code().to_le_bytes());
         let (countdown, toward, winner) = match self.phase {
             Phase::Serving { countdown, toward } => (countdown, toward, 0),
             Phase::Rally => (0, 0, 0),
             Phase::GameOver { winner } => (0, 0, winner),
         };
-        v.extend_from_slice(&countdown.to_le_bytes());
-        v.push(toward);
-        v.push(winner);
+        out.extend_from_slice(&countdown.to_le_bytes());
+        out.push(toward);
+        out.push(winner);
         for p in self.paddle_y {
-            v.extend_from_slice(&p.to_le_bytes());
+            out.extend_from_slice(&p.to_le_bytes());
         }
         for val in [self.ball_x, self.ball_y, self.vel_x, self.vel_y] {
-            v.extend_from_slice(&val.to_le_bytes());
+            out.extend_from_slice(&val.to_le_bytes());
         }
-        v.extend_from_slice(&self.score);
-        v.extend_from_slice(&self.rng.to_le_bytes());
-        v
+        out.extend_from_slice(&self.score);
+        out.extend_from_slice(&self.rng.to_le_bytes());
     }
 
     fn load_state(&mut self, bytes: &[u8]) -> Result<(), StateError> {

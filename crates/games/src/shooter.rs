@@ -319,29 +319,34 @@ impl Machine for Shooter {
 
     fn save_state(&self) -> Vec<u8> {
         let mut v = Vec::with_capacity(64 + self.bullets.len() * 8 + self.enemies.len() * 12);
-        v.extend_from_slice(STATE_MAGIC);
-        v.extend_from_slice(&self.frame.to_le_bytes());
-        for s in &self.ships {
-            v.extend_from_slice(&s.x.to_le_bytes());
-            v.push(s.cooldown);
-        }
-        v.extend_from_slice(&self.score.to_le_bytes());
-        v.push(self.lives);
-        v.extend_from_slice(&self.spawn_timer.to_le_bytes());
-        v.extend_from_slice(&self.rng.to_le_bytes());
-        v.push(self.game_over as u8);
-        v.push(self.bullets.len() as u8);
-        for b in &self.bullets {
-            v.extend_from_slice(&b.x.to_le_bytes());
-            v.extend_from_slice(&b.y.to_le_bytes());
-        }
-        v.push(self.enemies.len() as u8);
-        for e in &self.enemies {
-            v.extend_from_slice(&e.x.to_le_bytes());
-            v.extend_from_slice(&e.y.to_le_bytes());
-            v.extend_from_slice(&e.drift.to_le_bytes());
-        }
+        self.save_state_into(&mut v);
         v
+    }
+
+    fn save_state_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        out.extend_from_slice(STATE_MAGIC);
+        out.extend_from_slice(&self.frame.to_le_bytes());
+        for s in &self.ships {
+            out.extend_from_slice(&s.x.to_le_bytes());
+            out.push(s.cooldown);
+        }
+        out.extend_from_slice(&self.score.to_le_bytes());
+        out.push(self.lives);
+        out.extend_from_slice(&self.spawn_timer.to_le_bytes());
+        out.extend_from_slice(&self.rng.to_le_bytes());
+        out.push(self.game_over as u8);
+        out.push(self.bullets.len() as u8);
+        for b in &self.bullets {
+            out.extend_from_slice(&b.x.to_le_bytes());
+            out.extend_from_slice(&b.y.to_le_bytes());
+        }
+        out.push(self.enemies.len() as u8);
+        for e in &self.enemies {
+            out.extend_from_slice(&e.x.to_le_bytes());
+            out.extend_from_slice(&e.y.to_le_bytes());
+            out.extend_from_slice(&e.drift.to_le_bytes());
+        }
     }
 
     fn load_state(&mut self, bytes: &[u8]) -> Result<(), StateError> {

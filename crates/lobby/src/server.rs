@@ -31,6 +31,11 @@ struct Registration {
     rollbacks: u64,
     resimulated_frames: u64,
     max_rollback_depth: u64,
+    /// Snapshot-ring health from the host's latest heartbeat: the
+    /// delta-vs-full compression ratio in thousandths and the cumulative
+    /// pooled-buffer reuse hits.
+    compression_ratio_milli: u64,
+    pool_hits: u64,
 }
 
 /// The lobby registry. Feed it decoded requests; it answers with replies to
@@ -92,6 +97,20 @@ impl LobbyServer {
             .gauge_set("session_resimulated_frames", resim as i64);
         self.metrics
             .gauge_set("session_max_rollback_depth", depth as i64);
+        // Snapshot-ring health: the worst (lowest) reported delta-vs-full
+        // compression ratio and the fleet-wide pooled-buffer reuse count.
+        let worst_ratio = self
+            .sessions
+            .values()
+            .map(|s| s.compression_ratio_milli)
+            .filter(|&r| r > 0)
+            .min()
+            .unwrap_or(0);
+        let pool_hits: u64 = self.sessions.values().map(|s| s.pool_hits).sum();
+        self.metrics
+            .gauge_set("session_compression_ratio_milli", worst_ratio as i64);
+        self.metrics
+            .gauge_set("session_snapshot_pool_hits", pool_hits as i64);
         self.metrics.prometheus("coplay_lobby")
     }
 
@@ -146,6 +165,8 @@ impl LobbyServer {
                         rollbacks: 0,
                         resimulated_frames: 0,
                         max_rollback_depth: 0,
+                        compression_ratio_milli: 0,
+                        pool_hits: 0,
                     },
                 );
                 vec![(from, LobbyMessage::Registered { id })]
@@ -161,6 +182,8 @@ impl LobbyServer {
                 rollbacks,
                 resimulated_frames,
                 max_rollback_depth,
+                compression_ratio_milli,
+                pool_hits,
             } => {
                 if let Some(s) = self.sessions.get_mut(id) {
                     if s.host == from {
@@ -168,6 +191,8 @@ impl LobbyServer {
                         s.rollbacks = *rollbacks;
                         s.resimulated_frames = *resimulated_frames;
                         s.max_rollback_depth = *max_rollback_depth;
+                        s.compression_ratio_milli = *compression_ratio_milli;
+                        s.pool_hits = *pool_hits;
                     }
                 }
                 Vec::new()
@@ -253,6 +278,8 @@ mod tests {
             rollbacks,
             resimulated_frames: resim,
             max_rollback_depth: depth,
+            compression_ratio_milli: 4500,
+            pool_hits: 128,
         }
     }
 
@@ -408,6 +435,42 @@ mod tests {
         );
         assert!(
             text.contains("coplay_lobby_session_max_rollback_depth 7"),
+            "{text}"
+        );
+        // Both hosts reported ratio 4500 and 128 pool hits each; the gauge
+        // keeps the worst ratio and sums the hits.
+        assert!(
+            text.contains("coplay_lobby_session_compression_ratio_milli 4500"),
+            "{text}"
+        );
+        assert!(
+            text.contains("coplay_lobby_session_snapshot_pool_hits 256"),
+            "{text}"
+        );
+
+        // A host reporting weaker compression drags the worst-ratio gauge
+        // down; sessions that never reported (ratio 0) stay excluded.
+        let c = register(&mut server, PeerId(2), "weak compressor", 2);
+        server.handle(
+            PeerId(2),
+            &LobbyMessage::Heartbeat {
+                id: c,
+                rollbacks: 0,
+                resimulated_frames: 0,
+                max_rollback_depth: 0,
+                compression_ratio_milli: 1100,
+                pool_hits: 10,
+            },
+            t(2),
+        );
+        let _ = register(&mut server, PeerId(3), "silent", 2);
+        let text = server.metrics_text();
+        assert!(
+            text.contains("coplay_lobby_session_compression_ratio_milli 1100"),
+            "{text}"
+        );
+        assert!(
+            text.contains("coplay_lobby_session_snapshot_pool_hits 266"),
             "{text}"
         );
     }

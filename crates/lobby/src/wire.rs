@@ -13,7 +13,7 @@ use coplay_net::bytes::{Buf, BytesMut};
 use coplay_net::PeerId;
 
 const MAGIC: u8 = 0xC6;
-const VERSION: u8 = 1;
+const VERSION: u8 = 2;
 
 /// Longest session name accepted.
 pub const MAX_NAME: usize = 64;
@@ -84,7 +84,8 @@ pub enum LobbyMessage {
     /// Host: keep the session alive, piggybacking session health.
     ///
     /// The counters are cumulative since session start, taken from the
-    /// host's `SessionStats`; all three are zero for lockstep sessions.
+    /// host's `SessionStats` and snapshot-ring telemetry; all are zero
+    /// for lockstep sessions.
     Heartbeat {
         /// Which session.
         id: SessionId,
@@ -94,6 +95,12 @@ pub enum LobbyMessage {
         resimulated_frames: u64,
         /// Deepest single rollback, in frames.
         max_rollback_depth: u64,
+        /// Checkpoint delta-vs-full compression ratio in thousandths
+        /// (4000 = the snapshot ring stores 4x less than full copies;
+        /// zero until the host reports one).
+        compression_ratio_milli: u64,
+        /// Cumulative snapshot buffer-pool reuse hits on the host.
+        pool_hits: u64,
     },
     /// Client: list open sessions.
     List,
@@ -227,12 +234,16 @@ impl LobbyMessage {
                 rollbacks,
                 resimulated_frames,
                 max_rollback_depth,
+                compression_ratio_milli,
+                pool_hits,
             } => {
                 b.put_u8(ty::HEARTBEAT);
                 b.put_u32_le(id.0);
                 b.put_u64_le(*rollbacks);
                 b.put_u64_le(*resimulated_frames);
                 b.put_u64_le(*max_rollback_depth);
+                b.put_u64_le(*compression_ratio_milli);
+                b.put_u64_le(*pool_hits);
             }
             LobbyMessage::List => b.put_u8(ty::LIST),
             LobbyMessage::Listing { sessions } => {
@@ -347,12 +358,14 @@ impl LobbyMessage {
                 }
             }
             ty::HEARTBEAT => {
-                need!(4 + 8 + 8 + 8);
+                need!(4 + 8 * 5);
                 LobbyMessage::Heartbeat {
                     id: SessionId(b.get_u32_le()),
                     rollbacks: b.get_u64_le(),
                     resimulated_frames: b.get_u64_le(),
                     max_rollback_depth: b.get_u64_le(),
+                    compression_ratio_milli: b.get_u64_le(),
+                    pool_hits: b.get_u64_le(),
                 }
             }
             ty::LIST => LobbyMessage::List,
@@ -441,6 +454,8 @@ mod tests {
                 rollbacks: 12,
                 resimulated_frames: 48,
                 max_rollback_depth: 9,
+                compression_ratio_milli: 4200,
+                pool_hits: 512,
             },
             LobbyMessage::List,
             LobbyMessage::Listing {

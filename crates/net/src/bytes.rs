@@ -65,6 +65,45 @@ impl Buf for &[u8] {
     }
 }
 
+/// Little-endian append helpers for growable byte buffers.
+///
+/// Implemented for `Vec<u8>` so codecs can encode straight into a
+/// caller-owned, reusable buffer instead of allocating per datagram.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a `u16` in little-endian order.
+    fn put_u16_le(&mut self, v: u16);
+    /// Appends a `u32` in little-endian order.
+    fn put_u32_le(&mut self, v: u32);
+    /// Appends a `u64` in little-endian order.
+    fn put_u64_le(&mut self, v: u64);
+    /// Appends a byte slice verbatim.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_u16_le(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
 /// A growable byte buffer with little-endian append helpers.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BytesMut {
@@ -206,6 +245,24 @@ mod tests {
         assert_eq!(r, b"xy");
         r.advance(2);
         assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn vec_bufmut_matches_bytesmut() {
+        let mut w = BytesMut::with_capacity(16);
+        w.put_u8(0xAB);
+        w.put_u16_le(0x0102);
+        w.put_u32_le(0x0304_0506);
+        w.put_u64_le(0x0708_090A_0B0C_0D0E);
+        w.put_slice(b"xy");
+
+        let mut v: Vec<u8> = Vec::new();
+        BufMut::put_u8(&mut v, 0xAB);
+        BufMut::put_u16_le(&mut v, 0x0102);
+        BufMut::put_u32_le(&mut v, 0x0304_0506);
+        BufMut::put_u64_le(&mut v, 0x0708_090A_0B0C_0D0E);
+        BufMut::put_slice(&mut v, b"xy");
+        assert_eq!(v, w.to_vec());
     }
 
     #[test]

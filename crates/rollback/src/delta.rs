@@ -1,0 +1,299 @@
+//! A zero-dependency XOR/RLE delta codec for machine-state snapshots.
+//!
+//! Consecutive checkpoints of a deterministic game differ in a handful of
+//! bytes (positions, counters, the RNG word) while the bulk of the state —
+//! RAM images, framebuffers, padding — repeats verbatim. The codec XORs the
+//! new state against a base state and run-length encodes the zero runs, so
+//! a typical inter-checkpoint delta is a small fraction of the full
+//! snapshot. Both directions are allocation-free given caller buffers,
+//! which is what lets the snapshot ring checkpoint every frame without
+//! touching the heap.
+//!
+//! # Format
+//!
+//! ```text
+//! delta := varint(new_len) op*
+//! op    := varint(zero_run) varint(literal_len) literal_byte*
+//! ```
+//!
+//! Ops tile `0..new_len` exactly. The implied base is the old state padded
+//! with zeros (or truncated) to `new_len`, so states may grow or shrink
+//! between checkpoints. A literal byte is the XOR of new against that
+//! padded base; applying a delta XORs the literals back in place.
+//!
+//! Decoding validates every length field against the declared `new_len`
+//! and the remaining input, so a truncated or corrupt delta is rejected
+//! with a [`DeltaError`] instead of mis-restoring state.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error applying a malformed delta.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaError {
+    /// The delta ended before its declared contents.
+    Truncated,
+    /// An op runs past the declared output length.
+    Overrun,
+    /// The ops do not cover the declared output length exactly.
+    BadCoverage,
+    /// A varint is longer than a `u64` allows.
+    BadVarint,
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::Truncated => write!(f, "delta truncated"),
+            DeltaError::Overrun => write!(f, "delta op overruns the declared length"),
+            DeltaError::BadCoverage => write!(f, "delta ops do not cover the output"),
+            DeltaError::BadVarint => write!(f, "delta contains an oversized varint"),
+        }
+    }
+}
+
+impl Error for DeltaError {}
+
+/// Appends `v` as a LEB128 varint.
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads a LEB128 varint from the front of `b`.
+fn get_varint(b: &mut &[u8]) -> Result<u64, DeltaError> {
+    let mut v = 0u64;
+    for shift in (0..64).step_by(7) {
+        let Some((&byte, rest)) = b.split_first() else {
+            return Err(DeltaError::Truncated);
+        };
+        *b = rest;
+        v |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+    }
+    Err(DeltaError::BadVarint)
+}
+
+/// The byte of `base` underlying position `i` of the padded base.
+#[inline]
+fn base_byte(base: &[u8], i: usize) -> u8 {
+    base.get(i).copied().unwrap_or(0)
+}
+
+/// Encodes `new` as a delta against `base` into `out` (cleared first).
+///
+/// `out`'s allocation is reused; steady-state encoding of same-shaped
+/// states performs no heap allocation. Worst case (nothing repeats) the
+/// delta is `new.len()` plus a few varint bytes.
+pub fn encode_into(base: &[u8], new: &[u8], out: &mut Vec<u8>) {
+    out.clear();
+    put_varint(out, new.len() as u64);
+    let mut i = 0;
+    while i < new.len() {
+        // Count the zero run (bytes equal to the padded base).
+        let zero_start = i;
+        while i < new.len() && new[i] == base_byte(base, i) {
+            i += 1;
+        }
+        let zero_run = i - zero_start;
+        // Count the literal run (bytes that differ).
+        let lit_start = i;
+        while i < new.len() && new[i] != base_byte(base, i) {
+            i += 1;
+        }
+        put_varint(out, zero_run as u64);
+        put_varint(out, (i - lit_start) as u64);
+        for (j, &b) in new.iter().enumerate().take(i).skip(lit_start) {
+            out.push(b ^ base_byte(base, j));
+        }
+    }
+}
+
+/// Applies a delta in place: `buf` holds the base state on entry and the
+/// new state on success.
+///
+/// # Errors
+///
+/// Returns a [`DeltaError`] if the delta is truncated, overruns its
+/// declared length, or fails to cover it; `buf` must then be considered
+/// garbage (the snapshot ring discards it rather than restoring from it).
+pub fn apply_in_place(buf: &mut Vec<u8>, mut delta: &[u8]) -> Result<(), DeltaError> {
+    let new_len = get_varint(&mut delta)? as usize;
+    // The padded base: grow with zeros or truncate to the target length.
+    buf.resize(new_len, 0);
+    let mut i = 0;
+    while i < new_len {
+        let zero_run = get_varint(&mut delta)? as usize;
+        let lit_len = get_varint(&mut delta)? as usize;
+        i = i
+            .checked_add(zero_run)
+            .and_then(|v| v.checked_add(lit_len))
+            .filter(|&end| end <= new_len)
+            .map(|end| end - lit_len)
+            .ok_or(DeltaError::Overrun)?;
+        if delta.len() < lit_len {
+            return Err(DeltaError::Truncated);
+        }
+        for &b in &delta[..lit_len] {
+            buf[i] ^= b;
+            i += 1;
+        }
+        delta = &delta[lit_len..];
+        // A zero literal run only terminates the delta (trailing zeros);
+        // anywhere else it could not have been emitted by the encoder and
+        // would loop forever on zero_run == 0.
+        if lit_len == 0 && i < new_len && zero_run == 0 {
+            return Err(DeltaError::BadCoverage);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(base: &[u8], new: &[u8]) -> Vec<u8> {
+        let mut delta = Vec::new();
+        encode_into(base, new, &mut delta);
+        let mut buf = base.to_vec();
+        apply_in_place(&mut buf, &delta).expect("self-produced delta applies");
+        assert_eq!(buf, new, "base {base:?} -> new {new:?}");
+        delta
+    }
+
+    #[test]
+    fn identical_states_encode_to_almost_nothing() {
+        let state = vec![7u8; 4096];
+        let delta = roundtrip(&state, &state);
+        assert!(delta.len() <= 6, "len {}", delta.len());
+    }
+
+    #[test]
+    fn sparse_changes_stay_small() {
+        let base = vec![0xAAu8; 65_536];
+        let mut new = base.clone();
+        new[17] ^= 1;
+        new[40_000] = 0;
+        new[65_535] = 3;
+        let delta = roundtrip(&base, &new);
+        assert!(delta.len() < 32, "len {}", delta.len());
+    }
+
+    #[test]
+    fn growth_shrink_and_empty_roundtrip() {
+        roundtrip(b"short", b"a much longer state vector");
+        roundtrip(b"a much longer state vector", b"short");
+        roundtrip(b"", b"fresh");
+        roundtrip(b"old", b"");
+        roundtrip(b"", b"");
+    }
+
+    #[test]
+    fn worst_case_is_linear_with_small_overhead() {
+        let base: Vec<u8> = (0..=255u8).collect();
+        let new: Vec<u8> = (0..=255u8).map(|b| b ^ 0xFF).collect();
+        let delta = roundtrip(&base, &new);
+        assert!(delta.len() <= new.len() + 8, "len {}", delta.len());
+    }
+
+    #[test]
+    fn truncated_delta_is_rejected() {
+        let base = vec![1u8; 100];
+        let mut new = base.clone();
+        new[50] = 9;
+        let mut delta = Vec::new();
+        encode_into(&base, &new, &mut delta);
+        for cut in 0..delta.len() {
+            let mut buf = base.clone();
+            assert!(
+                apply_in_place(&mut buf, &delta[..cut]).is_err(),
+                "prefix of {cut} bytes must not apply"
+            );
+        }
+    }
+
+    #[test]
+    fn overrunning_ops_are_rejected() {
+        // new_len = 4, then a zero run of 100.
+        let mut delta = Vec::new();
+        put_varint(&mut delta, 4);
+        put_varint(&mut delta, 100);
+        put_varint(&mut delta, 0);
+        let mut buf = vec![0u8; 4];
+        assert_eq!(apply_in_place(&mut buf, &delta), Err(DeltaError::Overrun));
+        // Overflow-sized runs must not wrap around usize.
+        let mut delta = Vec::new();
+        put_varint(&mut delta, 4);
+        put_varint(&mut delta, u64::MAX);
+        put_varint(&mut delta, 1);
+        let mut buf = vec![0u8; 4];
+        assert!(apply_in_place(&mut buf, &delta).is_err());
+    }
+
+    #[test]
+    fn degenerate_empty_op_is_rejected() {
+        // A (0, 0) op before the end would never terminate; the decoder
+        // must reject it instead of spinning.
+        let mut delta = Vec::new();
+        put_varint(&mut delta, 2);
+        put_varint(&mut delta, 0);
+        put_varint(&mut delta, 0);
+        let mut buf = vec![0u8; 2];
+        assert_eq!(
+            apply_in_place(&mut buf, &delta),
+            Err(DeltaError::BadCoverage)
+        );
+    }
+
+    #[test]
+    fn oversized_varint_is_rejected() {
+        let delta = [0xFFu8; 11];
+        let mut buf = Vec::new();
+        assert_eq!(apply_in_place(&mut buf, &delta), Err(DeltaError::BadVarint));
+    }
+
+    #[test]
+    fn pseudorandom_states_roundtrip() {
+        // Deterministic xorshift stream; no OS entropy.
+        let mut x = 0x1234_5678_9ABC_DEFFu64;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for _ in 0..50 {
+            let base_len = (next() % 300) as usize;
+            let new_len = (next() % 300) as usize;
+            let base: Vec<u8> = (0..base_len).map(|_| next() as u8).collect();
+            let mut new: Vec<u8> = base.iter().copied().take(new_len).collect();
+            new.resize(new_len, 0);
+            // Mutate a few positions.
+            for _ in 0..(next() % 8) {
+                if !new.is_empty() {
+                    let i = (next() as usize) % new.len();
+                    new[i] = next() as u8;
+                }
+            }
+            roundtrip(&base, &new);
+        }
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(DeltaError::Truncated.to_string().contains("truncated"));
+        assert!(DeltaError::Overrun.to_string().contains("overrun"));
+        assert!(DeltaError::BadCoverage.to_string().contains("cover"));
+        assert!(DeltaError::BadVarint.to_string().contains("varint"));
+    }
+}

@@ -9,8 +9,10 @@
 //! * [`RollbackSession`] executes frames immediately, substituting
 //!   *predicted* inputs (an [`InputPredictor`], default [`RepeatLast`]) for
 //!   remote partials that have not arrived yet.
-//! * A [`SnapshotRing`] keeps periodic `Machine::save_state` checkpoints.
-//!   When a late authoritative input contradicts a prediction, the session
+//! * A [`SnapshotRing`] keeps periodic machine-state checkpoints, stored
+//!   as keyframes plus XOR/RLE [`delta`]s over pooled buffers so the
+//!   steady-state capture path neither allocates nor copies much. When a
+//!   late authoritative input contradicts a prediction, the session
 //!   restores the most recent checkpoint at or before the mispredicted
 //!   frame and resimulates to the present — invisible to the game, which
 //!   only ever sees `step_frame` and `load_state`.
@@ -57,10 +59,13 @@
 
 #![warn(missing_docs)]
 
+pub mod delta;
+mod pool;
 mod predict;
 mod session;
 mod snapshot;
 
+pub use pool::{BufferPool, PoolStats};
 pub use predict::{AssumeIdle, InputPredictor, RepeatLast};
 pub use session::RollbackSession;
-pub use snapshot::{Checkpoint, SnapshotRing};
+pub use snapshot::{CheckpointInfo, CompressionStats, RestoreError, SnapshotRing};

@@ -82,6 +82,15 @@ pub struct RollbackSession<M, T, S, P = RepeatLast> {
     stats: SessionStats,
     blocked_at: Option<SimTime>,
     ring: SnapshotRing,
+    /// Reusable capture buffer: `save_state_into` writes here, the ring
+    /// copies into pooled storage; no allocation at steady state.
+    capture_buf: Vec<u8>,
+    /// Reusable restore buffer for checkpoint reconstruction.
+    restore_buf: Vec<u8>,
+    /// Reusable datagram buffer for the per-frame input send path.
+    send_buf: Vec<u8>,
+    /// Pool hits already published to the telemetry counter.
+    pool_hits_reported: u64,
     /// Predicted partials actually fed to the machine, per speculated frame
     /// per remote site — the comparison base for misprediction detection.
     used: BTreeMap<u64, BTreeMap<u8, InputWord>>,
@@ -163,6 +172,10 @@ impl<M: Machine, T: Transport, S: InputSource, P: InputPredictor> RollbackSessio
                 max_rollback_frames,
                 checkpoint_interval,
             )),
+            capture_buf: Vec::new(),
+            restore_buf: Vec::new(),
+            send_buf: Vec::new(),
+            pool_hits_reported: 0,
             used: BTreeMap::new(),
             recent_hashes: BTreeMap::new(),
             pending_rollback: None,
@@ -371,8 +384,8 @@ impl<M: Machine, T: Transport, S: InputSource, P: InputPredictor> RollbackSessio
                         for (dst, msg) in self.sync.outgoing(now) {
                             self.stats.input_messages_sent += 1;
                             self.stats.input_frames_sent += msg.inputs.len() as u64;
-                            self.transport
-                                .send(PeerId(dst), &Message::Input(msg).encode())?;
+                            Message::Input(msg).encode_into(&mut self.send_buf);
+                            self.transport.send(PeerId(dst), &self.send_buf)?;
                         }
                         let pointer = self.sync.pointer();
                         let frontier = self.sync.authoritative_frontier();
@@ -466,8 +479,8 @@ impl<M: Machine, T: Transport, S: InputSource, P: InputPredictor> RollbackSessio
             for (dst, msg) in self.sync.outgoing(now) {
                 self.stats.input_messages_sent += 1;
                 self.stats.input_frames_sent += msg.inputs.len() as u64;
-                self.transport
-                    .send(PeerId(dst), &Message::Input(msg).encode())?;
+                Message::Input(msg).encode_into(&mut self.send_buf);
+                self.transport.send(PeerId(dst), &self.send_buf)?;
             }
         }
         Ok(())
@@ -479,12 +492,26 @@ impl<M: Machine, T: Transport, S: InputSource, P: InputPredictor> RollbackSessio
     fn step_frame_at(&mut self, frame: u64, now: SimTime, count_predictions: bool) -> InputWord {
         let due = frame.is_multiple_of(self.checkpoint_interval) || self.ring.is_empty();
         if due && self.ring.newest_frame().is_none_or(|n| n < frame) {
-            let state = self.machine.save_state();
-            let bytes = state.len() as u64;
-            self.ring.push(frame, state, self.machine.state_hash());
+            self.machine.save_state_into(&mut self.capture_buf);
+            let bytes = self.capture_buf.len() as u64;
+            self.ring
+                .push(frame, &self.capture_buf, self.machine.state_hash());
             self.cfg
                 .telemetry
                 .record(now, EventKind::CheckpointSaved { frame, bytes });
+            // How much smaller delta storage keeps checkpoints than full
+            // copies, in thousandths (4000 = 4× smaller).
+            self.cfg.telemetry.gauge_set(
+                "checkpoint_compression_ratio_milli",
+                self.ring.compression().ratio_milli() as i64,
+            );
+            let hits = self.ring.pool_stats().hits;
+            if hits > self.pool_hits_reported {
+                self.cfg
+                    .telemetry
+                    .counter_add("snapshot_pool_hits_total", hits - self.pool_hits_reported);
+                self.pool_hits_reported = hits;
+            }
         }
         let mut word = self.sync.merged_input(frame);
         self.used.remove(&frame);
@@ -534,17 +561,19 @@ impl<M: Machine, T: Transport, S: InputSource, P: InputPredictor> RollbackSessio
         // Checkpoints past the target were computed from a mispredicted
         // state; they must not serve as restore points again.
         self.ring.discard_after(target);
-        let (cp_frame, state) = match self.ring.latest_at_or_before(target) {
-            Some(cp) => (cp.frame, cp.state.clone()),
-            None => {
-                return Err(SyncError::Snapshot(format!(
-                    "no rollback checkpoint at or before frame {target}"
-                )))
-            }
-        };
-        self.machine
-            .load_state(&state)
+        let info = self
+            .ring
+            .restore_into(target, &mut self.restore_buf)
             .map_err(|e| SyncError::Snapshot(e.to_string()))?;
+        let cp_frame = info.frame;
+        self.machine
+            .load_state(&self.restore_buf)
+            .map_err(|e| SyncError::Snapshot(e.to_string()))?;
+        if self.machine.state_hash() != info.hash {
+            return Err(SyncError::Snapshot(format!(
+                "checkpoint for frame {cp_frame} restored to a mismatched state hash"
+            )));
+        }
         let depth = pointer - target;
         let resimulated = pointer - cp_frame;
         for g in cp_frame..pointer {

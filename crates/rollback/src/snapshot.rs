@@ -5,25 +5,138 @@
 //! mispredicted frame and resimulates forward. The ring's capacity is sized
 //! so that a checkpoint always exists inside the speculation window (see
 //! [`SnapshotRing::capacity_for`]).
+//!
+//! # Storage: keyframes + chained deltas
+//!
+//! Storing every checkpoint as a full `save_state` copy costs
+//! `capacity × state_size` bytes and a full memcpy per checkpoint.
+//! Consecutive checkpoints of a deterministic game are nearly identical,
+//! so the ring instead stores a *keyframe* (full copy) every
+//! `keyframe_interval` slots and XOR/RLE deltas (see [`crate::delta`]) in
+//! between. Each delta's base is the immediately preceding checkpoint's
+//! full state; restoring walks keyframe → deltas. Three invariants keep
+//! this correct under eviction and rollback:
+//!
+//! * the oldest retained slot is always a keyframe (eviction *promotes*
+//!   the next delta slot by applying it onto the evicted keyframe);
+//! * `tail_full` always holds the newest checkpoint's full state — the
+//!   encoding base for the next push;
+//! * [`SnapshotRing::discard_after`] rebuilds both from what survives.
+//!
+//! All slot buffers cycle through a [`BufferPool`], so the steady-state
+//! checkpoint path allocates nothing. `keyframe_interval == 1` degenerates
+//! to the original full-copy ring, which the tests use as the reference
+//! implementation.
 
-/// One saved machine state.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Checkpoint {
-    /// The frame this state precedes: restoring it positions the machine to
-    /// execute `frame` next.
+use std::collections::VecDeque;
+use std::error::Error;
+use std::fmt;
+
+use crate::delta::{self, DeltaError};
+use crate::pool::{BufferPool, PoolStats};
+
+/// How a slot stores its state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotKind {
+    /// `data` is the full `save_state` image.
+    Keyframe,
+    /// `data` is a delta against the previous slot's full state.
+    Delta,
+}
+
+#[derive(Debug)]
+struct Slot {
+    frame: u64,
+    hash: u64,
+    kind: SlotKind,
+    data: Vec<u8>,
+}
+
+/// Metadata for a checkpoint served by [`SnapshotRing::restore_into`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointInfo {
+    /// The frame this state precedes: restoring it positions the machine
+    /// to execute `frame` next.
     pub frame: u64,
-    /// `Machine::save_state` bytes.
-    pub state: Vec<u8>,
-    /// `Machine::state_hash` at capture time (consistency checks).
+    /// `Machine::state_hash` at capture time — callers verify the restored
+    /// machine reproduces it.
     pub hash: u64,
+    /// Bytes the ring stores for this checkpoint (delta or full).
+    pub stored_bytes: usize,
+    /// `true` if the slot holds a full copy rather than a delta.
+    pub is_keyframe: bool,
 }
 
-/// A bounded FIFO of [`Checkpoint`]s ordered by frame.
-#[derive(Debug, Default)]
-pub struct SnapshotRing {
-    slots: std::collections::VecDeque<Checkpoint>,
-    capacity: usize,
+/// Error restoring a checkpoint from the ring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RestoreError {
+    /// No retained checkpoint is at or before the requested frame.
+    NoCheckpoint {
+        /// The requested rollback frame.
+        frame: u64,
+    },
+    /// A stored delta failed to apply (corrupt slot).
+    Delta(DeltaError),
 }
+
+impl fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RestoreError::NoCheckpoint { frame } => {
+                write!(f, "no rollback checkpoint at or before frame {frame}")
+            }
+            RestoreError::Delta(e) => write!(f, "checkpoint delta corrupt: {e}"),
+        }
+    }
+}
+
+impl Error for RestoreError {}
+
+impl From<DeltaError> for RestoreError {
+    fn from(e: DeltaError) -> RestoreError {
+        RestoreError::Delta(e)
+    }
+}
+
+/// Compression statistics accumulated across every push.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompressionStats {
+    /// Total full-state bytes offered to the ring.
+    pub full_bytes: u64,
+    /// Total bytes actually stored (keyframes + deltas).
+    pub stored_bytes: u64,
+}
+
+impl CompressionStats {
+    /// Full-to-stored ratio in thousandths: 4000 means checkpoints average
+    /// 4× smaller than full copies; 1000 when nothing was pushed. Integer
+    /// so the deterministic core stays float-free.
+    pub fn ratio_milli(&self) -> u64 {
+        self.full_bytes
+            .saturating_mul(1000)
+            .checked_div(self.stored_bytes)
+            .unwrap_or(1000)
+    }
+}
+
+/// A bounded FIFO of checkpoints ordered by frame, stored as keyframes
+/// plus chained deltas over pooled buffers.
+#[derive(Debug)]
+pub struct SnapshotRing {
+    slots: VecDeque<Slot>,
+    capacity: usize,
+    keyframe_interval: usize,
+    /// Delta slots pushed since the newest keyframe.
+    since_keyframe: usize,
+    /// Full state of the newest checkpoint — the next delta's base.
+    tail_full: Vec<u8>,
+    pool: BufferPool,
+    stats: CompressionStats,
+}
+
+/// Keyframe cadence when none is configured: a restore applies at most
+/// three deltas while typical checkpoints shrink ~4×.
+const DEFAULT_KEYFRAME_INTERVAL: usize = 4;
 
 impl SnapshotRing {
     /// Creates a ring retaining at most `capacity` checkpoints.
@@ -35,9 +148,28 @@ impl SnapshotRing {
     pub fn new(capacity: usize) -> SnapshotRing {
         assert!(capacity > 0, "snapshot ring needs at least one slot");
         SnapshotRing {
-            slots: std::collections::VecDeque::with_capacity(capacity),
+            slots: VecDeque::with_capacity(capacity),
             capacity,
+            keyframe_interval: DEFAULT_KEYFRAME_INTERVAL,
+            since_keyframe: 0,
+            tail_full: Vec::new(),
+            // One buffer per slot plus the one in flight during promotion.
+            pool: BufferPool::new(capacity + 1),
+            stats: CompressionStats::default(),
         }
+    }
+
+    /// Sets the keyframe cadence: a full copy every `interval` slots,
+    /// deltas in between. `1` stores every checkpoint in full (the
+    /// reference behaviour); values are clamped to at least 1.
+    pub fn with_keyframe_interval(mut self, interval: usize) -> SnapshotRing {
+        self.keyframe_interval = interval.max(1);
+        self
+    }
+
+    /// The configured keyframe cadence.
+    pub fn keyframe_interval(&self) -> usize {
+        self.keyframe_interval
     }
 
     /// The capacity that guarantees a restore point for any rollback within
@@ -51,31 +183,137 @@ impl SnapshotRing {
 
     /// Appends a checkpoint, evicting the oldest when full.
     ///
+    /// `state` is borrowed, not consumed: callers capture into a reusable
+    /// buffer (`Machine::save_state_into`) and the ring copies into pooled
+    /// storage, so the steady-state path allocates nothing.
+    ///
     /// # Panics
     ///
     /// Panics if `frame` is not strictly greater than the newest retained
     /// frame — checkpoints must arrive in execution order.
-    pub fn push(&mut self, frame: u64, state: Vec<u8>, hash: u64) {
+    pub fn push(&mut self, frame: u64, state: &[u8], hash: u64) {
         if let Some(newest) = self.newest_frame() {
             assert!(frame > newest, "checkpoints must be pushed in order");
         }
         if self.slots.len() == self.capacity {
-            self.slots.pop_front();
+            self.evict_front();
         }
-        self.slots.push_back(Checkpoint { frame, state, hash });
+        let is_keyframe =
+            self.slots.is_empty() || self.since_keyframe + 1 >= self.keyframe_interval;
+        let mut data = self.pool.take();
+        let kind = if is_keyframe {
+            self.since_keyframe = 0;
+            data.clear();
+            data.extend_from_slice(state);
+            SlotKind::Keyframe
+        } else {
+            self.since_keyframe += 1;
+            delta::encode_into(&self.tail_full, state, &mut data);
+            SlotKind::Delta
+        };
+        self.stats.full_bytes += state.len() as u64;
+        self.stats.stored_bytes += data.len() as u64;
+        self.tail_full.clear();
+        self.tail_full.extend_from_slice(state);
+        self.slots.push_back(Slot {
+            frame,
+            hash,
+            kind,
+            data,
+        });
     }
 
-    /// The most recent checkpoint at or before `frame`, if any survives.
-    pub fn latest_at_or_before(&self, frame: u64) -> Option<&Checkpoint> {
-        self.slots.iter().rev().find(|c| c.frame <= frame)
+    /// Drops the oldest slot. If the slot after it is a delta, it is
+    /// *promoted* to a keyframe by applying its delta onto the evicted
+    /// keyframe's buffer, preserving the front-is-a-keyframe invariant.
+    fn evict_front(&mut self) {
+        let front = self.slots.pop_front().expect("evict on empty ring");
+        debug_assert_eq!(front.kind, SlotKind::Keyframe, "front must be a keyframe");
+        let mut full = front.data;
+        if let Some(next) = self.slots.front_mut() {
+            if next.kind == SlotKind::Delta {
+                delta::apply_in_place(&mut full, &next.data)
+                    .expect("self-produced checkpoint delta applies");
+                next.kind = SlotKind::Keyframe;
+                self.pool.give(std::mem::replace(&mut next.data, full));
+                return;
+            }
+        }
+        self.pool.give(full);
+    }
+
+    /// Reconstructs the full state of the slot at `idx` into `out` by
+    /// walking back to the nearest keyframe and replaying deltas forward.
+    fn restore_index_into(&self, idx: usize, out: &mut Vec<u8>) -> Result<(), DeltaError> {
+        let key = (0..=idx)
+            .rev()
+            .find(|&i| self.slots[i].kind == SlotKind::Keyframe)
+            .expect("front slot is always a keyframe");
+        out.clear();
+        out.extend_from_slice(&self.slots[key].data);
+        for i in key + 1..=idx {
+            delta::apply_in_place(out, &self.slots[i].data)?;
+        }
+        Ok(())
+    }
+
+    /// Reconstructs the most recent checkpoint at or before `frame` into
+    /// `out` (cleared first; allocation reused across rollbacks) and
+    /// returns its metadata.
+    ///
+    /// # Errors
+    ///
+    /// [`RestoreError::NoCheckpoint`] if no retained checkpoint is old
+    /// enough; [`RestoreError::Delta`] if a stored delta is corrupt (the
+    /// state in `out` is then garbage and must not be loaded).
+    pub fn restore_into(
+        &self,
+        frame: u64,
+        out: &mut Vec<u8>,
+    ) -> Result<CheckpointInfo, RestoreError> {
+        let idx = (0..self.slots.len())
+            .rev()
+            .find(|&i| self.slots[i].frame <= frame)
+            .ok_or(RestoreError::NoCheckpoint { frame })?;
+        self.restore_index_into(idx, out)?;
+        let slot = &self.slots[idx];
+        Ok(CheckpointInfo {
+            frame: slot.frame,
+            hash: slot.hash,
+            stored_bytes: slot.data.len(),
+            is_keyframe: slot.kind == SlotKind::Keyframe,
+        })
     }
 
     /// Discards checkpoints newer than `frame` — they were computed from a
-    /// state a rollback is about to rewrite.
+    /// state a rollback is about to rewrite — and re-bases the delta chain
+    /// on the newest survivor.
     pub fn discard_after(&mut self, frame: u64) {
-        while self.slots.back().is_some_and(|c| c.frame > frame) {
-            self.slots.pop_back();
+        let mut dropped = false;
+        while self.slots.back().is_some_and(|s| s.frame > frame) {
+            let slot = self.slots.pop_back().expect("back checked above");
+            self.pool.give(slot.data);
+            dropped = true;
         }
+        if !dropped {
+            return;
+        }
+        // The next delta must encode against the surviving tail, and the
+        // cadence counter must reflect the trailing run that survived.
+        self.since_keyframe = self
+            .slots
+            .iter()
+            .rev()
+            .take_while(|s| s.kind == SlotKind::Delta)
+            .count();
+        let mut tail = std::mem::take(&mut self.tail_full);
+        match self.slots.len() {
+            0 => tail.clear(),
+            n => self
+                .restore_index_into(n - 1, &mut tail)
+                .expect("self-produced checkpoint delta applies"),
+        }
+        self.tail_full = tail;
     }
 
     /// Number of retained checkpoints.
@@ -90,17 +328,43 @@ impl SnapshotRing {
 
     /// Frame of the newest retained checkpoint.
     pub fn newest_frame(&self) -> Option<u64> {
-        self.slots.back().map(|c| c.frame)
+        self.slots.back().map(|s| s.frame)
     }
 
     /// Frame of the oldest retained checkpoint.
     pub fn oldest_frame(&self) -> Option<u64> {
-        self.slots.front().map(|c| c.frame)
+        self.slots.front().map(|s| s.frame)
     }
 
-    /// Total state bytes currently retained (memory accounting).
+    /// Number of retained keyframe (full-copy) slots.
+    pub fn keyframes(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.kind == SlotKind::Keyframe)
+            .count()
+    }
+
+    /// Total bytes currently retained — stored slots plus the cached
+    /// newest-state base (memory accounting).
     pub fn bytes(&self) -> usize {
-        self.slots.iter().map(|c| c.state.len()).sum()
+        self.slots.iter().map(|s| s.data.len()).sum::<usize>() + self.tail_full.len()
+    }
+
+    /// Cumulative full-vs-stored compression statistics.
+    pub fn compression(&self) -> CompressionStats {
+        self.stats
+    }
+
+    /// Cumulative buffer-pool reuse statistics.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+}
+
+impl Default for SnapshotRing {
+    /// A single-slot, full-copy ring (the smallest legal configuration).
+    fn default() -> SnapshotRing {
+        SnapshotRing::new(1)
     }
 }
 
@@ -108,10 +372,21 @@ impl SnapshotRing {
 mod tests {
     use super::*;
 
+    /// A deterministic ~1 KiB state that changes sparsely per frame, like
+    /// a real machine snapshot.
+    fn state_for(frame: u64) -> Vec<u8> {
+        let mut s = vec![0xA5u8; 1024];
+        s[0..8].copy_from_slice(&frame.to_le_bytes());
+        let hot = ((frame as usize).wrapping_mul(97)) % 1000;
+        s[hot] = frame as u8;
+        s[hot + 13] ^= 0x3C;
+        s
+    }
+
     fn ring_with(frames: &[u64]) -> SnapshotRing {
         let mut r = SnapshotRing::new(8);
         for &f in frames {
-            r.push(f, vec![f as u8], f * 10);
+            r.push(f, &state_for(f), f * 10);
         }
         r
     }
@@ -119,30 +394,94 @@ mod tests {
     #[test]
     fn push_evicts_oldest_at_capacity() {
         let mut r = SnapshotRing::new(2);
-        r.push(0, vec![0], 0);
-        r.push(5, vec![5], 50);
-        r.push(10, vec![10], 100);
+        r.push(0, &[0], 0);
+        r.push(5, &[5], 50);
+        r.push(10, &[10], 100);
         assert_eq!(r.len(), 2);
         assert_eq!(r.oldest_frame(), Some(5));
         assert_eq!(r.newest_frame(), Some(10));
-        assert_eq!(r.bytes(), 2);
     }
 
     #[test]
-    fn latest_at_or_before_picks_the_floor_checkpoint() {
+    fn restore_picks_the_floor_checkpoint() {
         let r = ring_with(&[0, 5, 10, 15]);
-        assert_eq!(r.latest_at_or_before(12).unwrap().frame, 10);
-        assert_eq!(r.latest_at_or_before(10).unwrap().frame, 10);
-        assert_eq!(r.latest_at_or_before(4).unwrap().frame, 0);
-        assert!(ring_with(&[5]).latest_at_or_before(4).is_none());
+        let mut buf = Vec::new();
+        assert_eq!(r.restore_into(12, &mut buf).unwrap().frame, 10);
+        assert_eq!(buf, state_for(10));
+        assert_eq!(r.restore_into(10, &mut buf).unwrap().frame, 10);
+        let info = r.restore_into(4, &mut buf).unwrap();
+        assert_eq!((info.frame, info.hash), (0, 0));
+        assert!(info.is_keyframe, "first slot is the keyframe");
+        assert_eq!(
+            ring_with(&[5]).restore_into(4, &mut buf),
+            Err(RestoreError::NoCheckpoint { frame: 4 })
+        );
     }
 
     #[test]
-    fn discard_after_drops_invalidated_checkpoints() {
+    fn every_slot_restores_bit_identically() {
+        // Capacity 8, keyframe every 4: restores cross delta chains and,
+        // after 20 pushes, several eviction promotions.
+        let mut r = SnapshotRing::new(8);
+        for f in 0..20 {
+            r.push(f, &state_for(f), f);
+        }
+        let mut buf = Vec::new();
+        for f in 12..20 {
+            let info = r.restore_into(f, &mut buf).unwrap();
+            assert_eq!(info.frame, f);
+            assert_eq!(buf, state_for(f), "frame {f}");
+        }
+        assert!(r.keyframes() >= 1, "front must stay a keyframe");
+    }
+
+    #[test]
+    fn delta_mode_matches_full_copy_mode() {
+        // keyframe_interval 1 is the original full-copy ring; every
+        // restore from the delta ring must be byte-identical to it,
+        // including across evictions and a mid-run discard_after.
+        let mut full = SnapshotRing::new(6).with_keyframe_interval(1);
+        let mut delta = SnapshotRing::new(6).with_keyframe_interval(4);
+        let push_all = |full: &mut SnapshotRing, delta: &mut SnapshotRing, f: u64| {
+            let s = state_for(f);
+            full.push(f, &s, f);
+            delta.push(f, &s, f);
+        };
+        for f in 0..17 {
+            push_all(&mut full, &mut delta, f);
+        }
+        full.discard_after(13);
+        delta.discard_after(13);
+        for f in 14..30 {
+            push_all(&mut full, &mut delta, f);
+        }
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for f in 24..30 {
+            let fa = full.restore_into(f, &mut a).unwrap();
+            let fb = delta.restore_into(f, &mut b).unwrap();
+            assert_eq!((fa.frame, fa.hash), (fb.frame, fb.hash), "frame {f}");
+            assert_eq!(a, b, "frame {f}");
+        }
+        assert!(
+            delta.compression().stored_bytes < full.compression().stored_bytes / 2,
+            "deltas must actually compress: {:?} vs {:?}",
+            delta.compression(),
+            full.compression()
+        );
+    }
+
+    #[test]
+    fn discard_after_drops_invalidated_checkpoints_and_rebases() {
         let mut r = ring_with(&[0, 5, 10, 15]);
         r.discard_after(7);
         assert_eq!(r.newest_frame(), Some(5));
         assert_eq!(r.len(), 2);
+        // New deltas encode against the surviving frame-5 state; restores
+        // after the discard must still be exact.
+        r.push(8, &state_for(8), 80);
+        let mut buf = Vec::new();
+        r.restore_into(8, &mut buf).unwrap();
+        assert_eq!(buf, state_for(8));
         // Discarding at an exact checkpoint frame keeps it.
         let mut r = ring_with(&[0, 5, 10]);
         r.discard_after(10);
@@ -150,10 +489,37 @@ mod tests {
     }
 
     #[test]
+    fn compression_beats_4x_on_sparse_changes() {
+        // The amortized ratio is capped by the keyframe cadence (every
+        // keyframe costs a full copy), so measure with a longer interval.
+        let mut r = SnapshotRing::new(8).with_keyframe_interval(8);
+        for f in 0..32 {
+            r.push(f, &state_for(f), f);
+        }
+        let c = r.compression();
+        assert!(c.ratio_milli() >= 4000, "ratio {} milli", c.ratio_milli());
+        assert_eq!(CompressionStats::default().ratio_milli(), 1000);
+    }
+
+    #[test]
+    fn steady_state_reuses_pooled_buffers() {
+        let mut r = SnapshotRing::new(8);
+        for f in 0..100 {
+            r.push(f, &state_for(f), f);
+        }
+        let stats = r.pool_stats();
+        // Warm-up allocates at most one buffer per slot (+1 headroom);
+        // everything after recycles.
+        assert!(stats.misses <= 9, "misses {}", stats.misses);
+        assert!(stats.hits >= 91, "hits {}", stats.hits);
+        assert!(stats.hit_rate_milli() > 900);
+    }
+
+    #[test]
     #[should_panic(expected = "in order")]
     fn out_of_order_push_panics() {
         let mut r = ring_with(&[10]);
-        r.push(10, vec![], 0);
+        r.push(10, &[], 0);
     }
 
     #[test]
@@ -171,5 +537,13 @@ mod tests {
         assert_eq!(SnapshotRing::capacity_for(30, 1), 32);
         // interval 0 is treated as 1 rather than dividing by zero
         assert_eq!(SnapshotRing::capacity_for(10, 0), 12);
+    }
+
+    #[test]
+    fn restore_errors_display() {
+        let e = RestoreError::NoCheckpoint { frame: 7 };
+        assert!(e.to_string().contains("frame 7"));
+        let e = RestoreError::from(DeltaError::Truncated);
+        assert!(e.to_string().contains("corrupt"));
     }
 }

@@ -218,6 +218,9 @@ impl std::error::Error for SimError {}
 
 /// One site's session under either consistency mode. Both speak the same
 /// wire protocol; the harness only needs a common driving surface.
+// A handful of these exist per experiment and live for its whole run, so
+// the variant size gap is not worth an extra indirection on every tick.
+#[allow(clippy::large_enum_variant)]
 enum Site {
     Lockstep(LockstepSession<Box<dyn Machine>, SimSocket, RandomPresser>),
     Rollback(RollbackSession<Box<dyn Machine>, SimSocket, RandomPresser>),

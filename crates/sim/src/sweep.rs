@@ -4,7 +4,13 @@
 //! milliseconds … the step is set to 10ms from 0 to 200ms and 50ms from
 //! 200ms to 400ms." [`paper_rtt_points`] generates exactly that series;
 //! [`run_sweep`] executes one experiment per point and returns the rows
-//! behind Figures 1 and 2.
+//! behind Figures 1 and 2. [`run_sweep_parallel`] produces the identical
+//! rows using a thread per core: each sweep point is an independent,
+//! fully self-contained virtual-time simulation (every seed derives from
+//! the point's config, never from shared state), so points can run on any
+//! thread in any order without changing a single byte of the output.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use coplay_clock::SimDuration;
 
@@ -43,6 +49,72 @@ pub fn run_sweep(
         let mut cfg = base.clone();
         cfg.rtt = rtt;
         let result = run_experiment(cfg)?;
+        progress(rtt, &result);
+        rows.push(SweepRow { rtt, result });
+    }
+    Ok(rows)
+}
+
+/// Runs `base` at every RTT in `points`, fanning the points out across
+/// `threads` worker threads.
+///
+/// The output is byte-identical to [`run_sweep`]: each point's experiment
+/// is deterministic given its config alone, rows come back in point order,
+/// and `progress` fires in point order once every point has finished.
+/// `threads` is clamped to `1..=points.len()`; one thread falls back to
+/// the serial loop.
+///
+/// # Errors
+///
+/// Every point runs to completion; the error for the earliest failing
+/// point (in point order, matching the serial loop) is returned.
+pub fn run_sweep_parallel(
+    base: &ExperimentConfig,
+    points: &[SimDuration],
+    threads: usize,
+    mut progress: impl FnMut(SimDuration, &ExperimentResult),
+) -> Result<Vec<SweepRow>, SimError> {
+    let threads = threads.clamp(1, points.len().max(1));
+    if threads == 1 {
+        return run_sweep(base, points, progress);
+    }
+    // Work-stealing over an atomic cursor: threads claim whichever point
+    // is next, and results land in per-thread (index, result) lists that
+    // are merged by index afterwards — scheduling order never leaks into
+    // the output.
+    let next = AtomicUsize::new(0);
+    let per_thread: Vec<Vec<(usize, Result<ExperimentResult, SimError>)>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let next = &next;
+                    scope.spawn(move || {
+                        let mut mine = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(&rtt) = points.get(i) else {
+                                return mine;
+                            };
+                            let mut cfg = base.clone();
+                            cfg.rtt = rtt;
+                            mine.push((i, run_experiment(cfg)));
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sweep worker panicked"))
+                .collect()
+        });
+    let mut slots: Vec<Option<Result<ExperimentResult, SimError>>> = Vec::new();
+    slots.resize_with(points.len(), || None);
+    for (i, r) in per_thread.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    let mut rows = Vec::with_capacity(points.len());
+    for (slot, &rtt) in slots.into_iter().zip(points) {
+        let result = slot.expect("atomic cursor visits every point")?;
         progress(rtt, &result);
         rows.push(SweepRow { rtt, result });
     }
@@ -144,6 +216,35 @@ mod tests {
         assert_eq!(f1.lines().count(), 2 + rows.len());
         let f2 = format_figure2(&rows);
         assert!(f2.contains("Figure 2"));
+    }
+
+    #[test]
+    fn parallel_sweep_is_byte_identical_to_serial() {
+        let base = ExperimentConfig {
+            frames: 120,
+            game: GameId::Pong,
+            ..ExperimentConfig::default()
+        };
+        let points = [
+            SimDuration::ZERO,
+            SimDuration::from_millis(30),
+            SimDuration::from_millis(80),
+            SimDuration::from_millis(120),
+        ];
+        let serial = run_sweep(&base, &points, |_, _| {}).unwrap();
+        let mut order = Vec::new();
+        let parallel = run_sweep_parallel(&base, &points, 4, |rtt, _| order.push(rtt)).unwrap();
+        assert_eq!(order, points, "progress fires in point order");
+        // The rendered figures are the output artifact; they must match to
+        // the byte, as must the raw counters behind them.
+        assert_eq!(format_figure1(&serial), format_figure1(&parallel));
+        assert_eq!(format_figure2(&serial), format_figure2(&parallel));
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.rtt, p.rtt);
+            assert_eq!(s.result.packets_offered, p.result.packets_offered);
+            assert_eq!(s.result.synchrony_ms, p.result.synchrony_ms);
+            assert_eq!(s.result.converged, p.result.converged);
+        }
     }
 
     #[test]

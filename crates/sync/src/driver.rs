@@ -131,6 +131,8 @@ pub struct LockstepSession<M, T, S> {
     hash_frames: bool,
     stats: SessionStats,
     blocked_at: Option<SimTime>,
+    /// Reusable datagram buffer for the per-frame input send path.
+    send_buf: Vec<u8>,
 }
 
 impl<M: Machine, T: Transport, S: InputSource> LockstepSession<M, T, S> {
@@ -169,6 +171,7 @@ impl<M: Machine, T: Transport, S: InputSource> LockstepSession<M, T, S> {
             hash_frames: true,
             stats: SessionStats::default(),
             blocked_at: None,
+            send_buf: Vec::new(),
             cfg,
             machine,
             transport,
@@ -378,8 +381,8 @@ impl<M: Machine, T: Transport, S: InputSource> LockstepSession<M, T, S> {
                         for (dst, msg) in self.sync.outgoing(now) {
                             self.stats.input_messages_sent += 1;
                             self.stats.input_frames_sent += msg.inputs.len() as u64;
-                            self.transport
-                                .send(PeerId(dst), &Message::Input(msg).encode())?;
+                            Message::Input(msg).encode_into(&mut self.send_buf);
+                            self.transport.send(PeerId(dst), &self.send_buf)?;
                         }
                         if self.sync.ready() {
                             let mut stall = SimDuration::ZERO;
@@ -469,8 +472,8 @@ impl<M: Machine, T: Transport, S: InputSource> LockstepSession<M, T, S> {
             for (dst, msg) in self.sync.outgoing(now) {
                 self.stats.input_messages_sent += 1;
                 self.stats.input_frames_sent += msg.inputs.len() as u64;
-                self.transport
-                    .send(PeerId(dst), &Message::Input(msg).encode())?;
+                Message::Input(msg).encode_into(&mut self.send_buf);
+                self.transport.send(PeerId(dst), &self.send_buf)?;
             }
         }
         Ok(())

@@ -19,7 +19,7 @@
 use std::error::Error;
 use std::fmt;
 
-use coplay_net::bytes::{Buf, Bytes, BytesMut};
+use coplay_net::bytes::{Buf, BufMut, Bytes};
 use coplay_vm::InputWord;
 
 /// Protocol magic (1 byte) and version (1 byte).
@@ -153,7 +153,18 @@ mod ty {
 impl Message {
     /// Encodes the message into a fresh datagram payload.
     pub fn encode(&self) -> Vec<u8> {
-        let mut b = BytesMut::with_capacity(64);
+        let mut out = Vec::with_capacity(64);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Encodes the message into `out` (cleared first).
+    ///
+    /// The send paths call this once per datagram with a per-session
+    /// buffer, so steady-state input traffic allocates nothing.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        let b = out;
         b.put_u8(MAGIC);
         b.put_u8(VERSION);
         match self {
@@ -214,7 +225,6 @@ impl Message {
                 b.put_u64_le(*frame);
             }
         }
-        b.to_vec()
     }
 
     /// Decodes one datagram.
@@ -379,6 +389,28 @@ mod tests {
             let encoded = m.encode();
             assert_eq!(Message::decode(&encoded).unwrap(), m, "{m:?}");
         }
+    }
+
+    #[test]
+    fn encode_into_matches_encode_and_reuses_the_buffer() {
+        let mut buf = Vec::new();
+        for m in samples() {
+            m.encode_into(&mut buf);
+            assert_eq!(buf, m.encode(), "{m:?}");
+            assert_eq!(Message::decode(&buf).unwrap(), m, "{m:?}");
+        }
+        // A large message grows the buffer once; smaller ones after it
+        // must reuse the allocation.
+        Message::Input(InputMsg {
+            from: 0,
+            ack: 0,
+            first: 0,
+            inputs: vec![InputWord(7); 64],
+        })
+        .encode_into(&mut buf);
+        let cap = buf.capacity();
+        Message::Bye.encode_into(&mut buf);
+        assert_eq!(buf.capacity(), cap, "encode_into must not reallocate");
     }
 
     #[test]

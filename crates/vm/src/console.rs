@@ -184,14 +184,21 @@ impl Machine for Console {
     }
 
     fn save_state(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(STATE_MAGIC.len() + 8 + 8 + Cpu::SERIALIZED_LEN + 14);
+        let mut out = Vec::with_capacity(
+            STATE_MAGIC.len() + 8 + 8 + Cpu::SERIALIZED_LEN + 14 + self.fb.pixels().len(),
+        );
+        self.save_state_into(&mut out);
+        out
+    }
+
+    fn save_state_into(&self, out: &mut Vec<u8>) {
+        out.clear();
         out.extend_from_slice(STATE_MAGIC);
         out.extend_from_slice(&self.rom.content_hash().to_le_bytes());
         out.extend_from_slice(&self.frame.to_le_bytes());
-        self.cpu.serialize(&mut out);
+        self.cpu.serialize(out);
         out.extend_from_slice(&self.audio.save());
         out.extend_from_slice(self.fb.pixels());
-        out
     }
 
     fn load_state(&mut self, bytes: &[u8]) -> Result<(), StateError> {

@@ -135,6 +135,20 @@ pub trait Machine {
     /// Serializes the complete game state (for latecomer joins and saves).
     fn save_state(&self) -> Vec<u8>;
 
+    /// Serializes the complete game state into `out`, reusing its
+    /// allocation. `out` is cleared first; after the call it holds exactly
+    /// the bytes [`Machine::save_state`] would have returned.
+    ///
+    /// This is the checkpoint hot path: rollback netcode saves state every
+    /// few frames, and a machine that implements this natively lets the
+    /// caller pool buffers so steady-state checkpointing allocates nothing.
+    /// The default implementation falls back to [`Machine::save_state`]
+    /// (one transient allocation per call).
+    fn save_state_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        out.extend_from_slice(&self.save_state());
+    }
+
     /// Restores state captured by [`Machine::save_state`].
     ///
     /// # Errors
@@ -168,6 +182,9 @@ impl<M: Machine + ?Sized> Machine for Box<M> {
     }
     fn save_state(&self) -> Vec<u8> {
         (**self).save_state()
+    }
+    fn save_state_into(&self, out: &mut Vec<u8>) {
+        (**self).save_state_into(out)
     }
     fn load_state(&mut self, bytes: &[u8]) -> Result<(), StateError> {
         (**self).load_state(bytes)
@@ -241,9 +258,14 @@ impl Machine for NullMachine {
 
     fn save_state(&self) -> Vec<u8> {
         let mut v = Vec::with_capacity(16);
-        v.extend_from_slice(&self.frame.to_le_bytes());
-        v.extend_from_slice(&self.digest.to_le_bytes());
+        self.save_state_into(&mut v);
         v
+    }
+
+    fn save_state_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        out.extend_from_slice(&self.frame.to_le_bytes());
+        out.extend_from_slice(&self.digest.to_le_bytes());
     }
 
     fn load_state(&mut self, bytes: &[u8]) -> Result<(), StateError> {
@@ -305,6 +327,66 @@ mod tests {
         b.load_state(&snapshot).unwrap();
         assert_eq!(a.state_hash(), b.state_hash());
         assert_eq!(b.frame(), 10);
+    }
+
+    #[test]
+    fn save_state_into_matches_save_state_and_reuses_capacity() {
+        let mut m = NullMachine::new();
+        for i in 0..10u32 {
+            m.step_frame(InputWord(i));
+        }
+        let mut buf = Vec::with_capacity(64);
+        let cap = buf.capacity();
+        m.save_state_into(&mut buf);
+        assert_eq!(buf, m.save_state());
+        assert_eq!(buf.capacity(), cap, "no reallocation within capacity");
+        // A second capture overwrites rather than appends.
+        m.step_frame(InputWord(11));
+        m.save_state_into(&mut buf);
+        assert_eq!(buf, m.save_state());
+    }
+
+    #[test]
+    fn default_save_state_into_falls_back_to_save_state() {
+        // A machine that only implements `save_state` still works through
+        // the buffer-reuse entry point.
+        struct Legacy(NullMachine);
+        impl Machine for Legacy {
+            fn info(&self) -> MachineInfo {
+                self.0.info()
+            }
+            fn reset(&mut self) {
+                self.0.reset()
+            }
+            fn step_frame(&mut self, input: InputWord) {
+                self.0.step_frame(input)
+            }
+            fn frame(&self) -> u64 {
+                self.0.frame()
+            }
+            fn framebuffer(&self) -> &FrameBuffer {
+                self.0.framebuffer()
+            }
+            fn state_hash(&self) -> u64 {
+                self.0.state_hash()
+            }
+            fn save_state(&self) -> Vec<u8> {
+                self.0.save_state()
+            }
+            fn load_state(&mut self, bytes: &[u8]) -> Result<(), StateError> {
+                self.0.load_state(bytes)
+            }
+        }
+        let mut m = Legacy(NullMachine::new());
+        m.step_frame(InputWord(3));
+        let mut buf = vec![0xFF; 4];
+        m.save_state_into(&mut buf);
+        assert_eq!(buf, m.save_state());
+        // Boxed dyn machines forward to the native implementation.
+        let boxed: Box<dyn Machine> = Box::new(NullMachine::new());
+        let mut b2 = Vec::new();
+        boxed.save_state_into(&mut b2);
+        assert_eq!(b2, boxed.save_state());
     }
 
     #[test]

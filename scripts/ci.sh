@@ -26,4 +26,7 @@ cargo test -q -p coplay-rollback
 echo "==> rollback sweep smoke (writes results/BENCH_rollback.json)"
 cargo run -q --release -p coplay-bench --bin rollback_sweep -- --quick
 
+echo "==> hot-path smoke + perf-regression guard (2x vs checked-in baseline)"
+cargo run -q --release -p coplay-bench --bin hotpath -- --quick --check results/hotpath_baseline.json
+
 echo "CI OK"
