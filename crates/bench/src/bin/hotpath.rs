@@ -23,10 +23,13 @@
 use std::time::{Duration, Instant};
 
 use coplay_bench::{banner, write_results_json, Options};
-use coplay_games::catalog;
+use coplay_games::{catalog, rom_pong_console, rom_race_console};
 use coplay_rollback::{delta, SnapshotRing};
 use coplay_sync::{InputMsg, Message};
-use coplay_vm::InputWord;
+use coplay_vm::{
+    Console, Cpu, Devices, InputWord, Instruction, InterpMode, Machine, Reg, Rom, Syscall,
+    DEFAULT_CYCLES_PER_FRAME,
+};
 
 /// Regression threshold: fail when an op is more than this many times
 /// slower than the baseline.
@@ -52,6 +55,9 @@ struct GameSummary {
     delta_ratio_milli: u64,
     /// Snapshot-ring buffer-pool hit rate after warmup, in thousandths.
     pool_hit_rate_milli: u64,
+    /// Interpreter decode-cache warm-dispatch rate in thousandths; 0 for
+    /// native-Rust machines that have no interpreter.
+    decode_hit_rate_milli: u64,
 }
 
 /// Times `f` repeatedly, doubling the iteration count until one batch
@@ -209,16 +215,164 @@ fn measure_games(budget: Duration) -> (Vec<Measurement>, Vec<GameSummary>) {
             pool_ring.push(start + i, &cap, hash);
         }
         let pool_hit_rate_milli = pool_ring.pool_stats().hit_rate_milli();
+        let decode_hit_rate_milli = m.interp_stats().map_or(0, |s| s.hit_rate_milli());
 
         summaries.push(GameSummary {
             name,
             snapshot_bytes,
             delta_ratio_milli,
             pool_hit_rate_milli,
+            decode_hit_rate_milli,
         });
     }
 
     (measurements, summaries)
+}
+
+/// A self-modifying program: each frame stores the frame counter into the
+/// immediate of a later `ldi`, forcing the decode cache to invalidate and
+/// re-fill that slot every frame. Its `step_frame` cost is the
+/// cache-invalidation metric — the worst case the cache can be driven to.
+fn smc_rom() -> Rom {
+    let program: Vec<u8> = [
+        Instruction::In(Reg(4), 2),
+        Instruction::Ldi(Reg(3), 0x12),
+        Instruction::Stb(Reg(3), Reg(4), 0),
+        Instruction::Nop,
+        Instruction::Ldi(Reg(1), 0xAA00), // imm low byte at 0x12, patched above
+        Instruction::Yield,
+        Instruction::Jmp(0),
+    ]
+    .iter()
+    .flat_map(|i| i.encode())
+    .collect();
+    Rom::builder("SMC Probe").image(program).build()
+}
+
+/// A do-nothing device bus: isolates raw interpreter dispatch cost from
+/// framebuffer/audio work when timing `interp_step`.
+struct NullDev;
+
+impl Devices for NullDev {
+    fn input_port(&mut self, _port: u8) -> u16 {
+        0
+    }
+    fn syscall(&mut self, _call: Syscall, _regs: &[u16; 16]) {}
+}
+
+/// Interpreter fast-path metrics per ROM game: the reference-decoder
+/// counterparts of `resim_frame` / `rollback_repair_8` (the on-vs-off
+/// speedup the predecode cache buys), per-instruction dispatch cost, and
+/// the self-modifying-code worst case in both modes.
+type MakeConsole = fn() -> Console;
+
+fn measure_interp(budget: Duration) -> Vec<Measurement> {
+    let mut out = Vec::new();
+    let roms: [(&str, MakeConsole); 2] = [
+        ("ROM Pong", rom_pong_console as MakeConsole),
+        ("Button Race", rom_race_console as MakeConsole),
+    ];
+    for (name, make) in roms {
+        // Phase-lock with `measure_games`: replicate its exact stepping
+        // schedule (120-frame warmup, the +1/+32 snapshot and delta-window
+        // steps, 8 ring pushes) so the reference numbers pin the *same*
+        // checkpoint frame as the cache-on ones — both interpreter loops
+        // are state-identical, so any cost difference is pure mode.
+        let mut slow = make().with_interp_mode(InterpMode::Reference);
+        for f in 0..153 {
+            slow.step_frame(input_for(f));
+        }
+        let mut ring = SnapshotRing::new(8).with_keyframe_interval(4);
+        let mut cap = Vec::new();
+        for _ in 0..8 {
+            let f = slow.frame();
+            slow.step_frame(input_for(f));
+            slow.save_state_into(&mut cap);
+            ring.push(slow.frame(), &cap, slow.state_hash());
+        }
+        let newest = ring.newest_frame().expect("ring was just filled");
+
+        // Reference-mode resimulation: same loop shape as the cache-on
+        // `resim_frame` measurement over in `measure_games`.
+        let ns = bench_ns(budget, || {
+            let f = slow.frame();
+            slow.step_frame(input_for(f));
+        });
+        out.push(Measurement {
+            key: format!("{name}/resim_frame_ref"),
+            ns_per_op: ns,
+            bytes_per_op: 0,
+        });
+
+        // Reference-mode full repair, same shape as the cache-on metric —
+        // ring restore, state reload, 8 resimulated frames — so the on/off
+        // ratio compares like with like.
+        let mut rbuf = Vec::new();
+        let ns = bench_ns(budget, || {
+            ring.restore_into(newest, &mut rbuf)
+                .expect("newest checkpoint restores");
+            slow.load_state(&rbuf).expect("checkpoint bytes reload");
+            for k in 1..=8 {
+                slow.step_frame(input_for(newest + k));
+            }
+        });
+        out.push(Measurement {
+            key: format!("{name}/rollback_repair_8_ref"),
+            ns_per_op: ns / 8,
+            bytes_per_op: 0,
+        });
+
+        // Pure interpreter dispatch cost per instruction, isolated from the
+        // mode-independent frame work (drawing, audio, bus glue) that
+        // dilutes whole-frame ratios: a bare CPU running the same program
+        // against a do-nothing device. bytes_per_op carries the
+        // instructions retired per frame.
+        for (mode, key) in [
+            (InterpMode::Predecoded, "interp_step"),
+            (InterpMode::Reference, "interp_step_ref"),
+        ] {
+            let rom = make().rom().clone();
+            let mut cpu = Cpu::new(rom.entry(), rom.seed());
+            cpu.load_image(rom.image());
+            cpu.set_interp_mode(mode);
+            let mut dev = NullDev;
+            for _ in 0..120 {
+                cpu.run_frame(DEFAULT_CYCLES_PER_FRAME, &mut dev);
+            }
+            let (_, instr_per_frame) = cpu.run_frame(DEFAULT_CYCLES_PER_FRAME, &mut dev);
+            let instr = u64::from(instr_per_frame).max(1);
+            let ns_frame = bench_ns(budget, || {
+                std::hint::black_box(cpu.run_frame(DEFAULT_CYCLES_PER_FRAME, &mut dev));
+            });
+            out.push(Measurement {
+                key: format!("{name}/{key}"),
+                ns_per_op: ns_frame / instr,
+                bytes_per_op: instr,
+            });
+        }
+    }
+
+    // Cache-invalidation worst case: a program that patches its own code
+    // every frame, cache on vs off.
+    let mut fast = Console::new(smc_rom());
+    let mut slow = Console::new(smc_rom()).with_interp_mode(InterpMode::Reference);
+    for _ in 0..10 {
+        fast.step_frame(InputWord::NONE);
+        slow.step_frame(InputWord::NONE);
+    }
+    let ns = bench_ns(budget, || fast.step_frame(InputWord::NONE));
+    out.push(Measurement {
+        key: "smc/step_frame".to_string(),
+        ns_per_op: ns,
+        bytes_per_op: 0,
+    });
+    let ns = bench_ns(budget, || slow.step_frame(InputWord::NONE));
+    out.push(Measurement {
+        key: "smc/step_frame_ref".to_string(),
+        ns_per_op: ns,
+        bytes_per_op: 0,
+    });
+    out
 }
 
 fn measure_wire(budget: Duration) -> Vec<Measurement> {
@@ -258,11 +412,12 @@ fn render_json(opts: &Options, games: &[GameSummary], measurements: &[Measuremen
     for (i, g) in games.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"game\": \"{}\", \"snapshot_bytes\": {}, \"delta_ratio_milli\": {}, \
-             \"pool_hit_rate_milli\": {}}}{}\n",
+             \"pool_hit_rate_milli\": {}, \"decode_hit_rate_milli\": {}}}{}\n",
             g.name,
             g.snapshot_bytes,
             g.delta_ratio_milli,
             g.pool_hit_rate_milli,
+            g.decode_hit_rate_milli,
             if i + 1 < games.len() { "," } else { "" },
         ));
     }
@@ -364,6 +519,7 @@ fn main() {
     };
 
     let (mut measurements, games) = measure_games(budget);
+    measurements.extend(measure_interp(budget));
     measurements.extend(measure_wire(budget));
 
     println!("{:<28} {:>10} {:>10}", "op", "ns/op", "bytes/op");
@@ -372,18 +528,55 @@ fn main() {
     }
     println!();
     println!(
-        "{:<10} {:>14} {:>16} {:>18}",
-        "game", "snapshot B", "delta ratio", "pool hit rate"
+        "{:<12} {:>14} {:>16} {:>15} {:>15}",
+        "game", "snapshot B", "delta ratio", "pool hits", "decode hits"
     );
     for g in &games {
         println!(
-            "{:<10} {:>14} {:>13}.{:01}x {:>16}.{:01}%",
+            "{:<12} {:>14} {:>13}.{:01}x {:>13}.{:01}% {:>13}.{:01}%",
             g.name,
             g.snapshot_bytes,
             g.delta_ratio_milli / 1000,
             (g.delta_ratio_milli % 1000) / 100,
             g.pool_hit_rate_milli / 10,
             g.pool_hit_rate_milli % 10,
+            g.decode_hit_rate_milli / 10,
+            g.decode_hit_rate_milli % 10,
+        );
+    }
+    println!();
+
+    // The headline the predecode cache exists for: cache-on vs reference
+    // interpreter on the resimulation/repair path.
+    let ns_of = |key: &str| {
+        measurements
+            .iter()
+            .find(|m| m.key == key)
+            .map(|m| m.ns_per_op)
+    };
+    for name in ["ROM Pong", "Button Race"] {
+        for (op, op_ref) in [
+            ("interp_step", "interp_step_ref"),
+            ("resim_frame", "resim_frame_ref"),
+            ("rollback_repair_8", "rollback_repair_8_ref"),
+        ] {
+            if let (Some(on), Some(off)) = (
+                ns_of(&format!("{name}/{op}")),
+                ns_of(&format!("{name}/{op_ref}")),
+            ) {
+                println!(
+                    "{name}/{op}: {off} -> {on} ns/op ({}.{:01}x with decode cache)",
+                    off / on.max(1),
+                    (off * 10 / on.max(1)) % 10,
+                );
+            }
+        }
+    }
+    if let (Some(on), Some(off)) = (ns_of("smc/step_frame"), ns_of("smc/step_frame_ref")) {
+        println!(
+            "smc/step_frame: {off} -> {on} ns/op ({}.{:01}x with decode cache under self-modification)",
+            off / on.max(1),
+            (off * 10 / on.max(1)) % 10,
         );
     }
     println!();

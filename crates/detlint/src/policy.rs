@@ -85,9 +85,12 @@ mod tests {
     fn core_gets_everything() {
         for rel in [
             "crates/vm/src/machine.rs",
+            "crates/vm/src/cpu.rs",
+            "crates/vm/src/predecode.rs",
             "crates/games/src/pong.rs",
             "crates/rollback/src/session.rs",
             "crates/rollback/src/snapshot.rs",
+            "crates/rollback/src/delta.rs",
         ] {
             let rules = rules_for(rel);
             for r in Rule::ALL {

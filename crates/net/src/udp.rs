@@ -9,6 +9,7 @@
 use std::collections::BTreeMap;
 use std::io;
 use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
+use std::time::{Duration, Instant};
 
 use crate::transport::{PeerId, Transport, TransportError};
 
@@ -77,6 +78,67 @@ impl UdpTransport {
     pub fn local_addr(&self) -> io::Result<SocketAddr> {
         self.socket.local_addr()
     }
+
+    /// Waits up to `timeout` for a datagram from a known peer, blocking in
+    /// the kernel under a computed deadline instead of sleep-polling — a
+    /// paced frame waiting on remote input wakes the moment the packet
+    /// lands rather than paying up-to-1 ms quantization per check.
+    ///
+    /// Returns `Ok(None)` if the deadline passes with nothing received.
+    /// The socket is restored to non-blocking before returning, on every
+    /// path, so `try_recv` keeps its semantics afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns any socket error from the OS other than the timeout itself.
+    // detlint exempts crates/net from wall-clock rules: transport pacing is
+    // inherently wall-clock and never feeds simulation state.
+    #[allow(clippy::disallowed_methods)]
+    pub fn recv_timeout(
+        &mut self,
+        timeout: Duration,
+    ) -> Result<Option<(PeerId, Vec<u8>)>, TransportError> {
+        let deadline = Instant::now() + timeout;
+        self.socket
+            .set_nonblocking(false)
+            .map_err(TransportError::Io)?;
+        let result = loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                break Ok(None);
+            }
+            // Never Some(ZERO): that is "no timeout" on some platforms and
+            // an InvalidInput error on others.
+            if let Err(e) = self.socket.set_read_timeout(Some(remaining)) {
+                break Err(TransportError::Io(e));
+            }
+            match self.socket.recv_from(&mut self.buf) {
+                Ok((n, from)) => {
+                    // Same policy as `try_recv`: unknown senders are noise.
+                    if let Some(&peer) = self.by_addr.get(&from) {
+                        break Ok(Some((peer, self.buf[..n].to_vec())));
+                    }
+                }
+                // Timeouts surface as WouldBlock or TimedOut depending on
+                // the platform; the loop re-checks the deadline either way.
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut => {}
+                Err(e) => break Err(TransportError::Io(e)),
+            }
+        };
+        // Restore non-blocking mode even when the wait failed; a transport
+        // left blocking would stall the frame loop's next poll.
+        let restore = self
+            .socket
+            .set_read_timeout(None)
+            .and_then(|()| self.socket.set_nonblocking(true));
+        match (result, restore) {
+            (Err(e), _) => Err(e),
+            (Ok(_), Err(e)) => Err(TransportError::Io(e)),
+            (ok, Ok(())) => ok,
+        }
+    }
 }
 
 impl Transport for UdpTransport {
@@ -131,13 +193,9 @@ mod tests {
     }
 
     fn recv_blocking(t: &mut UdpTransport) -> (PeerId, Vec<u8>) {
-        for _ in 0..2_000 {
-            if let Some(m) = t.try_recv().unwrap() {
-                return m;
-            }
-            std::thread::sleep(std::time::Duration::from_millis(1));
-        }
-        panic!("no datagram arrived within 2s");
+        t.recv_timeout(Duration::from_secs(2))
+            .unwrap()
+            .expect("no datagram arrived within 2s")
     }
 
     #[test]
@@ -174,5 +232,27 @@ mod tests {
     fn empty_queue_returns_none() {
         let (mut a, _b) = pair();
         assert!(a.try_recv().unwrap().is_none());
+    }
+
+    #[test]
+    fn recv_timeout_expires_and_restores_nonblocking() {
+        let (mut a, mut b) = pair();
+        assert!(a.recv_timeout(Duration::from_millis(10)).unwrap().is_none());
+        // The socket must be non-blocking again: an immediate poll returns
+        // rather than hanging.
+        assert!(a.try_recv().unwrap().is_none());
+        // And a subsequent wait still delivers normally.
+        b.send(PeerId(0), b"late").unwrap();
+        let (from, data) = recv_blocking(&mut a);
+        assert_eq!((from, data.as_slice()), (PeerId(1), b"late".as_slice()));
+    }
+
+    #[test]
+    fn recv_timeout_ignores_unknown_senders_until_deadline() {
+        let (_, mut b) = pair();
+        let stranger = UdpSocket::bind("127.0.0.1:0").unwrap();
+        stranger.send_to(b"noise", b.local_addr().unwrap()).unwrap();
+        assert!(b.recv_timeout(Duration::from_millis(20)).unwrap().is_none());
+        assert!(b.try_recv().unwrap().is_none());
     }
 }

@@ -89,11 +89,68 @@ fn base_byte(base: &[u8], i: usize) -> u8 {
     base.get(i).copied().unwrap_or(0)
 }
 
+const LO: u64 = 0x0101_0101_0101_0101;
+const HI: u64 = 0x8080_8080_8080_8080;
+
+/// Advances `i` past the run of bytes where `new` equals the padded base,
+/// comparing eight bytes per iteration while both slices cover a full
+/// word. Returns the first index that differs (or `new.len()`).
+#[inline]
+fn scan_zero_run(base: &[u8], new: &[u8], mut i: usize) -> usize {
+    let word_end = base.len().min(new.len());
+    while i + 8 <= word_end {
+        let b = u64::from_le_bytes(base[i..i + 8].try_into().expect("len 8"));
+        let n = u64::from_le_bytes(new[i..i + 8].try_into().expect("len 8"));
+        let x = b ^ n;
+        if x == 0 {
+            i += 8;
+        } else {
+            // Little-endian load: the lowest set bit sits in the first
+            // differing byte.
+            return i + (x.trailing_zeros() / 8) as usize;
+        }
+    }
+    while i < new.len() && new[i] == base_byte(base, i) {
+        i += 1;
+    }
+    i
+}
+
+/// Advances `i` past the run of bytes where `new` differs from the padded
+/// base, eight bytes per iteration. Returns the first index that matches
+/// (or `new.len()`).
+#[inline]
+fn scan_literal_run(base: &[u8], new: &[u8], mut i: usize) -> usize {
+    let word_end = base.len().min(new.len());
+    while i + 8 <= word_end {
+        let b = u64::from_le_bytes(base[i..i + 8].try_into().expect("len 8"));
+        let n = u64::from_le_bytes(new[i..i + 8].try_into().expect("len 8"));
+        let x = b ^ n;
+        // Classic has-zero-byte trick: the flag of the *first* zero byte of
+        // `x` is always the lowest set flag (higher flags may be spurious
+        // from borrows, lower ones cannot be), so trailing_zeros finds the
+        // first matching byte exactly.
+        let z = x.wrapping_sub(LO) & !x & HI;
+        if z == 0 {
+            i += 8;
+        } else {
+            return i + (z.trailing_zeros() / 8) as usize;
+        }
+    }
+    while i < new.len() && new[i] != base_byte(base, i) {
+        i += 1;
+    }
+    i
+}
+
 /// Encodes `new` as a delta against `base` into `out` (cleared first).
 ///
 /// `out`'s allocation is reused; steady-state encoding of same-shaped
 /// states performs no heap allocation. Worst case (nothing repeats) the
-/// delta is `new.len()` plus a few varint bytes.
+/// delta is `new.len()` plus a few varint bytes. Run scanning is
+/// word-at-a-time (eight bytes per compare) — the output is byte-identical
+/// to a sequential byte scan, which the test suite asserts by fuzzing
+/// against the reference scanner.
 pub fn encode_into(base: &[u8], new: &[u8], out: &mut Vec<u8>) {
     out.clear();
     put_varint(out, new.len() as u64);
@@ -101,11 +158,32 @@ pub fn encode_into(base: &[u8], new: &[u8], out: &mut Vec<u8>) {
     while i < new.len() {
         // Count the zero run (bytes equal to the padded base).
         let zero_start = i;
+        i = scan_zero_run(base, new, i);
+        let zero_run = i - zero_start;
+        // Count the literal run (bytes that differ).
+        let lit_start = i;
+        i = scan_literal_run(base, new, i);
+        put_varint(out, zero_run as u64);
+        put_varint(out, (i - lit_start) as u64);
+        for (j, &b) in new.iter().enumerate().take(i).skip(lit_start) {
+            out.push(b ^ base_byte(base, j));
+        }
+    }
+}
+
+/// The original byte-at-a-time encoder, kept as the reference the
+/// word-at-a-time scanner is fuzzed against.
+#[cfg(test)]
+pub(crate) fn encode_into_bytewise(base: &[u8], new: &[u8], out: &mut Vec<u8>) {
+    out.clear();
+    put_varint(out, new.len() as u64);
+    let mut i = 0;
+    while i < new.len() {
+        let zero_start = i;
         while i < new.len() && new[i] == base_byte(base, i) {
             i += 1;
         }
         let zero_run = i - zero_start;
-        // Count the literal run (bytes that differ).
         let lit_start = i;
         while i < new.len() && new[i] != base_byte(base, i) {
             i += 1;
@@ -286,6 +364,76 @@ mod tests {
                 }
             }
             roundtrip(&base, &new);
+        }
+    }
+
+    #[test]
+    fn word_scanner_matches_bytewise_reference() {
+        // Deterministic fuzz over run structures that stress the word
+        // loop: runs crossing 8-byte boundaries, runs shorter than a word,
+        // length mismatches, and tails past the shorter slice.
+        let mut x = 0x0F0F_1234_5678_9ABCu64;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for round in 0..200 {
+            let base_len = (next() % 200) as usize;
+            let new_len = (next() % 200) as usize;
+            let base: Vec<u8> = (0..base_len).map(|_| next() as u8).collect();
+            // Build `new` as alternating equal/differing runs of random
+            // lengths so both scanners see every transition shape.
+            let mut new = Vec::with_capacity(new_len);
+            let mut differ = next() % 2 == 0;
+            while new.len() < new_len {
+                let run = 1 + (next() % 21) as usize;
+                for _ in 0..run {
+                    if new.len() == new_len {
+                        break;
+                    }
+                    let i = new.len();
+                    let b = base_byte(&base, i);
+                    new.push(if differ {
+                        b ^ (1 + (next() % 255) as u8)
+                    } else {
+                        b
+                    });
+                }
+                differ = !differ;
+            }
+
+            let mut fast = Vec::new();
+            let mut slow = Vec::new();
+            encode_into(&base, &new, &mut fast);
+            encode_into_bytewise(&base, &new, &mut slow);
+            assert_eq!(fast, slow, "round {round}: encodings must be identical");
+
+            let mut buf = base.clone();
+            apply_in_place(&mut buf, &fast).expect("delta applies");
+            assert_eq!(buf, new, "round {round}: roundtrip");
+        }
+    }
+
+    #[test]
+    fn word_scanner_handles_exact_word_boundaries() {
+        // Runs that start/end exactly on 8-byte boundaries, and slices
+        // that are exact multiples of the word size.
+        let base = vec![5u8; 64];
+        for (from, to) in [(0, 8), (8, 16), (8, 24), (0, 64), (56, 64), (7, 9)] {
+            let mut new = base.clone();
+            for b in &mut new[from..to] {
+                *b ^= 0xFF;
+            }
+            let mut fast = Vec::new();
+            let mut slow = Vec::new();
+            encode_into(&base, &new, &mut fast);
+            encode_into_bytewise(&base, &new, &mut slow);
+            assert_eq!(fast, slow, "diff range {from}..{to}");
+            let mut buf = base.clone();
+            apply_in_place(&mut buf, &fast).unwrap();
+            assert_eq!(buf, new);
         }
     }
 

@@ -23,7 +23,7 @@ use coplay_sync::{
     RttEstimator, SessionDriver, SessionStats, Step, StopReason, SyncConfig, SyncError,
 };
 use coplay_telemetry::EventKind;
-use coplay_vm::{InputWord, Machine};
+use coplay_vm::{InputWord, InterpStats, Machine};
 
 use crate::predict::{InputPredictor, RepeatLast};
 use crate::snapshot::SnapshotRing;
@@ -91,6 +91,9 @@ pub struct RollbackSession<M, T, S, P = RepeatLast> {
     send_buf: Vec<u8>,
     /// Pool hits already published to the telemetry counter.
     pool_hits_reported: u64,
+    /// Decode-cache totals already published to telemetry (the report
+    /// event carries deltas against this).
+    interp_reported: InterpStats,
     /// Predicted partials actually fed to the machine, per speculated frame
     /// per remote site — the comparison base for misprediction detection.
     used: BTreeMap<u64, BTreeMap<u8, InputWord>>,
@@ -176,6 +179,7 @@ impl<M: Machine, T: Transport, S: InputSource, P: InputPredictor> RollbackSessio
             restore_buf: Vec::new(),
             send_buf: Vec::new(),
             pool_hits_reported: 0,
+            interp_reported: InterpStats::default(),
             used: BTreeMap::new(),
             recent_hashes: BTreeMap::new(),
             pending_rollback: None,
@@ -511,6 +515,22 @@ impl<M: Machine, T: Transport, S: InputSource, P: InputPredictor> RollbackSessio
                     .telemetry
                     .counter_add("snapshot_pool_hits_total", hits - self.pool_hits_reported);
                 self.pool_hits_reported = hits;
+            }
+            if let Some(stats) = self.machine.interp_stats() {
+                let hits = stats.hits.saturating_sub(self.interp_reported.hits);
+                let misses = stats.misses.saturating_sub(self.interp_reported.misses);
+                let flushes = stats.flushes.saturating_sub(self.interp_reported.flushes);
+                if hits | misses | flushes != 0 {
+                    self.cfg.telemetry.record(
+                        now,
+                        EventKind::DecodeCacheReport {
+                            hits,
+                            misses,
+                            flushes,
+                        },
+                    );
+                    self.interp_reported = stats;
+                }
             }
         }
         let mut word = self.sync.merged_input(frame);

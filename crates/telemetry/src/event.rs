@@ -133,6 +133,19 @@ pub enum EventKind {
         /// Frames re-executed to return to the present.
         resimulated: u64,
     },
+    /// Periodic report of the machine's interpreter decode-cache activity.
+    /// All fields are deltas since the previous report, so summing events
+    /// reconstructs the session totals (and flushes spiking alongside
+    /// misses is the signature of self-modifying code defeating the cache).
+    DecodeCacheReport {
+        /// Instructions dispatched from a warm cache slot since last report.
+        hits: u64,
+        /// Instructions that needed a fresh decode since last report.
+        misses: u64,
+        /// Whole-cache flushes (image loads / state restores) since last
+        /// report.
+        flushes: u64,
+    },
 }
 
 impl EventKind {
@@ -157,6 +170,7 @@ impl EventKind {
             EventKind::CheckpointSaved { .. } => "checkpoint_saved",
             EventKind::InputMispredicted { .. } => "input_mispredicted",
             EventKind::RollbackExecuted { .. } => "rollback_executed",
+            EventKind::DecodeCacheReport { .. } => "decode_cache_report",
         }
     }
 }
@@ -262,6 +276,16 @@ impl Event {
                     ",\"to_frame\":{to_frame},\"depth\":{depth},\"resimulated\":{resimulated}"
                 );
             }
+            EventKind::DecodeCacheReport {
+                hits,
+                misses,
+                flushes,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"hits\":{hits},\"misses\":{misses},\"flushes\":{flushes}"
+                );
+            }
         }
         out.push('}');
     }
@@ -350,6 +374,11 @@ mod tests {
                 to_frame: 31,
                 depth: 4,
                 resimulated: 6,
+            },
+            EventKind::DecodeCacheReport {
+                hits: 100_000,
+                misses: 12,
+                flushes: 1,
             },
         ];
         for kind in kinds {

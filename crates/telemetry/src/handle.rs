@@ -279,6 +279,17 @@ fn derive_metrics(m: &mut MetricsRegistry, kind: &EventKind) {
             m.observe("rollback_depth_frames", depth);
             m.observe("resimulated_frames", resimulated);
         }
+        EventKind::DecodeCacheReport {
+            hits,
+            misses,
+            flushes,
+        } => {
+            // The event carries deltas, so plain counter adds reconstruct
+            // the session totals.
+            m.counter_add("decode_cache_hits_total", hits);
+            m.counter_add("decode_cache_misses_total", misses);
+            m.counter_add("decode_cache_flushes_total", flushes);
+        }
     }
 }
 

@@ -12,6 +12,7 @@ use crate::hash::fnv1a;
 use crate::input::InputWord;
 use crate::isa::Syscall;
 use crate::machine::{Machine, MachineInfo, StateError};
+use crate::predecode::{InterpMode, InterpStats};
 use crate::rom::Rom;
 use crate::video::{Color, FrameBuffer};
 
@@ -47,7 +48,6 @@ pub struct Console {
     cpu: Cpu,
     fb: FrameBuffer,
     audio: AudioChannel,
-    audio_frame: Vec<i16>,
     frame: u64,
     cycles_per_frame: u32,
 }
@@ -61,7 +61,6 @@ impl Console {
             cpu,
             fb: FrameBuffer::standard(),
             audio: AudioChannel::new(),
-            audio_frame: Vec::new(),
             frame: 0,
             rom,
             cycles_per_frame: DEFAULT_CYCLES_PER_FRAME,
@@ -73,6 +72,19 @@ impl Console {
     pub fn with_cycle_budget(mut self, cycles: u32) -> Console {
         self.cycles_per_frame = cycles.max(1);
         self
+    }
+
+    /// Selects the interpreter loop (default [`InterpMode::Predecoded`]).
+    /// The mode survives [`Machine::reset`] and never affects game state —
+    /// both loops are byte-for-byte equivalent.
+    pub fn with_interp_mode(mut self, mode: InterpMode) -> Console {
+        self.cpu.set_interp_mode(mode);
+        self
+    }
+
+    /// The interpreter loop this board runs.
+    pub fn interp_mode(&self) -> InterpMode {
+        self.cpu.interp_mode()
     }
 
     /// The inserted cartridge.
@@ -147,11 +159,12 @@ impl Machine for Console {
     }
 
     fn reset(&mut self) {
+        let mode = self.cpu.interp_mode();
         self.cpu = Cpu::new(self.rom.entry(), self.rom.seed());
+        self.cpu.set_interp_mode(mode);
         self.cpu.load_image(self.rom.image());
         self.fb = FrameBuffer::standard();
         self.audio = AudioChannel::new();
-        self.audio_frame.clear();
         self.frame = 0;
     }
 
@@ -163,7 +176,9 @@ impl Machine for Console {
             frame: self.frame,
         };
         self.cpu.run_frame(self.cycles_per_frame, &mut bus);
-        self.audio_frame = self.audio.render_frame(self.rom.cfps()).to_vec();
+        // The channel renders into its own reusable buffer; `audio_samples`
+        // borrows it directly, so no per-frame copy happens here.
+        self.audio.render_frame(self.rom.cfps());
         self.frame += 1;
     }
 
@@ -176,7 +191,7 @@ impl Machine for Console {
     }
 
     fn audio_samples(&self) -> &[i16] {
-        &self.audio_frame
+        self.audio.last_frame()
     }
 
     fn state_hash(&self) -> u64 {
@@ -228,12 +243,12 @@ impl Machine for Console {
         self.audio
             .load(bytes[pos..pos + 14].try_into().expect("len 14"));
         pos += 14;
-        let mut fb = FrameBuffer::standard();
-        for (i, &px) in bytes[pos..pos + fb_len].iter().enumerate() {
-            fb.set_pixel((i % fb.width()) as i32, (i / fb.width()) as i32, Color(px));
-        }
-        self.fb = fb;
+        self.fb.load_pixels(&bytes[pos..pos + fb_len]);
         Ok(())
+    }
+
+    fn interp_stats(&self) -> Option<InterpStats> {
+        Some(self.cpu.interp_stats())
     }
 }
 

@@ -55,6 +55,7 @@ mod hash;
 mod input;
 mod isa;
 mod machine;
+mod predecode;
 mod rom;
 mod video;
 
@@ -66,5 +67,6 @@ pub use hash::{fnv1a, StateHasher};
 pub use input::{Button, InputWord, Player, PortMap};
 pub use isa::{Instruction, Reg, Syscall, INSTR_SIZE};
 pub use machine::{Machine, MachineInfo, NullMachine, StateError};
+pub use predecode::{InterpMode, InterpStats};
 pub use rom::{Rom, RomBuilder, RomError};
 pub use video::{Color, FrameBuffer, HEIGHT, PALETTE, WIDTH};

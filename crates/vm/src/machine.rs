@@ -11,6 +11,7 @@ use std::error::Error;
 use std::fmt;
 
 use crate::input::InputWord;
+use crate::predecode::InterpStats;
 use crate::video::FrameBuffer;
 
 /// Static facts about a machine (the "ROM header").
@@ -156,6 +157,14 @@ pub trait Machine {
     /// Returns a [`StateError`] if the snapshot is malformed or belongs to a
     /// different machine.
     fn load_state(&mut self, bytes: &[u8]) -> Result<(), StateError>;
+
+    /// Cumulative interpreter decode-cache statistics, for machines that
+    /// run on a predecoded-dispatch interpreter (the [`crate::Console`]).
+    /// Observability only — never part of the state hash. `None` for
+    /// machines without an interpreter cache.
+    fn interp_stats(&self) -> Option<InterpStats> {
+        None
+    }
 }
 
 impl<M: Machine + ?Sized> Machine for Box<M> {
@@ -188,6 +197,9 @@ impl<M: Machine + ?Sized> Machine for Box<M> {
     }
     fn load_state(&mut self, bytes: &[u8]) -> Result<(), StateError> {
         (**self).load_state(bytes)
+    }
+    fn interp_stats(&self) -> Option<InterpStats> {
+        (**self).interp_stats()
     }
 }
 

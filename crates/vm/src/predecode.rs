@@ -1,0 +1,489 @@
+//! The predecoded instruction cache behind the interpreter fast path.
+//!
+//! The reference interpreter re-decodes the 4-byte instruction word at `pc`
+//! on every step; under rollback netcode the same instructions are decoded
+//! again on every resimulated frame. [`DecodeCache`] amortizes that work:
+//! a dense table covering the whole 64 KiB address space holds one
+//! pre-resolved entry per possible `pc`, filled lazily the first time an
+//! address executes and dispatched from directly afterwards.
+//!
+//! Correctness under self-modifying code rests on one invariant: **a slot
+//! is warm only while the 4 bytes it was decoded from are unchanged.** The
+//! CPU routes every memory store through [`DecodeCache::invalidate`], which
+//! re-colds exactly the slots whose fetch window overlaps the written
+//! bytes (`addr - 3 ..= addr + len - 1`, wrapping). Whole-image mutations
+//! (ROM loads, snapshot restores) flush the table. The cache is never
+//! serialized — snapshots stay byte-identical with the reference
+//! interpreter, and a restored machine simply re-warms.
+
+use crate::cpu::MEM_SIZE;
+use crate::isa::{Instruction, INSTR_SIZE};
+
+/// Which interpreter loop [`crate::Cpu::run_frame`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InterpMode {
+    /// Dispatch from the predecoded instruction cache (the default).
+    #[default]
+    Predecoded,
+    /// The original fetch–decode–execute loop, kept as the reference
+    /// implementation the fast path is differentially tested against.
+    Reference,
+}
+
+/// Cumulative decode-cache statistics since power-on.
+///
+/// These are observability data, not machine state: they are excluded from
+/// serialization and state hashes, and both interpreter modes produce
+/// byte-identical game state regardless of what they read.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InterpStats {
+    /// Instructions dispatched from a warm cache slot.
+    pub hits: u64,
+    /// Instructions that needed a fresh decode (cold or invalidated slot).
+    pub misses: u64,
+    /// Memory stores that re-colded a window of slots.
+    pub invalidations: u64,
+    /// Whole-table flushes (image loads and snapshot restores).
+    pub flushes: u64,
+}
+
+impl InterpStats {
+    /// Warm-dispatch rate in thousandths (992 = 99.2% of instructions
+    /// skipped the decoder). Returns 1000 for an idle interpreter.
+    pub fn hit_rate_milli(&self) -> u64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 1000;
+        }
+        self.hits.saturating_mul(1000) / total
+    }
+}
+
+/// Dense micro-op tag: [`Instruction`] with the operands hoisted out, plus
+/// the two cache sentinels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub(crate) enum Op {
+    /// Slot has no valid decode (never filled, or invalidated).
+    Cold,
+    /// The bytes at this address do not decode; executing them faults.
+    Illegal,
+    Nop,
+    Halt,
+    Yield,
+    Ldi,
+    Mov,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Modu,
+    And,
+    Or,
+    Xor,
+    Shli,
+    Shri,
+    Addi,
+    Subi,
+    Neg,
+    Cmp,
+    Cmpi,
+    Jmp,
+    Jz,
+    Jnz,
+    Jlt,
+    Jge,
+    Call,
+    Ret,
+    Ldw,
+    Stw,
+    Ldb,
+    Stb,
+    Push,
+    Pop,
+    In,
+    Rnd,
+    Sys,
+}
+
+/// Pre-resolved operands for one slot: register indices / ports / syscall
+/// numbers in `a` and `b` (packed nibbles already split), immediate or
+/// load-store offset in `imm`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Args {
+    pub a: u8,
+    pub b: u8,
+    pub imm: u16,
+}
+
+impl Args {
+    pub const ZERO: Args = Args { a: 0, b: 0, imm: 0 };
+}
+
+/// Lowers a decoded [`Instruction`] into its dispatch-table form. Legality
+/// (register ranges, syscall numbers) was already established by
+/// [`Instruction::decode`]; this is a pure re-layout.
+pub(crate) fn compile(instr: Instruction) -> (Op, Args) {
+    use Instruction as I;
+    let z = Args::ZERO;
+    match instr {
+        I::Nop => (Op::Nop, z),
+        I::Halt => (Op::Halt, z),
+        I::Yield => (Op::Yield, z),
+        I::Ldi(d, imm) => (Op::Ldi, Args { a: d.0, b: 0, imm }),
+        I::Mov(d, s) => (
+            Op::Mov,
+            Args {
+                a: d.0,
+                b: s.0,
+                imm: 0,
+            },
+        ),
+        I::Add(d, s) => (
+            Op::Add,
+            Args {
+                a: d.0,
+                b: s.0,
+                imm: 0,
+            },
+        ),
+        I::Sub(d, s) => (
+            Op::Sub,
+            Args {
+                a: d.0,
+                b: s.0,
+                imm: 0,
+            },
+        ),
+        I::Mul(d, s) => (
+            Op::Mul,
+            Args {
+                a: d.0,
+                b: s.0,
+                imm: 0,
+            },
+        ),
+        I::Div(d, s) => (
+            Op::Div,
+            Args {
+                a: d.0,
+                b: s.0,
+                imm: 0,
+            },
+        ),
+        I::Modu(d, s) => (
+            Op::Modu,
+            Args {
+                a: d.0,
+                b: s.0,
+                imm: 0,
+            },
+        ),
+        I::And(d, s) => (
+            Op::And,
+            Args {
+                a: d.0,
+                b: s.0,
+                imm: 0,
+            },
+        ),
+        I::Or(d, s) => (
+            Op::Or,
+            Args {
+                a: d.0,
+                b: s.0,
+                imm: 0,
+            },
+        ),
+        I::Xor(d, s) => (
+            Op::Xor,
+            Args {
+                a: d.0,
+                b: s.0,
+                imm: 0,
+            },
+        ),
+        I::Shli(d, imm) => (Op::Shli, Args { a: d.0, b: 0, imm }),
+        I::Shri(d, imm) => (Op::Shri, Args { a: d.0, b: 0, imm }),
+        I::Addi(d, imm) => (Op::Addi, Args { a: d.0, b: 0, imm }),
+        I::Subi(d, imm) => (Op::Subi, Args { a: d.0, b: 0, imm }),
+        I::Neg(d) => (
+            Op::Neg,
+            Args {
+                a: d.0,
+                b: 0,
+                imm: 0,
+            },
+        ),
+        I::Cmp(d, s) => (
+            Op::Cmp,
+            Args {
+                a: d.0,
+                b: s.0,
+                imm: 0,
+            },
+        ),
+        I::Cmpi(d, imm) => (Op::Cmpi, Args { a: d.0, b: 0, imm }),
+        I::Jmp(t) => (Op::Jmp, Args { a: 0, b: 0, imm: t }),
+        I::Jz(t) => (Op::Jz, Args { a: 0, b: 0, imm: t }),
+        I::Jnz(t) => (Op::Jnz, Args { a: 0, b: 0, imm: t }),
+        I::Jlt(t) => (Op::Jlt, Args { a: 0, b: 0, imm: t }),
+        I::Jge(t) => (Op::Jge, Args { a: 0, b: 0, imm: t }),
+        I::Call(t) => (Op::Call, Args { a: 0, b: 0, imm: t }),
+        I::Ret => (Op::Ret, z),
+        I::Ldw(d, s, off) => (
+            Op::Ldw,
+            Args {
+                a: d.0,
+                b: s.0,
+                imm: off as u16,
+            },
+        ),
+        I::Stw(d, s, off) => (
+            Op::Stw,
+            Args {
+                a: d.0,
+                b: s.0,
+                imm: off as u16,
+            },
+        ),
+        I::Ldb(d, s, off) => (
+            Op::Ldb,
+            Args {
+                a: d.0,
+                b: s.0,
+                imm: off as u16,
+            },
+        ),
+        I::Stb(d, s, off) => (
+            Op::Stb,
+            Args {
+                a: d.0,
+                b: s.0,
+                imm: off as u16,
+            },
+        ),
+        I::Push(s) => (
+            Op::Push,
+            Args {
+                a: s.0,
+                b: 0,
+                imm: 0,
+            },
+        ),
+        I::Pop(d) => (
+            Op::Pop,
+            Args {
+                a: d.0,
+                b: 0,
+                imm: 0,
+            },
+        ),
+        I::In(d, port) => (
+            Op::In,
+            Args {
+                a: d.0,
+                b: port,
+                imm: 0,
+            },
+        ),
+        I::Rnd(d) => (
+            Op::Rnd,
+            Args {
+                a: d.0,
+                b: 0,
+                imm: 0,
+            },
+        ),
+        I::Sys(n) => (
+            Op::Sys,
+            Args {
+                a: n as u8,
+                b: 0,
+                imm: 0,
+            },
+        ),
+    }
+}
+
+/// One pre-resolved dispatch slot per address in the 64 KiB space.
+///
+/// Tags and operands live in parallel arrays: the tag array is one byte
+/// per slot so a whole-table flush is a single `memset`, and a store's
+/// window invalidation touches only tag bytes.
+#[derive(Clone)]
+pub(crate) struct DecodeCache {
+    ops: Box<[Op; MEM_SIZE]>,
+    args: Box<[Args; MEM_SIZE]>,
+    /// Total fast-path dispatches (misses included); hits are derived.
+    dispatches: u64,
+    misses: u64,
+    invalidations: u64,
+    flushes: u64,
+}
+
+impl std::fmt::Debug for DecodeCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DecodeCache")
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl DecodeCache {
+    /// An entirely cold table.
+    pub fn new() -> DecodeCache {
+        DecodeCache {
+            ops: vec![Op::Cold; MEM_SIZE]
+                .into_boxed_slice()
+                .try_into()
+                .expect("len"),
+            args: vec![Args::ZERO; MEM_SIZE]
+                .into_boxed_slice()
+                .try_into()
+                .expect("len"),
+            dispatches: 0,
+            misses: 0,
+            invalidations: 0,
+            flushes: 0,
+        }
+    }
+
+    #[inline(always)]
+    pub fn op(&self, addr: u16) -> Op {
+        self.ops[addr as usize]
+    }
+
+    #[inline(always)]
+    pub fn args(&self, addr: u16) -> Args {
+        self.args[addr as usize]
+    }
+
+    /// Decodes the fetched `bytes` for `addr`, stores the slot, and returns
+    /// its tag ([`Op::Illegal`] when the bytes do not decode).
+    pub fn fill(&mut self, addr: u16, bytes: [u8; 4]) -> Op {
+        self.misses += 1;
+        let (op, args) = match Instruction::decode(bytes) {
+            Some(i) => compile(i),
+            None => (Op::Illegal, Args::ZERO),
+        };
+        self.ops[addr as usize] = op;
+        self.args[addr as usize] = args;
+        op
+    }
+
+    /// Re-colds every slot whose fetch window overlaps the `len` bytes
+    /// written at `addr` (wrapping at the address-space edge, mirroring
+    /// the wrapping instruction fetch).
+    #[inline]
+    pub fn invalidate(&mut self, addr: u16, len: u16) {
+        let first = addr.wrapping_sub(INSTR_SIZE - 1);
+        for i in 0..(INSTR_SIZE - 1 + len) {
+            self.ops[first.wrapping_add(i) as usize] = Op::Cold;
+        }
+        self.invalidations += 1;
+    }
+
+    /// Re-colds the whole table (whole-image mutations: ROM load, snapshot
+    /// restore).
+    pub fn flush(&mut self) {
+        self.ops.fill(Op::Cold);
+        self.flushes += 1;
+    }
+
+    /// Folds one frame's dispatch count into the statistics; called once
+    /// per `run_frame` so the hot loop carries no per-step counter.
+    #[inline]
+    pub fn note_dispatches(&mut self, n: u64) {
+        self.dispatches += n;
+    }
+
+    pub fn stats(&self) -> InterpStats {
+        InterpStats {
+            hits: self.dispatches.saturating_sub(self.misses),
+            misses: self.misses,
+            invalidations: self.invalidations,
+            flushes: self.flushes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Reg, Syscall};
+
+    #[test]
+    fn compile_hoists_operands() {
+        let (op, args) = compile(Instruction::Ldw(Reg(3), Reg(7), 9));
+        assert_eq!(op, Op::Ldw);
+        assert_eq!((args.a, args.b, args.imm), (3, 7, 9));
+        let (op, args) = compile(Instruction::Sys(Syscall::Rect));
+        assert_eq!(op, Op::Sys);
+        assert_eq!(args.a, Syscall::Rect as u8);
+    }
+
+    #[test]
+    fn fill_caches_legal_and_illegal_encodings() {
+        let mut c = DecodeCache::new();
+        assert_eq!(c.op(0), Op::Cold);
+        let bytes = Instruction::Ldi(Reg(2), 0xBEEF).encode();
+        assert_eq!(c.fill(0, bytes), Op::Ldi);
+        assert_eq!(c.op(0), Op::Ldi);
+        assert_eq!(c.args(0).imm, 0xBEEF);
+        assert_eq!(c.fill(4, [0xFF, 0, 0, 0]), Op::Illegal);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn invalidate_covers_every_overlapping_window() {
+        let mut c = DecodeCache::new();
+        let nop = Instruction::Nop.encode();
+        for addr in 90..110u16 {
+            c.fill(addr, nop);
+        }
+        // A one-byte store at 100 must re-cold starts 97..=100 only.
+        c.invalidate(100, 1);
+        for addr in 90..110u16 {
+            let expect_cold = (97..=100).contains(&addr);
+            assert_eq!(c.op(addr) == Op::Cold, expect_cold, "addr {addr}");
+        }
+        // A word store also covers the window of its second byte.
+        c.invalidate(200, 2);
+        assert_eq!(c.stats().invalidations, 2);
+    }
+
+    #[test]
+    fn invalidate_wraps_at_the_address_space_edge() {
+        let mut c = DecodeCache::new();
+        let nop = Instruction::Nop.encode();
+        c.fill(0xFFFF, nop);
+        c.fill(0x0001, nop);
+        // A store at 0x0001 overlaps the window fetched at 0xFFFF
+        // (0xFFFF, 0x0000, 0x0001, 0x0002 — the fetch wraps too).
+        c.invalidate(0x0001, 1);
+        assert_eq!(c.op(0xFFFF), Op::Cold);
+        assert_eq!(c.op(0x0001), Op::Cold);
+    }
+
+    #[test]
+    fn flush_colds_everything_and_counts() {
+        let mut c = DecodeCache::new();
+        c.fill(8, Instruction::Nop.encode());
+        c.flush();
+        assert_eq!(c.op(8), Op::Cold);
+        assert_eq!(c.stats().flushes, 1);
+    }
+
+    #[test]
+    fn hit_rate_derivation() {
+        let mut c = DecodeCache::new();
+        c.fill(0, Instruction::Nop.encode());
+        c.note_dispatches(100);
+        let s = c.stats();
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 99);
+        assert_eq!(s.hit_rate_milli(), 990);
+        assert_eq!(InterpStats::default().hit_rate_milli(), 1000);
+    }
+}

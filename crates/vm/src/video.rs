@@ -102,6 +102,21 @@ impl FrameBuffer {
         &self.pixels
     }
 
+    /// Overwrites the whole buffer from raw palette indices, masking each
+    /// to 4 bits (the same normalization [`FrameBuffer::set_pixel`]
+    /// applies). This is the snapshot-restore fast path: one linear pass
+    /// instead of per-pixel coordinate arithmetic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not exactly `width * height` bytes.
+    pub fn load_pixels(&mut self, data: &[u8]) {
+        assert_eq!(data.len(), self.pixels.len(), "pixel payload size");
+        for (dst, &src) in self.pixels.iter_mut().zip(data) {
+            *dst = src & 0x0F;
+        }
+    }
+
     /// The colour at `(x, y)`; out-of-bounds reads are black.
     pub fn pixel(&self, x: i32, y: i32) -> Color {
         if x < 0 || y < 0 || x as usize >= self.width || y as usize >= self.height {
@@ -125,15 +140,19 @@ impl FrameBuffer {
 
     /// Fills the axis-aligned rectangle, clipping at the edges.
     pub fn fill_rect(&mut self, x: i32, y: i32, w: i32, h: i32, color: Color) {
-        let x0 = x.max(0);
-        let y0 = y.max(0);
-        let x1 = (x + w).min(self.width as i32);
-        let y1 = (y + h).min(self.height as i32);
+        let x0 = x.max(0) as usize;
+        let y0 = y.max(0) as usize;
+        let x1 = (x + w).min(self.width as i32).max(0) as usize;
+        let y1 = (y + h).min(self.height as i32).max(0) as usize;
+        if x0 >= x1 {
+            return;
+        }
+        // Row-at-a-time fills: games redraw every sprite every frame, so
+        // this sits on the resimulation hot path.
+        let c = color.index();
         for yy in y0..y1 {
-            let row = yy as usize * self.width;
-            for xx in x0..x1 {
-                self.pixels[row + xx as usize] = color.index();
-            }
+            let row = yy * self.width;
+            self.pixels[row + x0..row + x1].fill(c);
         }
     }
 
@@ -172,21 +191,21 @@ impl FrameBuffer {
             0b111_101_111_101_111, // 8
             0b111_101_111_001_111, // 9
         ];
-        let digits: Vec<u32> = {
-            let mut v = Vec::new();
-            let mut rest = value;
-            loop {
-                v.push(rest % 10);
-                rest /= 10;
-                if rest == 0 {
-                    break;
-                }
+        // u32 has at most 10 decimal digits; a stack buffer keeps this
+        // allocation-free (scores are redrawn every frame).
+        let mut digits = [0u32; 10];
+        let mut count = 0;
+        let mut rest = value;
+        loop {
+            digits[count] = rest % 10;
+            count += 1;
+            rest /= 10;
+            if rest == 0 {
+                break;
             }
-            v.reverse();
-            v
-        };
-        for (i, d) in digits.iter().enumerate() {
-            let glyph = DIGITS[*d as usize];
+        }
+        for i in 0..count {
+            let glyph = DIGITS[digits[count - 1 - i] as usize];
             for row in 0..5 {
                 for col in 0..3 {
                     let bit = 14 - (row * 3 + col);

@@ -1,0 +1,169 @@
+//! Differential golden-hash tests for the predecoded-dispatch interpreter.
+//!
+//! The fast path is only allowed to exist because it is byte-for-byte
+//! equivalent to the reference fetch–decode–execute loop. These tests pin
+//! that equivalence where it matters: every bundled ROM game, frame by
+//! frame, including through a forced rollback/resimulate, plus a
+//! self-modifying program that would expose any stale decode-cache slot.
+
+use coplay_games::{rom_pong_console, rom_race_console};
+use coplay_vm::{
+    Console, InputWord, Instruction, InterpMode, Machine, Reg, Rom, DEFAULT_CYCLES_PER_FRAME,
+};
+
+const FRAMES: u64 = 120;
+
+/// Deterministic per-frame input pattern exercising several buttons.
+fn input_for(frame: u64) -> InputWord {
+    let mut z = frame.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z ^= z >> 29;
+    InputWord((z as u32) & 0x0F0F)
+}
+
+fn pairs() -> Vec<(&'static str, Console, Console)> {
+    vec![
+        (
+            "ROM Pong",
+            rom_pong_console(),
+            rom_pong_console().with_interp_mode(InterpMode::Reference),
+        ),
+        (
+            "Button Race",
+            rom_race_console(),
+            rom_race_console().with_interp_mode(InterpMode::Reference),
+        ),
+    ]
+}
+
+#[test]
+fn every_rom_game_hashes_identically_with_cache_on_and_off() {
+    for (name, mut fast, mut slow) in pairs() {
+        assert_eq!(fast.interp_mode(), InterpMode::Predecoded);
+        assert_eq!(slow.interp_mode(), InterpMode::Reference);
+        for frame in 0..FRAMES {
+            let input = input_for(frame);
+            fast.step_frame(input);
+            slow.step_frame(input);
+            assert_eq!(
+                fast.state_hash(),
+                slow.state_hash(),
+                "{name}: state diverged at frame {frame}"
+            );
+        }
+        let stats = fast.interp_stats().expect("console reports stats");
+        assert!(
+            stats.hits > stats.misses,
+            "{name}: a real game must run mostly warm (hits {} misses {})",
+            stats.hits,
+            stats.misses
+        );
+    }
+}
+
+#[test]
+fn rollback_resimulation_hashes_identically_with_cache_on_and_off() {
+    for (name, mut fast, mut slow) in pairs() {
+        // Run to a checkpoint, snapshot both replicas.
+        for frame in 0..40 {
+            let input = input_for(frame);
+            fast.step_frame(input);
+            slow.step_frame(input);
+        }
+        let snap_fast = fast.save_state();
+        let snap_slow = slow.save_state();
+        assert_eq!(snap_fast, snap_slow, "{name}: snapshots must be identical");
+
+        // Speculate ahead on one input stream (the misprediction branch)...
+        for frame in 40..60 {
+            let input = input_for(frame * 7 + 1);
+            fast.step_frame(input);
+            slow.step_frame(input);
+        }
+
+        // ...then roll both back and resimulate with the corrected inputs,
+        // exactly what RollbackSession::perform_rollback does.
+        fast.load_state(&snap_fast).unwrap();
+        slow.load_state(&snap_slow).unwrap();
+        assert_eq!(
+            fast.state_hash(),
+            slow.state_hash(),
+            "{name}: hashes diverged right after restore"
+        );
+        for frame in 40..80 {
+            let input = input_for(frame);
+            fast.step_frame(input);
+            slow.step_frame(input);
+            assert_eq!(
+                fast.state_hash(),
+                slow.state_hash(),
+                "{name}: resimulation diverged at frame {frame}"
+            );
+        }
+
+        let stats = fast.interp_stats().expect("console reports stats");
+        assert!(
+            stats.flushes >= 1,
+            "{name}: the image load must flush (saw {})",
+            stats.flushes
+        );
+        assert!(
+            stats.invalidations > 0,
+            "{name}: the restore must invalidate slots covering changed memory"
+        );
+    }
+}
+
+/// A program that patches its own instruction stream every frame: it
+/// stores the frame counter into the immediate of a later `ldi`, so a
+/// cached decode of that slot goes stale the moment it is overwritten.
+fn smc_rom() -> Rom {
+    let program: Vec<u8> = [
+        Instruction::In(Reg(4), 2),          // 0x00: r4 = frame counter low
+        Instruction::Ldi(Reg(3), 0x12),      // 0x04: address of the imm low byte below
+        Instruction::Stb(Reg(3), Reg(4), 0), // 0x08: patch the ldi
+        Instruction::Nop,                    // 0x0C
+        Instruction::Ldi(Reg(1), 0xAA00),    // 0x10: imm low byte lives at 0x12
+        Instruction::Yield,                  // 0x14
+        Instruction::Jmp(0),                 // 0x18
+    ]
+    .iter()
+    .flat_map(|i| i.encode())
+    .collect();
+    Rom::builder("SMC Probe").image(program).build()
+}
+
+#[test]
+fn self_modifying_code_invalidates_precisely_and_stays_equivalent() {
+    let mut fast = Console::new(smc_rom()).with_cycle_budget(DEFAULT_CYCLES_PER_FRAME);
+    let mut slow = Console::new(smc_rom()).with_interp_mode(InterpMode::Reference);
+
+    for frame in 0..200u64 {
+        fast.step_frame(InputWord::NONE);
+        slow.step_frame(InputWord::NONE);
+        assert_eq!(
+            fast.state_hash(),
+            slow.state_hash(),
+            "state diverged at frame {frame}"
+        );
+        // The patched `ldi` must load the freshly stored byte, proving the
+        // warm slot was re-decoded, not replayed: on frame f the program
+        // reads frame counter f and executes `ldi r1, 0xAA00 | (f & 0xFF)`.
+        let expect = 0xAA00 | (frame as u16 & 0x00FF);
+        assert_eq!(fast.cpu().reg(Reg(1)), expect, "frame {frame}");
+        assert_eq!(slow.cpu().reg(Reg(1)), expect, "frame {frame}");
+    }
+
+    let stats = fast.interp_stats().expect("console reports stats");
+    assert!(
+        stats.invalidations >= 200,
+        "each frame's store must invalidate (saw {})",
+        stats.invalidations
+    );
+    // The patched slot re-decodes every frame, so misses keep growing well
+    // past the program's static instruction count.
+    assert!(
+        stats.misses >= 200,
+        "stale slots must re-decode (saw {} misses)",
+        stats.misses
+    );
+}
