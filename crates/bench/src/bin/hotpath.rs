@@ -406,6 +406,41 @@ fn measure_wire(budget: Duration) -> Vec<Measurement> {
     ]
 }
 
+/// Frame-lifecycle tracing cost on the hot path: `Telemetry::span` with a
+/// disabled handle (the production default), with a recording handle whose
+/// tracing flag is off (telemetry without spans), and with tracing on (the
+/// full record path into the flight-recorder ring). The first two must be
+/// branch-cheap — every frame of every session pays them — and the guard
+/// keeps them honest.
+fn measure_telemetry(budget: Duration) -> Vec<Measurement> {
+    use coplay_clock::SimTime;
+    use coplay_telemetry::{SpanStage, Telemetry};
+    let at = SimTime::from_micros(42);
+    let mut out = Vec::new();
+    let mut frame = 0u64;
+    for (key, tel) in [
+        ("telemetry/span_disabled", Telemetry::disabled()),
+        ("telemetry/span_tracing_off", Telemetry::recording()),
+        ("telemetry/span_tracing_on", Telemetry::tracing(1, 0)),
+    ] {
+        let ns = bench_ns(budget, || {
+            frame += 1;
+            tel.span(
+                std::hint::black_box(at),
+                SpanStage::Sampled,
+                std::hint::black_box(frame),
+                1,
+            );
+        });
+        out.push(Measurement {
+            key: key.to_string(),
+            ns_per_op: ns,
+            bytes_per_op: 0,
+        });
+    }
+    out
+}
+
 fn render_json(opts: &Options, games: &[GameSummary], measurements: &[Measurement]) -> String {
     let mut out = String::from("{\n  \"figure\": \"hotpath\",\n");
     out.push_str(&format!("  \"seed\": {},\n  \"games\": [\n", opts.seed));
@@ -521,6 +556,7 @@ fn main() {
     let (mut measurements, games) = measure_games(budget);
     measurements.extend(measure_interp(budget));
     measurements.extend(measure_wire(budget));
+    measurements.extend(measure_telemetry(budget));
 
     println!("{:<28} {:>10} {:>10}", "op", "ns/op", "bytes/op");
     for m in &measurements {
@@ -577,6 +613,15 @@ fn main() {
             "smc/step_frame: {off} -> {on} ns/op ({}.{:01}x with decode cache under self-modification)",
             off / on.max(1),
             (off * 10 / on.max(1)) % 10,
+        );
+    }
+    if let (Some(off), Some(on)) = (
+        ns_of("telemetry/span_tracing_off"),
+        ns_of("telemetry/span_tracing_on"),
+    ) {
+        println!(
+            "telemetry/span: {off} ns/op tracing-off vs {on} ns/op tracing-on \
+             (off must stay branch-cheap; the guard enforces it)"
         );
     }
     println!();

@@ -36,6 +36,10 @@ struct Registration {
     /// pooled-buffer reuse hits.
     compression_ratio_milli: u64,
     pool_hits: u64,
+    /// Flight-recorder eviction counters from the host's latest heartbeat:
+    /// total telemetry events lost and the trace-span subset.
+    dropped_events: u64,
+    dropped_spans: u64,
 }
 
 /// The lobby registry. Feed it decoded requests; it answers with replies to
@@ -111,6 +115,14 @@ impl LobbyServer {
             .gauge_set("session_compression_ratio_milli", worst_ratio as i64);
         self.metrics
             .gauge_set("session_snapshot_pool_hits", pool_hits as i64);
+        // Observability health: a nonzero span drop count means some host's
+        // trace dumps have holes and tracescope timelines may be partial.
+        let dropped_events: u64 = self.sessions.values().map(|s| s.dropped_events).sum();
+        let dropped_spans: u64 = self.sessions.values().map(|s| s.dropped_spans).sum();
+        self.metrics
+            .gauge_set("session_dropped_events", dropped_events as i64);
+        self.metrics
+            .gauge_set("session_dropped_spans", dropped_spans as i64);
         self.metrics.prometheus("coplay_lobby")
     }
 
@@ -167,6 +179,8 @@ impl LobbyServer {
                         max_rollback_depth: 0,
                         compression_ratio_milli: 0,
                         pool_hits: 0,
+                        dropped_events: 0,
+                        dropped_spans: 0,
                     },
                 );
                 vec![(from, LobbyMessage::Registered { id })]
@@ -184,6 +198,8 @@ impl LobbyServer {
                 max_rollback_depth,
                 compression_ratio_milli,
                 pool_hits,
+                dropped_events,
+                dropped_spans,
             } => {
                 if let Some(s) = self.sessions.get_mut(id) {
                     if s.host == from {
@@ -193,6 +209,8 @@ impl LobbyServer {
                         s.max_rollback_depth = *max_rollback_depth;
                         s.compression_ratio_milli = *compression_ratio_milli;
                         s.pool_hits = *pool_hits;
+                        s.dropped_events = *dropped_events;
+                        s.dropped_spans = *dropped_spans;
                     }
                 }
                 Vec::new()
@@ -280,6 +298,8 @@ mod tests {
             max_rollback_depth: depth,
             compression_ratio_milli: 4500,
             pool_hits: 128,
+            dropped_events: 6,
+            dropped_spans: 2,
         }
     }
 
@@ -447,6 +467,15 @@ mod tests {
             text.contains("coplay_lobby_session_snapshot_pool_hits 256"),
             "{text}"
         );
+        // Flight-recorder loss sums across hosts: 6+6 events, 2+2 spans.
+        assert!(
+            text.contains("coplay_lobby_session_dropped_events 12"),
+            "{text}"
+        );
+        assert!(
+            text.contains("coplay_lobby_session_dropped_spans 4"),
+            "{text}"
+        );
 
         // A host reporting weaker compression drags the worst-ratio gauge
         // down; sessions that never reported (ratio 0) stay excluded.
@@ -460,6 +489,8 @@ mod tests {
                 max_rollback_depth: 0,
                 compression_ratio_milli: 1100,
                 pool_hits: 10,
+                dropped_events: 0,
+                dropped_spans: 0,
             },
             t(2),
         );

@@ -13,7 +13,7 @@ use coplay_net::bytes::{Buf, BytesMut};
 use coplay_net::PeerId;
 
 const MAGIC: u8 = 0xC6;
-const VERSION: u8 = 2;
+const VERSION: u8 = 3;
 
 /// Longest session name accepted.
 pub const MAX_NAME: usize = 64;
@@ -101,6 +101,13 @@ pub enum LobbyMessage {
         compression_ratio_milli: u64,
         /// Cumulative snapshot buffer-pool reuse hits on the host.
         pool_hits: u64,
+        /// Telemetry events evicted from the host's flight-recorder ring
+        /// before they could be drained or dumped.
+        dropped_events: u64,
+        /// The subset of `dropped_events` that were frame-lifecycle trace
+        /// spans — lost tracing fidelity, flagged so an operator knows a
+        /// trace dump from this host has holes.
+        dropped_spans: u64,
     },
     /// Client: list open sessions.
     List,
@@ -236,6 +243,8 @@ impl LobbyMessage {
                 max_rollback_depth,
                 compression_ratio_milli,
                 pool_hits,
+                dropped_events,
+                dropped_spans,
             } => {
                 b.put_u8(ty::HEARTBEAT);
                 b.put_u32_le(id.0);
@@ -244,6 +253,8 @@ impl LobbyMessage {
                 b.put_u64_le(*max_rollback_depth);
                 b.put_u64_le(*compression_ratio_milli);
                 b.put_u64_le(*pool_hits);
+                b.put_u64_le(*dropped_events);
+                b.put_u64_le(*dropped_spans);
             }
             LobbyMessage::List => b.put_u8(ty::LIST),
             LobbyMessage::Listing { sessions } => {
@@ -358,7 +369,7 @@ impl LobbyMessage {
                 }
             }
             ty::HEARTBEAT => {
-                need!(4 + 8 * 5);
+                need!(4 + 8 * 7);
                 LobbyMessage::Heartbeat {
                     id: SessionId(b.get_u32_le()),
                     rollbacks: b.get_u64_le(),
@@ -366,6 +377,8 @@ impl LobbyMessage {
                     max_rollback_depth: b.get_u64_le(),
                     compression_ratio_milli: b.get_u64_le(),
                     pool_hits: b.get_u64_le(),
+                    dropped_events: b.get_u64_le(),
+                    dropped_spans: b.get_u64_le(),
                 }
             }
             ty::LIST => LobbyMessage::List,
@@ -456,6 +469,8 @@ mod tests {
                 max_rollback_depth: 9,
                 compression_ratio_milli: 4200,
                 pool_hits: 512,
+                dropped_events: 17,
+                dropped_spans: 5,
             },
             LobbyMessage::List,
             LobbyMessage::Listing {

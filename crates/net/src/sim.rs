@@ -180,6 +180,9 @@ impl SimNetwork {
                 },
             );
         }
+        self.telemetry.counter_add("net_datagrams_sent_total", 1);
+        self.telemetry
+            .counter_add("net_bytes_sent_total", payload.len() as u64);
         for at in fate.deliveries {
             self.queue.schedule(
                 at,
@@ -207,6 +210,8 @@ impl SimNetwork {
                 break;
             }
             let (_, flight) = self.queue.pop().expect("peeked entry exists");
+            self.telemetry
+                .counter_add("net_datagrams_delivered_total", 1);
             self.inboxes
                 .entry(flight.to)
                 .or_default()

@@ -11,6 +11,8 @@ use std::io;
 use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
 use std::time::{Duration, Instant};
 
+use coplay_telemetry::Telemetry;
+
 use crate::transport::{PeerId, Transport, TransportError};
 
 /// Maximum datagram this transport will receive. The sync protocol sends
@@ -36,6 +38,7 @@ pub struct UdpTransport {
     peers: BTreeMap<PeerId, SocketAddr>,
     by_addr: BTreeMap<SocketAddr, PeerId>,
     buf: Vec<u8>,
+    telemetry: Telemetry,
 }
 
 impl UdpTransport {
@@ -53,7 +56,15 @@ impl UdpTransport {
             peers: BTreeMap::new(),
             by_addr: BTreeMap::new(),
             buf: vec![0; MAX_DATAGRAM],
+            telemetry: Telemetry::disabled(),
         })
+    }
+
+    /// Attaches an observability sink: datagram/byte counters on both
+    /// directions, plus `udp_send_would_block_total` — the kernel-buffer
+    /// drop that [`Transport::send`] otherwise swallows silently.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Registers `peer` as reachable at `addr`.
@@ -116,6 +127,10 @@ impl UdpTransport {
                 Ok((n, from)) => {
                     // Same policy as `try_recv`: unknown senders are noise.
                     if let Some(&peer) = self.by_addr.get(&from) {
+                        self.telemetry
+                            .counter_add("udp_datagrams_received_total", 1);
+                        self.telemetry
+                            .counter_add("udp_bytes_received_total", n as u64);
                         break Ok(Some((peer, self.buf[..n].to_vec())));
                     }
                 }
@@ -153,10 +168,17 @@ impl Transport for UdpTransport {
             .copied()
             .ok_or(TransportError::UnknownPeer(to))?;
         match self.socket.send_to(payload, addr) {
-            Ok(_) => Ok(()),
+            Ok(n) => {
+                self.telemetry.counter_add("udp_datagrams_sent_total", 1);
+                self.telemetry.counter_add("udp_bytes_sent_total", n as u64);
+                Ok(())
+            }
             // A full send buffer on an unreliable transport is a drop, not
             // an error — exactly what UDP gives the paper's system.
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                self.telemetry.counter_add("udp_send_would_block_total", 1);
+                Ok(())
+            }
             Err(e) => Err(TransportError::Io(e)),
         }
     }
@@ -168,6 +190,10 @@ impl Transport for UdpTransport {
                     // Datagrams from unknown senders are dropped silently;
                     // an open UDP port receives arbitrary internet noise.
                     if let Some(&peer) = self.by_addr.get(&from) {
+                        self.telemetry
+                            .counter_add("udp_datagrams_received_total", 1);
+                        self.telemetry
+                            .counter_add("udp_bytes_received_total", n as u64);
                         return Ok(Some((peer, self.buf[..n].to_vec())));
                     }
                 }

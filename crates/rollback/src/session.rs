@@ -22,7 +22,7 @@ use coplay_sync::{
     ConsistencyMode, FrameEnd, FrameReport, FrameTimer, InputSource, InputSync, Message,
     RttEstimator, SessionDriver, SessionStats, Step, StopReason, SyncConfig, SyncError,
 };
-use coplay_telemetry::EventKind;
+use coplay_telemetry::{EventKind, SpanStage};
 use coplay_vm::{InputWord, InterpStats, Machine};
 
 use crate::predict::{InputPredictor, RepeatLast};
@@ -107,6 +107,10 @@ pub struct RollbackSession<M, T, S, P = RepeatLast> {
     /// drained via `take_confirmed` and must not be re-reported when a
     /// rollback resimulates through them.
     confirm_next: u64,
+    /// Timestamp of the most recent `tick`/`pump` call, used to stamp
+    /// `Confirmed` spans from [`RollbackSession::take_confirmed`], which
+    /// takes no clock of its own.
+    last_tick_at: SimTime,
 }
 
 impl<M: Machine, T: Transport, S: InputSource> RollbackSession<M, T, S, RepeatLast> {
@@ -184,6 +188,7 @@ impl<M: Machine, T: Transport, S: InputSource, P: InputPredictor> RollbackSessio
             recent_hashes: BTreeMap::new(),
             pending_rollback: None,
             confirm_next: 0,
+            last_tick_at: SimTime::ZERO,
             cfg,
             machine,
             transport,
@@ -255,6 +260,7 @@ impl<M: Machine, T: Transport, S: InputSource, P: InputPredictor> RollbackSessio
             return Vec::new();
         }
         let limit = self.sync.authoritative_frontier().min(pointer - 1);
+        let at = self.last_tick_at;
         let mut out = Vec::new();
         while let Some(entry) = self.recent_hashes.first_entry() {
             if *entry.key() > limit {
@@ -264,6 +270,9 @@ impl<M: Machine, T: Transport, S: InputSource, P: InputPredictor> RollbackSessio
             // A rollback may resimulate through already-confirmed frames
             // and re-insert their (identical) hashes; report each once.
             if frame >= self.confirm_next {
+                self.cfg
+                    .telemetry
+                    .span(at, SpanStage::Confirmed, frame, self.cfg.my_site);
                 out.push((frame, hash));
             }
         }
@@ -296,6 +305,7 @@ impl<M: Machine, T: Transport, S: InputSource, P: InputPredictor> RollbackSessio
     /// missing rollback checkpoint, or a stall exceeding the configured
     /// timeout while blocked at the speculation-window edge.
     pub fn tick(&mut self, now: SimTime) -> Result<Step, SyncError> {
+        self.last_tick_at = now;
         self.drain_transport(now)?;
         self.perform_rollback(now)?;
         loop {
@@ -414,6 +424,18 @@ impl<M: Machine, T: Transport, S: InputSource, P: InputPredictor> RollbackSessio
                                 );
                             }
                             let input = self.step_frame_at(pointer, now, true);
+                            self.cfg.telemetry.span(
+                                now,
+                                SpanStage::Merged,
+                                pointer,
+                                self.cfg.my_site,
+                            );
+                            self.cfg.telemetry.span(
+                                now,
+                                SpanStage::Presented,
+                                pointer,
+                                self.cfg.my_site,
+                            );
                             self.sync.advance();
                             self.cfg.telemetry.record(
                                 now,
@@ -477,6 +499,7 @@ impl<M: Machine, T: Transport, S: InputSource, P: InputPredictor> RollbackSessio
     ///
     /// Propagates transport failures, like [`tick`](Self::tick).
     pub fn pump(&mut self, now: SimTime) -> Result<(), SyncError> {
+        self.last_tick_at = now;
         self.drain_transport(now)?;
         self.perform_rollback(now)?;
         if matches!(self.phase, Phase::Run(_)) {
@@ -554,6 +577,7 @@ impl<M: Machine, T: Transport, S: InputSource, P: InputPredictor> RollbackSessio
             self.used.entry(frame).or_default().insert(s, masked);
             if count_predictions {
                 self.cfg.telemetry.counter_add("predicted_frames_total", 1);
+                self.cfg.telemetry.span(now, SpanStage::Predicted, frame, s);
             }
             word = word.merged(masked);
         }
@@ -596,8 +620,17 @@ impl<M: Machine, T: Transport, S: InputSource, P: InputPredictor> RollbackSessio
         }
         let depth = pointer - target;
         let resimulated = pointer - cp_frame;
+        self.cfg.telemetry.span(
+            now,
+            SpanStage::CheckpointRestored,
+            cp_frame,
+            self.cfg.my_site,
+        );
         for g in cp_frame..pointer {
             let _ = self.step_frame_at(g, now, false);
+            self.cfg
+                .telemetry
+                .span(now, SpanStage::Resimulated, g, self.cfg.my_site);
         }
         self.stats.note_rollback(depth, resimulated);
         self.cfg.telemetry.record(
@@ -730,6 +763,9 @@ impl<M: Machine, T: Transport, S: InputSource, P: InputPredictor> RollbackSessio
                         site: sender,
                     },
                 );
+                self.cfg
+                    .telemetry
+                    .span(now, SpanStage::Mispredicted, g, sender);
                 self.pending_rollback = Some(self.pending_rollback.map_or(g, |p| p.min(g)));
             }
         }

@@ -9,6 +9,7 @@
 //! something the paper assumes but the harness proves on every run.
 
 use std::cell::RefCell;
+use std::path::PathBuf;
 use std::rc::Rc;
 
 use coplay_clock::{Clock, EventId, EventQueue, SimDuration, SimTime, TimeServer, VirtualClock};
@@ -80,6 +81,17 @@ pub struct ExperimentConfig {
     /// network fabric. When `false` (the default), the no-op sink is used
     /// and the run costs nothing extra.
     pub telemetry: bool,
+    /// Additionally enable frame-lifecycle span tracing on every site
+    /// (implies `telemetry`). Each site's handle carries `(seed, site)` as
+    /// its `(session, site)` correlation identity, so per-site trace dumps
+    /// from one run can be merged into a cross-site timeline (the
+    /// `tracescope` tool does exactly this).
+    pub trace: bool,
+    /// When set, any site whose telemetry latched an anomaly (stall past
+    /// threshold, rollback-depth spike, detected desync) dumps a black-box
+    /// forensics bundle under this directory after the run. `None` (the
+    /// default) never touches the filesystem.
+    pub forensics_root: Option<PathBuf>,
     /// Consistency maintenance for the *player* sites: the paper's lockstep
     /// (default) or speculative rollback. Observer sites always run
     /// lockstep — they have no local input to predict around — and
@@ -112,6 +124,8 @@ impl Default for ExperimentConfig {
             start_skew: SimDuration::ZERO,
             check_convergence: true,
             telemetry: false,
+            trace: false,
+            forensics_root: None,
             consistency: ConsistencyMode::Lockstep,
         }
     }
@@ -323,7 +337,7 @@ impl Experiment {
         let mut server_sock = SimNetwork::socket(&net, PeerId::TIME_SERVER);
         let mut time_server = TimeServer::new();
 
-        let net_telemetry = if cfg.telemetry {
+        let net_telemetry = if cfg.telemetry || cfg.trace {
             Telemetry::recording()
         } else {
             Telemetry::disabled()
@@ -348,7 +362,9 @@ impl Experiment {
             if site_no != 0 && !is_observer {
                 sync_cfg.first_frame_delay = cfg.start_skew;
             }
-            if cfg.telemetry {
+            if cfg.trace {
+                sync_cfg.telemetry = Telemetry::tracing(cfg.seed, site_no);
+            } else if cfg.telemetry {
                 sync_cfg.telemetry = Telemetry::recording();
             }
             sync_cfg.consistency = cfg.consistency;
@@ -560,6 +576,23 @@ impl Experiment {
                             converged = false;
                         }
                     }
+                }
+            }
+        }
+        // Black-box dump: any site whose telemetry latched an anomaly
+        // (desync above, or a stall/rollback-depth spike during the run)
+        // writes its postmortem bundle before the handles are returned.
+        if let Some(root) = &cfg.forensics_root {
+            let config_text = format!("{cfg:#?}\n");
+            for tel in &telemetry {
+                match coplay_telemetry::forensics::dump_if_anomalous(
+                    root,
+                    tel,
+                    &[("config.txt", config_text.clone().into_bytes())],
+                ) {
+                    Ok(Some(path)) => eprintln!("forensics bundle: {}", path.display()),
+                    Ok(None) => {}
+                    Err(e) => eprintln!("warning: forensics dump failed: {e}"),
                 }
             }
         }

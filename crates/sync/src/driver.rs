@@ -27,7 +27,7 @@ use std::collections::BTreeMap;
 
 use coplay_clock::{SimDelta, SimDuration, SimTime};
 use coplay_net::{PeerId, Transport};
-use coplay_telemetry::EventKind;
+use coplay_telemetry::{EventKind, SpanStage};
 use coplay_vm::{InputWord, Machine};
 
 use crate::config::SyncConfig;
@@ -399,6 +399,19 @@ impl<M: Machine, T: Transport, S: InputSource> LockstepSession<M, T, S> {
                             }
                             let input = self.sync.take();
                             self.machine.step_frame(input);
+                            // Span chain: on a lockstep site a frame's input
+                            // vector is merged, confirmed authoritative, and
+                            // presented in one motion.
+                            let site = self.cfg.my_site;
+                            self.cfg
+                                .telemetry
+                                .span(now, SpanStage::Merged, self.frame, site);
+                            self.cfg
+                                .telemetry
+                                .span(now, SpanStage::Confirmed, self.frame, site);
+                            self.cfg
+                                .telemetry
+                                .span(now, SpanStage::Presented, self.frame, site);
                             self.cfg.telemetry.record(
                                 now,
                                 EventKind::FrameExecuted {

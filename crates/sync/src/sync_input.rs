@@ -23,7 +23,7 @@
 use std::collections::BTreeMap;
 
 use coplay_clock::{SimDuration, SimTime};
-use coplay_telemetry::EventKind;
+use coplay_telemetry::{EventKind, SpanStage};
 use coplay_vm::InputWord;
 
 use crate::config::SyncConfig;
@@ -209,6 +209,9 @@ impl InputSync {
                 let partial = self.cfg.port_map.partial_input(self.cfg.my_site, local);
                 self.buf.set_partial(lag_f, self.cfg.my_site, partial);
                 self.my_last_buffered = lag_f;
+                self.cfg
+                    .telemetry
+                    .span(now, SpanStage::Sampled, lag_f, self.cfg.my_site);
             }
         }
         self.stalled_since = Some(now);
@@ -346,6 +349,15 @@ impl InputSync {
                     if p.last_sent >= first {
                         retransmitted = (p.last_sent.min(last) - first + 1) as u32;
                     }
+                    // Span chain: frames past the previous send high-water
+                    // mark leave this site for the first time. Retransmits
+                    // get no span — the chain tracks first transmission.
+                    if self.cfg.telemetry.is_tracing() {
+                        for f in p.last_sent.max(first - 1) + 1..=last {
+                            self.cfg.telemetry.span(now, SpanStage::Encoded, f, site);
+                            self.cfg.telemetry.span(now, SpanStage::Sent, f, site);
+                        }
+                    }
                     p.last_sent = p.last_sent.max(last);
                 }
             }
@@ -397,6 +409,14 @@ impl InputSync {
             // because msg.first = (our ack they saw) + 1 <= last_rcv + 1.
             if !msg.inputs.is_empty() && msg.last() > peer.last_rcv {
                 fresh = (msg.last() - peer.last_rcv).min(carried as u64) as u32;
+                // Span chain: only the frames this message is the first to
+                // deliver count as received (contiguity guarantees the
+                // range starts within the message).
+                if self.cfg.telemetry.is_tracing() {
+                    for f in peer.last_rcv + 1..=msg.last() {
+                        self.cfg.telemetry.span(now, SpanStage::Received, f, from);
+                    }
+                }
                 peer.last_rcv = msg.last();
                 if from == 0 && self.cfg.my_site != 0 {
                     self.master_rcv_time = Some(now);

@@ -1,5 +1,6 @@
 //! Compact, timestamped events for the flight recorder.
 
+use crate::span::SpanStage;
 use coplay_clock::{SimDelta, SimDuration, SimTime};
 use std::fmt::Write as _;
 
@@ -133,6 +134,23 @@ pub enum EventKind {
         /// Frames re-executed to return to the present.
         resimulated: u64,
     },
+    /// One stage of an input word's frame-lifecycle span chain (tracing).
+    ///
+    /// The `(session, site)` half of the correlation key is constant per
+    /// handle and lives in the trace-dump header (see
+    /// [`Telemetry::trace_jsonl`](crate::Telemetry::trace_jsonl)); the
+    /// record itself carries the frame plus the peer the stage involves.
+    Span {
+        /// Lifecycle stage reached.
+        stage: SpanStage,
+        /// The input-word frame the span belongs to.
+        frame: u64,
+        /// Stage-dependent peer site: the destination for `Sent`/`Encoded`,
+        /// the origin for `Received`, the remote site whose word was
+        /// predicted or mispredicted, and the local site for purely local
+        /// stages.
+        peer: u8,
+    },
     /// Periodic report of the machine's interpreter decode-cache activity.
     /// All fields are deltas since the previous report, so summing events
     /// reconstructs the session totals (and flushes spiking alongside
@@ -170,6 +188,7 @@ impl EventKind {
             EventKind::CheckpointSaved { .. } => "checkpoint_saved",
             EventKind::InputMispredicted { .. } => "input_mispredicted",
             EventKind::RollbackExecuted { .. } => "rollback_executed",
+            EventKind::Span { .. } => "span",
             EventKind::DecodeCacheReport { .. } => "decode_cache_report",
         }
     }
@@ -276,6 +295,13 @@ impl Event {
                     ",\"to_frame\":{to_frame},\"depth\":{depth},\"resimulated\":{resimulated}"
                 );
             }
+            EventKind::Span { stage, frame, peer } => {
+                let _ = write!(
+                    out,
+                    ",\"stage\":\"{}\",\"frame\":{frame},\"peer\":{peer}",
+                    stage.name()
+                );
+            }
             EventKind::DecodeCacheReport {
                 hits,
                 misses,
@@ -374,6 +400,11 @@ mod tests {
                 to_frame: 31,
                 depth: 4,
                 resimulated: 6,
+            },
+            EventKind::Span {
+                stage: SpanStage::Received,
+                frame: 31,
+                peer: 1,
             },
             EventKind::DecodeCacheReport {
                 hits: 100_000,

@@ -1,0 +1,174 @@
+//! Black-box forensics bundles.
+//!
+//! When a session hits an anomaly — a stall past threshold, a
+//! rollback-depth spike, or a replica divergence — the surrounding
+//! evidence is worth more than the aggregate counters: *which* frame,
+//! what the flight recorder saw leading up to it, what the inputs were,
+//! what state the machine held. This module turns a [`Telemetry`] handle
+//! plus any caller-supplied artifacts into a self-contained postmortem
+//! directory under `results/forensics/` (or wherever the caller points
+//! it):
+//!
+//! ```text
+//! results/forensics/desync-s3405775265-site1-t1234567/
+//! ├── MANIFEST.txt            # trigger, identity, anomaly event, file list
+//! ├── flight_recorder.jsonl   # trace dump incl. trace_meta header
+//! ├── metrics.json            # metrics registry snapshot
+//! └── <extras>                # recent input log, last keyframe, config...
+//! ```
+//!
+//! Anomaly *detection* lives in [`Telemetry::record`] (which latches the
+//! first anomalous event, see [`Telemetry::take_anomaly`]); the *dump* is
+//! driven by harness code that owns filesystem access, keeping the
+//! deterministic session crates free of I/O.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::event::{Event, EventKind};
+use crate::handle::Telemetry;
+
+/// A short, filename-safe trigger tag for an anomalous event.
+pub fn trigger_tag(kind: &EventKind) -> &'static str {
+    match kind {
+        EventKind::StallBegin { .. } | EventKind::StallEnd { .. } => "stall",
+        EventKind::RollbackExecuted { .. } => "rollback_depth",
+        EventKind::DesyncDetected { .. } => "desync",
+        _ => "anomaly",
+    }
+}
+
+/// Writes a black-box bundle for `anomaly` into a fresh directory under
+/// `root`, returning the bundle directory.
+///
+/// The directory name is derived from the trigger, the handle's
+/// `(session, site)` identity, and the anomaly timestamp, so repeated runs
+/// of a deterministic harness overwrite their own bundle instead of
+/// accumulating. `sections` are extra named artifacts (recent input log,
+/// last keyframe, config dump, ...) written verbatim.
+///
+/// # Errors
+///
+/// Any filesystem error from creating the directory or writing a file.
+pub fn write_bundle(
+    root: &Path,
+    telemetry: &Telemetry,
+    anomaly: &Event,
+    sections: &[(&str, Vec<u8>)],
+) -> io::Result<PathBuf> {
+    let (session, site) = telemetry.identity().unwrap_or((0, 0));
+    let dir = root.join(format!(
+        "{}-s{}-site{}-t{}",
+        trigger_tag(&anomaly.kind),
+        session,
+        site,
+        anomaly.at.as_micros()
+    ));
+    fs::create_dir_all(&dir)?;
+
+    let trace = telemetry.trace_jsonl();
+    fs::write(dir.join("flight_recorder.jsonl"), &trace)?;
+    fs::write(dir.join("metrics.json"), telemetry.metrics_json())?;
+    for (name, contents) in sections {
+        fs::write(dir.join(name), contents)?;
+    }
+
+    let mut manifest = String::new();
+    manifest.push_str("coplay black-box forensics bundle\n");
+    manifest.push_str(&format!("trigger: {}\n", trigger_tag(&anomaly.kind)));
+    manifest.push_str(&format!("session: {session}\nsite: {site}\n"));
+    manifest.push_str(&format!("anomaly: {}\n", anomaly.to_json()));
+    manifest.push_str(&format!(
+        "flight_recorder: {} events, {} dropped ({} spans)\n",
+        telemetry.event_count(),
+        telemetry.dropped_events(),
+        telemetry.dropped_spans()
+    ));
+    manifest.push_str("files: MANIFEST.txt flight_recorder.jsonl metrics.json");
+    for (name, _) in sections {
+        manifest.push(' ');
+        manifest.push_str(name);
+    }
+    manifest.push('\n');
+    fs::write(dir.join("MANIFEST.txt"), manifest)?;
+    Ok(dir)
+}
+
+/// Takes the handle's latched anomaly, if any, and writes a bundle for it.
+///
+/// Returns `Ok(None)` when nothing anomalous happened (or the handle is
+/// disabled) — the cheap common case harnesses call after every run.
+///
+/// # Errors
+///
+/// Any filesystem error from [`write_bundle`].
+pub fn dump_if_anomalous(
+    root: &Path,
+    telemetry: &Telemetry,
+    sections: &[(&str, Vec<u8>)],
+) -> io::Result<Option<PathBuf>> {
+    match telemetry.take_anomaly() {
+        Some(anomaly) => write_bundle(root, telemetry, &anomaly, sections).map(Some),
+        None => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coplay_clock::{SimDuration, SimTime};
+
+    #[test]
+    fn bundle_contains_trace_metrics_and_sections() {
+        let t = Telemetry::tracing(99, 2);
+        t.record(
+            SimTime::from_millis(5),
+            EventKind::FrameExecuted {
+                frame: 1,
+                frame_time: SimDuration::from_micros(16_667),
+            },
+        );
+        t.record(
+            SimTime::from_millis(6),
+            EventKind::DesyncDetected { frame: 2 },
+        );
+
+        let root = std::env::temp_dir().join("coplay-test-forensics");
+        let dir = dump_if_anomalous(&root, &t, &[("config.txt", b"cfps=60".to_vec())])
+            .unwrap()
+            .expect("desync latches an anomaly");
+        assert!(dir
+            .file_name()
+            .unwrap()
+            .to_str()
+            .unwrap()
+            .starts_with("desync-s99-site2"));
+
+        let manifest = fs::read_to_string(dir.join("MANIFEST.txt")).unwrap();
+        assert!(manifest.contains("trigger: desync"), "{manifest}");
+        assert!(manifest.contains("config.txt"), "{manifest}");
+        let trace = fs::read_to_string(dir.join("flight_recorder.jsonl")).unwrap();
+        assert!(trace.contains("\"event\":\"trace_meta\""));
+        assert!(trace.contains("\"event\":\"desync_detected\""));
+        assert!(!fs::read_to_string(dir.join("metrics.json"))
+            .unwrap()
+            .is_empty());
+        assert_eq!(fs::read(dir.join("config.txt")).unwrap(), b"cfps=60");
+
+        assert!(
+            dump_if_anomalous(&root, &t, &[]).unwrap().is_none(),
+            "anomaly was taken by the first dump"
+        );
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn quiet_sessions_dump_nothing() {
+        let t = Telemetry::recording();
+        t.record(SimTime::ZERO, EventKind::FrameBegun { frame: 0 });
+        let root = std::env::temp_dir().join("coplay-test-forensics-quiet");
+        assert!(dump_if_anomalous(&root, &t, &[]).unwrap().is_none());
+        assert!(!root.exists(), "no directory is created for quiet runs");
+    }
+}

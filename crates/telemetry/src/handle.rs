@@ -3,18 +3,58 @@
 use crate::event::{Event, EventKind};
 use crate::metrics::MetricsRegistry;
 use crate::recorder::FlightRecorder;
-use coplay_clock::SimTime;
+use crate::span::SpanStage;
+use coplay_clock::{SimDuration, SimTime};
 use std::fmt;
+use std::fmt::Write as _;
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Default flight-recorder capacity for [`Telemetry::recording`].
 const DEFAULT_CAPACITY: usize = 16_384;
+
+/// A stall longer than this latches an anomaly (see
+/// [`Telemetry::take_anomaly`]). Roughly 12 frames at 60 FPS — twice the
+/// paper's local-lag budget, far past any pacing hiccup.
+const DEFAULT_STALL_ANOMALY: SimDuration = SimDuration::from_millis(200);
+
+/// A rollback this deep (frames) latches an anomaly. The speculation
+/// window defaults to 30 frames; repairs near that depth mean predictions
+/// are failing wholesale.
+const DEFAULT_DEPTH_ANOMALY: u64 = 20;
 
 /// The shared sink behind an enabled handle.
 #[derive(Debug)]
 struct Sink {
     recorder: FlightRecorder,
     metrics: MetricsRegistry,
+    /// Correlation identity stamped into trace dumps: an arbitrary session
+    /// key (commonly the experiment seed or lobby session id) and the
+    /// local site number.
+    session: u64,
+    site: u8,
+    /// Where [`Telemetry::flush`] persists the trace, if anywhere.
+    trace_path: Option<PathBuf>,
+    /// First anomalous event observed since the last
+    /// [`Telemetry::take_anomaly`], latched for black-box dumping.
+    anomaly: Option<Event>,
+    stall_anomaly: SimDuration,
+    depth_anomaly: u64,
+}
+
+impl Sink {
+    fn new(capacity: usize) -> Sink {
+        Sink {
+            recorder: FlightRecorder::new(capacity),
+            metrics: MetricsRegistry::new(),
+            session: 0,
+            site: 0,
+            trace_path: None,
+            anomaly: None,
+            stall_anomaly: DEFAULT_STALL_ANOMALY,
+            depth_anomaly: DEFAULT_DEPTH_ANOMALY,
+        }
+    }
 }
 
 /// A cheap, cloneable handle to a flight recorder plus metrics registry.
@@ -36,6 +76,11 @@ struct Sink {
 #[derive(Clone, Default)]
 pub struct Telemetry {
     inner: Option<Arc<Mutex<Sink>>>,
+    /// Span tracing on/off, decided at construction and copied by clones.
+    /// Kept on the handle (not in the sink) so the [`Telemetry::span`]
+    /// hot path is a branch on a local bool, never a lock, when tracing
+    /// is off.
+    trace: bool,
 }
 
 impl fmt::Debug for Telemetry {
@@ -65,11 +110,15 @@ impl PartialEq for Telemetry {
 impl Telemetry {
     /// A disabled handle: every recording call is a no-op.
     pub fn disabled() -> Self {
-        Telemetry { inner: None }
+        Telemetry {
+            inner: None,
+            trace: false,
+        }
     }
 
     /// An enabled handle with the default flight-recorder capacity
-    /// (16 384 events).
+    /// (16 384 events). Span tracing is **off**; see
+    /// [`Telemetry::tracing`].
     pub fn recording() -> Self {
         Telemetry::with_capacity(DEFAULT_CAPACITY)
     }
@@ -81,16 +130,44 @@ impl Telemetry {
     /// Panics if `events` is zero.
     pub fn with_capacity(events: usize) -> Self {
         Telemetry {
-            inner: Some(Arc::new(Mutex::new(Sink {
-                recorder: FlightRecorder::new(events),
-                metrics: MetricsRegistry::new(),
-            }))),
+            inner: Some(Arc::new(Mutex::new(Sink::new(events)))),
+            trace: false,
         }
+    }
+
+    /// An enabled handle with frame-lifecycle span tracing **on** and the
+    /// `(session, site)` correlation identity set.
+    ///
+    /// `session` is an arbitrary key shared by every site of one run (the
+    /// experiment seed, a lobby session id, ...); `site` is the
+    /// local site number. Both are stamped into the `trace_meta` header of
+    /// [`Telemetry::trace_jsonl`] so dumps from different sites can be
+    /// merged into one cross-site timeline.
+    pub fn tracing(session: u64, site: u8) -> Self {
+        let t = Telemetry::recording().with_tracing();
+        t.set_identity(session, site);
+        t
+    }
+
+    /// Turns span tracing on for this handle (and subsequent clones of
+    /// it). Requires an enabled handle; a disabled handle stays a no-op.
+    ///
+    /// When the crate is built without the `trace` feature this is
+    /// honored in name only: [`Telemetry::span`] compiles to nothing.
+    #[must_use]
+    pub fn with_tracing(mut self) -> Self {
+        self.trace = self.inner.is_some();
+        self
     }
 
     /// `true` if this handle records anything.
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// `true` if [`Telemetry::span`] records span events.
+    pub fn is_tracing(&self) -> bool {
+        cfg!(feature = "trace") && self.trace
     }
 
     fn lock(&self) -> Option<MutexGuard<'_, Sink>> {
@@ -106,6 +183,106 @@ impl Telemetry {
         let Some(mut sink) = self.lock() else { return };
         sink.recorder.record(at, kind);
         derive_metrics(&mut sink.metrics, &kind);
+        // Latch the first anomalous event for black-box forensics (see
+        // `take_anomaly`): a stall past the threshold, a rollback near the
+        // speculation window, or any replica divergence.
+        if sink.anomaly.is_none() {
+            let anomalous = match kind {
+                EventKind::StallEnd { duration, .. } => duration >= sink.stall_anomaly,
+                EventKind::RollbackExecuted { depth, .. } => depth >= sink.depth_anomaly,
+                EventKind::DesyncDetected { .. } => true,
+                _ => false,
+            };
+            if anomalous {
+                sink.anomaly = Some(Event { at, kind });
+            }
+        }
+    }
+
+    /// Records one frame-lifecycle span stage.
+    ///
+    /// When tracing is off (the default, including every plain
+    /// [`Telemetry::recording`] handle) this is a branch on a local bool —
+    /// no lock, no allocation. Building the crate without the `trace`
+    /// feature compiles the whole body away.
+    #[inline]
+    pub fn span(&self, at: SimTime, stage: SpanStage, frame: u64, peer: u8) {
+        #[cfg(feature = "trace")]
+        if self.trace {
+            self.record(at, EventKind::Span { stage, frame, peer });
+        }
+        #[cfg(not(feature = "trace"))]
+        let _ = (at, stage, frame, peer);
+    }
+
+    /// Sets the `(session, site)` correlation identity stamped into trace
+    /// dumps. No-op when disabled.
+    pub fn set_identity(&self, session: u64, site: u8) {
+        if let Some(mut sink) = self.lock() {
+            sink.session = session;
+            sink.site = site;
+        }
+    }
+
+    /// The `(session, site)` correlation identity, if the handle is
+    /// enabled.
+    pub fn identity(&self) -> Option<(u64, u8)> {
+        self.lock().map(|s| (s.session, s.site))
+    }
+
+    /// Sets where [`Telemetry::flush`] persists the trace dump. No-op when
+    /// disabled.
+    pub fn set_trace_path(&self, path: impl Into<PathBuf>) {
+        if let Some(mut sink) = self.lock() {
+            sink.trace_path = Some(path.into());
+        }
+    }
+
+    /// Writes the trace dump ([`Telemetry::trace_jsonl`]) to the path set
+    /// by [`Telemetry::set_trace_path`], creating parent directories.
+    ///
+    /// Returns `Ok(None)` when the handle is disabled or no path is set;
+    /// `Ok(Some(path))` after a successful write. Finished sessions call
+    /// this on *every* exit path so buffered trace records are never
+    /// silently dropped.
+    ///
+    /// # Errors
+    ///
+    /// Any filesystem error from creating directories or writing the file.
+    pub fn flush(&self) -> std::io::Result<Option<PathBuf>> {
+        let (path, dump) = {
+            let Some(sink) = self.lock() else {
+                return Ok(None);
+            };
+            let Some(path) = sink.trace_path.clone() else {
+                return Ok(None);
+            };
+            (path, trace_jsonl_of(&sink))
+        };
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(&path, dump)?;
+        Ok(Some(path))
+    }
+
+    /// Takes the latched anomaly, if one occurred since the last call:
+    /// a stall past the configured threshold, a rollback-depth spike, or a
+    /// detected desync. Used by harnesses to decide when to write a
+    /// black-box forensics bundle (see [`crate::forensics`]).
+    pub fn take_anomaly(&self) -> Option<Event> {
+        self.lock().and_then(|mut s| s.anomaly.take())
+    }
+
+    /// Overrides the anomaly thresholds: stalls of `stall` or longer and
+    /// rollbacks `depth` frames deep or deeper latch an anomaly.
+    pub fn set_anomaly_thresholds(&self, stall: SimDuration, depth: u64) {
+        if let Some(mut sink) = self.lock() {
+            sink.stall_anomaly = stall;
+            sink.depth_anomaly = depth;
+        }
     }
 
     /// Adds `v` to a named counter. No-op when disabled.
@@ -139,6 +316,12 @@ impl Telemetry {
         self.lock().map_or(0, |s| s.recorder.dropped())
     }
 
+    /// Number of *span* records evicted by ring-buffer wraparound — the
+    /// trace-completeness signal surfaced in lobby heartbeats.
+    pub fn dropped_spans(&self) -> u64 {
+        self.lock().map_or(0, |s| s.recorder.dropped_spans())
+    }
+
     /// Copies the retained events out, oldest first (empty when disabled).
     pub fn events(&self) -> Vec<Event> {
         self.lock().map_or_else(Vec::new, |s| s.recorder.to_vec())
@@ -167,6 +350,16 @@ impl Telemetry {
             .map_or_else(String::new, |s| s.recorder.to_jsonl())
     }
 
+    /// Dumps the flight recorder as JSON Lines prefixed with a
+    /// `trace_meta` header carrying the `(session, site)` correlation
+    /// identity and the drop counters. This is the per-site artifact the
+    /// `tracescope` tool merges into a cross-site timeline.
+    ///
+    /// Empty when disabled.
+    pub fn trace_jsonl(&self) -> String {
+        self.lock().map_or_else(String::new, |s| trace_jsonl_of(&s))
+    }
+
     /// Snapshots all metrics as one JSON object (`"{}"`-ish when disabled).
     pub fn metrics_json(&self) -> String {
         self.lock()
@@ -186,13 +379,32 @@ impl Telemetry {
             .map_or_else(String::new, |s| s.metrics.prometheus(prefix))
     }
 
-    /// Discards all recorded events and metrics (keeps the handle enabled).
+    /// Discards all recorded events, metrics, and any latched anomaly
+    /// (keeps the handle enabled and its identity/thresholds intact).
     pub fn clear(&self) {
         if let Some(mut sink) = self.lock() {
             sink.recorder.clear();
             sink.metrics = MetricsRegistry::new();
+            sink.anomaly = None;
         }
     }
+}
+
+/// Renders a sink's trace dump: one `trace_meta` header line, then the
+/// flight recorder as JSONL.
+fn trace_jsonl_of(sink: &Sink) -> String {
+    let mut out = String::with_capacity(64 + sink.recorder.len() * 64);
+    let _ = write!(
+        out,
+        "{{\"event\":\"trace_meta\",\"session\":{},\"site\":{},\"dropped_events\":{},\"dropped_spans\":{}}}",
+        sink.session,
+        sink.site,
+        sink.recorder.dropped(),
+        sink.recorder.dropped_spans(),
+    );
+    out.push('\n');
+    out.push_str(&sink.recorder.to_jsonl());
+    out
 }
 
 /// Maps an event to the metrics it implies, so instrumentation points make
@@ -278,6 +490,9 @@ fn derive_metrics(m: &mut MetricsRegistry, kind: &EventKind) {
             m.counter_add("resimulated_frames_total", resimulated);
             m.observe("rollback_depth_frames", depth);
             m.observe("resimulated_frames", resimulated);
+        }
+        EventKind::Span { .. } => {
+            m.counter_add("spans_recorded_total", 1);
         }
         EventKind::DecodeCacheReport {
             hits,
@@ -390,6 +605,101 @@ mod tests {
         assert!(t.is_enabled());
         assert_eq!(t.event_count(), 0);
         assert_eq!(t.counter("frames_total"), 0);
+    }
+
+    #[test]
+    fn span_is_a_noop_unless_tracing() {
+        let t = Telemetry::recording();
+        assert!(!t.is_tracing());
+        t.span(SimTime::ZERO, SpanStage::Sampled, 1, 0);
+        assert_eq!(t.event_count(), 0, "untraced handle records no spans");
+
+        let t = Telemetry::tracing(0xFEED, 3);
+        assert!(t.is_tracing());
+        t.span(SimTime::from_micros(7), SpanStage::Sampled, 1, 0);
+        t.span(SimTime::from_micros(9), SpanStage::Sent, 1, 1);
+        assert_eq!(t.event_count(), 2);
+        assert_eq!(t.counter("spans_recorded_total"), 2);
+        assert_eq!(t.identity(), Some((0xFEED, 3)));
+        let clone = t.clone();
+        assert!(clone.is_tracing(), "clones keep tracing on");
+
+        let disabled = Telemetry::disabled().with_tracing();
+        assert!(!disabled.is_tracing(), "disabled handles cannot trace");
+        disabled.span(SimTime::ZERO, SpanStage::Sampled, 1, 0);
+        assert_eq!(disabled.event_count(), 0);
+    }
+
+    #[test]
+    fn trace_dump_carries_the_correlation_header() {
+        let t = Telemetry::tracing(42, 1);
+        t.span(SimTime::from_micros(5), SpanStage::Received, 9, 0);
+        let dump = t.trace_jsonl();
+        let mut lines = dump.lines();
+        let header = lines.next().unwrap();
+        assert!(header.contains("\"event\":\"trace_meta\""), "{header}");
+        assert!(header.contains("\"session\":42"), "{header}");
+        assert!(header.contains("\"site\":1"), "{header}");
+        assert!(header.contains("\"dropped_spans\":0"), "{header}");
+        let span = lines.next().unwrap();
+        assert!(span.contains("\"stage\":\"received\""), "{span}");
+        assert!(span.contains("\"frame\":9"), "{span}");
+        assert!(Telemetry::disabled().trace_jsonl().is_empty());
+    }
+
+    #[test]
+    fn anomalies_latch_and_take_once() {
+        let t = Telemetry::recording();
+        t.record(
+            SimTime::from_millis(1),
+            EventKind::StallEnd {
+                frame: 5,
+                duration: SimDuration::from_millis(10),
+            },
+        );
+        assert!(t.take_anomaly().is_none(), "short stalls are normal");
+        t.record(
+            SimTime::from_millis(2),
+            EventKind::StallEnd {
+                frame: 6,
+                duration: SimDuration::from_millis(500),
+            },
+        );
+        t.record(
+            SimTime::from_millis(3),
+            EventKind::DesyncDetected { frame: 7 },
+        );
+        let anomaly = t.take_anomaly().expect("long stall latches");
+        assert!(
+            matches!(anomaly.kind, EventKind::StallEnd { frame: 6, .. }),
+            "first anomaly wins: {anomaly:?}"
+        );
+        assert!(t.take_anomaly().is_none(), "taken");
+
+        t.set_anomaly_thresholds(SimDuration::from_millis(1), 3);
+        t.record(
+            SimTime::from_millis(4),
+            EventKind::RollbackExecuted {
+                to_frame: 10,
+                depth: 3,
+                resimulated: 4,
+            },
+        );
+        assert!(t.take_anomaly().is_some(), "tightened depth threshold");
+    }
+
+    #[test]
+    fn flush_writes_the_trace_to_its_path() {
+        let t = Telemetry::tracing(7, 0);
+        assert_eq!(t.flush().unwrap(), None, "no path set yet");
+        t.span(SimTime::from_micros(1), SpanStage::Sampled, 0, 0);
+        let path = std::env::temp_dir().join("coplay-test-flush/trace.jsonl");
+        t.set_trace_path(&path);
+        let written = t.flush().unwrap().expect("path set");
+        let contents = std::fs::read_to_string(&written).unwrap();
+        assert!(contents.starts_with("{\"event\":\"trace_meta\""));
+        assert_eq!(contents.lines().count(), 2);
+        let _ = std::fs::remove_file(&written);
     }
 
     #[test]

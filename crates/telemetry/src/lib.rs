@@ -14,6 +14,16 @@
 //!    log-bucketed [`Histogram`]s with p50/p95/p99 accessors.
 //! 3. **Exporters** — a JSONL snapshot writer and a Prometheus-style text
 //!    exposition (a plain `String`, no HTTP anywhere).
+//! 4. **Frame-lifecycle tracing** — causal [`SpanStage`] chains for every
+//!    input word (sampled → encoded → sent → received → merged →
+//!    confirmed, plus the rollback repair stages), recorded into the same
+//!    flight-recorder ring under `(session, site, frame)` correlation
+//!    keys. Tracing is opt-in per handle ([`Telemetry::tracing`]); when
+//!    off, [`Telemetry::span`] is a branch on a local bool, and building
+//!    without the `trace` feature compiles it away entirely.
+//! 5. **Black-box forensics** ([`forensics`]) — anomaly-triggered
+//!    postmortem bundles (flight-recorder tail, metrics, caller-supplied
+//!    artifacts) dumped to a directory.
 //!
 //! The [`Telemetry`] handle ties the layers together. It is a cheap
 //! clonable reference; the default (disabled) handle is a no-op sink
@@ -38,11 +48,14 @@
 #![warn(missing_debug_implementations)]
 
 mod event;
+pub mod forensics;
 mod handle;
 mod metrics;
 mod recorder;
+mod span;
 
 pub use event::{Event, EventKind};
 pub use handle::Telemetry;
 pub use metrics::{Histogram, MetricsRegistry};
 pub use recorder::FlightRecorder;
+pub use span::SpanStage;

@@ -14,6 +14,10 @@ use std::collections::VecDeque;
 pub struct FlightRecorder {
     capacity: usize,
     dropped: u64,
+    /// How many of the dropped events were [`EventKind::Span`] records —
+    /// tracked separately so trace consumers can tell a complete span
+    /// chain from one with holes eaten by wraparound.
+    dropped_spans: u64,
     events: VecDeque<Event>,
 }
 
@@ -28,6 +32,7 @@ impl FlightRecorder {
         FlightRecorder {
             capacity,
             dropped: 0,
+            dropped_spans: 0,
             events: VecDeque::with_capacity(capacity),
         }
     }
@@ -52,11 +57,20 @@ impl FlightRecorder {
         self.dropped
     }
 
+    /// How many of the discarded events were span records.
+    pub fn dropped_spans(&self) -> u64 {
+        self.dropped_spans
+    }
+
     /// Appends an event, evicting the oldest if the buffer is full.
     pub fn record(&mut self, at: SimTime, kind: EventKind) {
         if self.events.len() == self.capacity {
-            self.events.pop_front();
-            self.dropped += 1;
+            if let Some(old) = self.events.pop_front() {
+                self.dropped += 1;
+                if matches!(old.kind, EventKind::Span { .. }) {
+                    self.dropped_spans += 1;
+                }
+            }
         }
         self.events.push_back(Event { at, kind });
     }
@@ -82,10 +96,11 @@ impl FlightRecorder {
         out
     }
 
-    /// Discards all retained events and resets the drop counter.
+    /// Discards all retained events and resets the drop counters.
     pub fn clear(&mut self) {
         self.events.clear();
         self.dropped = 0;
+        self.dropped_spans = 0;
     }
 }
 
@@ -153,6 +168,31 @@ mod tests {
         for line in lines {
             assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
         }
+    }
+
+    #[test]
+    fn span_drops_are_counted_separately() {
+        use crate::span::SpanStage;
+        let mut r = FlightRecorder::new(2);
+        // Two spans, then enough frame events to evict both spans plus one
+        // frame event.
+        for n in 0..2 {
+            r.record(
+                SimTime::from_micros(n),
+                EventKind::Span {
+                    stage: SpanStage::Sampled,
+                    frame: n,
+                    peer: 0,
+                },
+            );
+        }
+        for n in 2..5 {
+            r.record(SimTime::from_micros(n), frame_event(n));
+        }
+        assert_eq!(r.dropped(), 3);
+        assert_eq!(r.dropped_spans(), 2, "only the span evictions count");
+        r.clear();
+        assert_eq!(r.dropped_spans(), 0);
     }
 
     #[test]

@@ -1,0 +1,108 @@
+//! Frame-lifecycle span stages for input-word tracing.
+//!
+//! Every input word a session handles moves through a causal chain of
+//! stages: it is *sampled* on its origin site, *encoded* into an outbound
+//! datagram, *sent*, *received* by a peer, *merged* into that peer's frame
+//! input, *confirmed* authoritative, and finally *presented* when the frame
+//! executes. A speculative (rollback) site adds the repair stages:
+//! *predicted*, *mispredicted*, *checkpoint-restored* and *resimulated*.
+//!
+//! A span record is deliberately tiny — a stage tag, the frame number, and
+//! a peer site — so tracing costs one flight-recorder slot per stage. The
+//! `(session, site)` half of the correlation key is constant per handle and
+//! lives in the trace-dump header (see
+//! [`Telemetry::trace_jsonl`](crate::Telemetry::trace_jsonl)) rather than
+//! being repeated on every record.
+
+/// One stage of an input word's frame-lifecycle span chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SpanStage {
+    /// The word was sampled from the local input source and buffered at
+    /// its lagged frame (`frame + buf_frames`).
+    Sampled,
+    /// The word entered an outbound input message for the first time.
+    Encoded,
+    /// The datagram carrying the word's first transmission left this site.
+    Sent,
+    /// The word arrived at a peer for the first time (fresh, not a
+    /// retransmission).
+    Received,
+    /// The word was merged into its frame's complete input vector.
+    Merged,
+    /// The frame containing the word became authoritative (lockstep:
+    /// at execution; rollback: when the confirmed frontier passed it).
+    Confirmed,
+    /// A rollback site executed the frame with a *predicted* value for
+    /// this peer's word instead of the authoritative one.
+    Predicted,
+    /// The authoritative word arrived and disagreed with the prediction.
+    Mispredicted,
+    /// A checkpoint at this frame was restored to begin a repair.
+    CheckpointRestored,
+    /// The frame was re-executed during a rollback repair.
+    Resimulated,
+    /// The frame executed and its output was (notionally) displayed.
+    Presented,
+}
+
+impl SpanStage {
+    /// Every stage, in nominal lifecycle order.
+    pub const ALL: [SpanStage; 11] = [
+        SpanStage::Sampled,
+        SpanStage::Encoded,
+        SpanStage::Sent,
+        SpanStage::Received,
+        SpanStage::Merged,
+        SpanStage::Confirmed,
+        SpanStage::Predicted,
+        SpanStage::Mispredicted,
+        SpanStage::CheckpointRestored,
+        SpanStage::Resimulated,
+        SpanStage::Presented,
+    ];
+
+    /// Stable machine-readable name, used as the `"stage"` field in JSONL
+    /// trace dumps.
+    pub const fn name(self) -> &'static str {
+        match self {
+            SpanStage::Sampled => "sampled",
+            SpanStage::Encoded => "encoded",
+            SpanStage::Sent => "sent",
+            SpanStage::Received => "received",
+            SpanStage::Merged => "merged",
+            SpanStage::Confirmed => "confirmed",
+            SpanStage::Predicted => "predicted",
+            SpanStage::Mispredicted => "mispredicted",
+            SpanStage::CheckpointRestored => "checkpoint_restored",
+            SpanStage::Resimulated => "resimulated",
+            SpanStage::Presented => "presented",
+        }
+    }
+
+    /// Parses a [`name`](SpanStage::name) back to its stage.
+    pub fn from_name(name: &str) -> Option<SpanStage> {
+        SpanStage::ALL.into_iter().find(|s| s.name() == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for stage in SpanStage::ALL {
+            assert_eq!(SpanStage::from_name(stage.name()), Some(stage));
+        }
+        assert_eq!(SpanStage::from_name("nonsense"), None);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        for (i, a) in SpanStage::ALL.iter().enumerate() {
+            for b in &SpanStage::ALL[i + 1..] {
+                assert_ne!(a.name(), b.name());
+            }
+        }
+    }
+}

@@ -29,4 +29,8 @@ cargo run -q --release -p coplay-bench --bin rollback_sweep -- --quick
 echo "==> hot-path smoke + perf-regression guard (2x vs checked-in baseline)"
 cargo run -q --release -p coplay-bench --bin hotpath -- --quick --check results/hotpath_baseline.json
 
+echo "==> tracescope smoke (cross-site span merge; fails if breakdown != e2e within 5%)"
+cargo run -q --release -p coplay-bench --bin tracescope -- --quick
+cargo run -q --release -p coplay-bench --bin tracescope -- --quick --rollback
+
 echo "CI OK"

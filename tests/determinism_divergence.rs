@@ -220,6 +220,76 @@ fn rollback_site_matches_lockstep_site_over_adversarial_links() {
     );
 }
 
+/// Forced divergence end-to-end through the black-box pipeline: one
+/// replica's merged input word is tampered mid-run, the per-frame hashes
+/// split, the tracing telemetry handle latches the `DesyncDetected`
+/// anomaly, and `dump_if_anomalous` writes a self-contained forensics
+/// bundle under `results/forensics/`.
+#[test]
+fn forced_divergence_produces_forensics_bundle() {
+    use coplay::telemetry::{forensics, EventKind, SpanStage, Telemetry};
+
+    const FRAMES: u64 = 120;
+    const TAMPER_FRAME: u64 = 40;
+    let tel = Telemetry::tracing(0xF0CE_4512, 0);
+
+    let mut honest = GameId::Pong.create();
+    let mut tampered = GameId::Pong.create();
+    let mut rng = DetRng::seed_from_u64(0xBAD_1DEA);
+    let mut divergence = None;
+    for frame in 0..FRAMES {
+        let at = SimTime::from_micros(frame * 16_667);
+        let word = InputWord(rng.next_u64() as u32);
+        tel.span(at, SpanStage::Sampled, frame, 0);
+        tel.span(at, SpanStage::Merged, frame, 0);
+        honest.step_frame(word);
+        // A single flipped button bit in one replica's merged word is the
+        // minimal corruption the hash check has to catch.
+        let corrupted = if frame == TAMPER_FRAME {
+            InputWord(word.0 ^ 1)
+        } else {
+            word
+        };
+        tampered.step_frame(corrupted);
+        if divergence.is_none() && honest.state_hash() != tampered.state_hash() {
+            divergence = Some(frame);
+            tel.record(at, EventKind::DesyncDetected { frame });
+        }
+    }
+    let diverged_at = divergence.expect("tampered input must split the hashes");
+    assert!(
+        diverged_at >= TAMPER_FRAME,
+        "hashes split at {diverged_at}, before the frame {TAMPER_FRAME} tamper"
+    );
+
+    // Integration tests run with the workspace root as cwd, so this is the
+    // same `results/forensics/` directory the sim harness dumps into.
+    let root = std::path::Path::new("results/forensics");
+    let dir = forensics::dump_if_anomalous(
+        root,
+        &tel,
+        &[("input_log.txt", b"seed=0xBAD_1DEA".to_vec())],
+    )
+    .expect("bundle write failed")
+    .expect("latched desync must produce a bundle");
+    assert!(dir.starts_with(root));
+    for file in [
+        "MANIFEST.txt",
+        "flight_recorder.jsonl",
+        "metrics.json",
+        "input_log.txt",
+    ] {
+        let contents = std::fs::read(dir.join(file)).expect("bundle file missing");
+        assert!(!contents.is_empty(), "{file} is empty");
+    }
+    let manifest = std::fs::read_to_string(dir.join("MANIFEST.txt")).unwrap();
+    assert!(manifest.contains("trigger: desync"), "{manifest}");
+    assert!(
+        manifest.contains(&format!("\"frame\":{diverged_at}")),
+        "manifest pins the diverging frame: {manifest}"
+    );
+}
+
 #[test]
 fn hash_traces_are_reproducible_across_runs() {
     // The whole harness — inputs, channels, delivery order — is seeded, so
