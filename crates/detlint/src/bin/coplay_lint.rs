@@ -1,12 +1,11 @@
-//! `detlint` — the suite's original name, kept so existing invocations and
-//! CI steps keep working. Identical to the `coplay-lint` binary.
+//! `coplay-lint` — the multi-pass static-analysis suite (determinism,
+//! panic-path, hot-alloc, waiver hygiene, wire-schema drift). The grown
+//! name of `detlint`; both binaries run the same driver.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    // When run via `cargo run -p detlint`, the workspace root is two levels
-    // above this crate's manifest.
     let default_root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
         .canonicalize()

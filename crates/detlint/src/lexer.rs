@@ -18,6 +18,8 @@ pub enum TokenKind {
     Ident,
     /// A floating-point literal (`1.5`, `2e9`, `3f32`).
     FloatLit,
+    /// An integer literal (`3`, `0xC6`, `65_536u32`).
+    IntLit,
     /// Punctuation; `::` is joined, everything else is one character.
     Punct,
 }
@@ -92,6 +94,24 @@ fn parse_directive(body: &str, line: u32) -> AllowDirective {
     }
 }
 
+/// Parses the numeric value of an [`TokenKind::IntLit`] token's text:
+/// underscores dropped, type suffix ignored, `0x`/`0o`/`0b` radix honoured.
+pub fn int_value(text: &str) -> Option<u64> {
+    let clean: String = text.chars().filter(|c| *c != '_').collect();
+    let (radix, digits) = match clean.as_bytes() {
+        [b'0', b'x', ..] => (16, &clean[2..]),
+        [b'0', b'o', ..] => (8, &clean[2..]),
+        [b'0', b'b', ..] => (2, &clean[2..]),
+        _ => (10, clean.as_str()),
+    };
+    // Stop at the type suffix (`u8`, `usize`, …); hex digits are consumed
+    // first, so `0xFFu8` splits after `FF`.
+    let end = digits
+        .find(|c: char| !c.is_digit(radix))
+        .unwrap_or(digits.len());
+    u64::from_str_radix(&digits[..end], radix).ok()
+}
+
 fn is_ident_start(b: u8) -> bool {
     b.is_ascii_alphabetic() || b == b'_'
 }
@@ -146,13 +166,15 @@ pub fn scan(source: &str) -> ScannedSource {
             b'\'' => i = skip_char_or_lifetime(b, i),
             _ if c.is_ascii_digit() => {
                 let (end, is_float) = scan_number(b, i);
-                if is_float {
-                    out.tokens.push(Token {
-                        kind: TokenKind::FloatLit,
-                        text: source[i..end].to_string(),
-                        line,
-                    });
-                }
+                out.tokens.push(Token {
+                    kind: if is_float {
+                        TokenKind::FloatLit
+                    } else {
+                        TokenKind::IntLit
+                    },
+                    text: source[i..end].to_string(),
+                    line,
+                });
                 i = end;
             }
             _ if is_ident_start(c) => {
@@ -427,6 +449,22 @@ mod tests {
             .find(|t| t.text == "static")
             .expect("static token");
         assert_eq!(stat.line, 3);
+    }
+
+    #[test]
+    fn int_literals_are_tokens_with_values() {
+        let ints: Vec<String> = scan("const VERSION: u8 = 3; const MAGIC: u8 = 0xC6;")
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::IntLit)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(ints, vec!["3", "0xC6"]);
+        assert_eq!(int_value("3"), Some(3));
+        assert_eq!(int_value("0xC6"), Some(0xC6));
+        assert_eq!(int_value("0xFFu8"), Some(255));
+        assert_eq!(int_value("65_536u32"), Some(65_536));
+        assert_eq!(int_value("0b1010"), Some(10));
     }
 
     #[test]

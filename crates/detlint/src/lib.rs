@@ -16,6 +16,21 @@
 //! | `entropy` | `rand::*`, `thread_rng`, `OsRng`, `getrandom` |
 //! | `static_state` | `static mut` and interior-mutable statics |
 //!
+//! Grown into the **coplay-lint** suite, the same engine now also fences
+//! the attack surface and the latency budget:
+//!
+//! | rule | forbids | where |
+//! |------|---------|-------|
+//! | `panic_path` | `unwrap`/`expect`, `panic!`-family, `*_unchecked` | wire, transport, rollback/vm hot paths |
+//! | `unchecked_index` | slice indexing (`b[0]`, `&b[..n]`) | byte codecs |
+//! | `hot_alloc` | `Vec::new`, `to_vec`, `clone`, `format!`, … | PR 4–5's zero-alloc modules |
+//!
+//! plus a wire-schema drift pass ([`wire_schema`]) that recovers each
+//! codec's per-message field layout from its encode/decode token streams,
+//! cross-checks symmetry, and pins a layout fingerprint in
+//! `results/wire_schema.json` so CI fails when the wire changes without a
+//! `VERSION` bump.
+//!
 //! Violations can only be waived in-line, with a reason:
 //!
 //! ```text
@@ -23,12 +38,15 @@
 //! ```
 //!
 //! A malformed directive (unknown rule, missing `-- reason`) suppresses
-//! nothing and is itself reported as `bad_suppression`.
+//! nothing and is itself reported as `bad_suppression`; a well-formed
+//! directive that suppresses nothing is reported as `stale_suppression`.
 
+pub mod cli;
 pub mod lexer;
 pub mod policy;
 pub mod report;
 pub mod rules;
+pub mod wire_schema;
 
 use std::fs;
 use std::io;

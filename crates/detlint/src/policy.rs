@@ -16,8 +16,71 @@
 //! sanctioned randomness source). † tests, examples, benches, and the
 //! experiment binaries in `crates/bench/src/bin/` may read real clocks —
 //! they drive and time the system, they are not inside it.
+//!
+//! On top of the determinism fence sit two attack/latency zones:
+//!
+//! | zone | panic_path | unchecked_index | hot_alloc |
+//! |------|-----------|-----------------|-----------|
+//! | wire codecs (`net/bytes`, `lobby/wire`, `sync/wire`) | ✓ | ✓ | – |
+//! | transport (`net/{udp,sim,transport,netem}`, `lobby/{server,client,lib}`) | ✓ | – | – |
+//! | hot path (`rollback/src/*`, `vm/{cpu,predecode}`, `sync/sync_input`) | ✓ | – | ✓‡ |
+//!
+//! ‡ `hot_alloc` applies to exactly the modules PRs 4–5 made alloc-free:
+//! `rollback/{snapshot,delta,session}.rs`, `vm/{cpu,predecode}.rs`,
+//! `sync/sync_input.rs`. Wire/transport code must be panic-free on
+//! arbitrary bytes (typed errors only); hot-path panics and constructor
+//! allocations carry `allow(...) -- <reason>` waivers. `#[cfg(test)]`
+//! regions are exempt from the zone rules but not the determinism rules.
 
 use crate::rules::Rule;
+
+/// Files whose decode paths read attacker-controlled bytes: indexing is
+/// banned outright — length errors must surface as `Truncated`.
+fn wire_codec(rel: &str) -> bool {
+    matches!(
+        rel,
+        "crates/net/src/bytes.rs" | "crates/lobby/src/wire.rs" | "crates/sync/src/wire.rs"
+    )
+}
+
+/// Network-facing modules that must not panic on anything a socket or a
+/// lobby peer can hand them (the codecs above are also in this set).
+fn transport_zone(rel: &str) -> bool {
+    wire_codec(rel)
+        || matches!(
+            rel,
+            "crates/net/src/udp.rs"
+                | "crates/net/src/sim.rs"
+                | "crates/net/src/transport.rs"
+                | "crates/net/src/netem.rs"
+                | "crates/lobby/src/server.rs"
+                | "crates/lobby/src/client.rs"
+                | "crates/lobby/src/lib.rs"
+        )
+}
+
+/// The rollback/VM latency-critical modules: panics need waivers here.
+fn hot_panic_zone(rel: &str) -> bool {
+    rel.starts_with("crates/rollback/src/")
+        || matches!(
+            rel,
+            "crates/vm/src/cpu.rs" | "crates/vm/src/predecode.rs" | "crates/sync/src/sync_input.rs"
+        )
+}
+
+/// The steady-state zero-alloc modules (PR 4–5's perf work), fenced so the
+/// invariant is enforced statically rather than by bench drift alone.
+fn hot_alloc_zone(rel: &str) -> bool {
+    matches!(
+        rel,
+        "crates/rollback/src/snapshot.rs"
+            | "crates/rollback/src/delta.rs"
+            | "crates/rollback/src/session.rs"
+            | "crates/vm/src/cpu.rs"
+            | "crates/vm/src/predecode.rs"
+            | "crates/sync/src/sync_input.rs"
+    )
+}
 
 /// Returns the rules to enforce on `rel`, a workspace-relative path using
 /// forward slashes. An empty vector means the file is not audited.
@@ -53,20 +116,30 @@ pub fn rules_for(rel: &str) -> Vec<Rule> {
             rules.push(Rule::UnorderedCollections);
             rules.push(Rule::Float);
         }
-        rules.sort();
-        return rules;
+    } else {
+        // Clock and net own the real-time boundary; benches and the
+        // experiment/hotpath binaries time themselves.
+        let clock_exempt = rel.starts_with("crates/clock/")
+            || rel.starts_with("crates/net/")
+            || rel.starts_with("crates/bench/benches/")
+            || rel.starts_with("crates/bench/src/bin/")
+            || rel.starts_with("tests/")
+            || rel.starts_with("examples/");
+        if !clock_exempt {
+            rules.push(Rule::WallClock);
+        }
     }
 
-    // Clock and net own the real-time boundary; benches and the
-    // experiment/hotpath binaries time themselves.
-    let clock_exempt = rel.starts_with("crates/clock/")
-        || rel.starts_with("crates/net/")
-        || rel.starts_with("crates/bench/benches/")
-        || rel.starts_with("crates/bench/src/bin/")
-        || rel.starts_with("tests/")
-        || rel.starts_with("examples/");
-    if !clock_exempt {
-        rules.push(Rule::WallClock);
+    // The panic/alloc zones stack on top of whatever determinism fence the
+    // path already carries.
+    if transport_zone(rel) || hot_panic_zone(rel) {
+        rules.push(Rule::PanicPath);
+    }
+    if wire_codec(rel) {
+        rules.push(Rule::UncheckedIndex);
+    }
+    if hot_alloc_zone(rel) {
+        rules.push(Rule::HotAlloc);
     }
 
     rules.sort();
@@ -93,7 +166,7 @@ mod tests {
             "crates/rollback/src/delta.rs",
         ] {
             let rules = rules_for(rel);
-            for r in Rule::ALL {
+            for r in Rule::DETERMINISM {
                 assert!(rules.contains(&r), "{rel} missing {r:?}");
             }
         }
@@ -147,10 +220,59 @@ mod tests {
             "crates/rollback/src/pool.rs",
         ] {
             let rules = rules_for(rel);
-            for r in Rule::ALL {
+            for r in Rule::DETERMINISM {
                 assert!(rules.contains(&r), "{rel} missing {r:?}");
             }
         }
+    }
+
+    #[test]
+    fn wire_codecs_are_panic_and_index_fenced() {
+        for rel in [
+            "crates/net/src/bytes.rs",
+            "crates/lobby/src/wire.rs",
+            "crates/sync/src/wire.rs",
+        ] {
+            assert!(has(rel, Rule::PanicPath), "{rel}");
+            assert!(has(rel, Rule::UncheckedIndex), "{rel}");
+            assert!(!has(rel, Rule::HotAlloc), "{rel}");
+        }
+    }
+
+    #[test]
+    fn transport_is_panic_fenced_but_may_index() {
+        for rel in [
+            "crates/net/src/udp.rs",
+            "crates/net/src/sim.rs",
+            "crates/net/src/transport.rs",
+            "crates/lobby/src/server.rs",
+            "crates/lobby/src/client.rs",
+        ] {
+            assert!(has(rel, Rule::PanicPath), "{rel}");
+            assert!(!has(rel, Rule::UncheckedIndex), "{rel}");
+        }
+    }
+
+    #[test]
+    fn hot_path_modules_carry_the_alloc_fence() {
+        for rel in [
+            "crates/rollback/src/snapshot.rs",
+            "crates/rollback/src/delta.rs",
+            "crates/rollback/src/session.rs",
+            "crates/vm/src/cpu.rs",
+            "crates/vm/src/predecode.rs",
+            "crates/sync/src/sync_input.rs",
+        ] {
+            assert!(has(rel, Rule::PanicPath), "{rel}");
+            assert!(has(rel, Rule::HotAlloc), "{rel}");
+        }
+        // The rollback pool/predictor are panic-fenced but not alloc-fenced
+        // (the pool's whole job is owning allocations), and the VM's
+        // assembler/framebuffer are outside both zones.
+        assert!(has("crates/rollback/src/pool.rs", Rule::PanicPath));
+        assert!(!has("crates/rollback/src/pool.rs", Rule::HotAlloc));
+        assert!(!has("crates/vm/src/assembler.rs", Rule::PanicPath));
+        assert!(!has("crates/vm/src/assembler.rs", Rule::HotAlloc));
     }
 
     #[test]

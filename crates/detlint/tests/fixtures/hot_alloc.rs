@@ -1,0 +1,37 @@
+// Fixture: steady-state allocations that `hot_alloc` must catch.
+
+fn bad_vec_new() -> Vec<u8> {
+    Vec::new()
+}
+
+fn bad_to_vec(b: &[u8]) -> Vec<u8> {
+    b.to_vec()
+}
+
+fn bad_clone(v: &Vec<u8>) -> Vec<u8> {
+    v.clone()
+}
+
+fn bad_format(x: u32) -> String {
+    format!("frame {x}")
+}
+
+fn bad_box(x: u32) -> Box<u32> {
+    Box::new(x)
+}
+
+fn bad_with_capacity() -> Vec<u8> {
+    Vec::with_capacity(64)
+}
+
+// Reuse is the point: writing into a caller-provided buffer is fine, as is
+// a waived constructor allocation. The fine section starts at line 28.
+fn fine_reuse(out: &mut Vec<u8>, b: &[u8]) {
+    out.clear();
+    out.extend_from_slice(b);
+}
+
+fn waived_constructor() -> Vec<u8> {
+    // detlint: allow(hot_alloc) -- fixture: one-time constructor allocation
+    Vec::with_capacity(1024)
+}

@@ -1,0 +1,44 @@
+// Fixture: panic-reachable constructs that `panic_path` must catch.
+
+fn bad_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+fn bad_expect(v: Result<u32, ()>) -> u32 {
+    v.expect("always ok")
+}
+
+fn bad_macros(x: u32) -> u32 {
+    match x {
+        0 => panic!("zero"),
+        1 => unreachable!("one"),
+        _ => x,
+    }
+}
+
+fn bad_unchecked(b: &[u8]) -> u8 {
+    unsafe { *b.get_unchecked(0) }
+}
+
+// Intentional invariants and definitions must NOT be flagged: asserts are
+// guards, and an fn named `unwrap` is a declaration, not a call.
+fn unwrap(x: u32) -> u32 {
+    assert!(x < 10);
+    debug_assert!(x != 9);
+    x
+}
+
+// A waived panic is fine — the waiver carries its justification.
+fn waived(v: Option<u32>) -> u32 {
+    // detlint: allow(panic_path) -- fixture: invariant holds by construction
+    v.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code unwraps freely; the pass must not look past the cfg(test)
+    // cutoff above.
+    fn in_tests(v: Option<u32>) -> u32 {
+        v.unwrap()
+    }
+}

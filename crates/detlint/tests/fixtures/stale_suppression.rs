@@ -1,0 +1,13 @@
+// Fixture: waiver hygiene — a well-formed waiver that suppresses nothing
+// is dead armour and must be reported as `stale_suppression`.
+
+// detlint: allow(wall_clock) -- stale: the clock read below was removed
+fn fixed_long_ago() -> u64 {
+    42
+}
+
+// A waiver that still covers a live violation is earned, not stale.
+fn still_needed() -> u64 {
+    // detlint: allow(wall_clock) -- fixture: deliberate live violation
+    std::time::Instant::now().elapsed().as_secs()
+}

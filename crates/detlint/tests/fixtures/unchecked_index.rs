@@ -1,0 +1,30 @@
+// Fixture: slice indexing that `unchecked_index` must catch in codec zones.
+
+fn bad_index(b: &[u8]) -> u8 {
+    b[0]
+}
+
+fn bad_range(b: &[u8], n: usize) -> &[u8] {
+    &b[..n]
+}
+
+fn bad_chained(pairs: &[(u8, u8)]) -> u8 {
+    pairs[0].0
+}
+
+// None of these are indexing: attribute brackets, slice types, array
+// literals, vec! macro arms, and slice patterns. The helper starts at
+// line 18 and must be untouched.
+#[derive(Debug)]
+struct Fine {
+    buf: [u8; 4],
+}
+
+fn fine(s: &[u8]) -> Vec<u8> {
+    let arr = [1u8, 2, 3];
+    let v = vec![0u8; 4];
+    match s {
+        [first, ..] => vec![*first],
+        _ => v,
+    }
+}

@@ -1,0 +1,51 @@
+// Fixture: a miniature codec whose PONG message drifted — encode writes a
+// u32 payload but decode still reads a u16. The wire-schema pass must
+// extract both messages and diagnose the asymmetry.
+
+pub const MAGIC: u8 = 0xAA;
+pub const VERSION: u8 = 7;
+
+mod ty {
+    pub const PING: u8 = 1;
+    pub const PONG: u8 = 2;
+}
+
+pub enum Mini {
+    Ping { seq: u32 },
+    Pong { seq: u32, load: u32 },
+}
+
+impl Mini {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.put_u8(MAGIC);
+        out.put_u8(VERSION);
+        match self {
+            Mini::Ping { seq } => {
+                out.put_u8(ty::PING);
+                out.put_u32_le(*seq);
+            }
+            Mini::Pong { seq, load } => {
+                out.put_u8(ty::PONG);
+                out.put_u32_le(*seq);
+                out.put_u32_le(*load);
+            }
+        }
+        out
+    }
+
+    pub fn decode(buf: &[u8]) -> Option<Mini> {
+        let mut b = buf;
+        if b.get_u8()? != MAGIC || b.get_u8()? != VERSION {
+            return None;
+        }
+        match b.get_u8()? {
+            ty::PING => Some(Mini::Ping { seq: b.get_u32_le()? }),
+            ty::PONG => Some(Mini::Pong {
+                seq: b.get_u32_le()?,
+                load: u32::from(b.get_u16_le()?),
+            }),
+            _ => None,
+        }
+    }
+}

@@ -12,11 +12,17 @@ fn fixture(name: &str) -> String {
     std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
 }
 
-fn lint_fixture(name: &str) -> Vec<(u32, &'static str)> {
-    lint_source(name, &fixture(name), &Rule::ALL)
+fn lint_fixture_with(name: &str, rules: &[Rule]) -> Vec<(u32, &'static str)> {
+    lint_source(name, &fixture(name), rules)
         .into_iter()
         .map(|d| (d.line, d.rule))
         .collect()
+}
+
+/// The determinism fixtures predate the panic/alloc zones and unwrap
+/// freely; they are linted with the fence they seed violations for.
+fn lint_fixture(name: &str) -> Vec<(u32, &'static str)> {
+    lint_fixture_with(name, &Rule::DETERMINISM)
 }
 
 #[test]
@@ -86,6 +92,68 @@ fn bad_suppressions_are_reported_and_do_not_suppress() {
     // violations beneath them.
     assert!(hits.iter().any(|(_, r)| *r == "wall_clock"), "{hits:?}");
     assert!(hits.iter().any(|(_, r)| *r == "float"), "{hits:?}");
+}
+
+#[test]
+fn panic_path_fixture_is_caught() {
+    let hits = lint_fixture_with("panic_path.rs", &[Rule::PanicPath]);
+    assert!(hits.len() >= 5, "unwrap/expect/macros/unchecked: {hits:?}");
+    assert!(hits.iter().all(|(_, r)| *r == "panic_path"), "{hits:?}");
+    // Asserts, fn definitions (line 25+), the waived unwrap, and the
+    // cfg(test) module must all be untouched.
+    assert!(hits.iter().all(|(l, _)| *l < 25), "{hits:?}");
+}
+
+#[test]
+fn unchecked_index_fixture_is_caught() {
+    let hits = lint_fixture_with("unchecked_index.rs", &[Rule::UncheckedIndex]);
+    assert_eq!(hits.len(), 3, "b[0], &b[..n], pairs[0]: {hits:?}");
+    assert!(
+        hits.iter().all(|(_, r)| *r == "unchecked_index"),
+        "{hits:?}"
+    );
+    // Attributes, array types/literals, vec!, and slice patterns (line 18+)
+    // must be untouched.
+    assert!(hits.iter().all(|(l, _)| *l < 18), "{hits:?}");
+}
+
+#[test]
+fn hot_alloc_fixture_is_caught() {
+    let hits = lint_fixture_with("hot_alloc.rs", &[Rule::HotAlloc]);
+    assert_eq!(hits.len(), 6, "six allocation sites: {hits:?}");
+    assert!(hits.iter().all(|(_, r)| *r == "hot_alloc"), "{hits:?}");
+    // Buffer reuse and the waived constructor (line 28+) must be untouched.
+    assert!(hits.iter().all(|(l, _)| *l < 28), "{hits:?}");
+}
+
+#[test]
+fn stale_suppression_fixture_is_caught() {
+    let hits = lint_fixture("stale_suppression.rs");
+    assert_eq!(hits, vec![(4, "stale_suppression")], "{hits:?}");
+}
+
+#[test]
+fn wire_drift_fixture_is_diagnosed() {
+    let source = fixture("wire_drift.rs");
+    let (schema, diags) = detlint::wire_schema::extract_codec("mini", "wire_drift.rs", &source);
+    let schema = schema.expect("extraction succeeds");
+    assert_eq!(schema.version, 7);
+    assert_eq!(schema.messages.len(), 2, "{:?}", schema.messages);
+    let ping = &schema.messages[0];
+    assert_eq!(
+        (ping.encode_ops.as_str(), ping.decode_ops.as_str()),
+        ("u32", "u32")
+    );
+    let pong = &schema.messages[1];
+    assert_eq!(pong.encode_ops, "u32,u32");
+    assert_eq!(pong.decode_ops, "u32,u16");
+    // PONG drifted: encode and decode disagree on the payload width.
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == "wire_asymmetry" && d.message.contains("PONG")),
+        "{diags:?}"
+    );
 }
 
 #[test]

@@ -134,7 +134,7 @@ impl LobbyServer {
             .retain(|_, s| now.saturating_since(s.last_seen) < SESSION_TTL);
         self.metrics.counter_add(
             "sessions_expired_total",
-            (before - self.sessions.len()) as u64,
+            before.saturating_sub(self.sessions.len()) as u64,
         );
     }
 
@@ -226,7 +226,7 @@ impl LobbyServer {
                         name: s.name.clone(),
                         rom_hash: s.rom_hash,
                         slots: s.slots,
-                        free: s.slots - 1 - s.members.len() as u8,
+                        free: (s.slots.saturating_sub(1)).saturating_sub(s.members.len() as u8),
                         host: s.host,
                     })
                     .collect();

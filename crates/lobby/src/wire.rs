@@ -202,11 +202,24 @@ fn truncate_exposition(text: &str) -> &[u8] {
     if bytes.len() <= MAX_METRICS_TEXT {
         return bytes;
     }
-    let cut = bytes[..MAX_METRICS_TEXT]
-        .iter()
-        .rposition(|&b| b == b'\n')
-        .map_or(0, |i| i + 1);
-    &bytes[..cut]
+    let head = bytes
+        .split_at_checked(MAX_METRICS_TEXT)
+        .map_or(bytes, |(head, _)| head);
+    let cut = head.iter().rposition(|&b| b == b'\n').map_or(0, |i| i + 1);
+    head.get(..cut).unwrap_or(&[])
+}
+
+/// Truncates a session name to at most `MAX_NAME` bytes, backing up to a
+/// UTF-8 character boundary so the result stays valid text.
+fn truncate_name(name: &str) -> &[u8] {
+    if name.len() <= MAX_NAME {
+        return name.as_bytes();
+    }
+    let mut cut = MAX_NAME;
+    while cut > 0 && !name.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    name.get(..cut).map_or(&[], str::as_bytes)
 }
 
 impl LobbyMessage {
@@ -222,7 +235,7 @@ impl LobbyMessage {
                 slots,
             } => {
                 b.put_u8(ty::REGISTER);
-                let name = &name.as_bytes()[..name.len().min(MAX_NAME)];
+                let name = truncate_name(name);
                 b.put_u8(name.len() as u8);
                 b.put_slice(name);
                 b.put_u64_le(*rom_hash);
@@ -262,7 +275,7 @@ impl LobbyMessage {
                 b.put_u8(sessions.len().min(MAX_LISTED) as u8);
                 for s in sessions.iter().take(MAX_LISTED) {
                     b.put_u32_le(s.id.0);
-                    let name = &s.name.as_bytes()[..s.name.len().min(MAX_NAME)];
+                    let name = truncate_name(&s.name);
                     b.put_u8(name.len() as u8);
                     b.put_slice(name);
                     b.put_u64_le(s.rom_hash);
@@ -339,12 +352,10 @@ impl LobbyMessage {
             if n > MAX_NAME {
                 return Err(LobbyWireError::TooLarge);
             }
-            if b.remaining() < n {
+            let Some(raw) = b.try_take(n) else {
                 return Err(LobbyWireError::Truncated);
-            }
-            let s = String::from_utf8(b[..n].to_vec()).map_err(|_| LobbyWireError::BadName)?;
-            b.advance(n);
-            Ok(s)
+            };
+            String::from_utf8(raw.to_vec()).map_err(|_| LobbyWireError::BadName)
         }
         Ok(match t {
             ty::REGISTER => {
@@ -438,10 +449,10 @@ impl LobbyMessage {
                 if n > MAX_METRICS_TEXT {
                     return Err(LobbyWireError::TooLarge);
                 }
-                need!(n);
-                let text =
-                    String::from_utf8(b[..n].to_vec()).map_err(|_| LobbyWireError::BadName)?;
-                b.advance(n);
+                let Some(raw) = b.try_take(n) else {
+                    return Err(LobbyWireError::Truncated);
+                };
+                let text = String::from_utf8(raw.to_vec()).map_err(|_| LobbyWireError::BadName)?;
                 LobbyMessage::MetricsReport { text }
             }
             other => return Err(LobbyWireError::UnknownType(other)),

@@ -3,32 +3,57 @@
 //! A small subset of the familiar `bytes`-crate API — enough for the
 //! little-endian datagram codecs in `coplay-sync` and `coplay-lobby` —
 //! implemented locally because the build environment is offline. Reads
-//! are cursor-style over a plain `&[u8]` and check bounds via
-//! [`Buf::remaining`] before each fixed-width access, so decoders can
-//! reject truncated datagrams without panicking.
+//! are cursor-style over a plain `&[u8]` and are **total**: a getter on
+//! a too-short slice drains it and returns zero instead of panicking,
+//! so decoders stay panic-free on arbitrary bytes even if a bounds
+//! check is missed. Decoders still gate correctness on
+//! [`Buf::remaining`] (wrapped in their `need!` macros).
 
 use std::ops::Deref;
 use std::sync::Arc;
 
 /// Cursor-style reads from a shrinking `&[u8]`.
 ///
-/// Each getter consumes its bytes from the front of the slice. Getters
-/// panic if the slice is too short, so callers must check
-/// [`remaining`](Buf::remaining) first (the codecs wrap that in a
-/// `need!` macro).
+/// Each getter consumes its bytes from the front of the slice. All
+/// reads are total: on underflow a getter drains the slice and returns
+/// zero, so no input — however truncated or adversarial — can panic a
+/// decoder. Callers that need to distinguish "read zero" from "ran
+/// out" check [`remaining`](Buf::remaining) first (the codecs wrap
+/// that in a `need!` macro) or use [`try_take`](Buf::try_take).
 pub trait Buf {
     /// Bytes left to read.
     fn remaining(&self) -> usize;
-    /// Skips `n` bytes.
+    /// Skips `n` bytes (all remaining bytes if fewer are left).
     fn advance(&mut self, n: usize);
-    /// Reads one byte.
+    /// Consumes `n` bytes and returns them, or `None` (consuming
+    /// nothing) if fewer than `n` remain.
+    fn try_take(&mut self, n: usize) -> Option<&[u8]>;
+    /// Reads one byte (`0` on underflow).
     fn get_u8(&mut self) -> u8;
-    /// Reads a little-endian `u16`.
+    /// Reads a little-endian `u16` (`0` on underflow).
     fn get_u16_le(&mut self) -> u16;
-    /// Reads a little-endian `u32`.
+    /// Reads a little-endian `u32` (`0` on underflow).
     fn get_u32_le(&mut self) -> u32;
-    /// Reads a little-endian `u64`.
+    /// Reads a little-endian `u64` (`0` on underflow).
     fn get_u64_le(&mut self) -> u64;
+}
+
+/// Reads a fixed-width little-endian integer, draining the slice and
+/// yielding zero when not enough bytes remain.
+macro_rules! get_le {
+    ($cursor:expr, $ty:ty) => {{
+        let s = *$cursor;
+        match s.split_first_chunk() {
+            Some((head, rest)) => {
+                *$cursor = rest;
+                <$ty>::from_le_bytes(*head)
+            }
+            None => {
+                *$cursor = &[];
+                0
+            }
+        }
+    }};
 }
 
 impl Buf for &[u8] {
@@ -37,31 +62,38 @@ impl Buf for &[u8] {
     }
 
     fn advance(&mut self, n: usize) {
-        *self = &self[n..];
+        let s = *self;
+        *self = s.split_at_checked(n).map_or(&[], |(_, rest)| rest);
+    }
+
+    fn try_take(&mut self, n: usize) -> Option<&[u8]> {
+        let s = *self;
+        let (head, rest) = s.split_at_checked(n)?;
+        *self = rest;
+        Some(head)
     }
 
     fn get_u8(&mut self) -> u8 {
-        let v = self[0];
-        *self = &self[1..];
-        v
+        let s = *self;
+        match s.split_first() {
+            Some((&v, rest)) => {
+                *self = rest;
+                v
+            }
+            None => 0,
+        }
     }
 
     fn get_u16_le(&mut self) -> u16 {
-        let (head, rest) = self.split_at(2);
-        *self = rest;
-        u16::from_le_bytes(head.try_into().expect("split_at returns exactly 2 bytes"))
+        get_le!(self, u16)
     }
 
     fn get_u32_le(&mut self) -> u32 {
-        let (head, rest) = self.split_at(4);
-        *self = rest;
-        u32::from_le_bytes(head.try_into().expect("split_at returns exactly 4 bytes"))
+        get_le!(self, u32)
     }
 
     fn get_u64_le(&mut self) -> u64 {
-        let (head, rest) = self.split_at(8);
-        *self = rest;
-        u64::from_le_bytes(head.try_into().expect("split_at returns exactly 8 bytes"))
+        get_le!(self, u64)
     }
 }
 
@@ -263,6 +295,30 @@ mod tests {
         BufMut::put_u64_le(&mut v, 0x0708_090A_0B0C_0D0E);
         BufMut::put_slice(&mut v, b"xy");
         assert_eq!(v, w.to_vec());
+    }
+
+    #[test]
+    fn underflow_drains_and_returns_zero() {
+        let mut r: &[u8] = &[0x01];
+        assert_eq!(r.get_u32_le(), 0, "one byte cannot make a u32");
+        assert_eq!(r.remaining(), 0, "underflow drains the cursor");
+        assert_eq!(r.get_u8(), 0);
+        assert_eq!(r.get_u16_le(), 0);
+        assert_eq!(r.get_u64_le(), 0);
+
+        let mut r: &[u8] = &[1, 2, 3];
+        r.advance(usize::MAX);
+        assert_eq!(r.remaining(), 0, "oversized advance drains, not panics");
+    }
+
+    #[test]
+    fn try_take_is_all_or_nothing() {
+        let mut r: &[u8] = &[1, 2, 3, 4];
+        assert_eq!(r.try_take(2), Some(&[1u8, 2][..]));
+        assert_eq!(r.try_take(3), None, "only 2 bytes left");
+        assert_eq!(r.remaining(), 2, "failed take consumes nothing");
+        assert_eq!(r.try_take(2), Some(&[3u8, 4][..]));
+        assert_eq!(r.try_take(0), Some(&[][..]));
     }
 
     #[test]

@@ -128,15 +128,16 @@ impl SimNetwork {
     }
 
     /// Replaces the impairment configuration of `from → to` mid-run.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the link was never configured with [`SimNetwork::set_link`].
-    pub fn reconfigure_link(&mut self, from: PeerId, to: PeerId, config: NetemConfig) {
-        self.channels
-            .get_mut(&(from, to))
-            .expect("link not configured")
-            .set_config(config);
+    /// Returns `false` (changing nothing) if the link was never
+    /// configured with [`SimNetwork::set_link`].
+    pub fn reconfigure_link(&mut self, from: PeerId, to: PeerId, config: NetemConfig) -> bool {
+        match self.channels.get_mut(&(from, to)) {
+            Some(channel) => {
+                channel.set_config(config);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Impairment counters for the directed link, if configured.
@@ -209,7 +210,9 @@ impl SimNetwork {
             if at > now {
                 break;
             }
-            let (_, flight) = self.queue.pop().expect("peeked entry exists");
+            let Some((_, flight)) = self.queue.pop() else {
+                break;
+            };
             self.telemetry
                 .counter_add("net_datagrams_delivered_total", 1);
             self.inboxes

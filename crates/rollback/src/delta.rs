@@ -92,6 +92,16 @@ fn base_byte(base: &[u8], i: usize) -> u8 {
 const LO: u64 = 0x0101_0101_0101_0101;
 const HI: u64 = 0x8080_8080_8080_8080;
 
+/// Little-endian `u64` load of `s[i..i + 8]`. The scan loops bound `i`
+/// so the window is always in range; a short window reads as 0 rather
+/// than panicking.
+#[inline(always)]
+fn word_at(s: &[u8], i: usize) -> u64 {
+    s.get(i..i + 8)
+        .and_then(|w| w.try_into().ok())
+        .map_or(0, u64::from_le_bytes)
+}
+
 /// Advances `i` past the run of bytes where `new` equals the padded base,
 /// comparing eight bytes per iteration while both slices cover a full
 /// word. Returns the first index that differs (or `new.len()`).
@@ -99,9 +109,7 @@ const HI: u64 = 0x8080_8080_8080_8080;
 fn scan_zero_run(base: &[u8], new: &[u8], mut i: usize) -> usize {
     let word_end = base.len().min(new.len());
     while i + 8 <= word_end {
-        let b = u64::from_le_bytes(base[i..i + 8].try_into().expect("len 8"));
-        let n = u64::from_le_bytes(new[i..i + 8].try_into().expect("len 8"));
-        let x = b ^ n;
+        let x = word_at(base, i) ^ word_at(new, i);
         if x == 0 {
             i += 8;
         } else {
@@ -123,9 +131,7 @@ fn scan_zero_run(base: &[u8], new: &[u8], mut i: usize) -> usize {
 fn scan_literal_run(base: &[u8], new: &[u8], mut i: usize) -> usize {
     let word_end = base.len().min(new.len());
     while i + 8 <= word_end {
-        let b = u64::from_le_bytes(base[i..i + 8].try_into().expect("len 8"));
-        let n = u64::from_le_bytes(new[i..i + 8].try_into().expect("len 8"));
-        let x = b ^ n;
+        let x = word_at(base, i) ^ word_at(new, i);
         // Classic has-zero-byte trick: the flag of the *first* zero byte of
         // `x` is always the lowest set flag (higher flags may be spurious
         // from borrows, lower ones cannot be), so trailing_zeros finds the

@@ -142,6 +142,7 @@ impl<M: Machine, T: Transport, S: InputSource, P: InputPredictor> RollbackSessio
                     max_rollback_frames,
                     checkpoint_interval,
                 } => (max_rollback_frames, checkpoint_interval),
+                // detlint: allow(panic_path) -- ConsistencyMode::rollback() always returns Rollback
                 ConsistencyMode::Lockstep => unreachable!(),
             },
         };
@@ -150,17 +151,21 @@ impl<M: Machine, T: Transport, S: InputSource, P: InputPredictor> RollbackSessio
         let dead_zone = cfg.sync_dead_zone.min(cfg.local_lag() / 4);
         let timer = FrameTimer::new(tpf, cfg.is_master(), cfg.rate_sync, cfg.buf_frames)
             .with_dead_zone(dead_zone)
+            // detlint: allow(hot_alloc) -- constructor-time Arc handle clone, not per-frame
             .with_telemetry(cfg.telemetry.clone());
+        // detlint: allow(hot_alloc) -- constructor-time Arc handle clone, not per-frame
         let rtt = RttEstimator::default().with_telemetry(cfg.telemetry.clone());
         let phase = if cfg.is_master() {
             Phase::MasterWait
         } else {
             Phase::Connecting {
                 next_hello: SimTime::ZERO,
+                // detlint: allow(hot_alloc) -- constructor-time handshake state, not per-frame
                 acks: BTreeMap::new(),
             }
         };
         RollbackSession {
+            // detlint: allow(hot_alloc) -- one-time config clone at session construction
             sync: InputSync::new(cfg.clone()),
             max_rollback_frames,
             checkpoint_interval,
@@ -170,6 +175,7 @@ impl<M: Machine, T: Transport, S: InputSource, P: InputPredictor> RollbackSessio
             frame: 0,
             frame_start: SimTime::ZERO,
             rom_hash,
+            // detlint: allow(hot_alloc) -- one-time constructor allocation, not per-frame
             joined: Vec::new(),
             time_server: None,
             hash_frames: true,
@@ -179,12 +185,17 @@ impl<M: Machine, T: Transport, S: InputSource, P: InputPredictor> RollbackSessio
                 max_rollback_frames,
                 checkpoint_interval,
             )),
+            // detlint: allow(hot_alloc) -- reusable buffer; grows once, then steady-state
             capture_buf: Vec::new(),
+            // detlint: allow(hot_alloc) -- reusable buffer; grows once, then steady-state
             restore_buf: Vec::new(),
+            // detlint: allow(hot_alloc) -- reusable buffer; grows once, then steady-state
             send_buf: Vec::new(),
             pool_hits_reported: 0,
             interp_reported: InterpStats::default(),
+            // detlint: allow(hot_alloc) -- one-time constructor allocation, not per-frame
             used: BTreeMap::new(),
+            // detlint: allow(hot_alloc) -- one-time constructor allocation, not per-frame
             recent_hashes: BTreeMap::new(),
             pending_rollback: None,
             confirm_next: 0,
@@ -257,10 +268,12 @@ impl<M: Machine, T: Transport, S: InputSource, P: InputPredictor> RollbackSessio
     pub fn take_confirmed(&mut self) -> Vec<(u64, u64)> {
         let pointer = self.sync.pointer();
         if pointer == 0 {
+            // detlint: allow(hot_alloc) -- empty Vec::new() does not touch the heap
             return Vec::new();
         }
         let limit = self.sync.authoritative_frontier().min(pointer - 1);
         let at = self.last_tick_at;
+        // detlint: allow(hot_alloc) -- drained accumulator; ownership moves to the caller
         let mut out = Vec::new();
         while let Some(entry) = self.recent_hashes.first_entry() {
             if *entry.key() > limit {
@@ -310,6 +323,7 @@ impl<M: Machine, T: Transport, S: InputSource, P: InputPredictor> RollbackSessio
         self.perform_rollback(now)?;
         loop {
             match &mut self.phase {
+                // detlint: allow(hot_alloc) -- terminal stop path, runs once per session
                 Phase::Done(reason) => return Ok(Step::Stopped(reason.clone())),
                 Phase::MasterWait => {
                     let players_expected = self.cfg.num_sites as usize - 1;
@@ -354,6 +368,7 @@ impl<M: Machine, T: Transport, S: InputSource, P: InputPredictor> RollbackSessio
                     }
                     let deadline = match &self.phase {
                         Phase::Connecting { next_hello, .. } => *next_hello,
+                        // detlint: allow(panic_path) -- this arm matched Phase::Connecting above
                         _ => unreachable!(),
                     };
                     return Ok(Step::Wait(deadline));
@@ -608,12 +623,15 @@ impl<M: Machine, T: Transport, S: InputSource, P: InputPredictor> RollbackSessio
         let info = self
             .ring
             .restore_into(target, &mut self.restore_buf)
+            // detlint: allow(hot_alloc) -- error path; the session is about to abort
             .map_err(|e| SyncError::Snapshot(e.to_string()))?;
         let cp_frame = info.frame;
         self.machine
             .load_state(&self.restore_buf)
+            // detlint: allow(hot_alloc) -- error path; the session is about to abort
             .map_err(|e| SyncError::Snapshot(e.to_string()))?;
         if self.machine.state_hash() != info.hash {
+            // detlint: allow(hot_alloc) -- error path; the session is about to abort
             return Err(SyncError::Snapshot(format!(
                 "checkpoint for frame {cp_frame} restored to a mismatched state hash"
             )));

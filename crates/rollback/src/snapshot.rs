@@ -148,10 +148,12 @@ impl SnapshotRing {
     pub fn new(capacity: usize) -> SnapshotRing {
         assert!(capacity > 0, "snapshot ring needs at least one slot");
         SnapshotRing {
+            // detlint: allow(hot_alloc) -- one-time constructor allocation, not per-frame
             slots: VecDeque::with_capacity(capacity),
             capacity,
             keyframe_interval: DEFAULT_KEYFRAME_INTERVAL,
             since_keyframe: 0,
+            // detlint: allow(hot_alloc) -- grows once to state size, then reused
             tail_full: Vec::new(),
             // One buffer per slot plus the one in flight during promotion.
             pool: BufferPool::new(capacity + 1),
@@ -227,12 +229,14 @@ impl SnapshotRing {
     /// *promoted* to a keyframe by applying its delta onto the evicted
     /// keyframe's buffer, preserving the front-is-a-keyframe invariant.
     fn evict_front(&mut self) {
+        // detlint: allow(panic_path) -- sole caller checks len() == capacity, and capacity > 0
         let front = self.slots.pop_front().expect("evict on empty ring");
         debug_assert_eq!(front.kind, SlotKind::Keyframe, "front must be a keyframe");
         let mut full = front.data;
         if let Some(next) = self.slots.front_mut() {
             if next.kind == SlotKind::Delta {
                 delta::apply_in_place(&mut full, &next.data)
+                    // detlint: allow(panic_path) -- delta was produced by this ring against this base
                     .expect("self-produced checkpoint delta applies");
                 next.kind = SlotKind::Keyframe;
                 self.pool.give(std::mem::replace(&mut next.data, full));
@@ -248,6 +252,7 @@ impl SnapshotRing {
         let key = (0..=idx)
             .rev()
             .find(|&i| self.slots[i].kind == SlotKind::Keyframe)
+            // detlint: allow(panic_path) -- push/evict maintain the front-is-a-keyframe invariant
             .expect("front slot is always a keyframe");
         out.clear();
         out.extend_from_slice(&self.slots[key].data);
@@ -291,7 +296,9 @@ impl SnapshotRing {
     pub fn discard_after(&mut self, frame: u64) {
         let mut dropped = false;
         while self.slots.back().is_some_and(|s| s.frame > frame) {
-            let slot = self.slots.pop_back().expect("back checked above");
+            let Some(slot) = self.slots.pop_back() else {
+                break;
+            };
             self.pool.give(slot.data);
             dropped = true;
         }
@@ -311,6 +318,7 @@ impl SnapshotRing {
             0 => tail.clear(),
             n => self
                 .restore_index_into(n - 1, &mut tail)
+                // detlint: allow(panic_path) -- replays deltas this ring encoded; corruption is a program bug
                 .expect("self-produced checkpoint delta applies"),
         }
         self.tail_full = tail;

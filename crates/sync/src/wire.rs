@@ -315,8 +315,10 @@ impl Message {
                 if n > MAX_CHUNK_BYTES {
                     return Err(WireError::TooLarge);
                 }
-                need!(n);
-                let bytes = Bytes::copy_from_slice(&b[..n]);
+                let Some(raw) = b.try_take(n) else {
+                    return Err(WireError::Truncated);
+                };
+                let bytes = Bytes::copy_from_slice(raw);
                 Message::SnapshotChunk {
                     frame,
                     offset,

@@ -88,9 +88,11 @@ impl Cpu {
             lcg: seed,
             halted: false,
             faulted: false,
+            // detlint: allow(hot_alloc) -- one-time 64 KiB backing store at construction
             mem: vec![0u8; MEM_SIZE]
                 .into_boxed_slice()
                 .try_into()
+                // detlint: allow(panic_path) -- boxed slice has exactly MEM_SIZE elements
                 .expect("len"),
             mode: InterpMode::default(),
             cache: DecodeCache::new(),
@@ -246,6 +248,7 @@ impl Cpu {
             let imm = args.imm;
 
             match op {
+                // detlint: allow(panic_path) -- both ops take the cold/illegal early exit above
                 Op::Cold | Op::Illegal => unreachable!("handled above"),
                 Op::Nop => {}
                 Op::Halt => {
@@ -323,6 +326,7 @@ impl Cpu {
                     self.regs[a] = (self.lcg >> 16) as u16;
                 }
                 Op::Sys => {
+                    // detlint: allow(panic_path) -- predecode only caches Op::Sys for valid syscall ids
                     let call = Syscall::from_u8(args.a).expect("cached syscall is valid");
                     dev.syscall(call, &self.regs);
                 }
@@ -495,11 +499,14 @@ impl Cpu {
         }
         let mut pos = 0;
         for r in &mut self.regs {
+            // detlint: allow(panic_path) -- SERIALIZED_LEN checked on entry covers every window
             *r = u16::from_le_bytes(bytes[pos..pos + 2].try_into().expect("len 2"));
             pos += 2;
         }
+        // detlint: allow(panic_path) -- SERIALIZED_LEN checked on entry covers every window
         self.pc = u16::from_le_bytes(bytes[pos..pos + 2].try_into().expect("len 2"));
         pos += 2;
+        // detlint: allow(panic_path) -- SERIALIZED_LEN checked on entry covers every window
         self.sp = u16::from_le_bytes(bytes[pos..pos + 2].try_into().expect("len 2"));
         pos += 2;
         let f = bytes[pos];
@@ -509,6 +516,7 @@ impl Cpu {
         self.flag_c = f & 4 != 0;
         self.halted = f & 8 != 0;
         self.faulted = f & 16 != 0;
+        // detlint: allow(panic_path) -- SERIALIZED_LEN checked on entry covers every window
         self.lcg = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("len 4"));
         pos += 4;
         // Diff-based memory restore: a rollback reload typically differs
@@ -520,7 +528,9 @@ impl Cpu {
         let src = &bytes[pos..pos + MEM_SIZE];
         for (i, block) in src.chunks_exact(64).enumerate() {
             let at = i * 64;
+            // detlint: allow(panic_path) -- chunks_exact(64) yields 64-byte blocks
             let new: &[u8; 64] = block.try_into().expect("len 64");
+            // detlint: allow(panic_path) -- MEM_SIZE is a multiple of 64, window is in range
             let old: &[u8; 64] = self.mem[at..at + 64].try_into().expect("len 64");
             if old != new {
                 self.mem[at..at + 64].copy_from_slice(block);

@@ -334,13 +334,17 @@ impl DecodeCache {
     /// An entirely cold table.
     pub fn new() -> DecodeCache {
         DecodeCache {
+            // detlint: allow(hot_alloc) -- one-time 64 K decode table at construction
             ops: vec![Op::Cold; MEM_SIZE]
                 .into_boxed_slice()
                 .try_into()
+                // detlint: allow(panic_path) -- boxed slice has exactly MEM_SIZE elements
                 .expect("len"),
+            // detlint: allow(hot_alloc) -- one-time 64 K args table at construction
             args: vec![Args::ZERO; MEM_SIZE]
                 .into_boxed_slice()
                 .try_into()
+                // detlint: allow(panic_path) -- boxed slice has exactly MEM_SIZE elements
                 .expect("len"),
             dispatches: 0,
             misses: 0,

@@ -17,8 +17,17 @@ cargo fmt --all --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> detlint (determinism audit)"
+echo "==> coplay-lint (determinism + panic-path + hot-alloc audit)"
+# All five passes: determinism, panic_path, unchecked_index, hot_alloc,
+# and wire-schema extraction. Zero unwaived findings required; writes
+# results/detlint.json for upload.
 cargo run -q -p detlint --release
+
+echo "==> coplay-lint --check-schema (wire drift vs results/wire_schema.json)"
+# Fails when a codec's field layout changes without a VERSION bump.
+# After an *intentional* wire change + version bump, re-pin with
+# `cargo run -p detlint -- --update-schema` and commit the lockfile.
+cargo run -q -p detlint --release -- --check-schema
 
 echo "==> rollback netcode tests"
 cargo test -q -p coplay-rollback
