@@ -21,16 +21,18 @@
 //!
 //! | zone | panic_path | unchecked_index | hot_alloc |
 //! |------|-----------|-----------------|-----------|
-//! | wire codecs (`net/bytes`, `lobby/wire`, `sync/wire`) | ✓ | ✓ | – |
-//! | transport (`net/{udp,sim,transport,netem}`, `lobby/{server,client,lib}`) | ✓ | – | – |
-//! | hot path (`rollback/src/*`, `vm/{cpu,predecode}`, `sync/sync_input`) | ✓ | – | ✓‡ |
+//! | wire codecs (`net/bytes`, `lobby/wire`, `sync/wire`, `relay/wire`) | ✓ | ✓ | – |
+//! | transport (`net/{udp,sim,transport,netem}`, `lobby/{server,client,lib}`, `relay/{server,client,udp,lib}`) | ✓ | – | – |
+//! | hot path (`rollback/src/*`, `vm/{cpu,predecode}`, `sync/sync_input`, `relay/server`) | ✓ | – | ✓‡ |
 //!
-//! ‡ `hot_alloc` applies to exactly the modules PRs 4–5 made alloc-free:
+//! ‡ `hot_alloc` applies to exactly the modules PRs 4–5 made alloc-free
+//! plus the relay's per-datagram fan-out:
 //! `rollback/{snapshot,delta,session}.rs`, `vm/{cpu,predecode}.rs`,
-//! `sync/sync_input.rs`. Wire/transport code must be panic-free on
-//! arbitrary bytes (typed errors only); hot-path panics and constructor
-//! allocations carry `allow(...) -- <reason>` waivers. `#[cfg(test)]`
-//! regions are exempt from the zone rules but not the determinism rules.
+//! `sync/sync_input.rs`, `relay/src/server.rs`. Wire/transport code must be
+//! panic-free on arbitrary bytes (typed errors only); hot-path panics and
+//! constructor allocations carry `allow(...) -- <reason>` waivers.
+//! `#[cfg(test)]` regions are exempt from the zone rules but not the
+//! determinism rules.
 
 use crate::rules::Rule;
 
@@ -39,7 +41,10 @@ use crate::rules::Rule;
 fn wire_codec(rel: &str) -> bool {
     matches!(
         rel,
-        "crates/net/src/bytes.rs" | "crates/lobby/src/wire.rs" | "crates/sync/src/wire.rs"
+        "crates/net/src/bytes.rs"
+            | "crates/lobby/src/wire.rs"
+            | "crates/sync/src/wire.rs"
+            | "crates/relay/src/wire.rs"
     )
 }
 
@@ -56,6 +61,10 @@ fn transport_zone(rel: &str) -> bool {
                 | "crates/lobby/src/server.rs"
                 | "crates/lobby/src/client.rs"
                 | "crates/lobby/src/lib.rs"
+                | "crates/relay/src/server.rs"
+                | "crates/relay/src/client.rs"
+                | "crates/relay/src/udp.rs"
+                | "crates/relay/src/lib.rs"
         )
 }
 
@@ -79,6 +88,7 @@ fn hot_alloc_zone(rel: &str) -> bool {
             | "crates/vm/src/cpu.rs"
             | "crates/vm/src/predecode.rs"
             | "crates/sync/src/sync_input.rs"
+            | "crates/relay/src/server.rs"
     )
 }
 
@@ -123,6 +133,10 @@ pub fn rules_for(rel: &str) -> Vec<Rule> {
             || rel.starts_with("crates/net/")
             || rel.starts_with("crates/bench/benches/")
             || rel.starts_with("crates/bench/src/bin/")
+            // The relay's socket loop and binary serve live clients on the
+            // wall clock; the sans-io core stays fenced.
+            || rel == "crates/relay/src/udp.rs"
+            || rel.starts_with("crates/relay/src/bin/")
             || rel.starts_with("tests/")
             || rel.starts_with("examples/");
         if !clock_exempt {
@@ -232,6 +246,7 @@ mod tests {
             "crates/net/src/bytes.rs",
             "crates/lobby/src/wire.rs",
             "crates/sync/src/wire.rs",
+            "crates/relay/src/wire.rs",
         ] {
             assert!(has(rel, Rule::PanicPath), "{rel}");
             assert!(has(rel, Rule::UncheckedIndex), "{rel}");
@@ -247,10 +262,28 @@ mod tests {
             "crates/net/src/transport.rs",
             "crates/lobby/src/server.rs",
             "crates/lobby/src/client.rs",
+            "crates/relay/src/server.rs",
+            "crates/relay/src/client.rs",
+            "crates/relay/src/udp.rs",
         ] {
             assert!(has(rel, Rule::PanicPath), "{rel}");
             assert!(!has(rel, Rule::UncheckedIndex), "{rel}");
         }
+    }
+
+    #[test]
+    fn relay_zones_match_the_lobby_pattern() {
+        // The routing core is both panic- and alloc-fenced (the fan-out is
+        // the per-datagram hot path), and sans-io: no wall clock.
+        assert!(has("crates/relay/src/server.rs", Rule::HotAlloc));
+        assert!(has("crates/relay/src/server.rs", Rule::WallClock));
+        assert!(!has("crates/relay/src/wire.rs", Rule::HotAlloc));
+        // The socket loop and binary serve live clients on the wall clock.
+        assert!(!has("crates/relay/src/udp.rs", Rule::WallClock));
+        assert!(!has("crates/relay/src/bin/relay.rs", Rule::WallClock));
+        assert!(has("crates/relay/src/client.rs", Rule::WallClock));
+        // The fleet load-generator times itself like the other bench bins.
+        assert!(!has("crates/bench/src/bin/fleet.rs", Rule::WallClock));
     }
 
     #[test]

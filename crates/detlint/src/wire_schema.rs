@@ -1,7 +1,8 @@
 //! Wire-schema drift lint.
 //!
-//! The two hand-rolled codecs (`crates/lobby/src/wire.rs`,
-//! `crates/sync/src/wire.rs`) are the protocol: there is no IDL, so nothing
+//! The three hand-rolled codecs (`crates/lobby/src/wire.rs`,
+//! `crates/sync/src/wire.rs`, `crates/relay/src/wire.rs`) are the
+//! protocol: there is no IDL, so nothing
 //! machine-checks that (a) every message's `encode` arm writes exactly the
 //! fields its `decode` arm reads, or (b) a layout change bumps `VERSION`.
 //! This pass recovers the schema from the token stream itself:
@@ -32,9 +33,10 @@ use crate::report::json_string;
 use crate::rules::{Diagnostic, WIRE_ASYMMETRY, WIRE_SCHEMA};
 
 /// The codecs under guard: `(codec name, workspace-relative path)`.
-pub const CODEC_FILES: [(&str, &str); 2] = [
+pub const CODEC_FILES: [(&str, &str); 3] = [
     ("lobby", "crates/lobby/src/wire.rs"),
     ("sync", "crates/sync/src/wire.rs"),
+    ("relay", "crates/relay/src/wire.rs"),
 ];
 
 /// One message's recovered wire layout.
@@ -53,7 +55,7 @@ pub struct MessageSchema {
 /// One codec's recovered schema.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CodecSchema {
-    /// Codec name (`lobby`, `sync`).
+    /// Codec name (`lobby`, `sync`, `relay`).
     pub name: String,
     /// Workspace-relative source path.
     pub file: String,

@@ -21,6 +21,13 @@ pub struct PeerId(pub u8);
 impl PeerId {
     /// Conventional id of the measurement time server.
     pub const TIME_SERVER: PeerId = PeerId(255);
+
+    /// Conventional destination meaning "every other member of the session".
+    ///
+    /// Only meaningful when traffic is routed through a relay (the relay wire
+    /// format reserves the same value as its broadcast destination); direct
+    /// peer-to-peer transports treat it like any other — unknown — peer.
+    pub const BROADCAST: PeerId = PeerId(254);
 }
 
 impl fmt::Display for PeerId {

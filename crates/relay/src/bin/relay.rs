@@ -1,0 +1,136 @@
+//! The relay server binary.
+//!
+//! Binds one UDP socket and routes registered sessions until killed:
+//!
+//! ```text
+//! cargo run --release -p coplay-relay --bin relay -- \
+//!     --bind 0.0.0.0:7777 --shard 0/4 --rate 2000 --burst 256
+//! ```
+//!
+//! Run one process per shard (each on its own port) to scale past a single
+//! core; sessions stripe across shards by `session % shard_count`, so
+//! clients pick their shard's port from the session id the lobby assigned.
+
+use std::process::ExitCode;
+
+use coplay_relay::{RelayConfig, UdpRelay};
+
+fn usage() -> &'static str {
+    "usage: relay [--bind ADDR:PORT] [--shard I/N] [--rate PER_SEC] \
+     [--burst N] [--max-sessions N]"
+}
+
+struct Args {
+    bind: String,
+    cfg: RelayConfig,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut bind = "127.0.0.1:7777".to_string();
+    let mut cfg = RelayConfig::default();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--bind" => bind = value("--bind")?,
+            "--shard" => {
+                let v = value("--shard")?;
+                let (i, n) = v
+                    .split_once('/')
+                    .ok_or_else(|| format!("--shard wants I/N, got {v}"))?;
+                let index = i.parse().map_err(|_| format!("bad shard index {i}"))?;
+                let count = n.parse().map_err(|_| format!("bad shard count {n}"))?;
+                cfg = cfg.shard(index, count);
+            }
+            "--rate" => {
+                let v = value("--rate")?;
+                cfg.bucket_rate = v.parse().map_err(|_| format!("bad rate {v}"))?;
+            }
+            "--burst" => {
+                let v = value("--burst")?;
+                cfg.bucket_burst = v.parse().map_err(|_| format!("bad burst {v}"))?;
+            }
+            "--max-sessions" => {
+                let v = value("--max-sessions")?;
+                cfg.max_sessions = v.parse().map_err(|_| format!("bad max-sessions {v}"))?;
+            }
+            other => return Err(format!("unknown flag {other}\n{}", usage())),
+        }
+    }
+    Ok(Args { bind, cfg })
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut relay = match UdpRelay::bind(&args.bind, args.cfg.clone()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("relay: cannot bind {}: {e}", args.bind);
+            return ExitCode::from(1);
+        }
+    };
+    match relay.local_addr() {
+        Ok(a) => println!(
+            "relay: listening on {a} (shard {}/{}, {} sessions max)",
+            args.cfg.shard_index,
+            args.cfg.shard_count.max(1),
+            args.cfg.max_sessions,
+        ),
+        Err(e) => eprintln!("relay: bound but local_addr failed: {e}"),
+    }
+    if let Err(e) = relay.run_until(|| false) {
+        eprintln!("relay: socket error: {e}");
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_full_command_line() {
+        let a = parse_args(&argv(&[
+            "--bind",
+            "0.0.0.0:9000",
+            "--shard",
+            "2/8",
+            "--rate",
+            "500",
+            "--burst",
+            "32",
+            "--max-sessions",
+            "100",
+        ]))
+        .unwrap();
+        assert_eq!(a.bind, "0.0.0.0:9000");
+        assert_eq!(a.cfg.shard_index, 2);
+        assert_eq!(a.cfg.shard_count, 8);
+        assert_eq!(a.cfg.bucket_rate, 500);
+        assert_eq!(a.cfg.bucket_burst, 32);
+        assert_eq!(a.cfg.max_sessions, 100);
+    }
+
+    #[test]
+    fn rejects_bad_flags() {
+        assert!(parse_args(&argv(&["--shard", "nope"])).is_err());
+        assert!(parse_args(&argv(&["--rate"])).is_err());
+        assert!(parse_args(&argv(&["--wat"])).is_err());
+    }
+}

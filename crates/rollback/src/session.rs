@@ -20,7 +20,7 @@ use coplay_clock::{SimDelta, SimDuration, SimTime};
 use coplay_net::{PeerId, Transport};
 use coplay_sync::{
     ConsistencyMode, FrameEnd, FrameReport, FrameTimer, InputSource, InputSync, Message,
-    RttEstimator, SessionDriver, SessionStats, Step, StopReason, SyncConfig, SyncError,
+    RttEstimator, SessionDriver, SessionStats, Step, StopReason, SyncConfig, SyncError, Topology,
 };
 use coplay_telemetry::{EventKind, SpanStage};
 use coplay_vm::{InputWord, InterpStats, Machine};
@@ -302,8 +302,14 @@ impl<M: Machine, T: Transport, S: InputSource, P: InputPredictor> RollbackSessio
     /// Propagates transport failures while sending the goodbye.
     pub fn stop(&mut self) -> Result<(), SyncError> {
         let bye = Message::Bye.encode();
-        for p in self.cfg.peers().map(PeerId).collect::<Vec<_>>() {
-            self.transport.send(p, &bye)?;
+        if self.cfg.topology == Topology::Relay {
+            // One relay address carries the whole session: a single
+            // broadcast goodbye reaches every other member.
+            self.transport.send(PeerId::BROADCAST, &bye)?;
+        } else {
+            for p in self.cfg.peers().map(PeerId).collect::<Vec<_>>() {
+                self.transport.send(p, &bye)?;
+            }
         }
         self.phase = Phase::Done(StopReason::LocalQuit);
         Ok(())
@@ -360,9 +366,15 @@ impl<M: Machine, T: Transport, S: InputSource, P: InputPredictor> RollbackSessio
                             observer: !self.sync.is_player(),
                         }
                         .encode();
-                        for &p in &player_peers {
-                            if !acks.contains_key(&p) {
-                                self.transport.send(PeerId(p), &hello)?;
+                        if self.cfg.topology == Topology::Relay {
+                            // Outbound-only client: the relay fans the
+                            // hello out to whichever members are present.
+                            self.transport.send(PeerId::BROADCAST, &hello)?;
+                        } else {
+                            for &p in &player_peers {
+                                if !acks.contains_key(&p) {
+                                    self.transport.send(PeerId(p), &hello)?;
+                                }
                             }
                         }
                     }

@@ -45,6 +45,27 @@ impl ConsistencyMode {
     }
 }
 
+/// How a session's datagrams reach the other sites.
+///
+/// The paper assumes [`PeerToPeer`](Topology::PeerToPeer): every site can
+/// address every other site directly, so control traffic (session
+/// handshake, orderly leave) loops over the peer list. Behind a relay
+/// (`coplay-relay`) clients are outbound-only and the transport's single
+/// reachable address is the relay itself; [`Relay`](Topology::Relay) makes
+/// the drivers send that control traffic once to the broadcast peer
+/// instead, and the relay fans it out to the session's other members.
+/// Per-destination input traffic is unchanged in both modes — a relay
+/// transport adapter envelopes it with the destination site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Topology {
+    /// Direct peer addressing (the paper's deployment). The default.
+    #[default]
+    PeerToPeer,
+    /// All outbound traffic goes to one relay address; session-wide control
+    /// messages are sent once to `PeerId::BROADCAST` rather than per peer.
+    Relay,
+}
+
 /// Parameters of the synchronization algorithm (§3 of the paper).
 ///
 /// The defaults reproduce the paper's deployment: 60 FPS games, a local lag
@@ -114,6 +135,11 @@ pub struct SyncConfig {
     /// `coplay-rollback` crate); harnesses read this field to decide which
     /// to build, and `RollbackSession` reads its tuning from it.
     pub consistency: ConsistencyMode,
+    /// How datagrams reach the other sites. [`Topology::PeerToPeer`] (the
+    /// default) preserves the paper's direct addressing;
+    /// [`Topology::Relay`] adapts the drivers' control traffic to a
+    /// single-address relay transport.
+    pub topology: Topology,
 }
 
 impl SyncConfig {
@@ -140,6 +166,7 @@ impl SyncConfig {
             first_frame_delay: SimDuration::ZERO,
             telemetry: Telemetry::disabled(),
             consistency: ConsistencyMode::Lockstep,
+            topology: Topology::default(),
         }
     }
 
@@ -238,6 +265,13 @@ mod tests {
             }
             ConsistencyMode::Lockstep => unreachable!(),
         }
+    }
+
+    #[test]
+    fn default_topology_is_peer_to_peer() {
+        let cfg = SyncConfig::two_player(0);
+        assert_eq!(cfg.topology, Topology::PeerToPeer);
+        assert_eq!(Topology::default(), Topology::PeerToPeer);
     }
 
     #[test]

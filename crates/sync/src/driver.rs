@@ -30,7 +30,7 @@ use coplay_net::{PeerId, Transport};
 use coplay_telemetry::{EventKind, SpanStage};
 use coplay_vm::{InputWord, Machine};
 
-use crate::config::SyncConfig;
+use crate::config::{SyncConfig, Topology};
 use crate::error::{StopReason, SyncError};
 use crate::input_source::InputSource;
 use crate::rtt::RttEstimator;
@@ -229,8 +229,14 @@ impl<M: Machine, T: Transport, S: InputSource> LockstepSession<M, T, S> {
     /// Propagates transport failures while sending the goodbye.
     pub fn stop(&mut self) -> Result<(), SyncError> {
         let bye = Message::Bye.encode();
-        for p in self.peer_ids() {
-            self.transport.send(p, &bye)?;
+        if self.cfg.topology == Topology::Relay {
+            // One relay address carries the whole session: a single
+            // broadcast goodbye reaches every other member.
+            self.transport.send(PeerId::BROADCAST, &bye)?;
+        } else {
+            for p in self.peer_ids() {
+                self.transport.send(p, &bye)?;
+            }
         }
         self.phase = Phase::Done(StopReason::LocalQuit);
         Ok(())
@@ -290,9 +296,15 @@ impl<M: Machine, T: Transport, S: InputSource> LockstepSession<M, T, S> {
                             observer: !self.sync.is_player(),
                         }
                         .encode();
-                        for &p in &player_peers {
-                            if !acks.contains_key(&p) {
-                                self.transport.send(PeerId(p), &hello)?;
+                        if self.cfg.topology == Topology::Relay {
+                            // Outbound-only client: the relay fans the
+                            // hello out to whichever members are present.
+                            self.transport.send(PeerId::BROADCAST, &hello)?;
+                        } else {
+                            for &p in &player_peers {
+                                if !acks.contains_key(&p) {
+                                    self.transport.send(PeerId(p), &hello)?;
+                                }
                             }
                         }
                     }

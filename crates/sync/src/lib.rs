@@ -74,7 +74,7 @@ mod sync_input;
 mod timing;
 mod wire;
 
-pub use config::{ConsistencyMode, SyncConfig};
+pub use config::{ConsistencyMode, SyncConfig, Topology};
 pub use driver::{FrameReport, LockstepSession, Step, JOIN_MARGIN_FRAMES};
 pub use error::{StopReason, SyncError};
 pub use input_buffer::InputBuffer;

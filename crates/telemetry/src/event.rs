@@ -151,6 +151,22 @@ pub enum EventKind {
         /// stages.
         peer: u8,
     },
+    /// A relay accepted a member registration for a session.
+    RelayRegistered {
+        /// The session joined.
+        session: u32,
+        /// The member's site number.
+        site: u8,
+        /// `true` for a read-only spectator.
+        spectator: bool,
+    },
+    /// A relay evicted a member for heartbeat silence.
+    RelayEvicted {
+        /// The session the member was evicted from.
+        session: u32,
+        /// The evicted member's site number.
+        site: u8,
+    },
     /// Periodic report of the machine's interpreter decode-cache activity.
     /// All fields are deltas since the previous report, so summing events
     /// reconstructs the session totals (and flushes spiking alongside
@@ -189,6 +205,8 @@ impl EventKind {
             EventKind::InputMispredicted { .. } => "input_mispredicted",
             EventKind::RollbackExecuted { .. } => "rollback_executed",
             EventKind::Span { .. } => "span",
+            EventKind::RelayRegistered { .. } => "relay_registered",
+            EventKind::RelayEvicted { .. } => "relay_evicted",
             EventKind::DecodeCacheReport { .. } => "decode_cache_report",
         }
     }
@@ -302,6 +320,19 @@ impl Event {
                     stage.name()
                 );
             }
+            EventKind::RelayRegistered {
+                session,
+                site,
+                spectator,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"session\":{session},\"site\":{site},\"spectator\":{spectator}"
+                );
+            }
+            EventKind::RelayEvicted { session, site } => {
+                let _ = write!(out, ",\"session\":{session},\"site\":{site}");
+            }
             EventKind::DecodeCacheReport {
                 hits,
                 misses,
@@ -405,6 +436,15 @@ mod tests {
                 stage: SpanStage::Received,
                 frame: 31,
                 peer: 1,
+            },
+            EventKind::RelayRegistered {
+                session: 7,
+                site: 1,
+                spectator: true,
+            },
+            EventKind::RelayEvicted {
+                session: 7,
+                site: 1,
             },
             EventKind::DecodeCacheReport {
                 hits: 100_000,

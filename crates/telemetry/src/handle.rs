@@ -494,6 +494,15 @@ fn derive_metrics(m: &mut MetricsRegistry, kind: &EventKind) {
         EventKind::Span { .. } => {
             m.counter_add("spans_recorded_total", 1);
         }
+        EventKind::RelayRegistered { spectator, .. } => {
+            m.counter_add("relay_registrations_total", 1);
+            if spectator {
+                m.counter_add("relay_spectators_total", 1);
+            }
+        }
+        EventKind::RelayEvicted { .. } => {
+            m.counter_add("relay_members_evicted_total", 1);
+        }
         EventKind::DecodeCacheReport {
             hits,
             misses,

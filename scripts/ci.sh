@@ -42,4 +42,10 @@ echo "==> tracescope smoke (cross-site span merge; fails if breakdown != e2e wit
 cargo run -q --release -p coplay-bench --bin tracescope -- --quick
 cargo run -q --release -p coplay-bench --bin tracescope -- --quick --rollback
 
+echo "==> relay tests (routing core, wire codec, client adapter, UDP loop)"
+cargo test -q -p coplay-relay
+
+echo "==> fleet smoke (64 sessions) + perf-regression guard (2x vs checked-in baseline)"
+cargo run -q --release -p coplay-bench --bin fleet -- --quick --check results/fleet_baseline.json
+
 echo "CI OK"

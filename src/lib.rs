@@ -23,6 +23,8 @@
 //! * [`sim`] — the deterministic experiment harness behind the paper's
 //!   Figures 1 and 2.
 //! * [`lobby`] — the rendezvous service §2 of the paper assumes exists.
+//! * [`relay`] — a multiplexed input-relay server: many sessions share one
+//!   UDP socket, traffic forwarded by session/site without being decoded.
 //! * [`telemetry`] — in-band observability: flight recorder, metrics
 //!   registry with log-bucketed histograms, JSONL/Prometheus exporters.
 //!
@@ -64,6 +66,7 @@ pub use coplay_clock as clock;
 pub use coplay_games as games;
 pub use coplay_lobby as lobby;
 pub use coplay_net as net;
+pub use coplay_relay as relay;
 pub use coplay_rollback as rollback;
 pub use coplay_sim as sim;
 pub use coplay_sync as sync;
