@@ -13,6 +13,9 @@
 //! numbers against a previously written run and exits non-zero when any
 //! operation got more than 2x slower (with a small absolute noise floor so
 //! single-digit-nanosecond ops cannot trip the guard on scheduler jitter).
+//! The guard is direction-aware: an op that got more than 2x *faster* is
+//! reported as a stale-baseline warning — repin the baseline so the guard
+//! keeps protecting the improvement — but does not fail the run.
 //! The checked-in reference lives at `results/hotpath_baseline.json`.
 
 // This harness times the hot loop from outside the determinism fence, so
@@ -27,8 +30,8 @@ use coplay_games::{catalog, rom_pong_console, rom_race_console};
 use coplay_rollback::{delta, SnapshotRing};
 use coplay_sync::{InputMsg, Message};
 use coplay_vm::{
-    Console, Cpu, Devices, InputWord, Instruction, InterpMode, Machine, Reg, Rom, Syscall,
-    DEFAULT_CYCLES_PER_FRAME,
+    Console, Cpu, Devices, InputWord, Instruction, InterpMode, Machine, Reg, Rom, StepMode,
+    Syscall, DEFAULT_CYCLES_PER_FRAME,
 };
 
 /// Regression threshold: fail when an op is more than this many times
@@ -58,6 +61,9 @@ struct GameSummary {
     /// Interpreter decode-cache warm-dispatch rate in thousandths; 0 for
     /// native-Rust machines that have no interpreter.
     decode_hit_rate_milli: u64,
+    /// Share of dispatched instructions retired through fused
+    /// superinstruction pairs, in thousandths; 0 for native machines.
+    fusion_rate_milli: u64,
 }
 
 /// Times `f` repeatedly, doubling the iteration count until one batch
@@ -204,6 +210,45 @@ fn measure_games(budget: Duration) -> (Vec<Measurement>, Vec<GameSummary>) {
             bytes_per_op: 0,
         });
 
+        // The production repair shape since headless stepping landed:
+        // every repair frame but the last skips presentation side effects
+        // (framebuffer draws, audio sample rendering), and the final frame
+        // presents so the display catches up. Same restore + reload + 8
+        // frames as `rollback_repair_8`, so the delta is pure rendering.
+        let ns = bench_ns(budget, || {
+            ring.restore_into(newest, &mut rbuf)
+                .expect("newest checkpoint restores");
+            m.load_state(&rbuf).expect("checkpoint bytes reload");
+            for k in 1..=8 {
+                let mode = if k == 8 {
+                    StepMode::Present
+                } else {
+                    StepMode::Headless
+                };
+                m.step_frame_mode(input_for(newest + k), mode);
+            }
+        });
+        measurements.push(Measurement {
+            key: format!("{name}/repair_headless"),
+            ns_per_op: ns / 8,
+            bytes_per_op: 0,
+        });
+
+        // Checkpoint restores diff the incoming image block-by-block and
+        // invalidate only decode slots covering bytes that actually
+        // changed — so across the thousands of repairs the two benches
+        // above just ran, the cache must have stayed warm. A whole-table
+        // flush on restore would show up here immediately.
+        if let Some(stats) = m.interp_stats() {
+            assert!(
+                stats.hit_rate_milli() >= 990,
+                "{name}: decode cache went cold across rollback restores \
+                 ({} hits / {} misses)",
+                stats.hits,
+                stats.misses,
+            );
+        }
+
         // Steady-state pool behaviour: after the ring warms up, every
         // eviction recycles exactly one buffer, so misses stay bounded by
         // the warmup while hits grow with every push.
@@ -216,6 +261,7 @@ fn measure_games(budget: Duration) -> (Vec<Measurement>, Vec<GameSummary>) {
         }
         let pool_hit_rate_milli = pool_ring.pool_stats().hit_rate_milli();
         let decode_hit_rate_milli = m.interp_stats().map_or(0, |s| s.hit_rate_milli());
+        let fusion_rate_milli = m.interp_stats().map_or(0, |s| s.fusion_rate_milli());
 
         summaries.push(GameSummary {
             name,
@@ -223,6 +269,7 @@ fn measure_games(budget: Duration) -> (Vec<Measurement>, Vec<GameSummary>) {
             delta_ratio_milli,
             pool_hit_rate_milli,
             decode_hit_rate_milli,
+            fusion_rate_milli,
         });
     }
 
@@ -326,15 +373,19 @@ fn measure_interp(budget: Duration) -> Vec<Measurement> {
         // mode-independent frame work (drawing, audio, bus glue) that
         // dilutes whole-frame ratios: a bare CPU running the same program
         // against a do-nothing device. bytes_per_op carries the
-        // instructions retired per frame.
-        for (mode, key) in [
-            (InterpMode::Predecoded, "interp_step"),
-            (InterpMode::Reference, "interp_step_ref"),
+        // instructions retired per frame. `interp_step` pins fusion off so
+        // the row keeps measuring what it always measured (plain predecoded
+        // dispatch); `interp_step_fused` is the production configuration.
+        for (mode, fusion, key) in [
+            (InterpMode::Predecoded, false, "interp_step"),
+            (InterpMode::Predecoded, true, "interp_step_fused"),
+            (InterpMode::Reference, false, "interp_step_ref"),
         ] {
             let rom = make().rom().clone();
             let mut cpu = Cpu::new(rom.entry(), rom.seed());
             cpu.load_image(rom.image());
             cpu.set_interp_mode(mode);
+            cpu.set_fusion_enabled(fusion);
             let mut dev = NullDev;
             for _ in 0..120 {
                 cpu.run_frame(DEFAULT_CYCLES_PER_FRAME, &mut dev);
@@ -447,12 +498,14 @@ fn render_json(opts: &Options, games: &[GameSummary], measurements: &[Measuremen
     for (i, g) in games.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"game\": \"{}\", \"snapshot_bytes\": {}, \"delta_ratio_milli\": {}, \
-             \"pool_hit_rate_milli\": {}, \"decode_hit_rate_milli\": {}}}{}\n",
+             \"pool_hit_rate_milli\": {}, \"decode_hit_rate_milli\": {}, \
+             \"fusion_rate_milli\": {}}}{}\n",
             g.name,
             g.snapshot_bytes,
             g.delta_ratio_milli,
             g.pool_hit_rate_milli,
             g.decode_hit_rate_milli,
+            g.fusion_rate_milli,
             if i + 1 < games.len() { "," } else { "" },
         ));
     }
@@ -499,16 +552,26 @@ fn parse_measurements(json: &str) -> Vec<(String, u64)> {
     pairs
 }
 
-/// Compares fresh measurements against a baseline document. Returns the
-/// number of regressions (ops slower than `REGRESSION_FACTOR`x baseline
-/// plus the noise floor).
-fn check_against(baseline_json: &str, measurements: &[Measurement]) -> usize {
+/// Outcome of a baseline comparison. `regressions` fail the run;
+/// `speedups` mean the baseline is stale — large improvements should be
+/// repinned so the guard starts protecting them too.
+#[derive(Default)]
+struct CheckOutcome {
+    regressions: usize,
+    speedups: usize,
+}
+
+/// Compares fresh measurements against a baseline document, in both
+/// directions: an op slower than `REGRESSION_FACTOR`x baseline (plus the
+/// noise floor) is a regression; an op faster by the same margin is a
+/// stale-baseline warning.
+fn check_against(baseline_json: &str, measurements: &[Measurement]) -> CheckOutcome {
     let baseline = parse_measurements(baseline_json);
+    let mut outcome = CheckOutcome::default();
     if baseline.is_empty() {
         eprintln!("baseline contains no measurements; nothing to check");
-        return 0;
+        return outcome;
     }
-    let mut regressions = 0;
     println!(
         "{:<28} {:>12} {:>12}  verdict",
         "op", "baseline ns", "current ns"
@@ -518,10 +581,13 @@ fn check_against(baseline_json: &str, measurements: &[Measurement]) -> usize {
             println!("{key:<28} {base_ns:>12} {:>12}  missing from this run", "-");
             continue;
         };
-        let limit = base_ns.saturating_mul(REGRESSION_FACTOR) + NOISE_FLOOR_NS;
-        let verdict = if cur.ns_per_op > limit {
-            regressions += 1;
+        let slow_limit = base_ns.saturating_mul(REGRESSION_FACTOR) + NOISE_FLOOR_NS;
+        let verdict = if cur.ns_per_op > slow_limit {
+            outcome.regressions += 1;
             "REGRESSION"
+        } else if cur.ns_per_op.saturating_mul(REGRESSION_FACTOR) + NOISE_FLOOR_NS < *base_ns {
+            outcome.speedups += 1;
+            "FASTER (repin baseline)"
         } else {
             "ok"
         };
@@ -530,7 +596,7 @@ fn check_against(baseline_json: &str, measurements: &[Measurement]) -> usize {
             key, base_ns, cur.ns_per_op, verdict
         );
     }
-    regressions
+    outcome
 }
 
 fn main() {
@@ -564,12 +630,12 @@ fn main() {
     }
     println!();
     println!(
-        "{:<12} {:>14} {:>16} {:>15} {:>15}",
-        "game", "snapshot B", "delta ratio", "pool hits", "decode hits"
+        "{:<12} {:>14} {:>16} {:>15} {:>15} {:>12}",
+        "game", "snapshot B", "delta ratio", "pool hits", "decode hits", "fused"
     );
     for g in &games {
         println!(
-            "{:<12} {:>14} {:>13}.{:01}x {:>13}.{:01}% {:>13}.{:01}%",
+            "{:<12} {:>14} {:>13}.{:01}x {:>13}.{:01}% {:>13}.{:01}% {:>10}.{:01}%",
             g.name,
             g.snapshot_bytes,
             g.delta_ratio_milli / 1000,
@@ -578,6 +644,8 @@ fn main() {
             g.pool_hit_rate_milli % 10,
             g.decode_hit_rate_milli / 10,
             g.decode_hit_rate_milli % 10,
+            g.fusion_rate_milli / 10,
+            g.fusion_rate_milli % 10,
         );
     }
     println!();
@@ -593,6 +661,7 @@ fn main() {
     for name in ["ROM Pong", "Button Race"] {
         for (op, op_ref) in [
             ("interp_step", "interp_step_ref"),
+            ("interp_step_fused", "interp_step_ref"),
             ("resim_frame", "resim_frame_ref"),
             ("rollback_repair_8", "rollback_repair_8_ref"),
         ] {
@@ -606,6 +675,12 @@ fn main() {
                     (off * 10 / on.max(1)) % 10,
                 );
             }
+        }
+        // The repair budget this whole PR chases: headless resimulation of
+        // the 8-frame repair window at under a microsecond per frame.
+        if let Some(ns) = ns_of(&format!("{name}/repair_headless")) {
+            let verdict = if ns < 1000 { "within" } else { "OVER" };
+            println!("{name}/repair_headless: {ns} ns/frame ({verdict} the 1 us/frame budget)");
         }
     }
     if let (Some(on), Some(off)) = (ns_of("smc/step_frame"), ns_of("smc/step_frame_ref")) {
@@ -640,9 +715,17 @@ fn main() {
                 std::process::exit(2);
             }
         };
-        let regressions = check_against(&baseline, &measurements);
-        if regressions > 0 {
-            eprintln!("{regressions} hot-path regression(s) vs {path}");
+        let outcome = check_against(&baseline, &measurements);
+        if outcome.speedups > 0 {
+            eprintln!(
+                "{} op(s) ran >{REGRESSION_FACTOR}x faster than {path}; the baseline is \
+                 stale — rerun without --quick and copy results/BENCH_hotpath.json over it \
+                 so the guard protects the improvement",
+                outcome.speedups
+            );
+        }
+        if outcome.regressions > 0 {
+            eprintln!("{} hot-path regression(s) vs {path}", outcome.regressions);
             std::process::exit(1);
         }
         eprintln!("no hot-path regressions vs {path}");
@@ -711,7 +794,9 @@ mod tests {
                 bytes_per_op: 0,
             },
         ];
-        assert_eq!(check_against(&baseline, &fine), 0);
+        let outcome = check_against(&baseline, &fine);
+        assert_eq!(outcome.regressions, 0);
+        assert_eq!(outcome.speedups, 0);
         let slow = [
             Measurement {
                 key: "a".into(),
@@ -724,7 +809,47 @@ mod tests {
                 bytes_per_op: 0,
             },
         ];
-        assert_eq!(check_against(&baseline, &slow), 1);
+        let outcome = check_against(&baseline, &slow);
+        assert_eq!(outcome.regressions, 1);
+        assert_eq!(outcome.speedups, 0);
+    }
+
+    #[test]
+    fn check_warns_on_large_speedups_without_failing() {
+        let opts = Options::default();
+        let baseline = render_json(
+            &opts,
+            &[],
+            &[
+                Measurement {
+                    key: "a".into(),
+                    ns_per_op: 10_000,
+                    bytes_per_op: 0,
+                },
+                Measurement {
+                    key: "b".into(),
+                    ns_per_op: 10,
+                    bytes_per_op: 0,
+                },
+            ],
+        );
+        // `a` at 2x-minus-noise-floor is a speedup (4900*2 + 200 < 10000);
+        // `b` is tiny, so the noise floor keeps even a 10 -> 1 drop quiet.
+        let fast = [
+            Measurement {
+                key: "a".into(),
+                ns_per_op: 4899,
+                bytes_per_op: 0,
+            },
+            Measurement {
+                key: "b".into(),
+                ns_per_op: 1,
+                bytes_per_op: 0,
+            },
+        ];
+        let outcome = check_against(&baseline, &fast);
+        assert_eq!(outcome.regressions, 0);
+        assert_eq!(outcome.speedups, 1);
     }
 
     #[test]

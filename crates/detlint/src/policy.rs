@@ -23,11 +23,12 @@
 //! |------|-----------|-----------------|-----------|
 //! | wire codecs (`net/bytes`, `lobby/wire`, `sync/wire`, `relay/wire`) | ✓ | ✓ | – |
 //! | transport (`net/{udp,sim,transport,netem}`, `lobby/{server,client,lib}`, `relay/{server,client,udp,lib}`) | ✓ | – | – |
-//! | hot path (`rollback/src/*`, `vm/{cpu,predecode}`, `sync/sync_input`, `relay/server`) | ✓ | – | ✓‡ |
+//! | hot path (`rollback/src/*`, `vm/{cpu,predecode,console,audio}`, `sync/sync_input`, `relay/server`) | ✓ | – | ✓‡ |
 //!
 //! ‡ `hot_alloc` applies to exactly the modules PRs 4–5 made alloc-free
-//! plus the relay's per-datagram fan-out:
-//! `rollback/{snapshot,delta,session}.rs`, `vm/{cpu,predecode}.rs`,
+//! plus the relay's per-datagram fan-out and the frame-step path headless
+//! resimulation runs through:
+//! `rollback/{snapshot,delta,session}.rs`, `vm/{cpu,predecode,console,audio}.rs`,
 //! `sync/sync_input.rs`, `relay/src/server.rs`. Wire/transport code must be
 //! panic-free on arbitrary bytes (typed errors only); hot-path panics and
 //! constructor allocations carry `allow(...) -- <reason>` waivers.
@@ -69,11 +70,18 @@ fn transport_zone(rel: &str) -> bool {
 }
 
 /// The rollback/VM latency-critical modules: panics need waivers here.
+/// `console.rs` and `audio.rs` joined when headless resimulation put the
+/// whole frame-step path (bus dispatch, audio register advance) inside the
+/// repair loop's per-frame budget.
 fn hot_panic_zone(rel: &str) -> bool {
     rel.starts_with("crates/rollback/src/")
         || matches!(
             rel,
-            "crates/vm/src/cpu.rs" | "crates/vm/src/predecode.rs" | "crates/sync/src/sync_input.rs"
+            "crates/vm/src/cpu.rs"
+                | "crates/vm/src/predecode.rs"
+                | "crates/vm/src/console.rs"
+                | "crates/vm/src/audio.rs"
+                | "crates/sync/src/sync_input.rs"
         )
 }
 
@@ -87,6 +95,8 @@ fn hot_alloc_zone(rel: &str) -> bool {
             | "crates/rollback/src/session.rs"
             | "crates/vm/src/cpu.rs"
             | "crates/vm/src/predecode.rs"
+            | "crates/vm/src/console.rs"
+            | "crates/vm/src/audio.rs"
             | "crates/sync/src/sync_input.rs"
             | "crates/relay/src/server.rs"
     )
@@ -294,6 +304,8 @@ mod tests {
             "crates/rollback/src/session.rs",
             "crates/vm/src/cpu.rs",
             "crates/vm/src/predecode.rs",
+            "crates/vm/src/console.rs",
+            "crates/vm/src/audio.rs",
             "crates/sync/src/sync_input.rs",
         ] {
             assert!(has(rel, Rule::PanicPath), "{rel}");

@@ -1,0 +1,38 @@
+// Fixture: the fused-superinstruction dispatch shape — a pair-fill helper
+// and a dispatch arm like the VM's hot loop. Both run inside the repair
+// budget, so allocations and panics here must be caught. Seeded violations
+// come first; the fine (reusing/waived) section starts at line 21.
+
+fn bad_fill_allocates(mem: &[u8], addr: usize) -> Vec<u8> {
+    let pair = mem.to_vec();
+    let mut ops = Vec::new();
+    ops.extend_from_slice(&pair);
+    let _ = addr;
+    ops
+}
+
+fn bad_dispatch_panics(ops: &[u8], pc: usize) -> u8 {
+    let head = ops.first().copied().unwrap();
+    let tail = ops.get(pc).copied().expect("warm slot");
+    if head == 0xFF {
+        unreachable!("cold sentinel never dispatches");
+    }
+    tail
+}
+
+// Fine section: the real loop reuses caller-owned tables and waives the
+// one decode-guaranteed expect with a reason.
+fn fine_fill_reuses(ops: &mut [u8; 16], fused: &[u8]) {
+    ops[..fused.len().min(16)].copy_from_slice(&fused[..fused.len().min(16)]);
+}
+
+fn fine_waived_dispatch(code: u8) -> u8 {
+    let ok = code < 0x20;
+    assert!(ok, "asserts are debug contracts, not panic-path violations");
+    // detlint: allow(panic_path) -- fixture: fill only caches legal encodings, so decode cannot fail
+    decode(code).expect("legal encoding")
+}
+
+fn decode(code: u8) -> Option<u8> {
+    (code < 0x20).then_some(code)
+}

@@ -127,6 +127,18 @@ fn hot_alloc_fixture_is_caught() {
 }
 
 #[test]
+fn fused_dispatch_fixture_is_caught() {
+    let hits = lint_fixture_with("fused_dispatch.rs", &[Rule::PanicPath, Rule::HotAlloc]);
+    let alloc = hits.iter().filter(|(_, r)| *r == "hot_alloc").count();
+    let panics = hits.iter().filter(|(_, r)| *r == "panic_path").count();
+    assert_eq!(alloc, 2, "to_vec + Vec::new in the fill: {hits:?}");
+    assert_eq!(panics, 3, "unwrap/expect/unreachable in dispatch: {hits:?}");
+    // The reusing fill, the assert, and the waived decode expect (line 21+)
+    // must all be untouched.
+    assert!(hits.iter().all(|(l, _)| *l < 21), "{hits:?}");
+}
+
+#[test]
 fn stale_suppression_fixture_is_caught() {
     let hits = lint_fixture("stale_suppression.rs");
     assert_eq!(hits, vec![(4, "stale_suppression")], "{hits:?}");

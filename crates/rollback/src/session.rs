@@ -23,7 +23,7 @@ use coplay_sync::{
     RttEstimator, SessionDriver, SessionStats, Step, StopReason, SyncConfig, SyncError, Topology,
 };
 use coplay_telemetry::{EventKind, SpanStage};
-use coplay_vm::{InputWord, InterpStats, Machine};
+use coplay_vm::{InputWord, InterpStats, Machine, StepMode};
 
 use crate::predict::{InputPredictor, RepeatLast};
 use crate::snapshot::SnapshotRing;
@@ -450,7 +450,7 @@ impl<M: Machine, T: Transport, S: InputSource, P: InputPredictor> RollbackSessio
                                     },
                                 );
                             }
-                            let input = self.step_frame_at(pointer, now, true);
+                            let input = self.step_frame_at(pointer, now, true, StepMode::Present);
                             self.cfg.telemetry.span(
                                 now,
                                 SpanStage::Merged,
@@ -542,8 +542,15 @@ impl<M: Machine, T: Transport, S: InputSource, P: InputPredictor> RollbackSessio
 
     /// Saves a checkpoint before executing `frame` when the cadence (or an
     /// empty ring) calls for one, then executes it: authoritative partials
-    /// where the frontier covers them, predictions elsewhere.
-    fn step_frame_at(&mut self, frame: u64, now: SimTime, count_predictions: bool) -> InputWord {
+    /// where the frontier covers them, predictions elsewhere. `mode` is
+    /// `Headless` for repair frames whose output will never be presented.
+    fn step_frame_at(
+        &mut self,
+        frame: u64,
+        now: SimTime,
+        count_predictions: bool,
+        mode: StepMode,
+    ) -> InputWord {
         let due = frame.is_multiple_of(self.checkpoint_interval) || self.ring.is_empty();
         if due && self.ring.newest_frame().is_none_or(|n| n < frame) {
             self.machine.save_state_into(&mut self.capture_buf);
@@ -570,13 +577,17 @@ impl<M: Machine, T: Transport, S: InputSource, P: InputPredictor> RollbackSessio
                 let hits = stats.hits.saturating_sub(self.interp_reported.hits);
                 let misses = stats.misses.saturating_sub(self.interp_reported.misses);
                 let flushes = stats.flushes.saturating_sub(self.interp_reported.flushes);
-                if hits | misses | flushes != 0 {
+                let fused = stats
+                    .fused_hits
+                    .saturating_sub(self.interp_reported.fused_hits);
+                if hits | misses | flushes | fused != 0 {
                     self.cfg.telemetry.record(
                         now,
                         EventKind::DecodeCacheReport {
                             hits,
                             misses,
                             flushes,
+                            fused,
                         },
                     );
                     self.interp_reported = stats;
@@ -608,7 +619,7 @@ impl<M: Machine, T: Transport, S: InputSource, P: InputPredictor> RollbackSessio
             }
             word = word.merged(masked);
         }
-        self.machine.step_frame(word);
+        self.machine.step_frame_mode(word, mode);
         if self.hash_frames {
             self.recent_hashes.insert(frame, self.machine.state_hash());
             while self.recent_hashes.len() > MAX_RETAINED_HASHES {
@@ -656,11 +667,24 @@ impl<M: Machine, T: Transport, S: InputSource, P: InputPredictor> RollbackSessio
             cp_frame,
             self.cfg.my_site,
         );
+        // Only the last repaired frame is ever presented: everything before
+        // it steps headless, skipping draw/audio work nobody will see while
+        // advancing authoritative state byte-identically.
         for g in cp_frame..pointer {
-            let _ = self.step_frame_at(g, now, false);
+            let mode = if g + 1 == pointer {
+                StepMode::Present
+            } else {
+                StepMode::Headless
+            };
+            let _ = self.step_frame_at(g, now, false, mode);
             self.cfg
                 .telemetry
                 .span(now, SpanStage::Resimulated, g, self.cfg.my_site);
+        }
+        if resimulated > 1 {
+            self.cfg
+                .telemetry
+                .counter_add("headless_resim_frames_total", resimulated - 1);
         }
         self.stats.note_rollback(depth, resimulated);
         self.cfg.telemetry.record(

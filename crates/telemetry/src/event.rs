@@ -179,6 +179,9 @@ pub enum EventKind {
         /// Whole-cache flushes (image loads / state restores) since last
         /// report.
         flushes: u64,
+        /// Fused-pair dispatches (each retired two instructions) since last
+        /// report — fusion coverage per session at a glance.
+        fused: u64,
     },
 }
 
@@ -337,10 +340,11 @@ impl Event {
                 hits,
                 misses,
                 flushes,
+                fused,
             } => {
                 let _ = write!(
                     out,
-                    ",\"hits\":{hits},\"misses\":{misses},\"flushes\":{flushes}"
+                    ",\"hits\":{hits},\"misses\":{misses},\"flushes\":{flushes},\"fused\":{fused}"
                 );
             }
         }
@@ -450,6 +454,7 @@ mod tests {
                 hits: 100_000,
                 misses: 12,
                 flushes: 1,
+                fused: 40_000,
             },
         ];
         for kind in kinds {

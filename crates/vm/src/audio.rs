@@ -36,6 +36,7 @@ impl AudioChannel {
             frames_left: 0,
             volume: 0,
             phase: 0,
+            // detlint: allow(hot_alloc) -- constructor; the buffer is reused across every rendered frame
             buffer: Vec::new(),
         }
     }
@@ -80,6 +81,23 @@ impl AudioChannel {
         &self.buffer
     }
 
+    /// Advances channel state by one video frame **without rendering**:
+    /// the phase accumulator and tone countdown end up byte-identical to a
+    /// [`AudioChannel::render_frame`] call, but no samples are produced
+    /// and the last rendered buffer is left untouched (stale).
+    ///
+    /// This is the headless-resimulation path — O(1) instead of one
+    /// wrapping add per sample, valid because `n` identical wrapping adds
+    /// of the truncated step equal one wrapping add of `step * n`.
+    pub fn advance_frame(&mut self, cfps: u32) {
+        if self.is_active() {
+            let n = SAMPLE_RATE / cfps.max(1);
+            let step = (((self.freq_hz as u64) << 16) / SAMPLE_RATE as u64) as u32;
+            self.phase = self.phase.wrapping_add(step.wrapping_mul(n));
+            self.frames_left -= 1;
+        }
+    }
+
     /// The most recently rendered frame of samples.
     pub fn last_frame(&self) -> &[i16] {
         &self.buffer
@@ -97,9 +115,13 @@ impl AudioChannel {
 
     /// Restores state written by [`AudioChannel::save`].
     pub fn load(&mut self, bytes: &[u8; 14]) {
+        // detlint: allow(panic_path) -- fixed-size input; every window is statically in range
         self.freq_hz = u32::from_le_bytes(bytes[0..4].try_into().expect("slice len 4"));
+        // detlint: allow(panic_path) -- fixed-size input; every window is statically in range
         self.frames_left = u32::from_le_bytes(bytes[4..8].try_into().expect("slice len 4"));
+        // detlint: allow(panic_path) -- fixed-size input; every window is statically in range
         self.volume = i16::from_le_bytes(bytes[8..10].try_into().expect("slice len 2"));
+        // detlint: allow(panic_path) -- fixed-size input; every window is statically in range
         self.phase = u32::from_le_bytes(bytes[10..14].try_into().expect("slice len 4"));
     }
 }
@@ -166,6 +188,30 @@ mod tests {
         let mut b = AudioChannel::new();
         b.load(&saved);
         assert_eq!(a.render_frame(60), b.render_frame(60));
+    }
+
+    #[test]
+    fn advance_frame_matches_render_frame_state_exactly() {
+        // Walk both paths through active frames, tone expiry, and idle
+        // frames: serialized channel state must stay byte-identical.
+        let mut rendered = AudioChannel::new();
+        let mut advanced = AudioChannel::new();
+        rendered.tone(443, 3, 750); // odd frequency: truncated phase step
+        advanced.tone(443, 3, 750);
+        for _ in 0..6 {
+            let _ = rendered.render_frame(60);
+            advanced.advance_frame(60);
+            assert_eq!(rendered.save(), advanced.save());
+        }
+        // And a subsequent presented frame renders identical samples.
+        rendered.tone(440, 2, 500);
+        advanced.tone(440, 2, 500);
+        let _ = rendered.render_frame(60);
+        advanced.advance_frame(60);
+        assert_eq!(
+            rendered.render_frame(60).to_vec(),
+            advanced.render_frame(60)
+        );
     }
 
     #[test]

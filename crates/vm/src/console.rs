@@ -8,10 +8,10 @@
 
 use crate::audio::AudioChannel;
 use crate::cpu::{Cpu, Devices, MEM_SIZE};
-use crate::hash::fnv1a;
+use crate::hash::StateHasher;
 use crate::input::InputWord;
 use crate::isa::Syscall;
-use crate::machine::{Machine, MachineInfo, StateError};
+use crate::machine::{Machine, MachineInfo, StateError, StepMode};
 use crate::predecode::{InterpMode, InterpStats};
 use crate::rom::Rom;
 use crate::video::{Color, FrameBuffer};
@@ -109,6 +109,10 @@ struct Bus<'a> {
     audio: &'a mut AudioChannel,
     input: InputWord,
     frame: u64,
+    /// When set, draw syscalls are dropped (the frame will never be
+    /// presented). `Tone` is **not** skipped: it mutates serialized audio
+    /// registers, which are authoritative state.
+    headless: bool,
 }
 
 impl Devices for Bus<'_> {
@@ -127,6 +131,13 @@ impl Devices for Bus<'_> {
         // off-screen; the framebuffer clips.
         let s = |v: u16| v as i16 as i32;
         match call {
+            // Tone mutates save-state-covered audio registers, so it runs
+            // in every mode; the arms below it only touch pixels and are
+            // dropped for frames that will never be presented.
+            Syscall::Tone => self
+                .audio
+                .tone(regs[1] as u32, regs[2] as u32, regs[3] as i16),
+            _ if self.headless => {}
             Syscall::Cls => self.fb.clear(Color(regs[1] as u8)),
             Syscall::Pix => self
                 .fb
@@ -138,9 +149,6 @@ impl Devices for Bus<'_> {
                 s(regs[4]),
                 Color(regs[5] as u8),
             ),
-            Syscall::Tone => self
-                .audio
-                .tone(regs[1] as u32, regs[2] as u32, regs[3] as i16),
             Syscall::Num => {
                 self.fb
                     .draw_number(s(regs[1]), s(regs[2]), regs[3] as u32, Color(regs[4] as u8))
@@ -152,6 +160,7 @@ impl Devices for Bus<'_> {
 impl Machine for Console {
     fn info(&self) -> MachineInfo {
         MachineInfo {
+            // detlint: allow(hot_alloc) -- session-setup metadata, never on the frame path
             title: self.rom.title().to_string(),
             players: self.rom.players(),
             cfps: self.rom.cfps(),
@@ -169,16 +178,30 @@ impl Machine for Console {
     }
 
     fn step_frame(&mut self, input: InputWord) {
+        self.step_frame_mode(input, StepMode::Present);
+    }
+
+    fn step_frame_mode(&mut self, input: InputWord, mode: StepMode) {
+        let headless = mode == StepMode::Headless;
         let mut bus = Bus {
             fb: &mut self.fb,
             audio: &mut self.audio,
             input,
             frame: self.frame,
+            headless,
         };
         self.cpu.run_frame(self.cycles_per_frame, &mut bus);
-        // The channel renders into its own reusable buffer; `audio_samples`
-        // borrows it directly, so no per-frame copy happens here.
-        self.audio.render_frame(self.rom.cfps());
+        if headless {
+            // Tone registers still tick (authoritative state); the sample
+            // buffer and framebuffer are left stale — nobody will present
+            // this frame.
+            self.audio.advance_frame(self.rom.cfps());
+        } else {
+            // The channel renders into its own reusable buffer;
+            // `audio_samples` borrows it directly, so no per-frame copy
+            // happens here.
+            self.audio.render_frame(self.rom.cfps());
+        }
         self.frame += 1;
     }
 
@@ -195,10 +218,24 @@ impl Machine for Console {
     }
 
     fn state_hash(&self) -> u64 {
-        fnv1a(&self.save_state())
+        // Digest of the *authoritative* core only — header, frame counter,
+        // CPU (registers, flags, RNG, memory), audio registers. Framebuffer
+        // pixels are deliberately excluded: games redraw every presented
+        // frame from core state, and headless-stepped frames leave pixels
+        // stale by design, so including them would make the hash depend on
+        // presentation history rather than game state. Allocation-free,
+        // unlike hashing a materialized snapshot.
+        let mut h = StateHasher::new();
+        h.write(STATE_MAGIC);
+        h.write_u64(self.rom.content_hash());
+        h.write_u64(self.frame);
+        self.cpu.hash_state(&mut h);
+        h.write(&self.audio.save());
+        h.finish()
     }
 
     fn save_state(&self) -> Vec<u8> {
+        // detlint: allow(hot_alloc) -- the allocating convenience variant; hot callers use save_state_into
         let mut out = Vec::with_capacity(
             STATE_MAGIC.len() + 8 + 8 + Cpu::SERIALIZED_LEN + 14 + self.fb.pixels().len(),
         );
@@ -229,18 +266,22 @@ impl Machine for Console {
             return Err(StateError::BadMagic);
         }
         let mut pos = STATE_MAGIC.len();
+        // detlint: allow(panic_path) -- `expected` length checked on entry covers every window
         let rom_hash = u64::from_le_bytes(bytes[pos..pos + 8].try_into().expect("len 8"));
         if rom_hash != self.rom.content_hash() {
             return Err(StateError::WrongMachine);
         }
         pos += 8;
+        // detlint: allow(panic_path) -- `expected` length checked on entry covers every window
         self.frame = u64::from_le_bytes(bytes[pos..pos + 8].try_into().expect("len 8"));
         pos += 8;
         self.cpu
             .deserialize(&bytes[pos..pos + Cpu::SERIALIZED_LEN])
+            // detlint: allow(panic_path) -- `expected` length checked on entry covers every window
             .expect("length checked above");
         pos += Cpu::SERIALIZED_LEN;
         self.audio
+            // detlint: allow(panic_path) -- `expected` length checked on entry covers every window
             .load(bytes[pos..pos + 14].try_into().expect("len 14"));
         pos += 14;
         self.fb.load_pixels(&bytes[pos..pos + fb_len]);
@@ -381,6 +422,58 @@ mod tests {
         c.reset();
         assert_eq!(c.state_hash(), initial);
         assert_eq!(c.frame(), 0);
+    }
+
+    #[test]
+    fn headless_step_keeps_state_identical_and_final_present_catches_up() {
+        let mut present = Console::new(paddle_rom());
+        let mut headless = Console::new(paddle_rom());
+        let mut down = InputWord::NONE;
+        down.press(Player::ONE, Button::Down);
+        for f in 0..30u64 {
+            let input = if f % 3 == 0 { down } else { InputWord::NONE };
+            present.step_frame(input);
+            headless.step_frame_mode(input, StepMode::Headless);
+            assert_eq!(present.state_hash(), headless.state_hash(), "frame {f}");
+        }
+        // One presented frame catches the display up completely: the game
+        // redraws from core state, which never diverged.
+        present.step_frame(InputWord::NONE);
+        headless.step_frame_mode(InputWord::NONE, StepMode::Present);
+        assert_eq!(present.framebuffer(), headless.framebuffer());
+        assert_eq!(present.audio_samples(), headless.audio_samples());
+        assert_eq!(present.state_hash(), headless.state_hash());
+        assert_eq!(present.save_state(), headless.save_state());
+    }
+
+    #[test]
+    fn headless_tone_advances_audio_registers() {
+        let rom = assemble(
+            r#"
+                ldi r1, 440
+                ldi r2, 3
+                ldi r3, 1000
+                sys 3
+                yield
+            loop:
+                yield
+                jmp loop
+            "#,
+        )
+        .unwrap();
+        let mut present = Console::new(rom.clone());
+        let mut headless = Console::new(rom);
+        for _ in 0..2 {
+            present.step_frame(InputWord::NONE);
+            headless.step_frame_mode(InputWord::NONE, StepMode::Headless);
+        }
+        // Tone fired inside headless frames; countdown and phase match.
+        assert_eq!(present.state_hash(), headless.state_hash());
+        // The third frame is still within the tone and renders identically.
+        present.step_frame(InputWord::NONE);
+        headless.step_frame(InputWord::NONE);
+        assert!(headless.audio_samples().iter().any(|&s| s != 0));
+        assert_eq!(present.audio_samples(), headless.audio_samples());
     }
 
     #[test]

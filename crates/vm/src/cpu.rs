@@ -12,8 +12,9 @@
 //! window it overlaps, so self-modifying programs execute byte-for-byte
 //! identically in both modes.
 
+use crate::hash::StateHasher;
 use crate::isa::{Instruction, Reg, Syscall, INSTR_SIZE};
-use crate::predecode::{DecodeCache, InterpMode, InterpStats, Op};
+use crate::predecode::{cond, DecodeCache, InterpMode, InterpStats, Op};
 
 /// Size of the address space, in bytes.
 pub const MEM_SIZE: usize = 0x1_0000;
@@ -117,6 +118,14 @@ impl Cpu {
         self.cache.stats()
     }
 
+    /// Enables or disables superinstruction pair fusion in the decode
+    /// cache (on by default). Flushes the cache on change so no stale
+    /// fused slot survives; semantics are identical either way — this
+    /// knob exists so benchmarks can isolate the fusion win.
+    pub fn set_fusion_enabled(&mut self, enabled: bool) {
+        self.cache.set_fusion(enabled);
+    }
+
     /// Copies `image` into memory starting at address 0.
     ///
     /// # Panics
@@ -209,43 +218,54 @@ impl Cpu {
 
     /// Predecoded-dispatch loop: resolves each `pc` through the decode
     /// cache (filling cold slots once) and executes from pre-split
-    /// operands. Cycle accounting is batched — the dispatch counter is
-    /// folded into the cache statistics once per frame, not per step.
+    /// operands. Fused superinstruction slots retire two instructions
+    /// (and two cycles) from a single dispatch. Cycle accounting is
+    /// batched — the dispatch counters are folded into the cache
+    /// statistics once per frame, not per step.
     ///
     /// Semantics are bit-identical to [`Cpu::step`]; in particular an
     /// illegal slot faults *before* the pc advance, exactly like a decode
-    /// failure on the reference path.
+    /// failure on the reference path, and a fused slot met with only one
+    /// cycle of budget left retires exactly one instruction via the
+    /// reference stepper so budget-edge frames stay equivalent too.
     fn run_frame_fast<D: Devices>(&mut self, budget: u32, dev: &mut D) -> (Stop, u32) {
         let mut cycles: u32 = 0;
+        let mut fused_pairs: u64 = 0;
         let stop = loop {
             if cycles >= budget {
                 break Stop::BudgetExhausted;
             }
-            cycles += 1;
 
             let at = self.pc;
             let mut op = self.cache.op(at);
             if op == Op::Cold {
-                let bytes = [
-                    self.mem[at as usize],
-                    self.mem[at.wrapping_add(1) as usize],
-                    self.mem[at.wrapping_add(2) as usize],
-                    self.mem[at.wrapping_add(3) as usize],
-                ];
-                op = self.cache.fill(at, bytes);
+                op = self.cache.fill(at, &self.mem);
             }
             if op == Op::Illegal {
+                cycles += 1;
                 self.halted = true;
                 self.faulted = true;
                 break Stop::Faulted;
             }
+            let fused = op.is_fused();
+            if fused && budget - cycles < 2 {
+                cycles += 1;
+                match self.step(dev) {
+                    Stop::BudgetExhausted => continue, // means "keep running"
+                    stop => break stop,
+                }
+            }
+            cycles += 1 + fused as u32;
+            fused_pairs += fused as u64;
             let args = self.cache.args(at);
-            self.pc = at.wrapping_add(INSTR_SIZE);
+            self.pc = at.wrapping_add(if fused { 2 * INSTR_SIZE } else { INSTR_SIZE });
             // Decode guaranteed register indices < 16; the mask lets the
             // compiler drop the bounds checks.
             let a = args.a as usize & 15;
             let b = args.b as usize & 15;
+            let c = args.c as usize & 15;
             let imm = args.imm;
+            let imm2 = args.imm2;
 
             match op {
                 // detlint: allow(panic_path) -- both ops take the cold/illegal early exit above
@@ -330,9 +350,74 @@ impl Cpu {
                     let call = Syscall::from_u8(args.a).expect("cached syscall is valid");
                     dev.syscall(call, &self.regs);
                 }
+                // Fused superinstructions: both constituents execute in
+                // their original order from hoisted operands, so every
+                // architectural effect (flags, memory, device calls)
+                // lands exactly as two reference steps would.
+                Op::LdiLdi => {
+                    self.regs[a] = imm;
+                    self.regs[c] = imm2;
+                }
+                Op::LdiLdw => {
+                    self.regs[a] = imm;
+                    let addr = self.regs[c].wrapping_add(imm2);
+                    self.regs[b] = self.read_word(addr);
+                }
+                Op::LdwLdi => {
+                    let addr = self.regs[b].wrapping_add(imm);
+                    self.regs[a] = self.read_word(addr);
+                    self.regs[c] = imm2;
+                }
+                Op::LdiSys => {
+                    self.regs[a] = imm;
+                    // detlint: allow(panic_path) -- predecode only fuses valid syscall ids
+                    let call = Syscall::from_u8(args.c).expect("cached syscall is valid");
+                    dev.syscall(call, &self.regs);
+                }
+                Op::SysLdi => {
+                    // detlint: allow(panic_path) -- predecode only fuses valid syscall ids
+                    let call = Syscall::from_u8(args.a).expect("cached syscall is valid");
+                    dev.syscall(call, &self.regs);
+                    self.regs[c] = imm2;
+                }
+                Op::AndCmpi => {
+                    self.regs[a] &= self.regs[b];
+                    self.set_flags(self.regs[c], imm2);
+                }
+                Op::CmpiJcc => {
+                    self.set_flags(self.regs[a], imm);
+                    let take = match args.c {
+                        cond::JZ => self.flag_z,
+                        cond::JNZ => !self.flag_z,
+                        cond::JLT => self.flag_n,
+                        _ => !self.flag_n, // cond::JGE
+                    };
+                    if take {
+                        self.pc = imm2;
+                    }
+                }
+                Op::LdiAnd => {
+                    self.regs[a] = imm;
+                    self.regs[b] &= self.regs[c];
+                }
+                Op::MovLdi => {
+                    self.regs[a] = self.regs[b];
+                    self.regs[c] = imm2;
+                }
+                Op::LdwCmpi => {
+                    let addr = self.regs[b].wrapping_add(imm);
+                    self.regs[a] = self.read_word(addr);
+                    self.set_flags(self.regs[c], imm2);
+                }
+                Op::LdiStw => {
+                    self.regs[a] = imm;
+                    let addr = self.regs[b].wrapping_add(imm2);
+                    self.write_word(addr, self.regs[c]);
+                }
             }
         };
         self.cache.note_dispatches(cycles as u64);
+        self.cache.note_fused(fused_pairs);
         (stop, cycles)
     }
 
@@ -490,6 +575,24 @@ impl Cpu {
     /// Number of bytes [`Cpu::serialize`] writes.
     pub const SERIALIZED_LEN: usize = 32 + 2 + 2 + 1 + 4 + MEM_SIZE;
 
+    /// Feeds exactly the byte stream [`Cpu::serialize`] would produce into
+    /// `h`, without allocating — lets callers compose state digests that
+    /// cover the CPU without materializing a snapshot.
+    pub fn hash_state(&self, h: &mut StateHasher) {
+        for r in self.regs {
+            h.write_u16(r);
+        }
+        h.write_u16(self.pc);
+        h.write_u16(self.sp);
+        h.write(&[(self.flag_z as u8)
+            | (self.flag_n as u8) << 1
+            | (self.flag_c as u8) << 2
+            | (self.halted as u8) << 3
+            | (self.faulted as u8) << 4]);
+        h.write(&self.lcg.to_le_bytes());
+        h.write(&self.mem[..]);
+    }
+
     /// Restores state written by [`Cpu::serialize`].
     ///
     /// Returns `None` if `bytes` is too short.
@@ -520,21 +623,33 @@ impl Cpu {
         self.lcg = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("len 4"));
         pos += 4;
         // Diff-based memory restore: a rollback reload typically differs
-        // from current memory in a handful of bytes, so compare 64-byte
-        // blocks and copy + invalidate only where they differ. Unchanged
-        // blocks keep their warm decode-cache slots, which is what keeps
-        // repeated restores on the repair path cheap. Either way memory
-        // ends up byte-identical to the snapshot.
+        // from current memory in a handful of bytes, so copy + invalidate
+        // only blocks that differ. Unchanged blocks keep their warm decode
+        // cache slots, which is what keeps repeated restores on the repair
+        // path cheap. The diff is two-level — 4 KiB super-blocks compared
+        // with one wide memcmp each, and only a differing super-block is
+        // re-scanned at 64-byte granularity — because a flat 64-byte scan
+        // costs a thousand tiny comparisons on the all-equal fast path
+        // that dominates real restores. The invalidation window reaches
+        // 2*INSTR_SIZE-1 bytes behind each changed block, so a fused slot
+        // starting in the tail of an unchanged block whose second word
+        // lies in the changed one is re-colded too — no whole-table flush
+        // is ever needed. Either way memory ends up byte-identical to the
+        // snapshot.
+        const SUPER: usize = 4096;
+        const BLOCK: usize = 64;
         let src = &bytes[pos..pos + MEM_SIZE];
-        for (i, block) in src.chunks_exact(64).enumerate() {
-            let at = i * 64;
-            // detlint: allow(panic_path) -- chunks_exact(64) yields 64-byte blocks
-            let new: &[u8; 64] = block.try_into().expect("len 64");
-            // detlint: allow(panic_path) -- MEM_SIZE is a multiple of 64, window is in range
-            let old: &[u8; 64] = self.mem[at..at + 64].try_into().expect("len 64");
-            if old != new {
-                self.mem[at..at + 64].copy_from_slice(block);
-                self.cache.invalidate(at as u16, 64);
+        for (s, sup) in src.chunks_exact(SUPER).enumerate() {
+            let s_at = s * SUPER;
+            if self.mem[s_at..s_at + SUPER] == *sup {
+                continue;
+            }
+            for (i, block) in sup.chunks_exact(BLOCK).enumerate() {
+                let at = s_at + i * BLOCK;
+                if self.mem[at..at + BLOCK] != *block {
+                    self.mem[at..at + BLOCK].copy_from_slice(block);
+                    self.cache.invalidate(at as u16, BLOCK as u16);
+                }
             }
         }
         Some(())
@@ -908,6 +1023,90 @@ mod tests {
     fn budget_exhaustion_matches_across_modes() {
         let image = assemble(&[I::Addi(Reg(0), 1), I::Jmp(0)]);
         assert_modes_equivalent(&image, 4, 50);
+    }
+
+    #[test]
+    fn fused_pairs_match_reference_and_are_counted() {
+        let image = assemble(&[
+            I::Ldi(Reg(0), 3), // fuses with the next ldi
+            I::Ldi(Reg(1), 4),
+            I::Mov(Reg(2), Reg(0)), // fuses with the next ldi
+            I::Ldi(Reg(3), 9),
+            I::Cmpi(Reg(3), 9), // fuses with the jz
+            I::Jz(7 * 4),
+            I::Halt, // skipped by the taken branch
+            I::Yield,
+            I::Jmp(0),
+        ]);
+        assert_modes_equivalent(&image, 6, 1_000);
+
+        let mut cpu = Cpu::new(0, 0);
+        cpu.load_image(&image);
+        let mut dev = TestDev::default();
+        for _ in 0..4 {
+            cpu.run_frame(1_000, &mut dev);
+        }
+        let s = cpu.interp_stats();
+        // Three fused pairs per frame over four frames.
+        assert_eq!(s.fused_hits, 12, "{s:?}");
+        assert!(s.fusion_rate_milli() >= 500, "{s:?}");
+    }
+
+    #[test]
+    fn fused_pair_at_budget_edge_matches_reference() {
+        // With an odd budget the loop meets the fused ldi+ldi slot with
+        // one cycle left and must retire exactly one instruction, like
+        // the reference stepper would.
+        let image = assemble(&[
+            I::Ldi(Reg(0), 1),
+            I::Ldi(Reg(1), 2),
+            I::Addi(Reg(2), 1),
+            I::Jmp(0),
+        ]);
+        for budget in 1..=9 {
+            assert_modes_equivalent(&image, 3, budget);
+        }
+    }
+
+    #[test]
+    fn fast_path_matches_reference_when_store_patches_a_fused_tail() {
+        // The ldi pair at 0x10/0x14 fuses; each pass stores r4 into the
+        // *tail* ldi's immediate low byte (0x16), six bytes past the
+        // fused slot's start — only the widened invalidation window
+        // re-colds it, so this pins the straddle case.
+        let image = assemble(&[
+            I::Addi(Reg(4), 1),        // 0x00
+            I::Ldi(Reg(3), 0x16),      // 0x04
+            I::Stb(Reg(3), Reg(4), 0), // 0x08
+            I::Nop,                    // 0x0C
+            I::Ldi(Reg(1), 0x1100),    // 0x10 — fused head
+            I::Ldi(Reg(2), 0xAA00),    // 0x14 — fused tail, patched
+            I::Yield,                  // 0x18
+            I::Jmp(0),                 // 0x1C
+        ]);
+        assert_modes_equivalent(&image, 20, 1_000);
+
+        let mut cpu = Cpu::new(0, 0);
+        cpu.load_image(&image);
+        let mut dev = TestDev::default();
+        for _ in 0..5 {
+            cpu.run_frame(1_000, &mut dev);
+        }
+        assert_eq!(cpu.reg(Reg(2)), 0xAA05, "fused tail must observe patches");
+    }
+
+    #[test]
+    fn hash_state_matches_serialized_bytes() {
+        let prog = assemble(&[I::Rnd(Reg(0)), I::Addi(Reg(1), 3), I::Yield, I::Jmp(0)]);
+        let mut cpu = Cpu::new(0, 7);
+        cpu.load_image(&prog);
+        let mut dev = TestDev::default();
+        cpu.run_frame(100, &mut dev);
+        let mut bytes = Vec::new();
+        cpu.serialize(&mut bytes);
+        let mut h = StateHasher::new();
+        cpu.hash_state(&mut h);
+        assert_eq!(h.finish(), crate::hash::fnv1a(&bytes));
     }
 
     #[test]

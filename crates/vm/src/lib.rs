@@ -66,7 +66,7 @@ pub use cpu::{Cpu, Devices, Stop, MEM_SIZE, STACK_TOP};
 pub use hash::{fnv1a, StateHasher};
 pub use input::{Button, InputWord, Player, PortMap};
 pub use isa::{Instruction, Reg, Syscall, INSTR_SIZE};
-pub use machine::{Machine, MachineInfo, NullMachine, StateError};
+pub use machine::{Machine, MachineInfo, NullMachine, StateError, StepMode};
 pub use predecode::{InterpMode, InterpStats};
 pub use rom::{Rom, RomBuilder, RomError};
 pub use video::{Color, FrameBuffer, HEIGHT, PALETTE, WIDTH};

@@ -76,6 +76,26 @@ impl fmt::Display for StateError {
 
 impl Error for StateError {}
 
+/// How a frame's output will be used, letting machines skip presentation
+/// work for frames nobody will ever see.
+///
+/// Rollback repair resimulates several frames only to reach the present:
+/// every repaired frame except the last is immediately overwritten, so its
+/// framebuffer blits and audio rendering are pure waste. `Headless` lets a
+/// machine skip exactly that work. The contract is strict: **authoritative
+/// state (CPU, memory, RNG, input ports — everything [`Machine::state_hash`]
+/// covers) must advance byte-identically in both modes**; only
+/// presentation-layer output (pixels, rendered audio samples) may go stale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StepMode {
+    /// The frame will be presented: produce full video/audio output.
+    #[default]
+    Present,
+    /// The frame will never be presented: presentation side effects may be
+    /// skipped, state must advance identically.
+    Headless,
+}
+
 /// A deterministic, frame-stepped game machine.
 ///
 /// # Determinism contract
@@ -116,6 +136,19 @@ pub trait Machine {
 
     /// Advances exactly one frame under `input`.
     fn step_frame(&mut self, input: InputWord);
+
+    /// Advances exactly one frame under `input`, with a hint about whether
+    /// the frame will be presented (see [`StepMode`]).
+    ///
+    /// The default implementation ignores the hint and calls
+    /// [`Machine::step_frame`], so existing machines stay source-compatible
+    /// and correct — `Headless` is purely an optimization opportunity.
+    /// Implementations that honor it must keep state-hash-covered state
+    /// byte-identical across modes.
+    fn step_frame_mode(&mut self, input: InputWord, mode: StepMode) {
+        let _ = mode;
+        self.step_frame(input);
+    }
 
     /// Number of frames executed since reset.
     fn frame(&self) -> u64;
@@ -176,6 +209,9 @@ impl<M: Machine + ?Sized> Machine for Box<M> {
     }
     fn step_frame(&mut self, input: InputWord) {
         (**self).step_frame(input)
+    }
+    fn step_frame_mode(&mut self, input: InputWord, mode: StepMode) {
+        (**self).step_frame_mode(input, mode)
     }
     fn frame(&self) -> u64 {
         (**self).frame()
@@ -399,6 +435,22 @@ mod tests {
         let mut b2 = Vec::new();
         boxed.save_state_into(&mut b2);
         assert_eq!(b2, boxed.save_state());
+    }
+
+    #[test]
+    fn default_step_frame_mode_falls_back_to_step_frame() {
+        // A machine that only implements `step_frame` (NullMachine) still
+        // advances identically through the mode-aware entry point.
+        let mut a = NullMachine::new();
+        let mut b = NullMachine::new();
+        a.step_frame(InputWord(9));
+        b.step_frame_mode(InputWord(9), StepMode::Headless);
+        assert_eq!(a.state_hash(), b.state_hash());
+        // Boxed dyn machines forward the mode-aware entry point too.
+        let mut boxed: Box<dyn Machine> = Box::new(NullMachine::new());
+        boxed.step_frame_mode(InputWord(9), StepMode::Present);
+        assert_eq!(boxed.state_hash(), a.state_hash());
+        assert_eq!(StepMode::default(), StepMode::Present);
     }
 
     #[test]

@@ -8,10 +8,13 @@
 
 use coplay_games::{rom_pong_console, rom_race_console};
 use coplay_vm::{
-    Console, InputWord, Instruction, InterpMode, Machine, Reg, Rom, DEFAULT_CYCLES_PER_FRAME,
+    Console, InputWord, Instruction, InterpMode, Machine, Reg, Rom, StepMode,
+    DEFAULT_CYCLES_PER_FRAME,
 };
 
 const FRAMES: u64 = 120;
+
+type MakeConsole = fn() -> Console;
 
 /// Deterministic per-frame input pattern exercising several buttons.
 fn input_for(frame: u64) -> InputWord {
@@ -113,6 +116,128 @@ fn rollback_resimulation_hashes_identically_with_cache_on_and_off() {
     }
 }
 
+/// The full interpreter × stepping matrix. Every combination of
+/// {Predecoded, Reference} × {Present, Headless} must hold the same
+/// core state hash on every frame — including through a forced
+/// rollback/restore — because headless stepping only skips *rendering*
+/// side effects, never architectural ones.
+#[test]
+fn interp_and_step_mode_matrix_stays_hash_identical_through_rollback() {
+    let builds: [(&str, MakeConsole); 2] = [
+        ("ROM Pong", rom_pong_console as MakeConsole),
+        ("Button Race", rom_race_console as MakeConsole),
+    ];
+    for (name, build) in builds {
+        // Index 0 is the oracle: reference interpreter, presented frames.
+        let mut lanes: Vec<(String, Console, StepMode)> = vec![
+            (
+                format!("{name}/Reference/Present"),
+                build().with_interp_mode(InterpMode::Reference),
+                StepMode::Present,
+            ),
+            (
+                format!("{name}/Reference/Headless"),
+                build().with_interp_mode(InterpMode::Reference),
+                StepMode::Headless,
+            ),
+            (
+                format!("{name}/Predecoded/Present"),
+                build(),
+                StepMode::Present,
+            ),
+            (
+                format!("{name}/Predecoded/Headless"),
+                build(),
+                StepMode::Headless,
+            ),
+        ];
+
+        let check = |lanes: &[(String, Console, StepMode)], frame: u64| {
+            let oracle = lanes[0].1.state_hash();
+            for (label, console, _) in &lanes[1..] {
+                assert_eq!(
+                    console.state_hash(),
+                    oracle,
+                    "{label}: diverged from the oracle at frame {frame}"
+                );
+            }
+        };
+
+        for frame in 0..60 {
+            let input = input_for(frame);
+            for (_, console, mode) in lanes.iter_mut() {
+                console.step_frame_mode(input, *mode);
+            }
+            check(&lanes, frame);
+        }
+
+        // Forced rollback: snapshot, speculate on wrong inputs, restore,
+        // resimulate corrected — exactly what a repair pass does, with the
+        // repair frames themselves stepped in each lane's own mode.
+        let snaps: Vec<Vec<u8>> = lanes.iter().map(|(_, c, _)| c.save_state()).collect();
+        for frame in 60..75 {
+            let input = input_for(frame * 13 + 5);
+            for (_, console, mode) in lanes.iter_mut() {
+                console.step_frame_mode(input, *mode);
+            }
+        }
+        for ((label, console, _), snap) in lanes.iter_mut().zip(&snaps) {
+            console
+                .load_state(snap)
+                .unwrap_or_else(|e| panic!("{label}: restore failed: {e}"));
+        }
+        check(&lanes, 60);
+        for frame in 60..90 {
+            let input = input_for(frame);
+            for (_, console, mode) in lanes.iter_mut() {
+                console.step_frame_mode(input, *mode);
+            }
+            check(&lanes, frame);
+        }
+    }
+}
+
+/// Headless repair must be invisible once a frame is presented: running
+/// N-1 frames headless plus one presented frame leaves pixels, rendered
+/// audio, and state byte-identical to an all-present run.
+#[test]
+fn headless_then_present_matches_an_all_present_run_exactly() {
+    for (name, build) in [
+        ("ROM Pong", rom_pong_console as MakeConsole),
+        ("Button Race", rom_race_console as MakeConsole),
+    ] {
+        let mut repaired = build();
+        let mut presented = build();
+        const N: u64 = 48;
+        for frame in 0..N {
+            let input = input_for(frame);
+            let mode = if frame + 1 == N {
+                StepMode::Present
+            } else {
+                StepMode::Headless
+            };
+            repaired.step_frame_mode(input, mode);
+            presented.step_frame(input);
+        }
+        assert_eq!(
+            repaired.framebuffer().pixels(),
+            presented.framebuffer().pixels(),
+            "{name}: final presented pixels differ"
+        );
+        assert_eq!(
+            repaired.audio_samples(),
+            presented.audio_samples(),
+            "{name}: final presented audio differs"
+        );
+        assert_eq!(repaired.state_hash(), presented.state_hash(), "{name}");
+        assert_eq!(
+            repaired.save_state(),
+            presented.save_state(),
+            "{name}: serialized state differs"
+        );
+    }
+}
+
 /// A program that patches its own instruction stream every frame: it
 /// stores the frame counter into the immediate of a later `ldi`, so a
 /// cached decode of that slot goes stale the moment it is overwritten.
@@ -165,5 +290,63 @@ fn self_modifying_code_invalidates_precisely_and_stays_equivalent() {
         stats.misses >= 200,
         "stale slots must re-decode (saw {} misses)",
         stats.misses
+    );
+}
+
+/// A self-modifying program whose store lands inside the *tail* of a
+/// fused `ldi`+`ldi` pair. The fused slot lives at the head address, a
+/// full instruction before the patched byte, so only the widened
+/// (pair-aware) invalidation window catches it.
+fn fused_smc_rom() -> Rom {
+    let program: Vec<u8> = [
+        Instruction::In(Reg(4), 2),          // 0x00: r4 = frame counter low
+        Instruction::Ldi(Reg(3), 0x1A),      // 0x04: imm low byte of the pair's tail
+        Instruction::Stb(Reg(3), Reg(4), 0), // 0x08: patch the fused tail
+        Instruction::Nop,                    // 0x0C
+        Instruction::Nop,                    // 0x10
+        Instruction::Ldi(Reg(1), 0x5500),    // 0x14: fuses with the next ldi
+        Instruction::Ldi(Reg(2), 0xAA00),    // 0x18: tail; imm low byte at 0x1A
+        Instruction::Yield,                  // 0x1C
+        Instruction::Jmp(0),                 // 0x20
+    ]
+    .iter()
+    .flat_map(|i| i.encode())
+    .collect();
+    Rom::builder("Fused SMC Probe").image(program).build()
+}
+
+#[test]
+fn store_into_a_fused_pair_tail_invalidates_the_whole_slot() {
+    let mut fast = Console::new(fused_smc_rom()).with_cycle_budget(DEFAULT_CYCLES_PER_FRAME);
+    let mut slow = Console::new(fused_smc_rom()).with_interp_mode(InterpMode::Reference);
+
+    for frame in 0..200u64 {
+        fast.step_frame(InputWord::NONE);
+        slow.step_frame(InputWord::NONE);
+        assert_eq!(
+            fast.state_hash(),
+            slow.state_hash(),
+            "state diverged at frame {frame}"
+        );
+        // The store lands at 0x1A, seven bytes past the fused slot's own
+        // address (0x14). A naive exact-address invalidation would leave
+        // that slot warm and replay the stale pair; the register value
+        // proves the freshly patched immediate was decoded instead.
+        let expect = 0xAA00 | (frame as u16 & 0x00FF);
+        assert_eq!(fast.cpu().reg(Reg(2)), expect, "frame {frame}");
+        assert_eq!(slow.cpu().reg(Reg(2)), expect, "frame {frame}");
+        assert_eq!(fast.cpu().reg(Reg(1)), 0x5500, "frame {frame}");
+    }
+
+    let stats = fast.interp_stats().expect("console reports stats");
+    assert!(
+        stats.fused_hits > 0,
+        "the ldi+ldi pair must actually fuse (saw {} fused hits)",
+        stats.fused_hits
+    );
+    assert!(
+        stats.invalidations >= 200,
+        "each frame's store must invalidate (saw {})",
+        stats.invalidations
     );
 }
