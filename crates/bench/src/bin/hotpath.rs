@@ -30,8 +30,8 @@ use coplay_games::{catalog, rom_pong_console, rom_race_console};
 use coplay_rollback::{delta, SnapshotRing};
 use coplay_sync::{InputMsg, Message};
 use coplay_vm::{
-    Console, Cpu, Devices, InputWord, Instruction, InterpMode, Machine, Reg, Rom, StepMode,
-    Syscall, DEFAULT_CYCLES_PER_FRAME,
+    Console, Cpu, Devices, DirtyPages, InputWord, Instruction, InterpMode, Machine, Reg, Rom,
+    StepMode, Syscall, DEFAULT_CYCLES_PER_FRAME,
 };
 
 /// Regression threshold: fail when an op is more than this many times
@@ -163,8 +163,8 @@ fn measure_games(budget: Duration) -> (Vec<Measurement>, Vec<GameSummary>) {
         }
         let delta_ratio_milli = full_total.saturating_mul(1000) / delta_total.max(1);
 
-        // Restore from the deepest point of a keyframe+delta chain.
-        let mut ring = SnapshotRing::new(8).with_keyframe_interval(4);
+        // Restore from the deepest point of a back-delta chain.
+        let mut ring = SnapshotRing::new(8);
         for _ in 0..8 {
             let f = m.frame();
             m.step_frame(input_for(f));
@@ -188,6 +188,7 @@ fn measure_games(budget: Duration) -> (Vec<Measurement>, Vec<GameSummary>) {
             let f = m.frame();
             m.step_frame(input_for(f));
         });
+        let resim_ns = ns;
         measurements.push(Measurement {
             key: format!("{name}/resim_frame"),
             ns_per_op: ns,
@@ -249,10 +250,69 @@ fn measure_games(budget: Duration) -> (Vec<Measurement>, Vec<GameSummary>) {
             );
         }
 
+        // O(dirty) checkpoint capture: step a frame, then capture straight
+        // into the ring — the machine's dirty accumulators pick the byte
+        // ranges, the old tail bytes become a raw back-patch, and the
+        // machine rewrites only those ranges in the tail. The step itself
+        // is measured above (`resim_frame`), so the difference is the pure
+        // checkpoint cost — the number the dirty tracking exists to
+        // shrink. Hashes are dummies: the ring stores them opaquely and
+        // per-frame hashing is costed elsewhere.
+        let mut dirty_ring = SnapshotRing::new(8);
+        // Ring frames use their own counter: native games reset their
+        // frame counter when a match ends, and the loop below runs long
+        // enough to cross several match boundaries.
+        let mut ck = 0u64;
+        let mut last = dirty_ring.checkpoint_from(ck, 0, &mut m);
+        let ckpt_total_ns = bench_ns(budget, || {
+            let f = m.frame();
+            m.step_frame(input_for(f));
+            ck += 1;
+            last = dirty_ring.checkpoint_from(ck, 0, &mut m);
+        });
+        measurements.push(Measurement {
+            key: format!("{name}/checkpoint_dirty"),
+            ns_per_op: ckpt_total_ns.saturating_sub(resim_ns),
+            bytes_per_op: last.dirty_bytes as u64,
+        });
+
+        // Bitmap-guided rollback restore, production shape: the machine
+        // drifts one frame off the anchor checkpoint, saves the due
+        // checkpoint, then a misprediction rewinds the ring to the anchor
+        // and patches only the divergent pages back into the machine.
+        // Each iteration is step + checkpoint + repair; subtracting the
+        // previous bench's step + checkpoint total isolates the repair.
+        let mut rring = SnapshotRing::new(8);
+        let mut kr = 0u64;
+        rring.checkpoint_from(kr, 0, &mut m);
+        let mut rout = Vec::new();
+        rring
+            .restore_into(kr, &mut rout)
+            .expect("anchor checkpoint restores");
+        let mut rdirty = DirtyPages::default();
+        let ns = bench_ns(budget, || {
+            let f = m.frame();
+            m.step_frame(input_for(f));
+            kr += 1;
+            rring.checkpoint_from(kr, 0, &mut m);
+            m.collect_dirty_into(&mut rdirty);
+            rring
+                .rewind_into(0, &mut rout, &mut rdirty)
+                .expect("anchor checkpoint rewinds");
+            m.load_state_dirty(&rout, &rdirty)
+                .expect("checkpoint bytes reload");
+        });
+        let restored_bytes: usize = rdirty.byte_ranges().map(|(s, e)| e - s).sum();
+        measurements.push(Measurement {
+            key: format!("{name}/restore_dirty"),
+            ns_per_op: ns.saturating_sub(ckpt_total_ns),
+            bytes_per_op: restored_bytes as u64,
+        });
+
         // Steady-state pool behaviour: after the ring warms up, every
         // eviction recycles exactly one buffer, so misses stay bounded by
         // the warmup while hits grow with every push.
-        let mut pool_ring = SnapshotRing::new(8).with_keyframe_interval(4);
+        let mut pool_ring = SnapshotRing::new(8);
         m.save_state_into(&mut cap);
         let hash = m.state_hash();
         let start = m.frame();
@@ -329,7 +389,7 @@ fn measure_interp(budget: Duration) -> Vec<Measurement> {
         for f in 0..153 {
             slow.step_frame(input_for(f));
         }
-        let mut ring = SnapshotRing::new(8).with_keyframe_interval(4);
+        let mut ring = SnapshotRing::new(8);
         let mut cap = Vec::new();
         for _ in 0..8 {
             let f = slow.frame();
@@ -681,6 +741,16 @@ fn main() {
         if let Some(ns) = ns_of(&format!("{name}/repair_headless")) {
             let verdict = if ns < 1000 { "within" } else { "OVER" };
             println!("{name}/repair_headless: {ns} ns/frame ({verdict} the 1 us/frame budget)");
+        }
+        // Dirty-page checkpointing budgets: a delta checkpoint save in
+        // 300 ns and a same-session bitmap-guided restore in 1 us.
+        if let Some(ns) = ns_of(&format!("{name}/checkpoint_dirty")) {
+            let verdict = if ns <= 300 { "within" } else { "OVER" };
+            println!("{name}/checkpoint_dirty: {ns} ns/op ({verdict} the 0.3 us capture budget)");
+        }
+        if let Some(ns) = ns_of(&format!("{name}/restore_dirty")) {
+            let verdict = if ns <= 1000 { "within" } else { "OVER" };
+            println!("{name}/restore_dirty: {ns} ns/op ({verdict} the 1 us restore budget)");
         }
     }
     if let (Some(on), Some(off)) = (ns_of("smc/step_frame"), ns_of("smc/step_frame_ref")) {

@@ -23,12 +23,13 @@
 //! |------|-----------|-----------------|-----------|
 //! | wire codecs (`net/bytes`, `lobby/wire`, `sync/wire`, `relay/wire`) | ✓ | ✓ | – |
 //! | transport (`net/{udp,sim,transport,netem}`, `lobby/{server,client,lib}`, `relay/{server,client,udp,lib}`) | ✓ | – | – |
-//! | hot path (`rollback/src/*`, `vm/{cpu,predecode,console,audio}`, `sync/sync_input`, `relay/server`) | ✓ | – | ✓‡ |
+//! | hot path (`rollback/src/*`, `vm/{cpu,predecode,console,audio,dirty}`, `sync/sync_input`, `relay/server`) | ✓ | – | ✓‡ |
 //!
 //! ‡ `hot_alloc` applies to exactly the modules PRs 4–5 made alloc-free
-//! plus the relay's per-datagram fan-out and the frame-step path headless
-//! resimulation runs through:
-//! `rollback/{snapshot,delta,session}.rs`, `vm/{cpu,predecode,console,audio}.rs`,
+//! plus the relay's per-datagram fan-out, the frame-step path headless
+//! resimulation runs through, and the dirty-page bitmap every checkpoint
+//! and rollback walks:
+//! `rollback/{snapshot,delta,session}.rs`, `vm/{cpu,predecode,console,audio,dirty}.rs`,
 //! `sync/sync_input.rs`, `relay/src/server.rs`. Wire/transport code must be
 //! panic-free on arbitrary bytes (typed errors only); hot-path panics and
 //! constructor allocations carry `allow(...) -- <reason>` waivers.
@@ -81,6 +82,7 @@ fn hot_panic_zone(rel: &str) -> bool {
                 | "crates/vm/src/predecode.rs"
                 | "crates/vm/src/console.rs"
                 | "crates/vm/src/audio.rs"
+                | "crates/vm/src/dirty.rs"
                 | "crates/sync/src/sync_input.rs"
         )
 }
@@ -97,6 +99,7 @@ fn hot_alloc_zone(rel: &str) -> bool {
             | "crates/vm/src/predecode.rs"
             | "crates/vm/src/console.rs"
             | "crates/vm/src/audio.rs"
+            | "crates/vm/src/dirty.rs"
             | "crates/sync/src/sync_input.rs"
             | "crates/relay/src/server.rs"
     )
@@ -306,6 +309,7 @@ mod tests {
             "crates/vm/src/predecode.rs",
             "crates/vm/src/console.rs",
             "crates/vm/src/audio.rs",
+            "crates/vm/src/dirty.rs",
             "crates/sync/src/sync_input.rs",
         ] {
             assert!(has(rel, Rule::PanicPath), "{rel}");

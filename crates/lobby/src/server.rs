@@ -35,6 +35,10 @@ struct Registration {
     /// delta-vs-full compression ratio in thousandths and the cumulative
     /// pooled-buffer reuse hits.
     compression_ratio_milli: u64,
+    /// Cumulative dirty-checkpoint bytes captured and bytes copied back by
+    /// bitmap-guided restores, from the host's latest heartbeat.
+    snapshot_bytes_saved: u64,
+    snapshot_bytes_restored: u64,
     pool_hits: u64,
     /// Flight-recorder eviction counters from the host's latest heartbeat:
     /// total telemetry events lost and the trace-span subset.
@@ -115,6 +119,20 @@ impl LobbyServer {
             .gauge_set("session_compression_ratio_milli", worst_ratio as i64);
         self.metrics
             .gauge_set("session_snapshot_pool_hits", pool_hits as i64);
+        // Dirty-checkpoint bandwidth: fleet-wide bytes the rings captured
+        // and bytes rollback repairs copied back. Read against the ratio
+        // gauge above, these say how far under the 84 KiB full-image floor
+        // the hosts are running.
+        let saved: u64 = self.sessions.values().map(|s| s.snapshot_bytes_saved).sum();
+        let restored: u64 = self
+            .sessions
+            .values()
+            .map(|s| s.snapshot_bytes_restored)
+            .sum();
+        self.metrics
+            .gauge_set("session_snapshot_bytes_saved", saved as i64);
+        self.metrics
+            .gauge_set("session_snapshot_bytes_restored", restored as i64);
         // Observability health: a nonzero span drop count means some host's
         // trace dumps have holes and tracescope timelines may be partial.
         let dropped_events: u64 = self.sessions.values().map(|s| s.dropped_events).sum();
@@ -178,6 +196,8 @@ impl LobbyServer {
                         resimulated_frames: 0,
                         max_rollback_depth: 0,
                         compression_ratio_milli: 0,
+                        snapshot_bytes_saved: 0,
+                        snapshot_bytes_restored: 0,
                         pool_hits: 0,
                         dropped_events: 0,
                         dropped_spans: 0,
@@ -197,6 +217,8 @@ impl LobbyServer {
                 resimulated_frames,
                 max_rollback_depth,
                 compression_ratio_milli,
+                snapshot_bytes_saved,
+                snapshot_bytes_restored,
                 pool_hits,
                 dropped_events,
                 dropped_spans,
@@ -208,6 +230,8 @@ impl LobbyServer {
                         s.resimulated_frames = *resimulated_frames;
                         s.max_rollback_depth = *max_rollback_depth;
                         s.compression_ratio_milli = *compression_ratio_milli;
+                        s.snapshot_bytes_saved = *snapshot_bytes_saved;
+                        s.snapshot_bytes_restored = *snapshot_bytes_restored;
                         s.pool_hits = *pool_hits;
                         s.dropped_events = *dropped_events;
                         s.dropped_spans = *dropped_spans;
@@ -297,6 +321,8 @@ mod tests {
             resimulated_frames: resim,
             max_rollback_depth: depth,
             compression_ratio_milli: 4500,
+            snapshot_bytes_saved: 40_000,
+            snapshot_bytes_restored: 5_000,
             pool_hits: 128,
             dropped_events: 6,
             dropped_spans: 2,
@@ -467,6 +493,16 @@ mod tests {
             text.contains("coplay_lobby_session_snapshot_pool_hits 256"),
             "{text}"
         );
+        // Dirty-checkpoint bandwidth sums across hosts: 40k+40k saved,
+        // 5k+5k restored.
+        assert!(
+            text.contains("coplay_lobby_session_snapshot_bytes_saved 80000"),
+            "{text}"
+        );
+        assert!(
+            text.contains("coplay_lobby_session_snapshot_bytes_restored 10000"),
+            "{text}"
+        );
         // Flight-recorder loss sums across hosts: 6+6 events, 2+2 spans.
         assert!(
             text.contains("coplay_lobby_session_dropped_events 12"),
@@ -488,6 +524,8 @@ mod tests {
                 resimulated_frames: 0,
                 max_rollback_depth: 0,
                 compression_ratio_milli: 1100,
+                snapshot_bytes_saved: 7_000,
+                snapshot_bytes_restored: 1_000,
                 pool_hits: 10,
                 dropped_events: 0,
                 dropped_spans: 0,

@@ -25,6 +25,7 @@
 //! and the remaining input, so a truncated or corrupt delta is rejected
 //! with a [`DeltaError`] instead of mis-restoring state.
 
+use coplay_vm::DirtyPages;
 use std::error::Error;
 use std::fmt;
 
@@ -177,6 +178,58 @@ pub fn encode_into(base: &[u8], new: &[u8], out: &mut Vec<u8>) {
     }
 }
 
+/// Encodes `new` against `base` like [`encode_into`], but skips the scan
+/// entirely over pages `dirty` guarantees clean.
+///
+/// `dirty` must satisfy the capture contract: every byte where `new`
+/// differs from the padded base lies inside a marked page (marked pages
+/// that turn out equal are fine — they are scanned and folded into zero
+/// runs). Under that contract the output is **byte-identical** to
+/// [`encode_into`], because both scanners break runs at exactly the
+/// equal/differ transitions: clean gaps only extend zero runs, which this
+/// encoder accumulates across gaps before emitting. A saturated or
+/// wrong-length bitmap degrades to the full scan.
+pub fn encode_dirty_into(base: &[u8], new: &[u8], dirty: &DirtyPages, out: &mut Vec<u8>) {
+    if dirty.is_all() || dirty.len() != new.len() {
+        encode_into(base, new, out);
+        return;
+    }
+    out.clear();
+    put_varint(out, new.len() as u64);
+    let mut zero_pending: usize = 0;
+    let mut pos = 0;
+    for (rs, re) in dirty.byte_ranges() {
+        // The clean gap [pos, rs) is guaranteed equal to the padded base.
+        zero_pending += rs - pos;
+        let mut i = rs;
+        while i < re {
+            let zero_start = i;
+            i = scan_zero_run(base, &new[..re], i);
+            zero_pending += i - zero_start;
+            if i >= re {
+                break;
+            }
+            // A literal run always terminates at or before `re`: ranges
+            // are maximal, so the byte at `re` (if any) is clean-gap and
+            // equal to the base.
+            let lit_start = i;
+            i = scan_literal_run(base, &new[..re], i);
+            put_varint(out, zero_pending as u64);
+            put_varint(out, (i - lit_start) as u64);
+            for (j, &b) in new.iter().enumerate().take(i).skip(lit_start) {
+                out.push(b ^ base_byte(base, j));
+            }
+            zero_pending = 0;
+        }
+        pos = re;
+    }
+    zero_pending += new.len() - pos;
+    if zero_pending > 0 {
+        put_varint(out, zero_pending as u64);
+        put_varint(out, 0);
+    }
+}
+
 /// The original byte-at-a-time encoder, kept as the reference the
 /// word-at-a-time scanner is fuzzed against.
 #[cfg(test)]
@@ -227,10 +280,12 @@ pub fn apply_in_place(buf: &mut Vec<u8>, mut delta: &[u8]) -> Result<(), DeltaEr
         if delta.len() < lit_len {
             return Err(DeltaError::Truncated);
         }
-        for &b in &delta[..lit_len] {
-            buf[i] ^= b;
-            i += 1;
+        // Slice-zip so the XOR vectorizes; the Overrun check above
+        // guarantees `i + lit_len <= new_len`.
+        for (d, &s) in buf[i..i + lit_len].iter_mut().zip(&delta[..lit_len]) {
+            *d ^= s;
         }
+        i += lit_len;
         delta = &delta[lit_len..];
         // A zero literal run only terminates the delta (trailing zeros);
         // anywhere else it could not have been emitted by the encoder and
@@ -441,6 +496,71 @@ mod tests {
             apply_in_place(&mut buf, &fast).unwrap();
             assert_eq!(buf, new);
         }
+    }
+
+    #[test]
+    fn dirty_guided_encoder_is_byte_identical_to_full_scan() {
+        // Deterministic fuzz: mutate random positions, build a dirty
+        // bitmap that covers exactly the mutated pages plus random
+        // false-positive pages, and require bit-identical output.
+        let mut x = 0xD127_00FF_4321_8765u64;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for round in 0..200 {
+            let len = (next() % 4000) as usize;
+            let base: Vec<u8> = (0..len).map(|_| next() as u8).collect();
+            let mut new = base.clone();
+            let mut dirty = DirtyPages::new(len);
+            for _ in 0..(next() % 12) {
+                if new.is_empty() {
+                    break;
+                }
+                let at = (next() as usize) % new.len();
+                let run = 1 + (next() % 40) as usize;
+                let end = (at + run).min(new.len());
+                for b in &mut new[at..end] {
+                    // May write the same value back — the page is then a
+                    // marked false positive the encoder must tolerate.
+                    *b = next() as u8;
+                }
+                dirty.mark_range(at, end - at);
+            }
+            for _ in 0..(next() % 4) {
+                if len > 0 {
+                    dirty.mark((next() as usize) % len); // pure false positive
+                }
+            }
+
+            let mut guided = Vec::new();
+            let mut full = Vec::new();
+            encode_dirty_into(&base, &new, &dirty, &mut guided);
+            encode_into(&base, &new, &mut full);
+            assert_eq!(guided, full, "round {round}: encodings must be identical");
+
+            let mut buf = base.clone();
+            apply_in_place(&mut buf, &guided).expect("delta applies");
+            assert_eq!(buf, new, "round {round}: roundtrip");
+        }
+
+        // Saturated and wrong-length bitmaps fall back to the full scan.
+        let base = vec![1u8; 100];
+        let mut new = base.clone();
+        new[50] = 9;
+        let mut full = Vec::new();
+        encode_into(&base, &new, &mut full);
+        let mut out = Vec::new();
+        encode_dirty_into(&base, &new, &DirtyPages::all_dirty(100), &mut out);
+        assert_eq!(out, full);
+        encode_dirty_into(&base, &new, &DirtyPages::new(7), &mut out);
+        assert_eq!(out, full);
+        // Length changes always come with a mismatching bitmap.
+        encode_dirty_into(&base, &new[..60], &DirtyPages::new(100), &mut out);
+        encode_into(&base, &new[..60], &mut full);
+        assert_eq!(out, full);
     }
 
     #[test]

@@ -10,12 +10,16 @@
 //!   *predicted* inputs (an [`InputPredictor`], default [`RepeatLast`]) for
 //!   remote partials that have not arrived yet.
 //! * A [`SnapshotRing`] keeps periodic machine-state checkpoints, stored
-//!   as keyframes plus XOR/RLE [`delta`]s over pooled buffers so the
-//!   steady-state capture path neither allocates nor copies much. When a
-//!   late authoritative input contradicts a prediction, the session
-//!   restores the most recent checkpoint at or before the mispredicted
-//!   frame and resimulates to the present — invisible to the game, which
-//!   only ever sees `step_frame` and `load_state`.
+//!   as one full newest-state image plus XOR/RLE back-[`delta`]s over
+//!   pooled buffers. Captures and deltas are guided by the machine's
+//!   dirty-page bitmaps (`Machine::save_state_dirty_into`), so the
+//!   steady-state checkpoint path scans and copies only the pages a
+//!   frame actually wrote. When a late authoritative input contradicts a
+//!   prediction, the session rewinds the ring to the checkpoint at or
+//!   before the mispredicted frame, patches the machine's divergent
+//!   pages (`Machine::load_state_dirty`), and resimulates to the present
+//!   — invisible to the game, which only ever sees `step_frame` and
+//!   `load_state`.
 //! * Speculation is bounded: past `max_rollback_frames` beyond the
 //!   confirmed-input frontier the session degrades to lockstep-style
 //!   blocking, keeping worst-case repair cost and checkpoint memory fixed.
@@ -68,4 +72,6 @@ mod snapshot;
 pub use pool::{BufferPool, PoolStats};
 pub use predict::{AssumeIdle, InputPredictor, RepeatLast};
 pub use session::RollbackSession;
-pub use snapshot::{CheckpointInfo, CompressionStats, RestoreError, SnapshotRing};
+pub use snapshot::{
+    CheckpointInfo, CheckpointReport, CompressionStats, RestoreError, SnapshotRing,
+};

@@ -23,7 +23,7 @@ use coplay_sync::{
     RttEstimator, SessionDriver, SessionStats, Step, StopReason, SyncConfig, SyncError, Topology,
 };
 use coplay_telemetry::{EventKind, SpanStage};
-use coplay_vm::{InputWord, InterpStats, Machine, StepMode};
+use coplay_vm::{DirtyPages, InputWord, InterpStats, Machine, StepMode};
 
 use crate::predict::{InputPredictor, RepeatLast};
 use crate::snapshot::SnapshotRing;
@@ -82,9 +82,9 @@ pub struct RollbackSession<M, T, S, P = RepeatLast> {
     stats: SessionStats,
     blocked_at: Option<SimTime>,
     ring: SnapshotRing,
-    /// Reusable capture buffer: `save_state_into` writes here, the ring
-    /// copies into pooled storage; no allocation at steady state.
-    capture_buf: Vec<u8>,
+    /// Reusable dirty bitmap for rollback: drained from the machine and
+    /// unioned with popped checkpoints' bitmaps to bound the restore.
+    rollback_dirty: DirtyPages,
     /// Reusable restore buffer for checkpoint reconstruction.
     restore_buf: Vec<u8>,
     /// Reusable datagram buffer for the per-frame input send path.
@@ -185,8 +185,7 @@ impl<M: Machine, T: Transport, S: InputSource, P: InputPredictor> RollbackSessio
                 max_rollback_frames,
                 checkpoint_interval,
             )),
-            // detlint: allow(hot_alloc) -- reusable buffer; grows once, then steady-state
-            capture_buf: Vec::new(),
+            rollback_dirty: DirtyPages::default(),
             // detlint: allow(hot_alloc) -- reusable buffer; grows once, then steady-state
             restore_buf: Vec::new(),
             // detlint: allow(hot_alloc) -- reusable buffer; grows once, then steady-state
@@ -553,13 +552,25 @@ impl<M: Machine, T: Transport, S: InputSource, P: InputPredictor> RollbackSessio
     ) -> InputWord {
         let due = frame.is_multiple_of(self.checkpoint_interval) || self.ring.is_empty();
         if due && self.ring.newest_frame().is_none_or(|n| n < frame) {
-            self.machine.save_state_into(&mut self.capture_buf);
-            let bytes = self.capture_buf.len() as u64;
-            self.ring
-                .push(frame, &self.capture_buf, self.machine.state_hash());
+            let report =
+                self.ring
+                    .checkpoint_from(frame, self.machine.state_hash(), &mut self.machine);
+            self.cfg.telemetry.record(
+                now,
+                EventKind::CheckpointSaved {
+                    frame,
+                    bytes: report.state_len as u64,
+                },
+            );
+            // Bytes the incremental capture actually rewrote (vs the 84 KiB
+            // a full-image save would copy), and how concentrated the
+            // frame's writes were.
             self.cfg
                 .telemetry
-                .record(now, EventKind::CheckpointSaved { frame, bytes });
+                .counter_add("snapshot_bytes_saved_total", report.dirty_bytes as u64);
+            self.cfg
+                .telemetry
+                .observe("dirty_pages_per_frame", report.dirty_pages as u64);
             // How much smaller delta storage keeps checkpoints than full
             // copies, in thousandths (4000 = 4× smaller).
             self.cfg.telemetry.gauge_set(
@@ -640,19 +651,28 @@ impl<M: Machine, T: Transport, S: InputSource, P: InputPredictor> RollbackSessio
         if target >= pointer {
             return Ok(());
         }
-        // Checkpoints past the target were computed from a mispredicted
-        // state; they must not serve as restore points again.
-        self.ring.discard_after(target);
+        // One O(dirty) pass: discard the checkpoints computed from the
+        // mispredicted state (they must not serve as restore points
+        // again), rewind the ring's tail to the target, and accumulate —
+        // on top of the machine's own drift since the newest capture —
+        // the pages each popped checkpoint changed. The union bounds
+        // every byte where the live state can differ from the target, so
+        // the restore touches only those.
+        self.machine.collect_dirty_into(&mut self.rollback_dirty);
         let info = self
             .ring
-            .restore_into(target, &mut self.restore_buf)
+            .rewind_into(target, &mut self.restore_buf, &mut self.rollback_dirty)
             // detlint: allow(hot_alloc) -- error path; the session is about to abort
             .map_err(|e| SyncError::Snapshot(e.to_string()))?;
         let cp_frame = info.frame;
         self.machine
-            .load_state(&self.restore_buf)
+            .load_state_dirty(&self.restore_buf, &self.rollback_dirty)
             // detlint: allow(hot_alloc) -- error path; the session is about to abort
             .map_err(|e| SyncError::Snapshot(e.to_string()))?;
+        let restored: usize = self.rollback_dirty.byte_ranges().map(|(s, e)| e - s).sum();
+        self.cfg
+            .telemetry
+            .counter_add("snapshot_bytes_restored_total", restored as u64);
         if self.machine.state_hash() != info.hash {
             // detlint: allow(hot_alloc) -- error path; the session is about to abort
             return Err(SyncError::Snapshot(format!(

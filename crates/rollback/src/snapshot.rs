@@ -6,53 +6,125 @@
 //! so that a checkpoint always exists inside the speculation window (see
 //! [`SnapshotRing::capacity_for`]).
 //!
-//! # Storage: keyframes + chained deltas
+//! # Storage: one full tail + chained back-deltas
 //!
 //! Storing every checkpoint as a full `save_state` copy costs
 //! `capacity × state_size` bytes and a full memcpy per checkpoint.
 //! Consecutive checkpoints of a deterministic game are nearly identical,
-//! so the ring instead stores a *keyframe* (full copy) every
-//! `keyframe_interval` slots and XOR/RLE deltas (see [`crate::delta`]) in
-//! between. Each delta's base is the immediately preceding checkpoint's
-//! full state; restoring walks keyframe → deltas. Three invariants keep
-//! this correct under eviction and rollback:
+//! so the ring keeps exactly one full image — `tail_full`, the *newest*
+//! checkpoint — and stores every older slot as a *back-delta*: an XOR/RLE
+//! patch (see [`crate::delta`]) that transforms a slot's own state into
+//! the previous (older) slot's state. Restoring frame `k` copies the tail
+//! and applies back-deltas newest-first until the walk reaches `k`.
 //!
-//! * the oldest retained slot is always a keyframe (eviction *promotes*
-//!   the next delta slot by applying it onto the evicted keyframe);
-//! * `tail_full` always holds the newest checkpoint's full state — the
-//!   encoding base for the next push;
-//! * [`SnapshotRing::discard_after`] rebuilds both from what survives.
+//! Pointing the chain backwards has two payoffs over the older
+//! keyframe-plus-forward-delta layout:
 //!
-//! All slot buffers cycle through a [`BufferPool`], so the steady-state
-//! checkpoint path allocates nothing. `keyframe_interval == 1` degenerates
-//! to the original full-copy ring, which the tests use as the reference
-//! implementation.
+//! * **Push is O(dirty).** A new checkpoint encodes against the previous
+//!   tail, and [`SnapshotRing::push_dirty`] narrows that scan to the byte
+//!   ranges a [`DirtyPages`] bitmap says may have changed — no keyframe
+//!   cadence ever forces an 84 KiB memcpy back into the hot path.
+//! * **Eviction is O(1).** The oldest slot's back-delta points *out of*
+//!   the ring (to a state nobody retains), so eviction just recycles its
+//!   buffer — no promotion step re-applying deltas.
+//!
+//! Each slot also retains its dirty bitmap. A rollback via
+//! [`SnapshotRing::rewind_into`] unions the bitmaps of every slot it pops,
+//! yielding (by the triangle inequality on byte diffs) a sound
+//! over-approximation of which pages differ between the machine's present
+//! state and the restore target — so `Machine::load_state_dirty` touches
+//! only those pages.
+//!
+//! All slot buffers and bitmaps cycle through pools, so the steady-state
+//! checkpoint path allocates nothing.
 
 use std::collections::VecDeque;
 use std::error::Error;
 use std::fmt;
 
+use coplay_vm::{DirtyPages, Machine};
+
 use crate::delta::{self, DeltaError};
 use crate::pool::{BufferPool, PoolStats};
 
-/// How a slot stores its state.
+/// Which patch format a slot's `data` holds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum SlotKind {
-    /// `data` is the full `save_state` image.
-    Keyframe,
-    /// `data` is a delta against the previous slot's full state.
+enum PatchKind {
+    /// XOR/RLE back-delta (see [`crate::delta`]); self-describing, may
+    /// change the state length.
     Delta,
+    /// The previous state's raw bytes over the slot's dirty ranges,
+    /// concatenated in range order — applied by memcpy alone, no decode
+    /// scan. Produced only by [`SnapshotRing::checkpoint_from`]'s hot
+    /// path, where both states have the same length.
+    Ranges,
 }
 
 #[derive(Debug)]
 struct Slot {
     frame: u64,
     hash: u64,
-    kind: SlotKind,
+    /// Back-patch: applied to *this* slot's full state it yields the
+    /// previous (older) slot's full state. The oldest slot's patch
+    /// targets a state the ring no longer retains and is never applied.
     data: Vec<u8>,
+    /// How to interpret `data`.
+    kind: PatchKind,
+    /// Pages that may differ between this slot's state and the previous
+    /// slot's state (superset of the bytes `data` touches; for
+    /// [`PatchKind::Ranges`] it *is* the patch's range list).
+    dirty: DirtyPages,
 }
 
-/// Metadata for a checkpoint served by [`SnapshotRing::restore_into`].
+impl Slot {
+    /// Applies this slot's back-patch to `buf`, turning this slot's state
+    /// into the previous slot's state.
+    fn apply(&self, buf: &mut Vec<u8>) -> Result<(), RestoreError> {
+        match self.kind {
+            PatchKind::Delta => Ok(delta::apply_in_place(buf, &self.data)?),
+            PatchKind::Ranges => apply_ranges(buf, &self.data, &self.dirty),
+        }
+    }
+}
+
+/// Applies a raw-range back-patch: `data` holds the previous state's bytes
+/// over `dirty`'s ranges, concatenated in range order.
+fn apply_ranges(buf: &mut [u8], data: &[u8], dirty: &DirtyPages) -> Result<(), RestoreError> {
+    if dirty.len() != buf.len() {
+        // A range patch never changes the state length; disagreement
+        // means the slot is corrupt.
+        return Err(RestoreError::Delta(DeltaError::Overrun));
+    }
+    let mut off = 0;
+    for (s, e) in dirty.byte_ranges() {
+        let src = data
+            .get(off..off + (e - s))
+            .ok_or(RestoreError::Delta(DeltaError::Truncated))?;
+        buf[s..e].copy_from_slice(src);
+        off += e - s;
+    }
+    if off != data.len() {
+        return Err(RestoreError::Delta(DeltaError::BadCoverage));
+    }
+    Ok(())
+}
+
+/// What [`SnapshotRing::checkpoint_from`] captured, for telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointReport {
+    /// Full serialized length of the captured state.
+    pub state_len: usize,
+    /// Bytes the ring stored for this checkpoint (the back-patch, or the
+    /// full image for the first checkpoint).
+    pub stored_bytes: usize,
+    /// Bytes of the image the capture rewrote (sum of the dirty ranges).
+    pub dirty_bytes: usize,
+    /// Pages the machine reported dirty since the previous capture.
+    pub dirty_pages: usize,
+}
+
+/// Metadata for a checkpoint served by [`SnapshotRing::restore_into`] or
+/// [`SnapshotRing::rewind_into`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CheckpointInfo {
     /// The frame this state precedes: restoring it positions the machine
@@ -61,10 +133,10 @@ pub struct CheckpointInfo {
     /// `Machine::state_hash` at capture time — callers verify the restored
     /// machine reproduces it.
     pub hash: u64,
-    /// Bytes the ring stores for this checkpoint (delta or full).
+    /// Bytes the ring stores for this checkpoint (its back-delta; the
+    /// newest slot's full image lives in the shared tail and is counted
+    /// by [`SnapshotRing::bytes`]).
     pub stored_bytes: usize,
-    /// `true` if the slot holds a full copy rather than a delta.
-    pub is_keyframe: bool,
 }
 
 /// Error restoring a checkpoint from the ring.
@@ -103,7 +175,8 @@ impl From<DeltaError> for RestoreError {
 pub struct CompressionStats {
     /// Total full-state bytes offered to the ring.
     pub full_bytes: u64,
-    /// Total bytes actually stored (keyframes + deltas).
+    /// Total bytes actually stored (the first push's full tail copy plus
+    /// every subsequent back-delta).
     pub stored_bytes: u64,
 }
 
@@ -119,24 +192,20 @@ impl CompressionStats {
     }
 }
 
-/// A bounded FIFO of checkpoints ordered by frame, stored as keyframes
-/// plus chained deltas over pooled buffers.
+/// A bounded FIFO of checkpoints ordered by frame, stored as one full
+/// newest-state image plus chained back-deltas over pooled buffers.
 #[derive(Debug)]
 pub struct SnapshotRing {
     slots: VecDeque<Slot>,
     capacity: usize,
-    keyframe_interval: usize,
-    /// Delta slots pushed since the newest keyframe.
-    since_keyframe: usize,
-    /// Full state of the newest checkpoint — the next delta's base.
+    /// Full state of the newest checkpoint — the base every restore walk
+    /// starts from and the reference the next push diffs against.
     tail_full: Vec<u8>,
     pool: BufferPool,
+    /// Recycled dirty bitmaps, bounded like the buffer pool.
+    dirty_pool: Vec<DirtyPages>,
     stats: CompressionStats,
 }
-
-/// Keyframe cadence when none is configured: a restore applies at most
-/// three deltas while typical checkpoints shrink ~4×.
-const DEFAULT_KEYFRAME_INTERVAL: usize = 4;
 
 impl SnapshotRing {
     /// Creates a ring retaining at most `capacity` checkpoints.
@@ -151,27 +220,14 @@ impl SnapshotRing {
             // detlint: allow(hot_alloc) -- one-time constructor allocation, not per-frame
             slots: VecDeque::with_capacity(capacity),
             capacity,
-            keyframe_interval: DEFAULT_KEYFRAME_INTERVAL,
-            since_keyframe: 0,
             // detlint: allow(hot_alloc) -- grows once to state size, then reused
             tail_full: Vec::new(),
-            // One buffer per slot plus the one in flight during promotion.
+            // One buffer per slot plus the one in flight during a push.
             pool: BufferPool::new(capacity + 1),
+            // detlint: allow(hot_alloc) -- one-time constructor allocation, not per-frame
+            dirty_pool: Vec::with_capacity(capacity + 1),
             stats: CompressionStats::default(),
         }
-    }
-
-    /// Sets the keyframe cadence: a full copy every `interval` slots,
-    /// deltas in between. `1` stores every checkpoint in full (the
-    /// reference behaviour); values are clamped to at least 1.
-    pub fn with_keyframe_interval(mut self, interval: usize) -> SnapshotRing {
-        self.keyframe_interval = interval.max(1);
-        self
-    }
-
-    /// The configured keyframe cadence.
-    pub fn keyframe_interval(&self) -> usize {
-        self.keyframe_interval
     }
 
     /// The capacity that guarantees a restore point for any rollback within
@@ -183,88 +239,221 @@ impl SnapshotRing {
         (max_rollback_frames / interval) as usize + 2
     }
 
+    fn take_dirty_buf(&mut self) -> DirtyPages {
+        self.dirty_pool.pop().unwrap_or_default()
+    }
+
+    fn give_dirty_buf(&mut self, d: DirtyPages) {
+        if self.dirty_pool.len() < self.capacity + 1 {
+            self.dirty_pool.push(d);
+        }
+    }
+
     /// Appends a checkpoint, evicting the oldest when full.
     ///
     /// `state` is borrowed, not consumed: callers capture into a reusable
     /// buffer (`Machine::save_state_into`) and the ring copies into pooled
-    /// storage, so the steady-state path allocates nothing.
+    /// storage. This full-scan variant diffs every byte of `state` against
+    /// the previous checkpoint; prefer [`SnapshotRing::push_dirty`] when a
+    /// dirty bitmap is available.
     ///
     /// # Panics
     ///
     /// Panics if `frame` is not strictly greater than the newest retained
     /// frame — checkpoints must arrive in execution order.
     pub fn push(&mut self, frame: u64, state: &[u8], hash: u64) {
+        self.push_dirty(frame, state, hash, &DirtyPages::all_dirty(state.len()));
+    }
+
+    /// Appends a checkpoint like [`SnapshotRing::push`], but restricts the
+    /// diff scan and the tail update to the byte ranges `dirty` marks.
+    ///
+    /// `dirty` must be a sound over-approximation of the bytes where
+    /// `state` differs from the *previously pushed* state (extra marked
+    /// pages cost only scan time; missing ones corrupt restores). A
+    /// saturated bitmap or one whose length disagrees with `state`
+    /// degrades to the full scan, so callers without tracking stay
+    /// correct.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame` is not strictly greater than the newest retained
+    /// frame — checkpoints must arrive in execution order.
+    pub fn push_dirty(&mut self, frame: u64, state: &[u8], hash: u64, dirty: &DirtyPages) {
         if let Some(newest) = self.newest_frame() {
             assert!(frame > newest, "checkpoints must be pushed in order");
         }
         if self.slots.len() == self.capacity {
             self.evict_front();
         }
-        let is_keyframe =
-            self.slots.is_empty() || self.since_keyframe + 1 >= self.keyframe_interval;
         let mut data = self.pool.take();
-        let kind = if is_keyframe {
-            self.since_keyframe = 0;
+        let mut slot_dirty = self.take_dirty_buf();
+        if self.slots.is_empty() {
+            // First checkpoint: the full image lives in the tail; the
+            // slot's back-delta targets nothing and stays empty.
             data.clear();
-            data.extend_from_slice(state);
-            SlotKind::Keyframe
+            self.tail_full.clear();
+            self.tail_full.extend_from_slice(state);
+            slot_dirty.reset(state.len());
+            slot_dirty.mark_all();
+            self.stats.stored_bytes += state.len() as u64;
         } else {
-            self.since_keyframe += 1;
-            delta::encode_into(&self.tail_full, state, &mut data);
-            SlotKind::Delta
-        };
+            // Back-delta: applying it to `state` must yield the old tail.
+            delta::encode_dirty_into(state, &self.tail_full, dirty, &mut data);
+            self.stats.stored_bytes += data.len() as u64;
+            if dirty.len() == state.len() && self.tail_full.len() == state.len() {
+                slot_dirty.copy_from(dirty);
+                for (s, e) in dirty.byte_ranges() {
+                    self.tail_full[s..e].copy_from_slice(&state[s..e]);
+                }
+            } else {
+                slot_dirty.reset(state.len());
+                slot_dirty.mark_all();
+                self.tail_full.clear();
+                self.tail_full.extend_from_slice(state);
+            }
+        }
         self.stats.full_bytes += state.len() as u64;
-        self.stats.stored_bytes += data.len() as u64;
-        self.tail_full.clear();
-        self.tail_full.extend_from_slice(state);
         self.slots.push_back(Slot {
             frame,
             hash,
-            kind,
             data,
+            kind: PatchKind::Delta,
+            dirty: slot_dirty,
         });
     }
 
-    /// Drops the oldest slot. If the slot after it is a delta, it is
-    /// *promoted* to a keyframe by applying its delta onto the evicted
-    /// keyframe's buffer, preserving the front-is-a-keyframe invariant.
-    fn evict_front(&mut self) {
-        // detlint: allow(panic_path) -- sole caller checks len() == capacity, and capacity > 0
-        let front = self.slots.pop_front().expect("evict on empty ring");
-        debug_assert_eq!(front.kind, SlotKind::Keyframe, "front must be a keyframe");
-        let mut full = front.data;
-        if let Some(next) = self.slots.front_mut() {
-            if next.kind == SlotKind::Delta {
-                delta::apply_in_place(&mut full, &next.data)
-                    // detlint: allow(panic_path) -- delta was produced by this ring against this base
-                    .expect("self-produced checkpoint delta applies");
-                next.kind = SlotKind::Keyframe;
-                self.pool.give(std::mem::replace(&mut next.data, full));
-                return;
-            }
+    /// Captures a checkpoint directly from `machine` into the ring — the
+    /// zero-copy successor to capture-into-a-buffer-then-
+    /// [`push_dirty`](SnapshotRing::push_dirty). The machine's dirty
+    /// accumulators are drained once; the tail bytes those ranges are
+    /// about to overwrite are saved as a raw [`PatchKind::Ranges`]
+    /// back-patch; then the machine writes its new bytes straight into
+    /// the tail. Both directions are pure memcpy — no XOR/RLE scan runs
+    /// on this path, and no intermediate full-image buffer exists.
+    ///
+    /// Falls back to a full capture when the ring is empty (the first
+    /// checkpoint stores the full image) and to an XOR/RLE back-delta
+    /// when the dirty set spans at least half the image or the state
+    /// length changed — there the encode scan earns its cost by
+    /// collapsing unchanged bytes inside the marked ranges.
+    ///
+    /// `hash` is the machine's `state_hash()` at capture time, passed in
+    /// so the ring stays agnostic of hashing policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame` is not strictly greater than the newest retained
+    /// frame — checkpoints must arrive in execution order.
+    pub fn checkpoint_from<M: Machine + ?Sized>(
+        &mut self,
+        frame: u64,
+        hash: u64,
+        machine: &mut M,
+    ) -> CheckpointReport {
+        if let Some(newest) = self.newest_frame() {
+            assert!(frame > newest, "checkpoints must be pushed in order");
         }
-        self.pool.give(full);
+        if self.slots.len() == self.capacity {
+            self.evict_front();
+        }
+        let mut data = self.pool.take();
+        let mut slot_dirty = self.take_dirty_buf();
+        machine.collect_dirty_into(&mut slot_dirty);
+        // Popcount approximation of the dirty volume (exact to within the
+        // final page's clamp) — enough for the path decision and far
+        // cheaper than walking the ranges twice.
+        let dirty_pages = slot_dirty.count_pages();
+        let dirty_bytes;
+        let kind;
+        if self.slots.is_empty() {
+            // First checkpoint: the full image lives in the tail; the
+            // slot's back-patch targets nothing and stays empty.
+            machine.save_state_into(&mut self.tail_full);
+            slot_dirty.reset(self.tail_full.len());
+            slot_dirty.mark_all();
+            self.stats.stored_bytes += self.tail_full.len() as u64;
+            dirty_bytes = self.tail_full.len();
+            kind = PatchKind::Delta;
+        } else if slot_dirty.len() == self.tail_full.len()
+            && dirty_pages * coplay_vm::DIRTY_PAGE_SIZE * 2 < self.tail_full.len()
+        {
+            // Hot path: memcpy the soon-overwritten tail bytes out as the
+            // back-patch, then let the machine rewrite exactly those
+            // ranges in place.
+            for (s, e) in slot_dirty.byte_ranges() {
+                data.extend_from_slice(&self.tail_full[s..e]);
+            }
+            machine.save_state_ranges_into(&mut self.tail_full, &slot_dirty);
+            self.stats.stored_bytes += data.len() as u64;
+            dirty_bytes = data.len();
+            kind = PatchKind::Ranges;
+        } else {
+            // Wide or resized dirty set: capture in full and store an
+            // XOR/RLE delta, which compresses far below the ranges' raw
+            // size when most marked bytes did not actually change.
+            let old = std::mem::replace(&mut self.tail_full, self.pool.take());
+            machine.save_state_into(&mut self.tail_full);
+            if slot_dirty.len() == self.tail_full.len() && slot_dirty.len() == old.len() {
+                delta::encode_dirty_into(&self.tail_full, &old, &slot_dirty, &mut data);
+            } else {
+                delta::encode_into(&self.tail_full, &old, &mut data);
+                slot_dirty.reset(self.tail_full.len());
+                slot_dirty.mark_all();
+            }
+            self.pool.give(old);
+            self.stats.stored_bytes += data.len() as u64;
+            dirty_bytes = slot_dirty.byte_ranges().map(|(s, e)| e - s).sum();
+            kind = PatchKind::Delta;
+        }
+        self.stats.full_bytes += self.tail_full.len() as u64;
+        let report = CheckpointReport {
+            state_len: self.tail_full.len(),
+            stored_bytes: if self.slots.is_empty() {
+                self.tail_full.len()
+            } else {
+                data.len()
+            },
+            dirty_bytes,
+            dirty_pages: slot_dirty.count_pages(),
+        };
+        self.slots.push_back(Slot {
+            frame,
+            hash,
+            data,
+            kind,
+            dirty: slot_dirty,
+        });
+        report
     }
 
-    /// Reconstructs the full state of the slot at `idx` into `out` by
-    /// walking back to the nearest keyframe and replaying deltas forward.
-    fn restore_index_into(&self, idx: usize, out: &mut Vec<u8>) -> Result<(), DeltaError> {
-        let key = (0..=idx)
-            .rev()
-            .find(|&i| self.slots[i].kind == SlotKind::Keyframe)
-            // detlint: allow(panic_path) -- push/evict maintain the front-is-a-keyframe invariant
-            .expect("front slot is always a keyframe");
-        out.clear();
-        out.extend_from_slice(&self.slots[key].data);
-        for i in key + 1..=idx {
-            delta::apply_in_place(out, &self.slots[i].data)?;
+    /// Serialized length of the newest checkpoint's state (0 when the
+    /// ring is empty).
+    pub fn state_len(&self) -> usize {
+        self.tail_full.len()
+    }
+
+    /// Drops the oldest slot. Its back-delta points at a state the ring no
+    /// longer retains, so nothing needs re-encoding — both buffers are
+    /// simply recycled.
+    fn evict_front(&mut self) {
+        if let Some(front) = self.slots.pop_front() {
+            self.pool.give(front.data);
+            self.give_dirty_buf(front.dirty);
         }
-        Ok(())
+    }
+
+    /// Index of the most recent slot at or before `frame`.
+    fn floor_index(&self, frame: u64) -> Option<usize> {
+        (0..self.slots.len())
+            .rev()
+            .find(|&i| self.slots[i].frame <= frame)
     }
 
     /// Reconstructs the most recent checkpoint at or before `frame` into
     /// `out` (cleared first; allocation reused across rollbacks) and
-    /// returns its metadata.
+    /// returns its metadata. The ring is not modified; the walk copies the
+    /// tail and applies every newer slot's back-delta.
     ///
     /// # Errors
     ///
@@ -276,52 +465,109 @@ impl SnapshotRing {
         frame: u64,
         out: &mut Vec<u8>,
     ) -> Result<CheckpointInfo, RestoreError> {
-        let idx = (0..self.slots.len())
-            .rev()
-            .find(|&i| self.slots[i].frame <= frame)
+        let idx = self
+            .floor_index(frame)
             .ok_or(RestoreError::NoCheckpoint { frame })?;
-        self.restore_index_into(idx, out)?;
+        out.clear();
+        out.extend_from_slice(&self.tail_full);
+        for i in (idx + 1..self.slots.len()).rev() {
+            self.slots[i].apply(out)?;
+        }
         let slot = &self.slots[idx];
         Ok(CheckpointInfo {
             frame: slot.frame,
             hash: slot.hash,
             stored_bytes: slot.data.len(),
-            is_keyframe: slot.kind == SlotKind::Keyframe,
+        })
+    }
+
+    /// Rolls the ring back to the most recent checkpoint at or before
+    /// `frame`, writing that state's changed byte ranges into `out` and
+    /// the union of every popped slot's dirty pages into `dirty`.
+    ///
+    /// This is the hot rollback path: it combines
+    /// [`SnapshotRing::restore_into`] and [`SnapshotRing::discard_after`]
+    /// while touching only O(dirty) bytes. On entry `dirty` should hold
+    /// the machine's own accumulated dirty pages (covering how the live
+    /// state has drifted from the newest checkpoint); on return it
+    /// over-approximates every byte where the machine's present state
+    /// differs from the restore target, and `out` holds valid target-state
+    /// bytes *at least* in those ranges. Callers pass both straight to
+    /// `Machine::load_state_dirty`.
+    ///
+    /// If `out` or `dirty` disagree with the checkpoint length (first
+    /// rollback, or the game resized its state) both degrade to a full
+    /// copy with a saturated bitmap.
+    ///
+    /// # Errors
+    ///
+    /// [`RestoreError::NoCheckpoint`] if no retained checkpoint is old
+    /// enough — the ring is then left unmodified. [`RestoreError::Delta`]
+    /// if a stored delta is corrupt; the ring's tail is then garbage and
+    /// the session must fall back to a fresh full checkpoint.
+    pub fn rewind_into(
+        &mut self,
+        frame: u64,
+        out: &mut Vec<u8>,
+        dirty: &mut DirtyPages,
+    ) -> Result<CheckpointInfo, RestoreError> {
+        let idx = self
+            .floor_index(frame)
+            .ok_or(RestoreError::NoCheckpoint { frame })?;
+        if dirty.len() != self.tail_full.len() {
+            dirty.reset(self.tail_full.len());
+            dirty.mark_all();
+        }
+        while self.slots.len() > idx + 1 {
+            if let Some(slot) = self.slots.pop_back() {
+                dirty.union(&slot.dirty);
+                slot.apply(&mut self.tail_full)?;
+                self.pool.give(slot.data);
+                self.give_dirty_buf(slot.dirty);
+            }
+        }
+        // Popping back-deltas can change the tail length (a resize between
+        // checkpoints); `union` already saturated `dirty` in that case but
+        // its recorded length must match what `out` receives.
+        if dirty.len() != self.tail_full.len() {
+            dirty.reset(self.tail_full.len());
+            dirty.mark_all();
+        }
+        if out.len() == self.tail_full.len() {
+            for (s, e) in dirty.byte_ranges() {
+                out[s..e].copy_from_slice(&self.tail_full[s..e]);
+            }
+        } else {
+            dirty.mark_all();
+            out.clear();
+            out.extend_from_slice(&self.tail_full);
+        }
+        // detlint: allow(panic_path) -- floor_index returned idx, so the slot exists
+        let slot = self.slots.back().expect("floor slot survives the rewind");
+        Ok(CheckpointInfo {
+            frame: slot.frame,
+            hash: slot.hash,
+            stored_bytes: slot.data.len(),
         })
     }
 
     /// Discards checkpoints newer than `frame` — they were computed from a
-    /// state a rollback is about to rewrite — and re-bases the delta chain
-    /// on the newest survivor.
+    /// state a rollback is about to rewrite — rolling the tail image back
+    /// to the newest survivor by applying the popped back-deltas.
     pub fn discard_after(&mut self, frame: u64) {
-        let mut dropped = false;
         while self.slots.back().is_some_and(|s| s.frame > frame) {
-            let Some(slot) = self.slots.pop_back() else {
-                break;
-            };
-            self.pool.give(slot.data);
-            dropped = true;
+            if let Some(slot) = self.slots.pop_back() {
+                if self.slots.is_empty() {
+                    self.tail_full.clear();
+                } else {
+                    slot.apply(&mut self.tail_full)
+                        // detlint: allow(panic_path) -- patch was produced by this ring against this base
+                        .expect("self-produced checkpoint patch applies");
+                }
+                self.pool.give(slot.data);
+                self.give_dirty_buf(slot.dirty);
+            }
         }
-        if !dropped {
-            return;
-        }
-        // The next delta must encode against the surviving tail, and the
-        // cadence counter must reflect the trailing run that survived.
-        self.since_keyframe = self
-            .slots
-            .iter()
-            .rev()
-            .take_while(|s| s.kind == SlotKind::Delta)
-            .count();
-        let mut tail = std::mem::take(&mut self.tail_full);
-        match self.slots.len() {
-            0 => tail.clear(),
-            n => self
-                .restore_index_into(n - 1, &mut tail)
-                // detlint: allow(panic_path) -- replays deltas this ring encoded; corruption is a program bug
-                .expect("self-produced checkpoint delta applies"),
-        }
-        self.tail_full = tail;
     }
 
     /// Number of retained checkpoints.
@@ -344,16 +590,8 @@ impl SnapshotRing {
         self.slots.front().map(|s| s.frame)
     }
 
-    /// Number of retained keyframe (full-copy) slots.
-    pub fn keyframes(&self) -> usize {
-        self.slots
-            .iter()
-            .filter(|s| s.kind == SlotKind::Keyframe)
-            .count()
-    }
-
-    /// Total bytes currently retained — stored slots plus the cached
-    /// newest-state base (memory accounting).
+    /// Total bytes currently retained — stored back-deltas plus the single
+    /// full newest-state image (memory accounting).
     pub fn bytes(&self) -> usize {
         self.slots.iter().map(|s| s.data.len()).sum::<usize>() + self.tail_full.len()
     }
@@ -370,9 +608,13 @@ impl SnapshotRing {
 }
 
 impl Default for SnapshotRing {
-    /// A single-slot, full-copy ring (the smallest legal configuration).
+    /// A ring sized for the default session envelope (30-frame speculation
+    /// window, checkpoint every 5 frames) via
+    /// [`SnapshotRing::capacity_for`] — the same invariant the session
+    /// constructor applies, so a `Default` ring can actually cover a
+    /// rollback window instead of thrashing a single slot.
     fn default() -> SnapshotRing {
-        SnapshotRing::new(1)
+        SnapshotRing::new(SnapshotRing::capacity_for(30, 5))
     }
 }
 
@@ -389,6 +631,21 @@ mod tests {
         s[hot] = frame as u8;
         s[hot + 13] ^= 0x3C;
         s
+    }
+
+    /// Exact dirty bitmap for the transition `prev -> next`.
+    fn dirty_between(prev: &[u8], next: &[u8]) -> DirtyPages {
+        let mut d = DirtyPages::new(next.len());
+        if prev.len() != next.len() {
+            d.mark_all();
+            return d;
+        }
+        for (i, (a, b)) in prev.iter().zip(next).enumerate() {
+            if a != b {
+                d.mark(i);
+            }
+        }
+        d
     }
 
     fn ring_with(frames: &[u64]) -> SnapshotRing {
@@ -419,7 +676,7 @@ mod tests {
         assert_eq!(r.restore_into(10, &mut buf).unwrap().frame, 10);
         let info = r.restore_into(4, &mut buf).unwrap();
         assert_eq!((info.frame, info.hash), (0, 0));
-        assert!(info.is_keyframe, "first slot is the keyframe");
+        assert_eq!(buf, state_for(0));
         assert_eq!(
             ring_with(&[5]).restore_into(4, &mut buf),
             Err(RestoreError::NoCheckpoint { frame: 4 })
@@ -428,8 +685,8 @@ mod tests {
 
     #[test]
     fn every_slot_restores_bit_identically() {
-        // Capacity 8, keyframe every 4: restores cross delta chains and,
-        // after 20 pushes, several eviction promotions.
+        // Capacity 8 over 20 pushes: every restore walks back-deltas
+        // across several evictions.
         let mut r = SnapshotRing::new(8);
         for f in 0..20 {
             r.push(f, &state_for(f), f);
@@ -440,42 +697,110 @@ mod tests {
             assert_eq!(info.frame, f);
             assert_eq!(buf, state_for(f), "frame {f}");
         }
-        assert!(r.keyframes() >= 1, "front must stay a keyframe");
     }
 
     #[test]
-    fn delta_mode_matches_full_copy_mode() {
-        // keyframe_interval 1 is the original full-copy ring; every
-        // restore from the delta ring must be byte-identical to it,
-        // including across evictions and a mid-run discard_after.
-        let mut full = SnapshotRing::new(6).with_keyframe_interval(1);
-        let mut delta = SnapshotRing::new(6).with_keyframe_interval(4);
-        let push_all = |full: &mut SnapshotRing, delta: &mut SnapshotRing, f: u64| {
-            let s = state_for(f);
-            full.push(f, &s, f);
-            delta.push(f, &s, f);
-        };
+    fn dirty_guided_push_matches_full_scan_push() {
+        // A ring fed exact dirty bitmaps must be observationally identical
+        // to one fed saturated bitmaps (the full-scan reference), including
+        // across evictions and a mid-run discard_after.
+        let mut full = SnapshotRing::new(6);
+        let mut guided = SnapshotRing::new(6);
+        let mut prev = Vec::new();
+        let push_all =
+            |full: &mut SnapshotRing, guided: &mut SnapshotRing, prev: &mut Vec<u8>, f: u64| {
+                let s = state_for(f);
+                let d = dirty_between(prev, &s);
+                full.push(f, &s, f);
+                guided.push_dirty(f, &s, f, &d);
+                *prev = s;
+            };
         for f in 0..17 {
-            push_all(&mut full, &mut delta, f);
+            push_all(&mut full, &mut guided, &mut prev, f);
         }
         full.discard_after(13);
-        delta.discard_after(13);
+        guided.discard_after(13);
+        prev = state_for(13); // newest survivor is the next diff base
         for f in 14..30 {
-            push_all(&mut full, &mut delta, f);
+            push_all(&mut full, &mut guided, &mut prev, f);
         }
         let (mut a, mut b) = (Vec::new(), Vec::new());
         for f in 24..30 {
             let fa = full.restore_into(f, &mut a).unwrap();
-            let fb = delta.restore_into(f, &mut b).unwrap();
+            let fb = guided.restore_into(f, &mut b).unwrap();
             assert_eq!((fa.frame, fa.hash), (fb.frame, fb.hash), "frame {f}");
             assert_eq!(a, b, "frame {f}");
+            assert_eq!(a, state_for(f), "frame {f}");
         }
-        assert!(
-            delta.compression().stored_bytes < full.compression().stored_bytes / 2,
-            "deltas must actually compress: {:?} vs {:?}",
-            delta.compression(),
-            full.compression()
+        assert_eq!(
+            full.compression(),
+            guided.compression(),
+            "guided encoding must emit byte-identical deltas"
         );
+    }
+
+    #[test]
+    fn rewind_restores_and_reports_the_dirty_union() {
+        let mut r = SnapshotRing::new(8);
+        let mut prev = Vec::new();
+        for f in 0..6 {
+            let s = state_for(f);
+            let d = dirty_between(&prev, &s);
+            r.push_dirty(f, &s, f * 10, &d);
+            prev = s;
+        }
+        // The machine drifted from checkpoint 5; its accumulator says so.
+        let live = state_for(9);
+        let mut dirty = dirty_between(&state_for(5), &live);
+        let mut out = live.clone(); // restore buffer holds the stale image
+        let info = r.rewind_into(2, &mut out, &mut dirty).unwrap();
+        assert_eq!((info.frame, info.hash), (2, 20));
+        assert_eq!(r.newest_frame(), Some(2), "newer slots are discarded");
+        assert_eq!(r.len(), 3);
+        // Every byte where `live` and the target differ must be both
+        // marked dirty and correctly restored in `out`.
+        let target = state_for(2);
+        let marked: Vec<(usize, usize)> = dirty.byte_ranges().collect();
+        for i in 0..target.len() {
+            let covered = marked.iter().any(|&(s, e)| s <= i && i < e);
+            if covered {
+                assert_eq!(out[i], target[i], "byte {i} restored");
+            } else {
+                assert_eq!(live[i], target[i], "byte {i} must not differ unmarked");
+            }
+        }
+        // The ring keeps working after the rewind: its tail re-based onto
+        // frame 2, so the next push diffs against it.
+        let next = state_for(3);
+        r.push_dirty(3, &next, 30, &dirty_between(&target, &next));
+        let mut buf = Vec::new();
+        r.restore_into(3, &mut buf).unwrap();
+        assert_eq!(buf, next);
+    }
+
+    #[test]
+    fn rewind_without_floor_leaves_the_ring_untouched() {
+        let mut r = ring_with(&[5, 10]);
+        let mut out = Vec::new();
+        let mut dirty = DirtyPages::new(0);
+        assert_eq!(
+            r.rewind_into(4, &mut out, &mut dirty),
+            Err(RestoreError::NoCheckpoint { frame: 4 })
+        );
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.newest_frame(), Some(10));
+    }
+
+    #[test]
+    fn rewind_with_mismatched_buffers_degrades_to_full_copy() {
+        let mut r = ring_with(&[0, 5, 10]);
+        let mut out = Vec::new(); // wrong length: forces the full path
+        let mut dirty = DirtyPages::new(0); // wrong length: saturates
+        let info = r.rewind_into(7, &mut out, &mut dirty).unwrap();
+        assert_eq!(info.frame, 5);
+        assert_eq!(out, state_for(5));
+        assert!(dirty.is_all());
+        assert_eq!(dirty.len(), out.len());
     }
 
     #[test]
@@ -494,13 +819,23 @@ mod tests {
         let mut r = ring_with(&[0, 5, 10]);
         r.discard_after(10);
         assert_eq!(r.newest_frame(), Some(10));
+        // Discarding everything empties the ring and clears the tail.
+        r.discard_after(0);
+        assert_eq!(r.newest_frame(), Some(0));
+        let mut r = ring_with(&[5, 10]);
+        r.discard_after(3);
+        assert!(r.is_empty());
+        assert_eq!(r.bytes(), 0);
+        r.push(4, &state_for(4), 40);
+        r.restore_into(4, &mut buf).unwrap();
+        assert_eq!(buf, state_for(4));
     }
 
     #[test]
     fn compression_beats_4x_on_sparse_changes() {
-        // The amortized ratio is capped by the keyframe cadence (every
-        // keyframe costs a full copy), so measure with a longer interval.
-        let mut r = SnapshotRing::new(8).with_keyframe_interval(8);
+        // Only the very first push stores a full image; every later
+        // checkpoint is a sparse back-delta.
+        let mut r = SnapshotRing::new(8);
         for f in 0..32 {
             r.push(f, &state_for(f), f);
         }
@@ -537,6 +872,15 @@ mod tests {
     }
 
     #[test]
+    fn default_ring_covers_the_default_window() {
+        // Satellite fix: `Default` used to build a one-slot ring that
+        // thrashed on every push; it now routes through `capacity_for`.
+        let r = SnapshotRing::default();
+        assert_eq!(r.capacity, SnapshotRing::capacity_for(30, 5));
+        assert_eq!(r.capacity, 8);
+    }
+
+    #[test]
     fn capacity_covers_the_speculation_window() {
         // 30-frame window, checkpoint every 5: worst case the rollback
         // target is 30 frames back and the nearest checkpoint up to 4 more;
@@ -553,5 +897,84 @@ mod tests {
         assert!(e.to_string().contains("frame 7"));
         let e = RestoreError::from(DeltaError::Truncated);
         assert!(e.to_string().contains("corrupt"));
+    }
+
+    #[test]
+    fn checkpoint_from_walks_every_capture_path_and_restores_exactly() {
+        use coplay_games::rom_pong_console;
+        use coplay_vm::InputWord;
+
+        let mut m = rom_pong_console();
+        let mut r = SnapshotRing::new(8);
+        let input = |f: u64| InputWord((f as u32) & 3);
+
+        // First checkpoint: a full-image capture — the report says so.
+        m.step_frame(input(0));
+        let report = r.checkpoint_from(0, m.state_hash(), &mut m);
+        assert_eq!(report.dirty_bytes, report.state_len);
+        assert_eq!(report.stored_bytes, report.state_len);
+        assert_eq!(r.slots[0].kind, PatchKind::Delta);
+
+        // Steady state: a quiet game takes the raw-range hot path, and the
+        // slot's back-patch length equals the reported dirty bytes.
+        for f in 1..=4 {
+            m.step_frame(input(f));
+        }
+        let report = r.checkpoint_from(4, m.state_hash(), &mut m);
+        assert!(
+            report.dirty_bytes < report.state_len / 8,
+            "a quiet game must dirty a small fraction ({} of {})",
+            report.dirty_bytes,
+            report.state_len
+        );
+        assert_eq!(r.slots.back().unwrap().kind, PatchKind::Ranges);
+        assert_eq!(r.slots.back().unwrap().data.len(), report.dirty_bytes);
+
+        // A full-image load saturates the accumulators, so the next
+        // checkpoint must refuse the range path and fall back to the
+        // XOR/RLE delta encoder.
+        let snap = m.save_state();
+        for f in 5..=8 {
+            m.step_frame(input(f));
+        }
+        m.load_state(&snap).unwrap();
+        for f in 5..=8 {
+            m.step_frame(input(f));
+        }
+        let report = r.checkpoint_from(8, m.state_hash(), &mut m);
+        assert_eq!(r.slots.back().unwrap().kind, PatchKind::Delta);
+        assert_eq!(report.dirty_bytes, report.state_len, "saturated capture");
+
+        // Every retained checkpoint restores to exactly the bytes a
+        // from-scratch replay produces at that frame.
+        let mut buf = Vec::new();
+        for (ckpt, frames) in [(0u64, 1u64), (4, 5), (8, 9)] {
+            let mut replay = rom_pong_console();
+            for f in 0..frames {
+                replay.step_frame(input(f));
+            }
+            let info = r.restore_into(ckpt, &mut buf).unwrap();
+            assert_eq!(info.frame, ckpt);
+            assert_eq!(info.hash, replay.state_hash(), "frame {ckpt}");
+            assert_eq!(buf, replay.save_state(), "frame {ckpt}");
+        }
+    }
+
+    #[test]
+    fn apply_ranges_rejects_corrupt_patches() {
+        let mut dirty = DirtyPages::new(1024);
+        dirty.mark_range(256, 256);
+        let data = vec![0xEE; 256];
+        let mut buf = vec![0u8; 1024];
+        assert!(apply_ranges(&mut buf, &data, &dirty).is_ok());
+        assert!(buf[256..512].iter().all(|&b| b == 0xEE));
+        // Length disagreement: a range patch never resizes the state.
+        let mut short = vec![0u8; 512];
+        assert!(apply_ranges(&mut short, &data, &dirty).is_err());
+        // Truncated patch data underruns the marked ranges.
+        assert!(apply_ranges(&mut buf, &data[..100], &dirty).is_err());
+        // Excess patch data means the ranges did not consume it all.
+        let long = vec![0xEE; 300];
+        assert!(apply_ranges(&mut buf, &long, &dirty).is_err());
     }
 }

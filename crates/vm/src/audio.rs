@@ -19,14 +19,35 @@ pub const SAMPLE_RATE: u32 = 44_100;
 /// let frame = ch.render_frame(60).to_vec();
 /// assert!(frame.iter().any(|&s| s != 0));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct AudioChannel {
     freq_hz: u32,
     frames_left: u32,
     volume: i16,
     phase: u32, // fixed-point phase accumulator (1/65536 cycles)
     buffer: Vec<i16>,
+    /// Set whenever the serialized state ([`AudioChannel::save`]) may
+    /// have changed since the last snapshot capture; consumed by
+    /// [`AudioChannel::take_dirty`]. At 14 bytes the channel is tracked
+    /// as a single all-or-nothing page.
+    dirty: bool,
 }
+
+/// Equality compares only the audible state (tone parameters, phase, and
+/// the rendered buffer). The dirty flag is capture bookkeeping: two
+/// channels in identical states but with different snapshot histories
+/// are still equal.
+impl PartialEq for AudioChannel {
+    fn eq(&self, other: &Self) -> bool {
+        self.freq_hz == other.freq_hz
+            && self.frames_left == other.frames_left
+            && self.volume == other.volume
+            && self.phase == other.phase
+            && self.buffer == other.buffer
+    }
+}
+
+impl Eq for AudioChannel {}
 
 impl AudioChannel {
     /// Creates a silent channel.
@@ -38,6 +59,8 @@ impl AudioChannel {
             phase: 0,
             // detlint: allow(hot_alloc) -- constructor; the buffer is reused across every rendered frame
             buffer: Vec::new(),
+            // No snapshot has seen this channel yet.
+            dirty: true,
         }
     }
 
@@ -47,11 +70,13 @@ impl AudioChannel {
         self.freq_hz = freq_hz;
         self.frames_left = frames;
         self.volume = volume;
+        self.dirty = true;
     }
 
     /// Stops any sounding tone immediately.
     pub fn silence(&mut self) {
         self.frames_left = 0;
+        self.dirty = true;
     }
 
     /// `true` while a tone is sounding.
@@ -75,6 +100,7 @@ impl AudioChannel {
                     .push(if high { self.volume } else { -self.volume });
             }
             self.frames_left -= 1;
+            self.dirty = true;
         } else {
             self.buffer.resize(n, 0);
         }
@@ -95,7 +121,19 @@ impl AudioChannel {
             let step = (((self.freq_hz as u64) << 16) / SAMPLE_RATE as u64) as u32;
             self.phase = self.phase.wrapping_add(step.wrapping_mul(n));
             self.frames_left -= 1;
+            self.dirty = true;
         }
+    }
+
+    /// Takes (returns and clears) the dirty flag.
+    pub(crate) fn take_dirty(&mut self) -> bool {
+        std::mem::replace(&mut self.dirty, false)
+    }
+
+    /// Re-marks the channel dirty (restore paths call this so the next
+    /// incremental capture rewrites the audio region).
+    pub(crate) fn mark_dirty(&mut self) {
+        self.dirty = true;
     }
 
     /// The most recently rendered frame of samples.
@@ -123,6 +161,7 @@ impl AudioChannel {
         self.volume = i16::from_le_bytes(bytes[8..10].try_into().expect("slice len 2"));
         // detlint: allow(panic_path) -- fixed-size input; every window is statically in range
         self.phase = u32::from_le_bytes(bytes[10..14].try_into().expect("slice len 4"));
+        self.dirty = true;
     }
 }
 
@@ -212,6 +251,25 @@ mod tests {
             rendered.render_frame(60).to_vec(),
             advanced.render_frame(60)
         );
+    }
+
+    #[test]
+    fn dirty_flag_tracks_state_changes() {
+        let mut ch = AudioChannel::new();
+        assert!(ch.take_dirty(), "fresh channel starts dirty");
+        assert!(!ch.take_dirty());
+        let _ = ch.render_frame(60); // inactive: serialized state unchanged
+        assert!(!ch.take_dirty());
+        ch.tone(440, 2, 100);
+        assert!(ch.take_dirty());
+        let _ = ch.render_frame(60); // active: phase and countdown advance
+        assert!(ch.take_dirty());
+        ch.advance_frame(60); // expires the tone
+        assert!(ch.take_dirty());
+        ch.advance_frame(60); // inactive advance is a state no-op
+        assert!(!ch.take_dirty());
+        ch.load(&[0u8; 14]);
+        assert!(ch.take_dirty(), "restore re-marks");
     }
 
     #[test]

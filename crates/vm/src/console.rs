@@ -8,6 +8,7 @@
 
 use crate::audio::AudioChannel;
 use crate::cpu::{Cpu, Devices, MEM_SIZE};
+use crate::dirty::DirtyPages;
 use crate::hash::StateHasher;
 use crate::input::InputWord;
 use crate::isa::Syscall;
@@ -20,6 +21,24 @@ use crate::video::{Color, FrameBuffer};
 pub const DEFAULT_CYCLES_PER_FRAME: u32 = 20_000;
 
 const STATE_MAGIC: &[u8; 5] = b"CPST1";
+
+// Byte layout of the serialized console image (see `save_state_into`):
+// a fixed head (magic, ROM hash, frame counter, CPU registers/flags/RNG)
+// followed by the three bulk regions, each zero-padded to a dirty-page
+// boundary. The incremental capture/restore paths dispatch byte ranges
+// of the image onto these regions; page alignment makes each CPU memory
+// page and framebuffer page land on exactly one image page, so a dirty
+// page costs one image page of bandwidth and — crucially — the re-marks
+// a restore performs round-trip to the *same* pages instead of widening
+// by one page per capture/restore cycle.
+const HEAD_LEN: usize = STATE_MAGIC.len() + 8 + 8 + Cpu::SMALL_LEN;
+const MEM_OFF: usize = crate::dirty::PAGE_SIZE;
+const AUD_OFF: usize = MEM_OFF + MEM_SIZE;
+const AUD_LEN: usize = 14;
+const FB_OFF: usize = AUD_OFF + crate::dirty::PAGE_SIZE;
+const _: () = assert!(HEAD_LEN <= MEM_OFF && AUD_LEN <= FB_OFF - AUD_OFF);
+const _: () = assert!(MEM_OFF.is_multiple_of(crate::dirty::PAGE_SIZE));
+const _: () = assert!(FB_OFF.is_multiple_of(crate::dirty::PAGE_SIZE));
 
 /// A coplay arcade board with a loaded cartridge.
 ///
@@ -57,9 +76,14 @@ impl Console {
     pub fn new(rom: Rom) -> Console {
         let mut cpu = Cpu::new(rom.entry(), rom.seed());
         cpu.load_image(rom.image());
+        // Console snapshots embed the surface, so the framebuffer must
+        // maintain its dirty bitmap (native games skip this — their
+        // save_state never serializes pixels).
+        let mut fb = FrameBuffer::standard();
+        fb.enable_dirty_tracking();
         Console {
             cpu,
-            fb: FrameBuffer::standard(),
+            fb,
             audio: AudioChannel::new(),
             frame: 0,
             rom,
@@ -100,6 +124,59 @@ impl Console {
     /// Direct CPU access for debuggers and tests.
     pub fn cpu(&self) -> &Cpu {
         &self.cpu
+    }
+
+    /// Total length in bytes of the serialized state image.
+    fn state_len(&self) -> usize {
+        FB_OFF + self.fb.pixels().len()
+    }
+
+    /// The fixed head of the image: magic, ROM hash, frame counter, and
+    /// the CPU's non-memory state.
+    fn head_bytes(&self) -> [u8; HEAD_LEN] {
+        let mut head = [0u8; HEAD_LEN];
+        head[..STATE_MAGIC.len()].copy_from_slice(STATE_MAGIC);
+        head[5..13].copy_from_slice(&self.rom.content_hash().to_le_bytes());
+        head[13..21].copy_from_slice(&self.frame.to_le_bytes());
+        head[21..].copy_from_slice(&self.cpu.serialize_small());
+        head
+    }
+
+    /// Copies bytes `[s, e)` of the serialized image into `out`,
+    /// dispatching each overlapped region to its live source. `out` must
+    /// be a full-image buffer and `e` at most its length.
+    fn write_state_range(&self, head: &[u8; HEAD_LEN], out: &mut [u8], s: usize, e: usize) {
+        let mut pos = s;
+        while pos < e {
+            if pos < HEAD_LEN {
+                let stop = e.min(HEAD_LEN);
+                out[pos..stop].copy_from_slice(&head[pos..stop]);
+                pos = stop;
+            } else if pos < MEM_OFF {
+                // Padding between head and memory is always zero.
+                let stop = e.min(MEM_OFF);
+                out[pos..stop].fill(0);
+                pos = stop;
+            } else if pos < AUD_OFF {
+                let stop = e.min(AUD_OFF);
+                out[pos..stop]
+                    .copy_from_slice(&self.cpu.mem_bytes()[pos - MEM_OFF..stop - MEM_OFF]);
+                pos = stop;
+            } else if pos < AUD_OFF + AUD_LEN {
+                let stop = e.min(AUD_OFF + AUD_LEN);
+                let aud = self.audio.save();
+                out[pos..stop].copy_from_slice(&aud[pos - AUD_OFF..stop - AUD_OFF]);
+                pos = stop;
+            } else if pos < FB_OFF {
+                // Padding between audio and framebuffer is always zero.
+                let stop = e.min(FB_OFF);
+                out[pos..stop].fill(0);
+                pos = stop;
+            } else {
+                out[pos..e].copy_from_slice(&self.fb.pixels()[pos - FB_OFF..e - FB_OFF]);
+                pos = e;
+            }
+        }
     }
 }
 
@@ -173,6 +250,7 @@ impl Machine for Console {
         self.cpu.set_interp_mode(mode);
         self.cpu.load_image(self.rom.image());
         self.fb = FrameBuffer::standard();
+        self.fb.enable_dirty_tracking();
         self.audio = AudioChannel::new();
         self.frame = 0;
     }
@@ -194,13 +272,19 @@ impl Machine for Console {
         if headless {
             // Tone registers still tick (authoritative state); the sample
             // buffer and framebuffer are left stale — nobody will present
-            // this frame.
+            // this frame. Pixels were not touched, so there is nothing to
+            // reconcile either.
             self.audio.advance_frame(self.rom.cfps());
         } else {
             // The channel renders into its own reusable buffer;
             // `audio_samples` borrows it directly, so no per-frame copy
             // happens here.
             self.audio.render_frame(self.rom.cfps());
+            // Fold this frame's net pixel changes into the fb dirty
+            // accumulator. Done once per presented frame rather than per
+            // draw call: a clear-and-redraw cycle that reproduces the
+            // previous pixels contributes zero dirty pages.
+            self.fb.reconcile_dirty();
         }
         self.frame += 1;
     }
@@ -236,9 +320,7 @@ impl Machine for Console {
 
     fn save_state(&self) -> Vec<u8> {
         // detlint: allow(hot_alloc) -- the allocating convenience variant; hot callers use save_state_into
-        let mut out = Vec::with_capacity(
-            STATE_MAGIC.len() + 8 + 8 + Cpu::SERIALIZED_LEN + 14 + self.fb.pixels().len(),
-        );
+        let mut out = Vec::with_capacity(self.state_len());
         self.save_state_into(&mut out);
         out
     }
@@ -248,14 +330,16 @@ impl Machine for Console {
         out.extend_from_slice(STATE_MAGIC);
         out.extend_from_slice(&self.rom.content_hash().to_le_bytes());
         out.extend_from_slice(&self.frame.to_le_bytes());
-        self.cpu.serialize(out);
+        out.extend_from_slice(&self.cpu.serialize_small());
+        out.resize(MEM_OFF, 0); // pad head to the page boundary
+        out.extend_from_slice(self.cpu.mem_bytes());
         out.extend_from_slice(&self.audio.save());
+        out.resize(FB_OFF, 0); // pad audio to the page boundary
         out.extend_from_slice(self.fb.pixels());
     }
 
     fn load_state(&mut self, bytes: &[u8]) -> Result<(), StateError> {
-        let fb_len = self.fb.pixels().len();
-        let expected = STATE_MAGIC.len() + 8 + 8 + Cpu::SERIALIZED_LEN + 14 + fb_len;
+        let expected = self.state_len();
         if bytes.len() < expected {
             return Err(StateError::Truncated {
                 expected,
@@ -265,26 +349,133 @@ impl Machine for Console {
         if &bytes[..STATE_MAGIC.len()] != STATE_MAGIC {
             return Err(StateError::BadMagic);
         }
-        let mut pos = STATE_MAGIC.len();
         // detlint: allow(panic_path) -- `expected` length checked on entry covers every window
-        let rom_hash = u64::from_le_bytes(bytes[pos..pos + 8].try_into().expect("len 8"));
+        let rom_hash = u64::from_le_bytes(bytes[5..13].try_into().expect("len 8"));
         if rom_hash != self.rom.content_hash() {
             return Err(StateError::WrongMachine);
         }
-        pos += 8;
         // detlint: allow(panic_path) -- `expected` length checked on entry covers every window
-        self.frame = u64::from_le_bytes(bytes[pos..pos + 8].try_into().expect("len 8"));
-        pos += 8;
+        self.frame = u64::from_le_bytes(bytes[13..21].try_into().expect("len 8"));
         self.cpu
-            .deserialize(&bytes[pos..pos + Cpu::SERIALIZED_LEN])
+            .deserialize_small(&bytes[21..HEAD_LEN])
             // detlint: allow(panic_path) -- `expected` length checked on entry covers every window
             .expect("length checked above");
-        pos += Cpu::SERIALIZED_LEN;
-        self.audio
+        self.cpu.restore_mem_full(&bytes[MEM_OFF..AUD_OFF]);
+        let aud = &bytes[AUD_OFF..AUD_OFF + AUD_LEN];
+        // detlint: allow(panic_path) -- `expected` length checked on entry covers every window
+        self.audio.load(aud.try_into().expect("len 14"));
+        self.fb.load_pixels(&bytes[FB_OFF..expected]);
+        // A full load re-baselines the machine against an arbitrary
+        // snapshot: any reference buffer a dirty-capture caller holds is
+        // now potentially stale everywhere, so saturate the accumulators.
+        self.cpu.mark_all_dirty();
+        self.audio.mark_dirty();
+        self.fb.mark_all_dirty();
+        Ok(())
+    }
+
+    /// Drains every component's dirty accumulator into `d`, expressed as
+    /// byte ranges of the serialized image. The head is always marked:
+    /// the frame counter, registers, and RNG mutate nearly every frame
+    /// and cost only 62 bytes to rewrite.
+    ///
+    /// Calling this *consumes* the accumulators, so the caller must
+    /// rewrite (or already hold) the marked ranges of its reference
+    /// snapshot — otherwise a later incremental capture would silently
+    /// skip them.
+    fn collect_dirty_into(&mut self, d: &mut DirtyPages) {
+        d.reset(self.state_len());
+        d.mark_range(0, HEAD_LEN);
+        // MEM_OFF and FB_OFF are page-aligned, so the CPU's and the
+        // framebuffer's page bitmaps fold in with word-level ORs — no
+        // per-page translation loop.
+        d.or_word_bits(&self.cpu.take_dirty(), MEM_OFF / crate::dirty::PAGE_SIZE);
+        if self.audio.take_dirty() {
+            d.mark_range(AUD_OFF, AUD_LEN);
+        }
+        d.union_at(self.fb.dirty_pages(), FB_OFF);
+        self.fb.clear_dirty();
+    }
+
+    fn save_state_ranges_into(&self, out: &mut Vec<u8>, dirty: &DirtyPages) {
+        if out.len() != self.state_len() || dirty.len() != self.state_len() {
+            self.save_state_into(out);
+            return;
+        }
+        let head = self.head_bytes();
+        let buf = out.as_mut_slice();
+        for (s, e) in dirty.byte_ranges() {
+            self.write_state_range(&head, buf, s, e);
+        }
+    }
+
+    fn save_state_dirty_into(&mut self, out: &mut Vec<u8>, dirty: &mut DirtyPages) {
+        self.collect_dirty_into(dirty);
+        if out.len() != self.state_len() {
+            // `out` holds no valid reference image to patch — capture in
+            // full (and report the whole image dirty).
+            dirty.mark_all();
+            self.save_state_into(out);
+            return;
+        }
+        self.save_state_ranges_into(out, dirty);
+    }
+
+    fn load_state_dirty(&mut self, bytes: &[u8], dirty: &DirtyPages) -> Result<(), StateError> {
+        let expected = self.state_len();
+        if bytes.len() < expected {
+            return Err(StateError::Truncated {
+                expected,
+                actual: bytes.len(),
+            });
+        }
+        if &bytes[..STATE_MAGIC.len()] != STATE_MAGIC {
+            return Err(StateError::BadMagic);
+        }
+        // detlint: allow(panic_path) -- `expected` length checked on entry covers every window
+        let rom_hash = u64::from_le_bytes(bytes[5..13].try_into().expect("len 8"));
+        if rom_hash != self.rom.content_hash() {
+            return Err(StateError::WrongMachine);
+        }
+        if dirty.len() != expected {
+            // The bitmap doesn't describe this image; restore everything.
+            return self.load_state(bytes);
+        }
+        // The head is always restored: capture always marks it, and it
+        // costs only 62 bytes to parse.
+        // detlint: allow(panic_path) -- `expected` length checked on entry covers every window
+        self.frame = u64::from_le_bytes(bytes[13..21].try_into().expect("len 8"));
+        self.cpu
+            .deserialize_small(&bytes[21..HEAD_LEN])
             // detlint: allow(panic_path) -- `expected` length checked on entry covers every window
-            .load(bytes[pos..pos + 14].try_into().expect("len 14"));
-        pos += 14;
-        self.fb.load_pixels(&bytes[pos..pos + fb_len]);
+            .expect("length checked above");
+        // Every marked range is dispatched onto the overlapped regions.
+        // Component restores re-mark their accumulators, because the
+        // caller's reference snapshot may disagree with the restore
+        // target even where the live machine happened to match it.
+        let mut audio_done = false;
+        for (s, e) in dirty.byte_ranges() {
+            let e = e.min(expected);
+            if s >= e {
+                continue;
+            }
+            let (ms, me) = (s.max(MEM_OFF), e.min(AUD_OFF));
+            if ms < me {
+                self.cpu
+                    .restore_mem_range(&bytes[MEM_OFF..AUD_OFF], ms - MEM_OFF, me - MEM_OFF);
+            }
+            if !audio_done && s < AUD_OFF + AUD_LEN && e > AUD_OFF {
+                let aud = &bytes[AUD_OFF..AUD_OFF + AUD_LEN];
+                // detlint: allow(panic_path) -- `expected` length checked on entry covers every window
+                self.audio.load(aud.try_into().expect("len 14"));
+                audio_done = true;
+            }
+            let (fs, fe) = (s.max(FB_OFF), e);
+            if fs < fe {
+                self.fb
+                    .restore_pixel_range(&bytes[FB_OFF..expected], fs - FB_OFF, fe - FB_OFF);
+            }
+        }
         Ok(())
     }
 
@@ -514,6 +705,56 @@ mod tests {
         let mut snap = c.save_state();
         snap[0] = b'X';
         assert!(matches!(c.load_state(&snap), Err(StateError::BadMagic)));
+    }
+
+    #[test]
+    fn dirty_capture_matches_full_capture_byte_for_byte() {
+        let mut c = Console::new(paddle_rom());
+        let mut cap = Vec::new();
+        let mut d = DirtyPages::new(0);
+        // First capture has no reference image: full path, saturated bitmap.
+        c.save_state_dirty_into(&mut cap, &mut d);
+        assert!(d.is_all());
+        assert_eq!(cap, c.save_state());
+        let mut down = InputWord::NONE;
+        down.press(Player::ONE, Button::Down);
+        for f in 0..40u64 {
+            let input = if f % 3 == 0 { down } else { InputWord::NONE };
+            c.step_frame(input);
+            c.save_state_dirty_into(&mut cap, &mut d);
+            assert!(!d.is_all(), "steady-state captures are incremental");
+            assert_eq!(cap, c.save_state(), "frame {f}");
+        }
+    }
+
+    #[test]
+    fn dirty_restore_roundtrip_preserves_state_and_capture_coherence() {
+        let mut c = Console::new(paddle_rom());
+        let mut down = InputWord::NONE;
+        down.press(Player::ONE, Button::Down);
+        for _ in 0..10 {
+            c.step_frame(down);
+        }
+        let mut cap = Vec::new();
+        let mut d = DirtyPages::new(0);
+        c.save_state_dirty_into(&mut cap, &mut d);
+        let target_hash = c.state_hash();
+
+        // Speculate ahead; the accumulated dirt then bounds diff(live, cap).
+        for _ in 0..7 {
+            c.step_frame(InputWord::NONE);
+        }
+        let dirt = c.take_dirty_pages();
+        assert!(!dirt.is_all());
+        c.load_state_dirty(&cap, &dirt).unwrap();
+        assert_eq!(c.state_hash(), target_hash);
+        assert_eq!(c.save_state(), cap);
+
+        // The restore re-marked its ranges, so the next incremental
+        // capture into the same buffer stays byte-exact.
+        c.step_frame(down);
+        c.save_state_dirty_into(&mut cap, &mut d);
+        assert_eq!(cap, c.save_state());
     }
 
     #[test]

@@ -61,6 +61,11 @@ pub struct Cpu {
     mem: Box<[u8; MEM_SIZE]>,
     mode: InterpMode,
     cache: DecodeCache,
+    /// One bit per 256-byte page of `mem`, set by every store path
+    /// alongside the decode-cache invalidation. Consumed (and cleared)
+    /// by [`Cpu::take_dirty`]; the snapshot layer uses it to capture and
+    /// restore only pages that may differ from its reference copy.
+    dirty: [u64; MEM_SIZE / 256 / 64],
 }
 
 impl std::fmt::Debug for Cpu {
@@ -97,6 +102,8 @@ impl Cpu {
                 .expect("len"),
             mode: InterpMode::default(),
             cache: DecodeCache::new(),
+            // A fresh CPU has no reference snapshot to be clean against.
+            dirty: [!0u64; MEM_SIZE / 256 / 64],
         }
     }
 
@@ -135,6 +142,7 @@ impl Cpu {
         assert!(image.len() <= MEM_SIZE, "image exceeds address space");
         self.mem[..image.len()].copy_from_slice(image);
         self.cache.flush();
+        self.dirty = [!0u64; MEM_SIZE / 256 / 64];
     }
 
     /// Reads register `r`.
@@ -172,6 +180,7 @@ impl Cpu {
     pub fn write_byte(&mut self, addr: u16, v: u8) {
         self.mem[addr as usize] = v;
         self.cache.invalidate(addr, 1);
+        self.dirty[(addr >> 14) as usize] |= 1u64 << ((addr >> 8) & 63);
     }
 
     /// Reads a little-endian word; the high byte wraps around the address
@@ -186,8 +195,11 @@ impl Cpu {
     /// decode-cache slot whose fetch window covers either written byte.
     pub fn write_word(&mut self, addr: u16, v: u16) {
         self.mem[addr as usize] = v as u8;
-        self.mem[addr.wrapping_add(1) as usize] = (v >> 8) as u8;
+        let hi = addr.wrapping_add(1);
+        self.mem[hi as usize] = (v >> 8) as u8;
         self.cache.invalidate(addr, 2);
+        self.dirty[(addr >> 14) as usize] |= 1u64 << ((addr >> 8) & 63);
+        self.dirty[(hi >> 14) as usize] |= 1u64 << ((hi >> 8) & 63);
     }
 
     /// Runs until `yield`/`halt`/fault or `budget` instructions, whichever
@@ -556,24 +568,66 @@ impl Cpu {
 
     /// Serializes the complete CPU state (registers, flags, RNG, memory).
     pub fn serialize(&self, out: &mut Vec<u8>) {
-        for r in self.regs {
-            out.extend_from_slice(&r.to_le_bytes());
-        }
-        out.extend_from_slice(&self.pc.to_le_bytes());
-        out.extend_from_slice(&self.sp.to_le_bytes());
-        out.push(
-            (self.flag_z as u8)
-                | (self.flag_n as u8) << 1
-                | (self.flag_c as u8) << 2
-                | (self.halted as u8) << 3
-                | (self.faulted as u8) << 4,
-        );
-        out.extend_from_slice(&self.lcg.to_le_bytes());
+        out.extend_from_slice(&self.serialize_small());
         out.extend_from_slice(&self.mem[..]);
     }
 
     /// Number of bytes [`Cpu::serialize`] writes.
-    pub const SERIALIZED_LEN: usize = 32 + 2 + 2 + 1 + 4 + MEM_SIZE;
+    pub const SERIALIZED_LEN: usize = Self::SMALL_LEN + MEM_SIZE;
+
+    /// Length of the non-memory head of the serialized format (registers,
+    /// pc, sp, flags, RNG).
+    pub(crate) const SMALL_LEN: usize = 32 + 2 + 2 + 1 + 4;
+
+    /// Serializes just the non-memory head of the state — the first
+    /// [`Cpu::SMALL_LEN`] bytes [`Cpu::serialize`] would write.
+    pub(crate) fn serialize_small(&self) -> [u8; Self::SMALL_LEN] {
+        let mut out = [0u8; Self::SMALL_LEN];
+        let mut pos = 0;
+        for r in self.regs {
+            out[pos..pos + 2].copy_from_slice(&r.to_le_bytes());
+            pos += 2;
+        }
+        out[pos..pos + 2].copy_from_slice(&self.pc.to_le_bytes());
+        out[pos + 2..pos + 4].copy_from_slice(&self.sp.to_le_bytes());
+        out[pos + 4] = (self.flag_z as u8)
+            | (self.flag_n as u8) << 1
+            | (self.flag_c as u8) << 2
+            | (self.halted as u8) << 3
+            | (self.faulted as u8) << 4;
+        out[pos + 5..pos + 9].copy_from_slice(&self.lcg.to_le_bytes());
+        out
+    }
+
+    /// The raw memory image, in serialized-format order (identical bytes
+    /// to the memory region [`Cpu::serialize`] writes).
+    pub(crate) fn mem_bytes(&self) -> &[u8] {
+        &self.mem[..]
+    }
+
+    /// Takes (returns and clears) the accumulated per-page dirty bitmap
+    /// for memory. Bit `p` of the flattened bitmap covers bytes
+    /// `p * 256 .. (p + 1) * 256`.
+    pub(crate) fn take_dirty(&mut self) -> [u64; MEM_SIZE / 256 / 64] {
+        std::mem::replace(&mut self.dirty, [0u64; MEM_SIZE / 256 / 64])
+    }
+
+    /// Saturates the dirty bitmap (every page of memory considered
+    /// changed since the last capture).
+    pub(crate) fn mark_all_dirty(&mut self) {
+        self.dirty = [!0u64; MEM_SIZE / 256 / 64];
+    }
+
+    /// Marks every dirty-bitmap page overlapping `[start, end)` of
+    /// memory.
+    fn mark_mem_range(&mut self, start: usize, end: usize) {
+        if start >= end {
+            return;
+        }
+        for page in (start >> 8)..=((end - 1).min(MEM_SIZE - 1) >> 8) {
+            self.dirty[page >> 6] |= 1u64 << (page & 63);
+        }
+    }
 
     /// Feeds exactly the byte stream [`Cpu::serialize`] would produce into
     /// `h`, without allocating — lets callers compose state digests that
@@ -600,45 +654,32 @@ impl Cpu {
         if bytes.len() < Self::SERIALIZED_LEN {
             return None;
         }
-        let mut pos = 0;
-        for r in &mut self.regs {
-            // detlint: allow(panic_path) -- SERIALIZED_LEN checked on entry covers every window
-            *r = u16::from_le_bytes(bytes[pos..pos + 2].try_into().expect("len 2"));
-            pos += 2;
-        }
-        // detlint: allow(panic_path) -- SERIALIZED_LEN checked on entry covers every window
-        self.pc = u16::from_le_bytes(bytes[pos..pos + 2].try_into().expect("len 2"));
-        pos += 2;
-        // detlint: allow(panic_path) -- SERIALIZED_LEN checked on entry covers every window
-        self.sp = u16::from_le_bytes(bytes[pos..pos + 2].try_into().expect("len 2"));
-        pos += 2;
-        let f = bytes[pos];
-        pos += 1;
-        self.flag_z = f & 1 != 0;
-        self.flag_n = f & 2 != 0;
-        self.flag_c = f & 4 != 0;
-        self.halted = f & 8 != 0;
-        self.faulted = f & 16 != 0;
-        // detlint: allow(panic_path) -- SERIALIZED_LEN checked on entry covers every window
-        self.lcg = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("len 4"));
-        pos += 4;
-        // Diff-based memory restore: a rollback reload typically differs
-        // from current memory in a handful of bytes, so copy + invalidate
-        // only blocks that differ. Unchanged blocks keep their warm decode
-        // cache slots, which is what keeps repeated restores on the repair
-        // path cheap. The diff is two-level — 4 KiB super-blocks compared
-        // with one wide memcmp each, and only a differing super-block is
-        // re-scanned at 64-byte granularity — because a flat 64-byte scan
-        // costs a thousand tiny comparisons on the all-equal fast path
-        // that dominates real restores. The invalidation window reaches
-        // 2*INSTR_SIZE-1 bytes behind each changed block, so a fused slot
-        // starting in the tail of an unchanged block whose second word
-        // lies in the changed one is re-colded too — no whole-table flush
-        // is ever needed. Either way memory ends up byte-identical to the
-        // snapshot.
+        self.deserialize_small(bytes)?;
+        self.restore_mem_full(&bytes[Self::SMALL_LEN..Self::SMALL_LEN + MEM_SIZE]);
+        Some(())
+    }
+
+    /// Restores the full memory image from `src` (at least [`MEM_SIZE`]
+    /// bytes, serialized-format order).
+    ///
+    /// Diff-based: a rollback reload typically differs
+    /// from current memory in a handful of bytes, so copy + invalidate
+    /// only blocks that differ. Unchanged blocks keep their warm decode
+    /// cache slots, which is what keeps repeated restores on the repair
+    /// path cheap. The diff is two-level — 4 KiB super-blocks compared
+    /// with one wide memcmp each, and only a differing super-block is
+    /// re-scanned at 64-byte granularity — because a flat 64-byte scan
+    /// costs a thousand tiny comparisons on the all-equal fast path
+    /// that dominates real restores. The invalidation window reaches
+    /// 2*INSTR_SIZE-1 bytes behind each changed block, so a fused slot
+    /// starting in the tail of an unchanged block whose second word
+    /// lies in the changed one is re-colded too — no whole-table flush
+    /// is ever needed. Either way memory ends up byte-identical to the
+    /// snapshot.
+    pub(crate) fn restore_mem_full(&mut self, src: &[u8]) {
         const SUPER: usize = 4096;
         const BLOCK: usize = 64;
-        let src = &bytes[pos..pos + MEM_SIZE];
+        let src = &src[..MEM_SIZE];
         for (s, sup) in src.chunks_exact(SUPER).enumerate() {
             let s_at = s * SUPER;
             if self.mem[s_at..s_at + SUPER] == *sup {
@@ -649,10 +690,69 @@ impl Cpu {
                 if self.mem[at..at + BLOCK] != *block {
                     self.mem[at..at + BLOCK].copy_from_slice(block);
                     self.cache.invalidate(at as u16, BLOCK as u16);
+                    self.dirty[at >> 14] |= 1u64 << ((at >> 8) & 63);
                 }
             }
         }
+    }
+
+    /// Restores just the non-memory head of the state from the first
+    /// [`Cpu::SMALL_LEN`] bytes of `bytes` (the format
+    /// [`Cpu::serialize_small`] writes). Returns `None` if `bytes` is too
+    /// short.
+    pub(crate) fn deserialize_small(&mut self, bytes: &[u8]) -> Option<()> {
+        if bytes.len() < Self::SMALL_LEN {
+            return None;
+        }
+        let mut pos = 0;
+        for r in &mut self.regs {
+            // detlint: allow(panic_path) -- SMALL_LEN checked on entry covers every window
+            *r = u16::from_le_bytes(bytes[pos..pos + 2].try_into().expect("len 2"));
+            pos += 2;
+        }
+        // detlint: allow(panic_path) -- SMALL_LEN checked on entry covers every window
+        self.pc = u16::from_le_bytes(bytes[pos..pos + 2].try_into().expect("len 2"));
+        pos += 2;
+        // detlint: allow(panic_path) -- SMALL_LEN checked on entry covers every window
+        self.sp = u16::from_le_bytes(bytes[pos..pos + 2].try_into().expect("len 2"));
+        pos += 2;
+        let f = bytes[pos];
+        pos += 1;
+        self.flag_z = f & 1 != 0;
+        self.flag_n = f & 2 != 0;
+        self.flag_c = f & 4 != 0;
+        self.halted = f & 8 != 0;
+        self.faulted = f & 16 != 0;
+        // detlint: allow(panic_path) -- SMALL_LEN checked on entry covers every window
+        self.lcg = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("len 4"));
         Some(())
+    }
+
+    /// Restores memory bytes `[start, end)` from `src` (a full
+    /// memory-image slice, serialized-format order), extending the window
+    /// to 64-byte block boundaries. Only blocks that actually differ are
+    /// copied and decode-cache invalidated — equal blocks keep their warm
+    /// slots — but the *whole* window is re-marked dirty: the caller's
+    /// reference snapshot may hold different bytes there even where the
+    /// live machine and the restore target agree.
+    pub(crate) fn restore_mem_range(&mut self, src: &[u8], start: usize, end: usize) {
+        const BLOCK: usize = 64;
+        let limit = src.len().min(MEM_SIZE);
+        let start = (start / BLOCK) * BLOCK;
+        let end = end.div_ceil(BLOCK).saturating_mul(BLOCK).min(limit);
+        if start >= end {
+            return;
+        }
+        let mut at = start;
+        while at < end {
+            let stop = (at + BLOCK).min(end);
+            if self.mem[at..stop] != src[at..stop] {
+                self.mem[at..stop].copy_from_slice(&src[at..stop]);
+                self.cache.invalidate(at as u16, (stop - at) as u16);
+            }
+            at = stop;
+        }
+        self.mark_mem_range(start, end);
     }
 }
 

@@ -51,6 +51,7 @@ mod assembler;
 mod audio;
 mod console;
 mod cpu;
+mod dirty;
 mod hash;
 mod input;
 mod isa;
@@ -63,6 +64,7 @@ pub use assembler::{assemble, disassemble, AsmError};
 pub use audio::{AudioChannel, SAMPLE_RATE};
 pub use console::{Console, DEFAULT_CYCLES_PER_FRAME};
 pub use cpu::{Cpu, Devices, Stop, MEM_SIZE, STACK_TOP};
+pub use dirty::{DirtyPages, DirtyRanges, PAGE_SIZE as DIRTY_PAGE_SIZE};
 pub use hash::{fnv1a, StateHasher};
 pub use input::{Button, InputWord, Player, PortMap};
 pub use isa::{Instruction, Reg, Syscall, INSTR_SIZE};

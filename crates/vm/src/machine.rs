@@ -10,6 +10,7 @@
 use std::error::Error;
 use std::fmt;
 
+use crate::dirty::DirtyPages;
 use crate::input::InputWord;
 use crate::predecode::InterpStats;
 use crate::video::FrameBuffer;
@@ -191,6 +192,92 @@ pub trait Machine {
     /// different machine.
     fn load_state(&mut self, bytes: &[u8]) -> Result<(), StateError>;
 
+    /// Incrementally re-captures state into `out`, rewriting only the byte
+    /// ranges of the image that may have changed since the *previous*
+    /// capture into the same buffer, and reports those ranges in `dirty`.
+    ///
+    /// Contract: if `out` already holds a byte-exact earlier capture from
+    /// this machine, then after the call `out` holds exactly the bytes
+    /// [`Machine::save_state`] would return now, and every byte that was
+    /// rewritten lies inside a `dirty`-marked page. If `out` holds anything
+    /// else (wrong length, another machine's image), the machine must fall
+    /// back to a full capture and saturate `dirty`. Either way the call
+    /// *consumes* the machine's internal dirty accumulators.
+    ///
+    /// The default implementation is the always-sound degenerate case —
+    /// a full [`Machine::save_state_into`] with `dirty` saturated — so
+    /// machines without write-barrier tracking stay valid.
+    fn save_state_dirty_into(&mut self, out: &mut Vec<u8>, dirty: &mut DirtyPages) {
+        self.save_state_into(out);
+        dirty.reset(out.len());
+        dirty.mark_all();
+    }
+
+    /// Drains the machine's accumulated dirty set into `out`: pages of the
+    /// serialized image that may differ from the most recent capture.
+    /// `out` is reset first, so callers can pool bitmaps and keep the
+    /// steady-state checkpoint path allocation-free. The call *consumes*
+    /// the machine's internal accumulators.
+    ///
+    /// The default implementation reports a saturated zero-length bitmap
+    /// ("assume everything changed, length unknown"); consumers normalize
+    /// a length mismatch by saturating at their own buffer length.
+    fn collect_dirty_into(&mut self, out: &mut DirtyPages) {
+        out.reset(0);
+        out.mark_all();
+    }
+
+    /// Takes (returns and clears) the machine's accumulated dirty set —
+    /// the allocating convenience form of [`Machine::collect_dirty_into`].
+    /// Rollback uses the dirty set to bound how much of a checkpoint image
+    /// a restore has to touch.
+    fn take_dirty_pages(&mut self) -> DirtyPages {
+        let mut d = DirtyPages::new(0);
+        self.collect_dirty_into(&mut d);
+        d
+    }
+
+    /// Re-serializes only the `dirty`-marked byte ranges of the state
+    /// image into `out`.
+    ///
+    /// Contract: when `out` holds a byte-exact earlier capture from this
+    /// machine and every byte that changed since lies inside a marked
+    /// page, after the call `out` holds exactly what
+    /// [`Machine::save_state`] would return now. Unlike
+    /// [`Machine::save_state_dirty_into`] this does **not** touch the
+    /// machine's dirty accumulators — the caller already holds the bitmap
+    /// (typically from [`Machine::collect_dirty_into`]). Implementations
+    /// must fall back to a full capture when `out` or `dirty` disagree
+    /// with the image length.
+    ///
+    /// The default implementation is the always-sound full capture.
+    fn save_state_ranges_into(&self, out: &mut Vec<u8>, dirty: &DirtyPages) {
+        let _ = dirty;
+        self.save_state_into(out);
+    }
+
+    /// Restores state captured by [`Machine::save_state`], touching only
+    /// the `dirty`-marked byte ranges of the image.
+    ///
+    /// Contract: sound only when every byte on which the live machine and
+    /// `bytes` disagree lies inside a marked page (e.g. `dirty` is the
+    /// union of the machine's dirty set and the checkpoint deltas walked
+    /// to reach `bytes`). Implementations must re-mark restored ranges
+    /// into their accumulators so the caller's capture buffer is patched
+    /// on the next incremental capture.
+    ///
+    /// The default implementation ignores the bitmap and performs a full
+    /// [`Machine::load_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StateError`] if the snapshot is malformed or belongs to
+    /// a different machine.
+    fn load_state_dirty(&mut self, bytes: &[u8], dirty: &DirtyPages) -> Result<(), StateError> {
+        let _ = dirty;
+        self.load_state(bytes)
+    }
+
     /// Cumulative interpreter decode-cache statistics, for machines that
     /// run on a predecoded-dispatch interpreter (the [`crate::Console`]).
     /// Observability only — never part of the state hash. `None` for
@@ -233,6 +320,21 @@ impl<M: Machine + ?Sized> Machine for Box<M> {
     }
     fn load_state(&mut self, bytes: &[u8]) -> Result<(), StateError> {
         (**self).load_state(bytes)
+    }
+    fn save_state_dirty_into(&mut self, out: &mut Vec<u8>, dirty: &mut DirtyPages) {
+        (**self).save_state_dirty_into(out, dirty)
+    }
+    fn collect_dirty_into(&mut self, out: &mut DirtyPages) {
+        (**self).collect_dirty_into(out)
+    }
+    fn take_dirty_pages(&mut self) -> DirtyPages {
+        (**self).take_dirty_pages()
+    }
+    fn save_state_ranges_into(&self, out: &mut Vec<u8>, dirty: &DirtyPages) {
+        (**self).save_state_ranges_into(out, dirty)
+    }
+    fn load_state_dirty(&mut self, bytes: &[u8], dirty: &DirtyPages) -> Result<(), StateError> {
+        (**self).load_state_dirty(bytes, dirty)
     }
     fn interp_stats(&self) -> Option<InterpStats> {
         (**self).interp_stats()
@@ -435,6 +537,33 @@ mod tests {
         let mut b2 = Vec::new();
         boxed.save_state_into(&mut b2);
         assert_eq!(b2, boxed.save_state());
+
+        // The dirty-capture defaults are the always-sound degenerate case:
+        // full capture, everything reported dirty, full restore.
+        let mut d = DirtyPages::new(3);
+        m.save_state_dirty_into(&mut buf, &mut d);
+        assert_eq!(buf, m.save_state());
+        assert!(d.is_all(), "default capture saturates the bitmap");
+        assert_eq!(d.len(), buf.len());
+        assert!(m.take_dirty_pages().is_all());
+        let snap = m.save_state();
+        let mut fresh = Legacy(NullMachine::new());
+        fresh
+            .load_state_dirty(&snap, &DirtyPages::new(snap.len()))
+            .unwrap();
+        assert_eq!(fresh.state_hash(), m.state_hash());
+
+        // And boxed dyn machines forward all three.
+        let mut bm: Box<dyn Machine> = Box::new(NullMachine::new());
+        bm.step_frame(InputWord(4));
+        let mut bbuf = Vec::new();
+        let mut bd = DirtyPages::new(0);
+        bm.save_state_dirty_into(&mut bbuf, &mut bd);
+        assert_eq!(bbuf, bm.save_state());
+        assert!(bd.is_all());
+        assert!(bm.take_dirty_pages().is_all());
+        bm.load_state_dirty(&bbuf, &bd).unwrap();
+        assert_eq!(bbuf, bm.save_state());
     }
 
     #[test]

@@ -39,6 +39,11 @@ pub struct Rom {
     seed: u32,
     entry: u16,
     image: Vec<u8>,
+    /// Digest of the serialized image, computed once at construction.
+    /// Snapshot capture, restore validation, and per-frame state hashing
+    /// all stamp it, so recomputing on demand (a full re-serialize plus a
+    /// 64 KiB hash) would put microseconds on the checkpoint hot path.
+    content_hash: u64,
 }
 
 /// Builder for [`Rom`] values.
@@ -58,6 +63,7 @@ impl Rom {
                 seed: 0,
                 entry: 0,
                 image: Vec::new(),
+                content_hash: 0,
             },
         }
     }
@@ -93,9 +99,18 @@ impl Rom {
     }
 
     /// A digest covering every byte that affects execution. Equal hashes ⇒
-    /// identical initial machine states.
+    /// identical initial machine states. Precomputed at construction, so
+    /// calling this is free.
     pub fn content_hash(&self) -> u64 {
-        fnv1a(&self.to_bytes())
+        self.content_hash
+    }
+
+    /// Recomputes [`Rom::content_hash`] from the current field values.
+    /// Must run before the hash is first observed; the serialized form
+    /// never includes the cached digest, so this is self-consistent.
+    fn seal(mut self) -> Rom {
+        self.content_hash = fnv1a(&self.to_bytes());
+        self
     }
 
     /// Serializes the ROM for distribution.
@@ -143,7 +158,9 @@ impl Rom {
             seed,
             entry,
             image,
-        })
+            content_hash: 0,
+        }
+        .seal())
     }
 }
 
@@ -201,7 +218,7 @@ impl RomBuilder {
 
     /// Finishes the ROM.
     pub fn build(self) -> Rom {
-        self.rom
+        self.rom.seal()
     }
 }
 

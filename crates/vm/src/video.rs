@@ -6,6 +6,7 @@
 //! are raw RGB ([`FrameBuffer::to_rgb`]) and terminal art
 //! ([`FrameBuffer::to_ascii`]) for the examples.
 
+use crate::dirty::{DirtyPages, PAGE_SIZE};
 use std::fmt;
 
 /// Default framebuffer width in pixels.
@@ -60,12 +61,39 @@ impl Color {
 /// assert_eq!(fb.pixel(5, 5), Color(12));
 /// assert_eq!(fb.pixel(0, 0), Color::BLACK);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct FrameBuffer {
     width: usize,
     height: usize,
     pixels: Vec<u8>,
+    /// Pages of `pixels` that may differ from the last snapshot capture.
+    /// Maintained by [`FrameBuffer::reconcile_dirty`], not by the drawing
+    /// primitives: games clear and redraw the whole screen every frame,
+    /// so draw-time marking would report every transiently-flipped page
+    /// (a static sprite erased by `cls` and redrawn identically) as
+    /// dirty. Comparing the finished frame against `shadow` instead
+    /// yields the true net change.
+    dirty: DirtyPages,
+    /// Copy of `pixels` as of the last reconcile — the reference the next
+    /// [`FrameBuffer::reconcile_dirty`] diffs against. Empty while dirty
+    /// tracking is off: native games never serialize their framebuffer,
+    /// so they skip the reconcile pass and `dirty` stays saturated
+    /// (everything may differ — the only safe claim when writes go
+    /// unobserved). The `Console` enables tracking because its snapshots
+    /// embed the surface.
+    shadow: Vec<u8>,
 }
+
+/// Equality compares only the visible surface (dimensions and pixels).
+/// The dirty accumulator is capture bookkeeping: two buffers with
+/// identical contents but different snapshot histories are still equal.
+impl PartialEq for FrameBuffer {
+    fn eq(&self, other: &Self) -> bool {
+        self.width == other.width && self.height == other.height && self.pixels == other.pixels
+    }
+}
+
+impl Eq for FrameBuffer {}
 
 impl FrameBuffer {
     /// Creates a cleared (black) buffer of the given size.
@@ -79,7 +107,16 @@ impl FrameBuffer {
             width,
             height,
             pixels: vec![0; width * height],
+            // No snapshot has seen this buffer yet.
+            dirty: DirtyPages::all_dirty(width * height),
+            shadow: Vec::new(),
         }
+    }
+
+    /// `true` while the dirty accumulator is maintained (a shadow copy
+    /// exists to diff against).
+    fn tracking(&self) -> bool {
+        !self.shadow.is_empty()
     }
 
     /// Creates the standard 160×120 arcade buffer.
@@ -112,9 +149,14 @@ impl FrameBuffer {
     /// Panics if `data` is not exactly `width * height` bytes.
     pub fn load_pixels(&mut self, data: &[u8]) {
         assert_eq!(data.len(), self.pixels.len(), "pixel payload size");
-        for (dst, &src) in self.pixels.iter_mut().zip(data) {
-            *dst = src & 0x0F;
+        self.pixels.copy_from_slice(data);
+        for p in &mut self.pixels {
+            *p &= 0x0F;
         }
+        // Pages the load actually changed get marked by the diff against
+        // the shadow, so a restore that lands on identical video costs no
+        // future capture bandwidth.
+        self.reconcile_dirty();
     }
 
     /// The colour at `(x, y)`; out-of-bounds reads are black.
@@ -130,7 +172,8 @@ impl FrameBuffer {
         if x < 0 || y < 0 || x as usize >= self.width || y as usize >= self.height {
             return;
         }
-        self.pixels[y as usize * self.width + x as usize] = color.index();
+        let i = y as usize * self.width + x as usize;
+        self.pixels[i] = color.index();
     }
 
     /// Fills the whole buffer with `color`.
@@ -147,8 +190,6 @@ impl FrameBuffer {
         if x0 >= x1 {
             return;
         }
-        // Row-at-a-time fills: games redraw every sprite every frame, so
-        // this sits on the resimulation hot path.
         let c = color.index();
         for yy in y0..y1 {
             let row = yy * self.width;
@@ -246,6 +287,102 @@ impl FrameBuffer {
     /// FNV-1a hash of the pixel contents (used in state hashing and tests).
     pub fn content_hash(&self) -> u64 {
         crate::hash::fnv1a(&self.pixels)
+    }
+
+    /// Turns on dirty-page maintenance: allocates the shadow copy that
+    /// [`FrameBuffer::reconcile_dirty`] diffs against. Until this is
+    /// called the accumulator stays saturated, which is the only sound
+    /// answer when writes go unobserved.
+    pub(crate) fn enable_dirty_tracking(&mut self) {
+        if self.shadow.is_empty() {
+            self.shadow = self.pixels.clone();
+        }
+    }
+
+    /// Diffs the surface against the shadow copy, marking pages whose
+    /// content actually changed and syncing the shadow. The `Console`
+    /// calls this once at the end of every presented frame, so a full
+    /// clear-and-redraw cycle that reproduces the previous frame's pixels
+    /// (static sprites, backgrounds, a `cls` that erases and a sprite
+    /// pass that repaints) contributes zero dirty pages.
+    ///
+    /// Two-level diff, like the CPU's memory restore: 4 KiB super-chunks
+    /// compared with one wide memcmp each, and only a differing
+    /// super-chunk is re-scanned at page granularity — the all-equal fast
+    /// path dominates real frames. No-op while tracking is off.
+    pub(crate) fn reconcile_dirty(&mut self) {
+        if self.shadow.is_empty() {
+            return;
+        }
+        const SUPER: usize = 4096; // multiple of PAGE_SIZE
+        let n = self.pixels.len();
+        let mut off = 0;
+        while off < n {
+            let sup_end = (off + SUPER).min(n);
+            if self.pixels[off..sup_end] == self.shadow[off..sup_end] {
+                off = sup_end;
+                continue;
+            }
+            while off < sup_end {
+                let end = (off + PAGE_SIZE).min(sup_end);
+                if self.pixels[off..end] != self.shadow[off..end] {
+                    self.shadow[off..end].copy_from_slice(&self.pixels[off..end]);
+                    self.dirty.mark_range(off, end - off);
+                }
+                off = end;
+            }
+        }
+    }
+
+    /// The accumulated dirty bitmap over `pixels` (as of the last
+    /// reconcile).
+    pub(crate) fn dirty_pages(&self) -> &DirtyPages {
+        &self.dirty
+    }
+
+    /// Clears the dirty accumulator (called once the pages have been
+    /// folded into a snapshot capture). A no-op while tracking is off:
+    /// untracked writes would never re-mark, so the bitmap must stay
+    /// saturated.
+    pub(crate) fn clear_dirty(&mut self) {
+        if self.tracking() {
+            self.dirty.reset(self.pixels.len());
+        }
+    }
+
+    /// Saturates the dirty accumulator (the whole surface considered
+    /// changed since the last capture) and syncs the shadow, so the next
+    /// reconcile diffs against the surface as it stands now — a stale
+    /// shadow could otherwise hide a later change that happens to land
+    /// back on the stale bytes.
+    pub(crate) fn mark_all_dirty(&mut self) {
+        self.dirty.mark_all();
+        if self.tracking() {
+            self.shadow.copy_from_slice(&self.pixels);
+        }
+    }
+
+    /// Restores pixels `[start, end)` from `src` (a full pixel-payload
+    /// slice, same format as [`FrameBuffer::load_pixels`]), masking each
+    /// byte to 4 bits. The whole window is re-marked dirty regardless of
+    /// whether bytes changed: the caller's reference snapshot may hold
+    /// different bytes there even where the live buffer and the restore
+    /// target agree.
+    pub(crate) fn restore_pixel_range(&mut self, src: &[u8], start: usize, end: usize) {
+        let end = end.min(self.pixels.len()).min(src.len());
+        if start >= end {
+            return;
+        }
+        // memcpy then a straight-line mask pass — both vectorize, unlike a
+        // fused per-byte masked copy (this window can be the whole surface).
+        self.pixels[start..end].copy_from_slice(&src[start..end]);
+        for p in &mut self.pixels[start..end] {
+            *p &= 0x0F;
+        }
+        if self.tracking() {
+            self.shadow[start..end].copy_from_slice(&self.pixels[start..end]);
+        }
+        self.dirty.mark_range(start, end - start);
     }
 }
 
@@ -362,6 +499,87 @@ mod tests {
         let h0 = fb.content_hash();
         fb.set_pixel(3, 3, Color(2));
         assert_ne!(fb.content_hash(), h0);
+    }
+
+    #[test]
+    fn dirty_tracking_is_value_aware() {
+        let mut fb = FrameBuffer::new(32, 32);
+        assert!(fb.dirty_pages().is_all(), "fresh buffer starts saturated");
+        fb.enable_dirty_tracking();
+        fb.clear_dirty();
+        assert_eq!(fb.dirty_pages().count_pages(), 0);
+
+        // A no-op write (black onto black) must not mark.
+        fb.set_pixel(1, 1, Color::BLACK);
+        fb.clear(Color::BLACK);
+        fb.fill_rect(0, 0, 8, 8, Color::BLACK);
+        fb.reconcile_dirty();
+        assert_eq!(fb.dirty_pages().count_pages(), 0);
+
+        // A real write marks exactly the covering page.
+        fb.set_pixel(1, 1, Color(5));
+        fb.reconcile_dirty();
+        assert_eq!(
+            fb.dirty_pages().byte_ranges().collect::<Vec<_>>(),
+            vec![(0, 256)]
+        );
+
+        // Redrawing the same value after a capture stays clean.
+        fb.clear_dirty();
+        fb.set_pixel(1, 1, Color(5));
+        fb.reconcile_dirty();
+        assert_eq!(fb.dirty_pages().count_pages(), 0);
+    }
+
+    #[test]
+    fn transient_clear_and_redraw_nets_to_zero_dirt() {
+        // The Button Race shape: a static sprite erased by the per-frame
+        // `cls` and repainted identically. Draw-time marking would report
+        // every page the sprite touches; the frame-end reconcile sees the
+        // finished frame equals the previous one and marks nothing.
+        let mut fb = FrameBuffer::new(32, 32);
+        fb.enable_dirty_tracking();
+        fb.fill_rect(8, 0, 1, 32, Color::WHITE); // vertical line, many pages
+        fb.reconcile_dirty();
+        fb.clear_dirty();
+
+        fb.clear(Color::BLACK);
+        fb.fill_rect(8, 0, 1, 32, Color::WHITE); // same line redrawn
+        fb.reconcile_dirty();
+        assert_eq!(fb.dirty_pages().count_pages(), 0);
+
+        // Moving the line dirties exactly the union of old and new pixels.
+        fb.clear(Color::BLACK);
+        fb.fill_rect(9, 0, 1, 32, Color::WHITE);
+        fb.reconcile_dirty();
+        assert!(fb.dirty_pages().count_pages() > 0);
+    }
+
+    #[test]
+    fn equality_ignores_dirty_history() {
+        let mut a = FrameBuffer::new(8, 8);
+        let mut b = FrameBuffer::new(8, 8);
+        a.clear_dirty();
+        b.set_pixel(0, 0, Color(3));
+        b.set_pixel(0, 0, Color::BLACK); // same pixels, different history
+        assert_eq!(a, b);
+        a.set_pixel(1, 0, Color(1));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn restore_pixel_range_masks_and_remarks() {
+        let mut fb = FrameBuffer::new(32, 32);
+        fb.enable_dirty_tracking();
+        fb.clear_dirty();
+        let mut img = vec![0u8; 32 * 32];
+        img[300] = 0xF7; // high nibble must be masked off
+        fb.restore_pixel_range(&img, 256, 512);
+        assert_eq!(fb.pixels()[300], 0x07);
+        assert_eq!(
+            fb.dirty_pages().byte_ranges().collect::<Vec<_>>(),
+            vec![(256, 512)]
+        );
     }
 
     #[test]

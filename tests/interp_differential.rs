@@ -350,3 +350,133 @@ fn store_into_a_fused_pair_tail_invalidates_the_whole_slot() {
         stats.invalidations
     );
 }
+
+/// Dirty-bitmap fuzz lanes: the bitmap-guided capture stream and the
+/// bitmap-guided ring restore must stay byte-identical to a full-image
+/// scan of the `InterpMode::Reference` oracle — through a forced
+/// rollback, plain self-modifying code, and a fused-pair-tail patch.
+///
+/// Each lane keeps ONE dirty capture stream (`tail`) alive on the fast
+/// console, rewritten in place from the reported dirty ranges every
+/// frame, and diffs it against the reference console's full scan. A
+/// mid-run `load_state` checks the saturate-on-restore contract: the
+/// very next dirty capture must absorb the whole image.
+#[test]
+fn dirty_capture_stays_byte_identical_to_reference_full_scan() {
+    let lanes: [(&str, MakeConsole); 4] = [
+        ("ROM Pong", rom_pong_console),
+        ("Button Race", rom_race_console),
+        ("SMC Probe", || {
+            Console::new(smc_rom()).with_cycle_budget(DEFAULT_CYCLES_PER_FRAME)
+        }),
+        ("Fused SMC Probe", || {
+            Console::new(fused_smc_rom()).with_cycle_budget(DEFAULT_CYCLES_PER_FRAME)
+        }),
+    ];
+    for (name, build) in lanes {
+        let mut fast = build();
+        let mut slow = build().with_interp_mode(InterpMode::Reference);
+
+        let mut tail = Vec::new();
+        fast.save_state_into(&mut tail);
+        let mut dirty = coplay_vm::DirtyPages::default();
+        let mut full = Vec::new();
+        let mut snap = None;
+        for frame in 0..90u64 {
+            let input = input_for(frame);
+            fast.step_frame(input);
+            slow.step_frame(input);
+            fast.collect_dirty_into(&mut dirty);
+            fast.save_state_ranges_into(&mut tail, &dirty);
+            full.clear();
+            slow.save_state_into(&mut full);
+            assert_eq!(
+                tail, full,
+                "{name}: dirty capture diverged from the reference full scan at frame {frame}"
+            );
+            if frame == 40 {
+                snap = Some(full.clone());
+            }
+            if frame == 70 {
+                // Forced rollback: a full-image load must saturate the
+                // accumulators so the next dirty capture rewrites all of
+                // `tail`, not just the resimulated frame's pages.
+                let snap = snap.as_ref().expect("snapshot taken at frame 40");
+                fast.load_state(snap).unwrap();
+                slow.load_state(snap).unwrap();
+                fast.collect_dirty_into(&mut dirty);
+                fast.save_state_ranges_into(&mut tail, &dirty);
+                full.clear();
+                slow.save_state_into(&mut full);
+                assert_eq!(
+                    tail, full,
+                    "{name}: capture stream incoherent right after a full restore"
+                );
+            }
+        }
+    }
+}
+
+/// Bitmap-guided ring restores land on exactly the state the reference
+/// interpreter reaches, for both ROM games and both self-modifying
+/// probes, across a rollback depth that crosses checkpoint boundaries.
+#[test]
+fn bitmap_guided_ring_restore_matches_reference_resimulation() {
+    let lanes: [(&str, MakeConsole); 4] = [
+        ("ROM Pong", rom_pong_console),
+        ("Button Race", rom_race_console),
+        ("SMC Probe", || {
+            Console::new(smc_rom()).with_cycle_budget(DEFAULT_CYCLES_PER_FRAME)
+        }),
+        ("Fused SMC Probe", || {
+            Console::new(fused_smc_rom()).with_cycle_budget(DEFAULT_CYCLES_PER_FRAME)
+        }),
+    ];
+    for (name, build) in lanes {
+        let mut fast = build();
+        let mut slow = build().with_interp_mode(InterpMode::Reference);
+        let mut ring = coplay_rollback::SnapshotRing::new(12);
+
+        for frame in 0..60u64 {
+            let input = input_for(frame);
+            fast.step_frame(input);
+            slow.step_frame(input);
+            if frame % 4 == 0 {
+                ring.checkpoint_from(frame, fast.state_hash(), &mut fast);
+            }
+        }
+
+        // Rewind the fast console to the floor checkpoint of frame 49 with
+        // the O(dirty) path; rewind the oracle by replaying from scratch.
+        let mut dirty = coplay_vm::DirtyPages::default();
+        fast.collect_dirty_into(&mut dirty);
+        let mut buf = Vec::new();
+        let info = ring.rewind_into(49, &mut buf, &mut dirty).unwrap();
+        assert_eq!(info.frame, 48, "{name}: floor checkpoint");
+        fast.load_state_dirty(&buf, &dirty).unwrap();
+
+        let mut oracle = build().with_interp_mode(InterpMode::Reference);
+        for frame in 0..49u64 {
+            oracle.step_frame(input_for(frame));
+        }
+        assert_eq!(
+            fast.state_hash(),
+            oracle.state_hash(),
+            "{name}: bitmap-guided restore diverged from a from-scratch replay"
+        );
+
+        // Resimulate with corrected inputs on both interpreters; the
+        // restored fast console must track the reference exactly.
+        slow.load_state(&fast.save_state()).unwrap();
+        for frame in 49..80u64 {
+            let input = input_for(frame * 3 + 1);
+            fast.step_frame(input);
+            slow.step_frame(input);
+            assert_eq!(
+                fast.state_hash(),
+                slow.state_hash(),
+                "{name}: post-restore resimulation diverged at frame {frame}"
+            );
+        }
+    }
+}
